@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks for the upper-bound computations (Table II's ingredients).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rfc_core::bounds::{instance_upper_bound, BoundConfig, ExtraBound};
+use rfc_core::problem::FairCliqueParams;
+use rfc_datasets::synthetic::{power_law, PowerLawConfig};
+use rfc_graph::VertexId;
+
+fn bench_bounds(c: &mut Criterion) {
+    let g = power_law(
+        &PowerLawConfig {
+            n: 2_000,
+            edges_per_vertex: 8,
+            triangle_prob: 0.4,
+            prob_a: 0.5,
+        },
+        7,
+    );
+    let params = FairCliqueParams::new(3, 2).unwrap();
+    // Bound the kind of instance the search actually evaluates: a vertex plus its
+    // neighborhood (here, the highest-degree vertex).
+    let v = g.vertices().max_by_key(|&v| g.degree(v)).unwrap();
+    let mut instance: Vec<VertexId> = vec![v];
+    instance.extend_from_slice(g.neighbors(v));
+
+    let mut group = c.benchmark_group("bounds/neighborhood-instance");
+    group.sample_size(30);
+    for extra in ExtraBound::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("instance_upper_bound", extra.label()),
+            &extra,
+            |b, &extra| {
+                let config = BoundConfig::with_extra(extra);
+                b.iter(|| instance_upper_bound(&g, &instance, params, &config));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bounds/whole-graph-instance");
+    group.sample_size(10);
+    let all: Vec<VertexId> = g.vertices().collect();
+    for extra in [ExtraBound::None, ExtraBound::ColorfulDegeneracy, ExtraBound::ColorfulPath] {
+        group.bench_with_input(
+            BenchmarkId::new("instance_upper_bound", extra.label()),
+            &extra,
+            |b, &extra| {
+                let config = BoundConfig::with_extra(extra);
+                b.iter(|| instance_upper_bound(&g, &all, params, &config));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

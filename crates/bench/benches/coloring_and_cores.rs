@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks for the graph substrate: greedy coloring, core
+//! decomposition, colorful core decomposition and the enhanced colorful k-core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rfc_datasets::synthetic::{power_law, PowerLawConfig};
+use rfc_graph::coloring::greedy_coloring;
+use rfc_graph::colorful::{colorful_core_decomposition, enhanced_colorful_k_core_mask};
+use rfc_graph::cores::core_decomposition;
+use rfc_graph::AttributedGraph;
+
+fn workload(n: usize) -> AttributedGraph {
+    power_law(
+        &PowerLawConfig {
+            n,
+            edges_per_vertex: 6,
+            triangle_prob: 0.3,
+            prob_a: 0.5,
+        },
+        42,
+    )
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring");
+    group.sample_size(20);
+    for n in [1_000usize, 4_000] {
+        let g = workload(n);
+        group.bench_with_input(BenchmarkId::new("greedy_coloring", n), &g, |b, g| {
+            b.iter(|| greedy_coloring(g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cores");
+    group.sample_size(20);
+    for n in [1_000usize, 4_000] {
+        let g = workload(n);
+        let coloring = greedy_coloring(&g);
+        group.bench_with_input(BenchmarkId::new("core_decomposition", n), &g, |b, g| {
+            b.iter(|| core_decomposition(g));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("colorful_core_decomposition", n),
+            &g,
+            |b, g| {
+                b.iter(|| colorful_core_decomposition(g, &coloring));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("enhanced_colorful_3core", n),
+            &g,
+            |b, g| {
+                b.iter(|| enhanced_colorful_k_core_mask(g, &coloring, 3));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring, bench_cores);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion microbenchmarks for the heuristic framework (Fig. 8's HeurRFC).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rfc_core::heuristic::{colorful_deg_heur, deg_heur, heur_rfc, HeuristicConfig};
+use rfc_core::problem::FairCliqueParams;
+use rfc_datasets::PaperDataset;
+
+fn bench_heuristics(c: &mut Criterion) {
+    for dataset in [PaperDataset::Aminer, PaperDataset::Themarker] {
+        let spec = dataset.spec();
+        let g = spec.generate();
+        let params = FairCliqueParams::new(spec.default_k, spec.default_delta).unwrap();
+        let cfg = HeuristicConfig::default();
+        let mut group = c.benchmark_group(format!("heuristics/{}", spec.name));
+        group.sample_size(20);
+        group.bench_function(BenchmarkId::from_parameter("DegHeur"), |b| {
+            b.iter(|| deg_heur(&g, params, &cfg));
+        });
+        group.bench_function(BenchmarkId::from_parameter("ColorfulDegHeur"), |b| {
+            b.iter(|| colorful_deg_heur(&g, params, &cfg));
+        });
+        group.bench_function(BenchmarkId::from_parameter("HeurRFC"), |b| {
+            b.iter(|| heur_rfc(&g, params, &cfg));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion microbenchmarks for the graph reduction techniques (the machinery behind
+//! Fig. 4 / Fig. 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rfc_core::problem::FairCliqueParams;
+use rfc_core::reduction::{
+    apply_reductions, colorful_core::en_colorful_core_reduction,
+    colorful_sup::colorful_sup_reduction, en_colorful_sup::en_colorful_sup_reduction,
+    ReductionConfig,
+};
+use rfc_datasets::PaperDataset;
+
+fn bench_reductions(c: &mut Criterion) {
+    let g = PaperDataset::Aminer.generate();
+    let mut group = c.benchmark_group("reductions/aminer-analog");
+    group.sample_size(10);
+    for k in [4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("EnColorfulCore", k), &k, |b, &k| {
+            b.iter(|| en_colorful_core_reduction(&g, k));
+        });
+        group.bench_with_input(BenchmarkId::new("ColorfulSup", k), &k, |b, &k| {
+            b.iter(|| colorful_sup_reduction(&g, k));
+        });
+        group.bench_with_input(BenchmarkId::new("EnColorfulSup", k), &k, |b, &k| {
+            b.iter(|| en_colorful_sup_reduction(&g, k));
+        });
+        group.bench_with_input(BenchmarkId::new("full_pipeline", k), &k, |b, &k| {
+            let params = FairCliqueParams::new(k, 4).unwrap();
+            b.iter(|| apply_reductions(&g, params, &ReductionConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reductions);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks for the end-to-end maximum fair clique search (the
+//! quantities behind Fig. 6 / Fig. 7, at default parameters).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rfc_core::bounds::ExtraBound;
+use rfc_core::problem::FairCliqueParams;
+use rfc_core::search::{max_fair_clique, SearchConfig};
+use rfc_datasets::case_study::CaseStudy;
+use rfc_datasets::PaperDataset;
+
+fn bench_search_on_analog(c: &mut Criterion) {
+    for dataset in [PaperDataset::Aminer, PaperDataset::Flixster] {
+        let spec = dataset.spec();
+        let g = spec.generate();
+        let params = FairCliqueParams::new(spec.default_k, spec.default_delta).unwrap();
+        let mut group = c.benchmark_group(format!("search/{}", spec.name));
+        group.sample_size(10);
+        for (label, config) in [
+            ("MaxRFC", SearchConfig::basic()),
+            (
+                "MaxRFC+ub",
+                SearchConfig::with_bounds(ExtraBound::ColorfulDegeneracy),
+            ),
+            (
+                "MaxRFC+ub+HeurRFC",
+                SearchConfig::full(ExtraBound::ColorfulDegeneracy),
+            ),
+        ] {
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| max_fair_clique(&g, params, &config));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_search_on_case_studies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search/case-studies");
+    group.sample_size(20);
+    for case in CaseStudy::ALL {
+        let cs = case.generate();
+        let params = FairCliqueParams::new(cs.default_k, cs.default_delta).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(case.name()), |b| {
+            b.iter(|| max_fair_clique(&cs.graph, params, &SearchConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_on_analog, bench_search_on_case_studies);
+criterion_main!(benches);

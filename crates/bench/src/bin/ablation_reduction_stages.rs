@@ -1,0 +1,67 @@
+//! Ablation A2 — contribution of each reduction stage to the end-to-end search.
+//!
+//! Runs `MaxRFC+ub+HeurRFC` at the default parameters with four reduction
+//! configurations: none, `EnColorfulCore` only, `EnColorfulCore + ColorfulSup`, and the
+//! full pipeline. Reports the surviving graph size, the explored branches and the total
+//! runtime, separating how much of the speedup comes from each stage.
+//!
+//! ```text
+//! cargo run --release -p rfc-bench --bin ablation_reduction_stages
+//! ```
+
+use rfc_bench::workloads::{default_params, load_workloads, preferred_extra_bound, timed};
+use rfc_bench::Table;
+use rfc_core::reduction::ReductionConfig;
+use rfc_core::search::{max_fair_clique, SearchConfig};
+
+fn main() {
+    println!("Ablation A2 — reduction stages (none / core / +ColorfulSup / +EnColorfulSup)\n");
+    let mut table = Table::new(
+        "Reduction-stage ablation at default (k, δ)",
+        &[
+            "dataset",
+            "reductions",
+            "MRFC size",
+            "final |V|",
+            "final |E|",
+            "branches",
+            "total time(µs)",
+        ],
+    );
+    for workload in load_workloads() {
+        let spec = &workload.spec;
+        let params = default_params(spec);
+        let extra = preferred_extra_bound(workload.dataset);
+        let mut sizes = Vec::new();
+        for (label, reductions) in [
+            ("none", ReductionConfig::none()),
+            ("EnColorfulCore", ReductionConfig::core_only()),
+            ("+ColorfulSup", ReductionConfig::up_to_colorful_sup()),
+            ("+EnColorfulSup", ReductionConfig::default()),
+        ] {
+            let config = SearchConfig {
+                reductions,
+                ..SearchConfig::full(extra)
+            };
+            let (outcome, micros) = timed(|| max_fair_clique(&workload.graph, params, &config));
+            let size = outcome.best.map(|c| c.size()).unwrap_or(0);
+            sizes.push(size);
+            table.add_row(vec![
+                spec.name.to_string(),
+                label.to_string(),
+                size.to_string(),
+                outcome.stats.reduction.final_vertices().to_string(),
+                outcome.stats.reduction.final_edges().to_string(),
+                outcome.stats.branches.to_string(),
+                micros.to_string(),
+            ]);
+        }
+        assert!(
+            sizes.windows(2).all(|w| w[0] == w[1]),
+            "reduction configurations disagree on {}",
+            spec.name
+        );
+        eprintln!("  [{}] done", spec.name);
+    }
+    table.print();
+}

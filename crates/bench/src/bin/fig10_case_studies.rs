@@ -1,0 +1,68 @@
+//! Fig. 10 — case studies: the concrete teams returned by the maximum fair clique
+//! search on four small attributed networks.
+//!
+//! ```text
+//! cargo run --release -p rfc-bench --bin fig10_case_studies
+//! ```
+
+use rfc_bench::workloads::timed;
+use rfc_bench::Table;
+use rfc_core::problem::FairCliqueParams;
+use rfc_core::search::{max_fair_clique, SearchConfig};
+use rfc_core::verify;
+use rfc_datasets::case_study::CaseStudy;
+
+fn main() {
+    println!("Experiment E8 — case studies (paper Fig. 10)\n");
+    let mut summary = Table::new(
+        "Case-study summary",
+        &[
+            "case",
+            "n",
+            "m",
+            "k",
+            "δ",
+            "team size",
+            "count(a)",
+            "count(b)",
+            "planted size",
+            "time(µs)",
+        ],
+    );
+    for case in CaseStudy::ALL {
+        let cs = case.generate();
+        let params = FairCliqueParams::new(cs.default_k, cs.default_delta).unwrap();
+        let (outcome, micros) = timed(|| max_fair_clique(&cs.graph, params, &SearchConfig::default()));
+        let team = outcome
+            .best
+            .unwrap_or_else(|| panic!("{}: no fair clique found", case.name()));
+        assert!(verify::is_relative_fair_clique(&cs.graph, &team.vertices, params));
+        summary.add_row(vec![
+            case.name().to_string(),
+            cs.graph.num_vertices().to_string(),
+            cs.graph.num_edges().to_string(),
+            params.k.to_string(),
+            params.delta.to_string(),
+            team.size().to_string(),
+            team.counts.a().to_string(),
+            team.counts.b().to_string(),
+            cs.planted_team.len().to_string(),
+            micros.to_string(),
+        ]);
+
+        println!(
+            "### {} — team of {} ({} {}, {} {})",
+            case.name(),
+            team.size(),
+            team.counts.a(),
+            cs.attribute_names.0,
+            team.counts.b(),
+            cs.attribute_names.1
+        );
+        for &member in &team.vertices {
+            println!("  - {} [{}]", cs.label(member), cs.attribute_name(member));
+        }
+        println!();
+    }
+    summary.print();
+}

@@ -1,0 +1,64 @@
+//! Fig. 4 / Fig. 5 — comparison of the graph reduction techniques.
+//!
+//! For every dataset analog and every `k` in the dataset's sweep range, applies the
+//! reduction pipeline `EnColorfulCore → ColorfulSup → EnColorfulSup` and reports the
+//! number of vertices and edges remaining after each stage (the quantities plotted in
+//! Fig. 4(a)–(j) and Fig. 5(a)–(b)).
+//!
+//! ```text
+//! cargo run --release -p rfc-bench --bin fig4_5_reduction
+//! ```
+
+use rfc_bench::workloads::{load_workloads, timed};
+use rfc_bench::Table;
+use rfc_core::problem::FairCliqueParams;
+use rfc_core::reduction::{apply_reductions, ReductionConfig};
+
+fn main() {
+    println!("Experiment E1/E2 — graph reduction comparison (paper Fig. 4 and Fig. 5)\n");
+    for workload in load_workloads() {
+        let spec = &workload.spec;
+        let graph = &workload.graph;
+        let mut vertices_table = Table::new(
+            format!(
+                "{} — remaining vertices (original |V| = {}, δ = {})",
+                spec.name,
+                graph.num_non_isolated_vertices(),
+                spec.default_delta
+            ),
+            &["k", "Original |V|", "EnColorfulCore", "ColorfulSup", "EnColorfulSup"],
+        );
+        let mut edges_table = Table::new(
+            format!(
+                "{} — remaining edges (original |E| = {}, δ = {})",
+                spec.name,
+                graph.num_edges(),
+                spec.default_delta
+            ),
+            &["k", "Original |E|", "EnColorfulCore", "ColorfulSup", "EnColorfulSup"],
+        );
+        for k in spec.k_values() {
+            let params = FairCliqueParams::new(k, spec.default_delta).unwrap();
+            let ((_, stats), micros) =
+                timed(|| apply_reductions(graph, params, &ReductionConfig::default()));
+            let stage = |i: usize| stats.stages.get(i);
+            vertices_table.add_row(vec![
+                k.to_string(),
+                graph.num_non_isolated_vertices().to_string(),
+                stage(0).map(|s| s.vertices.to_string()).unwrap_or_default(),
+                stage(1).map(|s| s.vertices.to_string()).unwrap_or_default(),
+                stage(2).map(|s| s.vertices.to_string()).unwrap_or_default(),
+            ]);
+            edges_table.add_row(vec![
+                k.to_string(),
+                graph.num_edges().to_string(),
+                stage(0).map(|s| s.edges.to_string()).unwrap_or_default(),
+                stage(1).map(|s| s.edges.to_string()).unwrap_or_default(),
+                stage(2).map(|s| s.edges.to_string()).unwrap_or_default(),
+            ]);
+            eprintln!("  [{}] k = {k}: pipeline took {micros} µs", spec.name);
+        }
+        vertices_table.print();
+        edges_table.print();
+    }
+}

@@ -1,0 +1,97 @@
+//! Fig. 6 / Fig. 7 — runtime comparison of the maximum fair clique search algorithms.
+//!
+//! For every dataset analog, sweeps `k` (at the default `δ`) and `δ` (at the default
+//! `k`) and compares three algorithms, exactly as the paper does:
+//!
+//! * `MaxRFC` — reductions + branch-and-bound with only the trivial size bound;
+//! * `MaxRFC+ub` — plus the advanced bound group and the per-dataset best extra bound;
+//! * `MaxRFC+ub+HeurRFC` — plus the heuristic warm start.
+//!
+//! Reported: runtime (µs), explored branches, and the optimum size (which must agree
+//! across all three).
+//!
+//! ```text
+//! cargo run --release -p rfc-bench --bin fig6_7_search
+//! ```
+
+use rfc_bench::report::speedup;
+use rfc_bench::workloads::{figure6_configs, load_workloads, timed};
+use rfc_bench::Table;
+use rfc_core::problem::FairCliqueParams;
+use rfc_core::search::max_fair_clique;
+use rfc_graph::AttributedGraph;
+
+fn run_setting(
+    table: &mut Table,
+    dataset: &str,
+    param_name: &str,
+    param_value: usize,
+    graph: &AttributedGraph,
+    params: FairCliqueParams,
+    configs: &[(&'static str, rfc_core::search::SearchConfig); 3],
+) {
+    let mut sizes = Vec::new();
+    let mut times = Vec::new();
+    let mut branches = Vec::new();
+    for (_, config) in configs {
+        let (outcome, micros) = timed(|| max_fair_clique(graph, params, config));
+        sizes.push(outcome.best.map(|c| c.size()).unwrap_or(0));
+        times.push(micros);
+        branches.push(outcome.stats.branches);
+    }
+    assert!(
+        sizes.windows(2).all(|w| w[0] == w[1]),
+        "algorithms disagree on {dataset} {param_name}={param_value}: {sizes:?}"
+    );
+    table.add_row(vec![
+        dataset.to_string(),
+        param_name.to_string(),
+        param_value.to_string(),
+        sizes[0].to_string(),
+        times[0].to_string(),
+        times[1].to_string(),
+        times[2].to_string(),
+        speedup(times[0], times[1]),
+        speedup(times[0], times[2]),
+        branches[0].to_string(),
+        branches[1].to_string(),
+        branches[2].to_string(),
+    ]);
+}
+
+fn main() {
+    println!("Experiment E4/E5 — MaxRFC vs MaxRFC+ub vs MaxRFC+ub+HeurRFC (paper Fig. 6 / Fig. 7)\n");
+    let mut table = Table::new(
+        "Fig. 6/7 analog — runtimes in µs",
+        &[
+            "dataset",
+            "param",
+            "value",
+            "MRFC size",
+            "MaxRFC(µs)",
+            "+ub(µs)",
+            "+ub+Heur(µs)",
+            "speedup(+ub)",
+            "speedup(+ub+Heur)",
+            "branches",
+            "branches(+ub)",
+            "branches(+ub+Heur)",
+        ],
+    );
+    for workload in load_workloads() {
+        let spec = &workload.spec;
+        let graph = &workload.graph;
+        let configs = figure6_configs(workload.dataset);
+        for k in spec.k_values() {
+            let params = FairCliqueParams::new(k, spec.default_delta).unwrap();
+            run_setting(&mut table, spec.name, "k", k, graph, params, &configs);
+            eprintln!("  [{}] k = {k} done", spec.name);
+        }
+        for delta in spec.delta_values() {
+            let params = FairCliqueParams::new(spec.default_k, delta).unwrap();
+            run_setting(&mut table, spec.name, "δ", delta, graph, params, &configs);
+            eprintln!("  [{}] δ = {delta} done", spec.name);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,74 @@
+//! Fig. 9 — scalability test: runtime vs the fraction of edges / vertices kept.
+//!
+//! Following the paper, the Flixster analog is subsampled to 20%–100% of its edges
+//! (Fig. 9(a)) and of its vertices (Fig. 9(b)), and the three search algorithms are run
+//! on each subgraph at the dataset's default parameters.
+//!
+//! Set `RFC_BENCH_DATASETS` to run the sweep on other analogs as well.
+//!
+//! ```text
+//! cargo run --release -p rfc-bench --bin fig9_scalability
+//! ```
+
+use rfc_bench::workloads::{default_params, figure6_configs, load_workloads, timed};
+use rfc_bench::Table;
+use rfc_core::search::max_fair_clique;
+use rfc_datasets::scaling::{sample_edges, sample_vertices, FRACTIONS};
+use rfc_datasets::PaperDataset;
+
+fn main() {
+    println!("Experiment E7 — scalability on subsampled graphs (paper Fig. 9)\n");
+    // Default to Flixster like the paper; respect RFC_BENCH_DATASETS if set.
+    if std::env::var("RFC_BENCH_DATASETS").is_err() {
+        std::env::set_var("RFC_BENCH_DATASETS", "Flixster");
+    }
+    let workloads = load_workloads();
+    for workload in &workloads {
+        let spec = &workload.spec;
+        let params = default_params(spec);
+        let configs = figure6_configs(workload.dataset);
+        for (axis, sampler) in [
+            ("m", &sample_edges as &dyn Fn(&rfc_graph::AttributedGraph, f64, u64) -> rfc_graph::AttributedGraph),
+            ("n", &sample_vertices),
+        ] {
+            let mut table = Table::new(
+                format!("{} — vary {axis} (k={}, δ={})", spec.name, params.k, params.delta),
+                &[
+                    "fraction",
+                    "|V|",
+                    "|E|",
+                    "MRFC size",
+                    "MaxRFC(µs)",
+                    "+ub(µs)",
+                    "+ub+Heur(µs)",
+                ],
+            );
+            for &fraction in &FRACTIONS {
+                let sampled = sampler(&workload.graph, fraction, 0x5CA1E + workload.dataset as u64);
+                let mut times = Vec::new();
+                let mut size = 0usize;
+                for (_, config) in &configs {
+                    let (outcome, micros) = timed(|| max_fair_clique(&sampled, params, config));
+                    size = outcome.best.map(|c| c.size()).unwrap_or(0);
+                    times.push(micros);
+                }
+                table.add_row(vec![
+                    format!("{:.0}%", fraction * 100.0),
+                    sampled.num_vertices().to_string(),
+                    sampled.num_edges().to_string(),
+                    size.to_string(),
+                    times[0].to_string(),
+                    times[1].to_string(),
+                    times[2].to_string(),
+                ]);
+                eprintln!("  [{} vary {axis}] {:.0}% done", spec.name, fraction * 100.0);
+            }
+            table.print();
+        }
+    }
+    // Keep the binary honest even if the dataset filter excluded everything.
+    if workloads.is_empty() {
+        eprintln!("no datasets selected; check RFC_BENCH_DATASETS");
+        let _ = PaperDataset::ALL;
+    }
+}

@@ -1,0 +1,86 @@
+//! Table II — running time of `MaxRFC` under the different upper bounds.
+//!
+//! For every dataset analog, sweeps `k` (at the default `δ`) and `δ` (at the default
+//! `k`) and, for each setting, runs `MaxRFC+ub` with the six bound configurations of the
+//! paper (`ubAD`, `ubAD+ub△`, `ubAD+ubh`, `ubAD+ubcd`, `ubAD+ubch`, `ubAD+ubcp`),
+//! reporting the runtime in microseconds. The smallest time per row is marked with `*`,
+//! matching the highlighting of Table II.
+//!
+//! ```text
+//! cargo run --release -p rfc-bench --bin table2_bounds
+//! ```
+
+use rfc_bench::workloads::{default_params, load_workloads, timed};
+use rfc_bench::Table;
+use rfc_core::bounds::ExtraBound;
+use rfc_core::problem::FairCliqueParams;
+use rfc_core::search::{max_fair_clique, SearchConfig};
+use rfc_graph::AttributedGraph;
+
+fn run_row(graph: &AttributedGraph, params: FairCliqueParams) -> Vec<u128> {
+    ExtraBound::ALL
+        .iter()
+        .map(|&extra| {
+            let config = SearchConfig::with_bounds(extra);
+            let (_, micros) = timed(|| max_fair_clique(graph, params, &config));
+            micros
+        })
+        .collect()
+}
+
+fn format_row(prefix: Vec<String>, times: &[u128]) -> Vec<String> {
+    let best = times.iter().copied().min().unwrap_or(0);
+    let mut row = prefix;
+    for &t in times {
+        if t == best {
+            row.push(format!("{t}*"));
+        } else {
+            row.push(t.to_string());
+        }
+    }
+    row
+}
+
+fn main() {
+    println!("Experiment E3 — MaxRFC runtime with different upper bounds (paper Table II)\n");
+    let headers: Vec<&str> = {
+        let mut h = vec!["dataset", "param", "value"];
+        for extra in ExtraBound::ALL {
+            h.push(extra.label());
+        }
+        h
+    };
+    let mut table = Table::new("Table II analog — runtimes in µs (* = fastest per row)", &headers);
+
+    for workload in load_workloads() {
+        let spec = &workload.spec;
+        let graph = &workload.graph;
+        for k in spec.k_values() {
+            let params = FairCliqueParams::new(k, spec.default_delta).unwrap();
+            let times = run_row(graph, params);
+            table.add_row(format_row(
+                vec![spec.name.to_string(), "k".to_string(), k.to_string()],
+                &times,
+            ));
+            eprintln!("  [{}] k = {k} done", spec.name);
+        }
+        for delta in spec.delta_values() {
+            let params = FairCliqueParams::new(spec.default_k, delta).unwrap();
+            let times = run_row(graph, params);
+            table.add_row(format_row(
+                vec![spec.name.to_string(), "δ".to_string(), delta.to_string()],
+                &times,
+            ));
+            eprintln!("  [{}] δ = {delta} done", spec.name);
+        }
+        // Also report the optimum size at the defaults as a sanity anchor.
+        let params = default_params(spec);
+        let outcome = max_fair_clique(graph, params, &SearchConfig::default());
+        eprintln!(
+            "  [{}] optimum at defaults {params}: {}",
+            spec.name,
+            outcome.best.map(|c| c.size()).unwrap_or(0)
+        );
+    }
+    table.print();
+}

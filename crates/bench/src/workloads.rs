@@ -1,0 +1,117 @@
+//! Shared helpers for the experiment binaries: dataset iteration, timing, and the
+//! per-dataset algorithm configurations used in the paper.
+
+use std::time::Instant;
+
+use rfc_core::bounds::ExtraBound;
+use rfc_core::problem::FairCliqueParams;
+use rfc_core::search::SearchConfig;
+use rfc_datasets::{DatasetSpec, PaperDataset};
+use rfc_graph::AttributedGraph;
+
+/// A generated dataset analog together with its spec.
+pub struct Workload {
+    /// The dataset identifier.
+    pub dataset: PaperDataset,
+    /// The analog specification (parameter ranges, defaults).
+    pub spec: DatasetSpec,
+    /// The generated graph.
+    pub graph: AttributedGraph,
+}
+
+/// Generates the requested datasets (all six by default).
+///
+/// Set `RFC_BENCH_DATASETS` to a comma-separated list of names (e.g.
+/// `"Themarker,Aminer"`) to restrict an experiment run to a subset.
+pub fn load_workloads() -> Vec<Workload> {
+    let filter: Option<Vec<String>> = std::env::var("RFC_BENCH_DATASETS")
+        .ok()
+        .map(|s| s.split(',').map(|x| x.trim().to_lowercase()).collect());
+    PaperDataset::ALL
+        .iter()
+        .copied()
+        .filter(|ds| {
+            filter
+                .as_ref()
+                .map(|f| f.iter().any(|name| name == &ds.name().to_lowercase()))
+                .unwrap_or(true)
+        })
+        .map(|dataset| {
+            let spec = dataset.spec();
+            let graph = spec.generate();
+            Workload {
+                dataset,
+                spec,
+                graph,
+            }
+        })
+        .collect()
+}
+
+/// Default parameters of a workload (`k`, `δ` at their per-dataset defaults).
+pub fn default_params(spec: &DatasetSpec) -> FairCliqueParams {
+    FairCliqueParams::new(spec.default_k, spec.default_delta).expect("spec defaults are valid")
+}
+
+/// The extra bound the paper selects for each dataset when running `MaxRFC+ub`
+/// (Section VI-B: `ubcp` for Themarker, Google and Pokec; `ubcd` for the others).
+pub fn preferred_extra_bound(dataset: PaperDataset) -> ExtraBound {
+    match dataset {
+        PaperDataset::Themarker | PaperDataset::Google | PaperDataset::Pokec => {
+            ExtraBound::ColorfulPath
+        }
+        _ => ExtraBound::ColorfulDegeneracy,
+    }
+}
+
+/// The three algorithm configurations compared in Fig. 6 / Fig. 7 / Fig. 9, in order:
+/// `MaxRFC`, `MaxRFC+ub`, `MaxRFC+ub+HeurRFC`.
+pub fn figure6_configs(dataset: PaperDataset) -> [(&'static str, SearchConfig); 3] {
+    let extra = preferred_extra_bound(dataset);
+    [
+        ("MaxRFC", SearchConfig::basic()),
+        ("MaxRFC+ub", SearchConfig::with_bounds(extra)),
+        ("MaxRFC+ub+HeurRFC", SearchConfig::full(extra)),
+    ]
+}
+
+/// Runs a closure and returns its result together with the elapsed wall-clock time in
+/// microseconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_micros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_something() {
+        let (value, micros) = timed(|| (0..10_000u64).sum::<u64>());
+        assert_eq!(value, 49_995_000);
+        // Some time passed but not absurdly much.
+        assert!(micros < 1_000_000);
+    }
+
+    #[test]
+    fn preferred_bounds_match_paper_choices() {
+        assert_eq!(
+            preferred_extra_bound(PaperDataset::Themarker),
+            ExtraBound::ColorfulPath
+        );
+        assert_eq!(
+            preferred_extra_bound(PaperDataset::Dblp),
+            ExtraBound::ColorfulDegeneracy
+        );
+    }
+
+    #[test]
+    fn figure6_configs_are_ordered() {
+        let configs = figure6_configs(PaperDataset::Flixster);
+        assert_eq!(configs[0].0, "MaxRFC");
+        assert!(!configs[0].1.use_heuristic);
+        assert!(configs[2].1.use_heuristic);
+    }
+}

@@ -1,0 +1,347 @@
+//! Minimal dependency-free argument parsing for the `maxfairclique` CLI.
+
+use rfc_core::bounds::ExtraBound;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+maxfairclique — maximum relative fair clique search
+
+USAGE:
+  maxfairclique solve     --graph FILE | --edges FILE [--attributes FILE]
+                          -k K -d DELTA [--bound cd|cp|d|h|ch|none] [--basic]
+                          [--no-heuristic] [--weak] [--strong]
+  maxfairclique heuristic --graph FILE | --edges FILE [--attributes FILE]
+                          -k K -d DELTA [--seeds N]
+  maxfairclique reduce    --graph FILE | --edges FILE [--attributes FILE]
+                          -k K [--output FILE]
+  maxfairclique stats     --graph FILE | --edges FILE [--attributes FILE]
+  maxfairclique generate  --dataset NAME | --case-study NAME [--output FILE]
+
+OPTIONS:
+  --graph FILE        graph in the maxfairclique text format (n/v/e records)
+  --edges FILE        whitespace edge list (u v per line, # comments)
+  --attributes FILE   attribute list (vertex a|b per line); defaults to attribute a
+  -k K                minimum vertices per attribute (default 2)
+  -d, --delta D       maximum attribute imbalance (default 1)
+  --bound B           extra bound: cd (default), cp, d, h, ch, none
+  --basic             basic MaxRFC (size bound only, no heuristic)
+  --no-heuristic      disable the HeurRFC warm start
+  --weak              weak fairness (no imbalance constraint; ignores --delta)
+  --strong            strong fairness (exactly equal counts; ignores --delta)
+  --seeds N           number of greedy seeds for the heuristic (default 8)
+  --dataset NAME      themarker | google | dblp | flixster | pokec | aminer
+  --case-study NAME   aminer | dbai | nba | imdb
+  --output FILE       where to write the generated / reduced graph
+  -h, --help          show this help
+";
+
+/// Which graph input was requested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphInput {
+    /// Combined-format file (`n`/`v`/`e` records).
+    Combined(String),
+    /// Raw edge list with an optional attribute list.
+    EdgeList {
+        /// Path to the edge-list file.
+        edges: String,
+        /// Optional path to the attribute-list file.
+        attributes: Option<String>,
+    },
+}
+
+/// The fairness model to solve for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fairness {
+    /// Relative fairness (`k`, `δ`).
+    Relative,
+    /// Weak fairness (`k` only).
+    Weak,
+    /// Strong fairness (equal counts, both ≥ `k`).
+    Strong,
+}
+
+/// A fully parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Exact maximum fair clique search.
+    Solve {
+        /// Input graph.
+        input: GraphInput,
+        /// Parameter `k`.
+        k: usize,
+        /// Parameter `δ`.
+        delta: usize,
+        /// Extra bound selection.
+        bound: ExtraBound,
+        /// Run the basic configuration (size bound only, no heuristic).
+        basic: bool,
+        /// Disable the heuristic warm start.
+        no_heuristic: bool,
+        /// Fairness model.
+        fairness: Fairness,
+    },
+    /// Linear-time heuristic only.
+    Heuristic {
+        /// Input graph.
+        input: GraphInput,
+        /// Parameter `k`.
+        k: usize,
+        /// Parameter `δ`.
+        delta: usize,
+        /// Number of greedy seeds.
+        seeds: usize,
+    },
+    /// Run the reduction pipeline and optionally write the reduced graph.
+    Reduce {
+        /// Input graph.
+        input: GraphInput,
+        /// Parameter `k`.
+        k: usize,
+        /// Optional output path.
+        output: Option<String>,
+    },
+    /// Print graph statistics.
+    Stats {
+        /// Input graph.
+        input: GraphInput,
+    },
+    /// Generate a dataset analog or case-study graph.
+    Generate {
+        /// Dataset analog name (mutually exclusive with `case_study`).
+        dataset: Option<String>,
+        /// Case-study name.
+        case_study: Option<String>,
+        /// Optional output path (stdout summary only when absent).
+        output: Option<String>,
+    },
+    /// Print the usage text.
+    Help,
+}
+
+/// Parses the command line (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter().peekable();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) if s == "-h" || s == "--help" => return Ok(Command::Help),
+        Some(s) => s.clone(),
+    };
+
+    // Collect flag/value pairs.
+    let mut flags: Vec<(String, Option<String>)> = Vec::new();
+    while let Some(arg) = it.next() {
+        if arg == "-h" || arg == "--help" {
+            return Ok(Command::Help);
+        }
+        if !arg.starts_with('-') {
+            return Err(format!("unexpected positional argument `{arg}`"));
+        }
+        let takes_value = matches!(
+            arg.as_str(),
+            "--graph"
+                | "--edges"
+                | "--attributes"
+                | "-k"
+                | "-d"
+                | "--delta"
+                | "--bound"
+                | "--seeds"
+                | "--dataset"
+                | "--case-study"
+                | "--output"
+        );
+        if takes_value {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag `{arg}` expects a value"))?;
+            flags.push((arg.clone(), Some(value.clone())));
+        } else {
+            flags.push((arg.clone(), None));
+        }
+    }
+
+    let get = |name: &str| -> Option<String> {
+        flags
+            .iter()
+            .find(|(f, _)| f == name)
+            .and_then(|(_, v)| v.clone())
+    };
+    let has = |name: &str| flags.iter().any(|(f, _)| f == name);
+    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+        match get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| format!("invalid value for `{name}`: `{v}`")),
+        }
+    };
+
+    let input = || -> Result<GraphInput, String> {
+        if let Some(path) = get("--graph") {
+            Ok(GraphInput::Combined(path))
+        } else if let Some(edges) = get("--edges") {
+            Ok(GraphInput::EdgeList {
+                edges,
+                attributes: get("--attributes"),
+            })
+        } else {
+            Err("an input graph is required (`--graph FILE` or `--edges FILE`)".to_string())
+        }
+    };
+
+    match sub.as_str() {
+        "solve" => {
+            let bound = match get("--bound").as_deref() {
+                None | Some("cd") => ExtraBound::ColorfulDegeneracy,
+                Some("cp") => ExtraBound::ColorfulPath,
+                Some("d") => ExtraBound::Degeneracy,
+                Some("h") => ExtraBound::HIndex,
+                Some("ch") => ExtraBound::ColorfulHIndex,
+                Some("none") => ExtraBound::None,
+                Some(other) => return Err(format!("unknown bound `{other}`")),
+            };
+            let fairness = match (has("--weak"), has("--strong")) {
+                (true, true) => return Err("`--weak` and `--strong` are mutually exclusive".into()),
+                (true, false) => Fairness::Weak,
+                (false, true) => Fairness::Strong,
+                (false, false) => Fairness::Relative,
+            };
+            Ok(Command::Solve {
+                input: input()?,
+                k: parse_usize("-k", 2)?,
+                delta: parse_usize("-d", 1).or_else(|_| parse_usize("--delta", 1))?,
+                bound,
+                basic: has("--basic"),
+                no_heuristic: has("--no-heuristic"),
+                fairness,
+            })
+        }
+        "heuristic" => Ok(Command::Heuristic {
+            input: input()?,
+            k: parse_usize("-k", 2)?,
+            delta: parse_usize("-d", 1).or_else(|_| parse_usize("--delta", 1))?,
+            seeds: parse_usize("--seeds", 8)?,
+        }),
+        "reduce" => Ok(Command::Reduce {
+            input: input()?,
+            k: parse_usize("-k", 2)?,
+            output: get("--output"),
+        }),
+        "stats" => Ok(Command::Stats { input: input()? }),
+        "generate" => {
+            let dataset = get("--dataset");
+            let case_study = get("--case-study");
+            if dataset.is_none() && case_study.is_none() {
+                return Err("`generate` needs `--dataset NAME` or `--case-study NAME`".into());
+            }
+            if dataset.is_some() && case_study.is_some() {
+                return Err("`--dataset` and `--case-study` are mutually exclusive".into());
+            }
+            Ok(Command::Generate {
+                dataset,
+                case_study,
+                output: get("--output"),
+            })
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_solve_with_defaults() {
+        let cmd = parse(&argv("solve --graph g.graph")).unwrap();
+        match cmd {
+            Command::Solve {
+                input,
+                k,
+                delta,
+                bound,
+                basic,
+                no_heuristic,
+                fairness,
+            } => {
+                assert_eq!(input, GraphInput::Combined("g.graph".into()));
+                assert_eq!((k, delta), (2, 1));
+                assert_eq!(bound, ExtraBound::ColorfulDegeneracy);
+                assert!(!basic && !no_heuristic);
+                assert_eq!(fairness, Fairness::Relative);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_solve_with_everything() {
+        let cmd = parse(&argv(
+            "solve --edges e.txt --attributes a.txt -k 4 -d 2 --bound cp --basic --no-heuristic --strong",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Solve {
+                input,
+                k,
+                delta,
+                bound,
+                basic,
+                no_heuristic,
+                fairness,
+            } => {
+                assert_eq!(
+                    input,
+                    GraphInput::EdgeList {
+                        edges: "e.txt".into(),
+                        attributes: Some("a.txt".into())
+                    }
+                );
+                assert_eq!((k, delta), (4, 2));
+                assert_eq!(bound, ExtraBound::ColorfulPath);
+                assert!(basic && no_heuristic);
+                assert_eq!(fairness, Fairness::Strong);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_other_subcommands() {
+        assert!(matches!(
+            parse(&argv("heuristic --graph g.graph -k 3 -d 2 --seeds 16")).unwrap(),
+            Command::Heuristic { seeds: 16, k: 3, delta: 2, .. }
+        ));
+        assert!(matches!(
+            parse(&argv("reduce --graph g.graph -k 5 --output out.graph")).unwrap(),
+            Command::Reduce { k: 5, output: Some(_), .. }
+        ));
+        assert!(matches!(
+            parse(&argv("stats --edges e.txt")).unwrap(),
+            Command::Stats { .. }
+        ));
+        assert!(matches!(
+            parse(&argv("generate --dataset aminer --output g.graph")).unwrap(),
+            Command::Generate { dataset: Some(_), case_study: None, .. }
+        ));
+        assert!(matches!(parse(&argv("--help")).unwrap(), Command::Help));
+        assert!(matches!(parse(&[]).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn rejects_malformed_invocations() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("solve")).is_err()); // missing input
+        assert!(parse(&argv("solve --graph")).is_err()); // missing value
+        assert!(parse(&argv("solve --graph g -k nope")).is_err());
+        assert!(parse(&argv("solve --graph g --bound bogus")).is_err());
+        assert!(parse(&argv("solve --graph g --weak --strong")).is_err());
+        assert!(parse(&argv("generate")).is_err());
+        assert!(parse(&argv("generate --dataset a --case-study b")).is_err());
+        assert!(parse(&argv("solve positional")).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Execution of the parsed CLI commands.
+
+use std::collections::HashMap;
+use std::fs::File;
+
+use rfc_core::bounds::BoundConfig;
+use rfc_core::heuristic::{heur_rfc, HeuristicConfig};
+use rfc_core::problem::FairCliqueParams;
+use rfc_core::reduction::{apply_reductions, ReductionConfig};
+use rfc_core::search::{max_fair_clique, SearchConfig};
+use rfc_core::verify;
+use rfc_datasets::case_study::CaseStudy;
+use rfc_datasets::PaperDataset;
+use rfc_graph::io;
+use rfc_graph::AttributedGraph;
+
+use crate::args::{Command, Fairness, GraphInput, USAGE};
+
+/// Runs a parsed command, returning a human-readable error on failure.
+pub fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Stats { input } => {
+            let graph = load_graph(&input)?;
+            println!("{}", graph.stats());
+            println!("non-isolated vertices: {}", graph.num_non_isolated_vertices());
+            Ok(())
+        }
+        Command::Solve {
+            input,
+            k,
+            delta,
+            bound,
+            basic,
+            no_heuristic,
+            fairness,
+        } => {
+            let graph = load_graph(&input)?;
+            let effective_delta = match fairness {
+                Fairness::Relative => delta,
+                Fairness::Weak => graph.num_vertices().max(1),
+                Fairness::Strong => 0,
+            };
+            let params = FairCliqueParams::new(k, effective_delta).map_err(|e| e.to_string())?;
+            let config = if basic {
+                SearchConfig::basic()
+            } else {
+                SearchConfig {
+                    bounds: BoundConfig::with_extra(bound),
+                    use_heuristic: !no_heuristic,
+                    ..SearchConfig::default()
+                }
+            };
+            let outcome = max_fair_clique(&graph, params, &config);
+            match &outcome.best {
+                None => println!("no fair clique exists for k={k} ({fairness:?} fairness)"),
+                Some(clique) => {
+                    debug_assert!(verify::is_fair_and_clique(&graph, &clique.vertices, params));
+                    println!(
+                        "maximum fair clique: {} vertices (a: {}, b: {})",
+                        clique.size(),
+                        clique.counts.a(),
+                        clique.counts.b()
+                    );
+                    println!("vertices: {:?}", clique.vertices);
+                }
+            }
+            let stats = &outcome.stats;
+            println!(
+                "reduction: {} -> {} edges; search: {} branches, {} bound prunes, {} µs total",
+                stats.reduction.original_edges,
+                stats.reduction.final_edges(),
+                stats.branches,
+                stats.bound_prunes,
+                stats.elapsed_micros
+            );
+            Ok(())
+        }
+        Command::Heuristic {
+            input,
+            k,
+            delta,
+            seeds,
+        } => {
+            let graph = load_graph(&input)?;
+            let params = FairCliqueParams::new(k, delta).map_err(|e| e.to_string())?;
+            let outcome = heur_rfc(&graph, params, &HeuristicConfig { seeds: seeds.max(1) });
+            match &outcome.best {
+                None => println!("the heuristic found no fair clique for (k={k}, δ={delta})"),
+                Some(clique) => println!(
+                    "heuristic fair clique: {} vertices (a: {}, b: {}); upper bound {}",
+                    clique.size(),
+                    clique.counts.a(),
+                    clique.counts.b(),
+                    outcome.upper_bound
+                ),
+            }
+            Ok(())
+        }
+        Command::Reduce { input, k, output } => {
+            let graph = load_graph(&input)?;
+            let params = FairCliqueParams::new(k, 0).map_err(|e| e.to_string())?;
+            let (reduced, stats) = apply_reductions(&graph, params, &ReductionConfig::default());
+            println!(
+                "original: {} vertices / {} edges",
+                stats.original_vertices, stats.original_edges
+            );
+            for stage in &stats.stages {
+                println!(
+                    "after {:>15}: {} vertices / {} edges ({} µs)",
+                    stage.stage, stage.vertices, stage.edges, stage.micros
+                );
+            }
+            if let Some(path) = output {
+                io::write_graph_to_path(&reduced, &path).map_err(|e| e.to_string())?;
+                println!("reduced graph written to {path}");
+            }
+            Ok(())
+        }
+        Command::Generate {
+            dataset,
+            case_study,
+            output,
+        } => {
+            let (name, graph) = if let Some(name) = dataset {
+                let ds = parse_dataset(&name)?;
+                (ds.name().to_string(), ds.generate())
+            } else {
+                let cs = parse_case_study(case_study.as_deref().unwrap_or_default())?;
+                let generated = cs.generate();
+                (cs.name().to_string(), generated.graph)
+            };
+            println!("generated {name}: {}", graph.stats());
+            if let Some(path) = output {
+                io::write_graph_to_path(&graph, &path).map_err(|e| e.to_string())?;
+                println!("written to {path}");
+            }
+            Ok(())
+        }
+    }
+}
+
+fn load_graph(input: &GraphInput) -> Result<AttributedGraph, String> {
+    match input {
+        GraphInput::Combined(path) => {
+            io::read_graph_from_path(path).map_err(|e| format!("{path}: {e}"))
+        }
+        GraphInput::EdgeList { edges, attributes } => {
+            let attr_map = match attributes {
+                Some(path) => {
+                    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+                    io::read_attribute_list(file).map_err(|e| format!("{path}: {e}"))?
+                }
+                None => HashMap::new(),
+            };
+            let file = File::open(edges).map_err(|e| format!("{edges}: {e}"))?;
+            let (graph, _) =
+                io::read_edge_list(file, &attr_map).map_err(|e| format!("{edges}: {e}"))?;
+            Ok(graph)
+        }
+    }
+}
+
+fn parse_dataset(name: &str) -> Result<PaperDataset, String> {
+    PaperDataset::ALL
+        .iter()
+        .copied()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown dataset `{name}` (expected one of Themarker, Google, DBLP, Flixster, Pokec, Aminer)"))
+}
+
+fn parse_case_study(name: &str) -> Result<CaseStudy, String> {
+    CaseStudy::ALL
+        .iter()
+        .copied()
+        .find(|c| c.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown case study `{name}` (expected Aminer, DBAI, NBA, IMDB)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rfc_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn end_to_end_generate_stats_solve_reduce() {
+        let graph_path = temp_path("nba.graph");
+        let graph_arg = graph_path.to_string_lossy().to_string();
+
+        // generate a case-study graph to disk
+        run(parse(&argv(&format!(
+            "generate --case-study nba --output {graph_arg}"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(graph_path.exists());
+
+        // stats / solve / heuristic / reduce on the generated file
+        run(parse(&argv(&format!("stats --graph {graph_arg}"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("solve --graph {graph_arg} -k 5 -d 3"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("solve --graph {graph_arg} -k 5 --strong"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("heuristic --graph {graph_arg} -k 5 -d 3"))).unwrap()).unwrap();
+        let reduced_path = temp_path("nba_reduced.graph");
+        run(parse(&argv(&format!(
+            "reduce --graph {graph_arg} -k 5 --output {}",
+            reduced_path.to_string_lossy()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(reduced_path.exists());
+
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&reduced_path).ok();
+    }
+
+    #[test]
+    fn edge_list_input_roundtrip() {
+        let edges_path = temp_path("tiny_edges.txt");
+        let attrs_path = temp_path("tiny_attrs.txt");
+        std::fs::write(&edges_path, "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n").unwrap();
+        std::fs::write(&attrs_path, "0 a\n1 b\n2 a\n3 b\n").unwrap();
+        run(parse(&argv(&format!(
+            "solve --edges {} --attributes {} -k 2 -d 0",
+            edges_path.to_string_lossy(),
+            attrs_path.to_string_lossy()
+        )))
+        .unwrap())
+        .unwrap();
+        std::fs::remove_file(&edges_path).ok();
+        std::fs::remove_file(&attrs_path).ok();
+    }
+
+    #[test]
+    fn helpful_errors_for_bad_input() {
+        assert!(load_graph(&GraphInput::Combined("/definitely/missing.graph".into())).is_err());
+        assert!(parse_dataset("nope").is_err());
+        assert!(parse_case_study("nope").is_err());
+        assert!(parse_dataset("dblp").is_ok());
+        assert!(parse_case_study("imdb").is_ok());
+        run(Command::Help).unwrap();
+    }
+}

@@ -1,0 +1,39 @@
+//! `maxfairclique` — command-line front end for the maximum relative fair clique
+//! library.
+//!
+//! ```text
+//! maxfairclique solve      --graph g.graph -k 3 -d 1 [--bound cd|cp|d|h|ch|none] [--no-heuristic] [--basic]
+//! maxfairclique heuristic  --graph g.graph -k 3 -d 1 [--seeds 8]
+//! maxfairclique reduce     --graph g.graph -k 3 [--output reduced.graph]
+//! maxfairclique stats      --graph g.graph
+//! maxfairclique generate   --dataset themarker --output g.graph
+//! maxfairclique generate   --case-study nba    --output g.graph
+//! ```
+//!
+//! Graphs are read/written in the plain-text format of `rfc_graph::io` (`n`/`v`/`e`
+//! records); `--edges edges.txt --attributes attrs.txt` reads a raw edge list plus an
+//! attribute list instead.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(command) => match commands::run(command) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("error: {err}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Bron–Kerbosch maximal clique enumeration and the derived fair-clique baseline.
+//!
+//! The classic pivoting Bron–Kerbosch algorithm enumerates every maximal clique exactly
+//! once. The outer level iterates vertices in a degeneracy ordering, which bounds the
+//! size of the candidate sets by the graph's degeneracy and is the standard way to make
+//! BK practical on sparse graphs (Eppstein–Löffler–Strash).
+//!
+//! For the maximum *fair* clique, each maximal clique `M` is post-processed: the best
+//! fair sub-clique of `M` keeps all vertices of its rarer attribute and as many of the
+//! other as `δ` allows. Maximizing this over all maximal cliques yields the exact
+//! optimum, because every fair clique is a subset of some maximal clique.
+
+use rfc_graph::cores::core_decomposition;
+use rfc_graph::{AttributedGraph, VertexId};
+
+use crate::problem::{FairClique, FairCliqueParams};
+
+use super::{best_fair_subclique, keep_larger};
+
+/// Enumerates all maximal cliques of `g`, invoking `visit` once per maximal clique.
+///
+/// Uses Bron–Kerbosch with pivoting, seeded by a degeneracy ordering at the top level.
+pub fn enumerate_maximal_cliques<F: FnMut(&[VertexId])>(g: &AttributedGraph, mut visit: F) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return;
+    }
+    let decomp = core_decomposition(g);
+    let mut rank = vec![0usize; n];
+    for (i, &v) in decomp.order.iter().enumerate() {
+        rank[v as usize] = i;
+    }
+    // Outer loop in degeneracy order: candidates are later-ranked neighbors, excluded
+    // are earlier-ranked neighbors.
+    for &v in &decomp.order {
+        let mut candidates: Vec<VertexId> = Vec::new();
+        let mut excluded: Vec<VertexId> = Vec::new();
+        for &u in g.neighbors(v) {
+            if rank[u as usize] > rank[v as usize] {
+                candidates.push(u);
+            } else {
+                excluded.push(u);
+            }
+        }
+        let mut r = vec![v];
+        bk_pivot(g, &mut r, candidates, excluded, &mut visit);
+    }
+}
+
+fn bk_pivot<F: FnMut(&[VertexId])>(
+    g: &AttributedGraph,
+    r: &mut Vec<VertexId>,
+    candidates: Vec<VertexId>,
+    excluded: Vec<VertexId>,
+    visit: &mut F,
+) {
+    if candidates.is_empty() && excluded.is_empty() {
+        visit(r);
+        return;
+    }
+    // Choose the pivot (from candidates ∪ excluded) with the most neighbors among the
+    // candidates, to minimize branching.
+    let pivot = candidates
+        .iter()
+        .chain(excluded.iter())
+        .copied()
+        .max_by_key(|&p| candidates.iter().filter(|&&c| g.has_edge(p, c)).count())
+        .expect("candidates or excluded is non-empty");
+    let branch_vertices: Vec<VertexId> = candidates
+        .iter()
+        .copied()
+        .filter(|&v| !g.has_edge(pivot, v))
+        .collect();
+
+    let mut candidates = candidates;
+    let mut excluded = excluded;
+    for v in branch_vertices {
+        let new_candidates: Vec<VertexId> = candidates
+            .iter()
+            .copied()
+            .filter(|&u| g.has_edge(u, v))
+            .collect();
+        let new_excluded: Vec<VertexId> = excluded
+            .iter()
+            .copied()
+            .filter(|&u| g.has_edge(u, v))
+            .collect();
+        r.push(v);
+        bk_pivot(g, r, new_candidates, new_excluded, visit);
+        r.pop();
+        candidates.retain(|&u| u != v);
+        excluded.push(v);
+    }
+}
+
+/// The exact "enumerate then filter" baseline: the maximum relative fair clique obtained
+/// by scanning every maximal clique.
+pub fn bron_kerbosch_max_fair_clique(
+    g: &AttributedGraph,
+    params: FairCliqueParams,
+) -> Option<FairClique> {
+    let mut best: Option<FairClique> = None;
+    enumerate_maximal_cliques(g, |clique| {
+        if clique.len() < params.min_size() {
+            return;
+        }
+        let candidate = best_fair_subclique(g, clique, params);
+        best = keep_larger(best.take(), candidate);
+    });
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::brute_force_max_fair_clique;
+    use crate::verify::is_fair_and_clique;
+    use rfc_graph::fixtures;
+
+    #[test]
+    fn enumerates_expected_maximal_clique_count() {
+        // K4: exactly one maximal clique.
+        let g = fixtures::balanced_clique(4);
+        let mut count = 0;
+        enumerate_maximal_cliques(&g, |c| {
+            assert_eq!(c.len(), 4);
+            count += 1;
+        });
+        assert_eq!(count, 1);
+
+        // Path with 4 vertices: three maximal cliques (the edges).
+        let p = fixtures::path_graph(4);
+        let mut cliques = Vec::new();
+        enumerate_maximal_cliques(&p, |c| {
+            let mut c = c.to_vec();
+            c.sort_unstable();
+            cliques.push(c);
+        });
+        cliques.sort();
+        assert_eq!(cliques, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn every_visited_clique_is_maximal() {
+        let g = fixtures::fig1_graph();
+        enumerate_maximal_cliques(&g, |c| {
+            assert!(g.is_clique(c));
+            // No vertex outside is adjacent to all of c.
+            for u in g.vertices() {
+                if c.contains(&u) {
+                    continue;
+                }
+                assert!(
+                    !c.iter().all(|&v| g.has_edge(u, v)),
+                    "clique {c:?} is not maximal: {u} extends it"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn maximal_cliques_are_unique() {
+        let g = fixtures::fig1_graph();
+        let mut seen = std::collections::HashSet::new();
+        enumerate_maximal_cliques(&g, |c| {
+            let mut c = c.to_vec();
+            c.sort_unstable();
+            assert!(seen.insert(c), "duplicate maximal clique emitted");
+        });
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_fixtures() {
+        let params_list = [
+            FairCliqueParams::new(1, 0).unwrap(),
+            FairCliqueParams::new(1, 3).unwrap(),
+            FairCliqueParams::new(2, 1).unwrap(),
+            FairCliqueParams::new(3, 1).unwrap(),
+            FairCliqueParams::new(3, 2).unwrap(),
+            FairCliqueParams::new(4, 1).unwrap(),
+        ];
+        let graphs = [
+            fixtures::fig1_graph(),
+            fixtures::balanced_clique(7),
+            fixtures::two_cliques_with_bridge(6, 4),
+            fixtures::path_graph(9),
+        ];
+        for g in &graphs {
+            for &params in &params_list {
+                let bk = bron_kerbosch_max_fair_clique(g, params);
+                let brute = brute_force_max_fair_clique(g, params);
+                match (&bk, &brute) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.size(), y.size(), "size mismatch for {params}");
+                        assert!(is_fair_and_clique(g, &x.vertices, params));
+                    }
+                    _ => panic!("feasibility mismatch for {params}: bk={bk:?} brute={brute:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_nothing() {
+        let g = rfc_graph::GraphBuilder::new(0).build().unwrap();
+        assert!(bron_kerbosch_max_fair_clique(&g, FairCliqueParams::new(1, 1).unwrap()).is_none());
+        let mut count = 0;
+        enumerate_maximal_cliques(&g, |_| count += 1);
+        assert_eq!(count, 0);
+    }
+}

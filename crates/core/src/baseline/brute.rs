@@ -1,0 +1,104 @@
+//! Exhaustive clique enumeration — the correctness oracle for small graphs.
+
+use rfc_graph::{AttributedGraph, VertexId};
+
+use crate::problem::{FairClique, FairCliqueParams};
+
+/// Finds the maximum relative fair clique by recursively enumerating **every** clique.
+///
+/// Exponential in the worst case; intended for graphs with at most a few dozen vertices
+/// (tests, examples, and the property-based oracles). Returns `None` when no fair clique
+/// exists.
+pub fn brute_force_max_fair_clique(
+    g: &AttributedGraph,
+    params: FairCliqueParams,
+) -> Option<FairClique> {
+    let n = g.num_vertices();
+    let mut best: Option<Vec<VertexId>> = None;
+    let mut current: Vec<VertexId> = Vec::new();
+    let candidates: Vec<VertexId> = (0..n as VertexId).collect();
+    extend(g, params, &mut current, &candidates, &mut best);
+    best.map(|vs| FairClique::from_vertices(g, vs))
+}
+
+fn extend(
+    g: &AttributedGraph,
+    params: FairCliqueParams,
+    current: &mut Vec<VertexId>,
+    candidates: &[VertexId],
+    best: &mut Option<Vec<VertexId>>,
+) {
+    // Record the current clique if it is fair and larger than the incumbent.
+    if params.is_fair(g.attribute_counts_of(current))
+        && best.as_ref().map_or(true, |b| current.len() > b.len())
+    {
+        *best = Some(current.clone());
+    }
+    for (i, &v) in candidates.iter().enumerate() {
+        // Candidates later in the (id-sorted) list that are adjacent to v.
+        let next: Vec<VertexId> = candidates[i + 1..]
+            .iter()
+            .copied()
+            .filter(|&u| g.has_edge(u, v))
+            .collect();
+        current.push(v);
+        extend(g, params, current, &next, best);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_fair_and_clique;
+    use rfc_graph::fixtures;
+
+    #[test]
+    fn finds_known_optimum_on_fig1() {
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let best = brute_force_max_fair_clique(&g, params).unwrap();
+        assert_eq!(best.size(), 7);
+        assert!(is_fair_and_clique(&g, &best.vertices, params));
+        // With δ = 2 the whole 8-clique qualifies.
+        let best2 = brute_force_max_fair_clique(&g, FairCliqueParams::new(3, 2).unwrap()).unwrap();
+        assert_eq!(best2.size(), 8);
+        // k = 4 needs 4 of each attribute, but only 3 b's are in the 8-clique.
+        assert!(brute_force_max_fair_clique(&g, FairCliqueParams::new(4, 1).unwrap()).is_none());
+    }
+
+    #[test]
+    fn balanced_clique_optimum_is_whole_graph() {
+        let g = fixtures::balanced_clique(6);
+        let params = FairCliqueParams::new(2, 1).unwrap();
+        let best = brute_force_max_fair_clique(&g, params).unwrap();
+        assert_eq!(best.size(), 6);
+    }
+
+    #[test]
+    fn delta_zero_forces_exact_balance() {
+        let g = fixtures::balanced_clique(7); // 4 a's, 3 b's
+        let params = FairCliqueParams::new(3, 0).unwrap();
+        let best = brute_force_max_fair_clique(&g, params).unwrap();
+        assert_eq!(best.size(), 6);
+        assert_eq!(best.counts.a(), 3);
+        assert_eq!(best.counts.b(), 3);
+    }
+
+    #[test]
+    fn no_fair_clique_in_single_attribute_graph() {
+        let g = fixtures::two_cliques_with_bridge(0, 5);
+        let params = FairCliqueParams::new(1, 2).unwrap();
+        assert!(brute_force_max_fair_clique(&g, params).is_none());
+    }
+
+    #[test]
+    fn path_graph_has_no_fair_clique_for_k2() {
+        let g = fixtures::path_graph(8);
+        let params = FairCliqueParams::new(2, 1).unwrap();
+        assert!(brute_force_max_fair_clique(&g, params).is_none());
+        // But a single edge {a, b} is fair for k = 1.
+        let best = brute_force_max_fair_clique(&g, FairCliqueParams::new(1, 0).unwrap()).unwrap();
+        assert_eq!(best.size(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Baseline algorithms.
+//!
+//! The paper motivates `MaxRFC` by contrast with the "intuitive approach": enumerate all
+//! (relative fair) cliques and keep the largest. This module implements two such
+//! baselines:
+//!
+//! * [`bron_kerbosch_max_fair_clique`] — enumerate all *maximal* cliques with the
+//!   pivoting Bron–Kerbosch algorithm over a degeneracy ordering, and for each maximal
+//!   clique extract its best fair sub-clique. Because every clique is contained in some
+//!   maximal clique and any subset of a clique is a clique, the best fair sub-clique over
+//!   all maximal cliques is exactly the maximum relative fair clique. This is the
+//!   exact-but-expensive baseline used in the experiments.
+//! * [`brute_force_max_fair_clique`] — exhaustive recursive enumeration of *all* cliques.
+//!   Only usable on tiny graphs; it is the trusted oracle for the property-based tests.
+
+mod bron_kerbosch;
+mod brute;
+
+pub use bron_kerbosch::{bron_kerbosch_max_fair_clique, enumerate_maximal_cliques};
+pub use brute::brute_force_max_fair_clique;
+
+use rfc_graph::{AttributedGraph, VertexId};
+
+use crate::problem::{FairClique, FairCliqueParams};
+
+/// Given a clique, extracts a largest fair sub-clique (or `None` if none exists).
+///
+/// Keeps all vertices of the rarer attribute and as many of the more common attribute as
+/// fairness allows; among equals, smaller vertex ids are preferred, which makes the
+/// result deterministic.
+pub(crate) fn best_fair_subclique(
+    g: &AttributedGraph,
+    clique: &[VertexId],
+    params: FairCliqueParams,
+) -> Option<FairClique> {
+    let counts = g.attribute_counts_of(clique);
+    let target = counts.best_fair_subset_size(params.k, params.delta)?;
+    let minority_attr = if counts.a() <= counts.b() {
+        rfc_graph::Attribute::A
+    } else {
+        rfc_graph::Attribute::B
+    };
+    let keep_majority = target - counts.min();
+    let mut sorted: Vec<VertexId> = clique.to_vec();
+    sorted.sort_unstable();
+    let mut taken_majority = 0usize;
+    let mut picked = Vec::with_capacity(target);
+    for &v in &sorted {
+        if g.attribute(v) == minority_attr {
+            picked.push(v);
+        } else if taken_majority < keep_majority {
+            picked.push(v);
+            taken_majority += 1;
+        }
+    }
+    debug_assert_eq!(picked.len(), target);
+    let picked_counts = g.attribute_counts_of(&picked);
+    debug_assert!(params.is_fair(picked_counts));
+    Some(FairClique {
+        vertices: picked,
+        counts: picked_counts,
+    })
+}
+
+/// Keeps the larger of two optional fair cliques (ties: keep the incumbent).
+pub(crate) fn keep_larger(
+    incumbent: Option<FairClique>,
+    candidate: Option<FairClique>,
+) -> Option<FairClique> {
+    match (incumbent, candidate) {
+        (None, c) => c,
+        (i, None) => i,
+        (Some(i), Some(c)) => {
+            if c.size() > i.size() {
+                Some(c)
+            } else {
+                Some(i)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfc_graph::fixtures;
+
+    #[test]
+    fn best_fair_subclique_of_unbalanced_clique() {
+        let g = fixtures::fig1_graph();
+        let clique: Vec<u32> = vec![6, 7, 9, 10, 11, 12, 13, 14]; // 3 b, 5 a
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let sub = best_fair_subclique(&g, &clique, params).unwrap();
+        assert_eq!(sub.size(), 7);
+        assert_eq!(sub.counts.b(), 3);
+        assert_eq!(sub.counts.a(), 4);
+        assert!(g.is_clique(&sub.vertices));
+        // Infeasible when k is too large.
+        let params_big = FairCliqueParams::new(4, 1).unwrap();
+        assert!(best_fair_subclique(&g, &clique, params_big).is_none());
+    }
+
+    #[test]
+    fn keep_larger_prefers_strictly_larger() {
+        let g = fixtures::balanced_clique(4);
+        let small = FairClique::from_vertices(&g, vec![0, 1]);
+        let large = FairClique::from_vertices(&g, vec![0, 1, 2]);
+        assert_eq!(
+            keep_larger(Some(small.clone()), Some(large.clone())).unwrap().size(),
+            3
+        );
+        assert_eq!(
+            keep_larger(Some(large.clone()), Some(small.clone())).unwrap().size(),
+            3
+        );
+        assert_eq!(keep_larger(None, Some(small.clone())).unwrap().size(), 2);
+        assert_eq!(keep_larger(Some(small), None).unwrap().size(), 2);
+        assert!(keep_larger(None, None).is_none());
+    }
+}

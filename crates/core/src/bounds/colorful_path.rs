@@ -1,0 +1,121 @@
+//! The colorful-path upper bound `ubcp` (Definition 11, Lemma 14, Algorithm 4).
+//!
+//! Order the vertices of the colored instance subgraph by `(color, vertex id)` and
+//! orient every edge from the lower-ranked to the higher-ranked endpoint. Because a
+//! proper coloring never colors adjacent vertices the same, every arc strictly increases
+//! the color, so the resulting digraph is a DAG and every directed path visits distinct
+//! colors — it is a *colorful path*. A clique's vertices, sorted by color, form such a
+//! path, so the longest path length in the DAG bounds the maximum (fair) clique size.
+//! The longest path in a DAG is computed by dynamic programming over a topological
+//! order in `O(|V| + |E|)` time (`ColorfulPathDP`).
+
+use rfc_graph::coloring::Coloring;
+use rfc_graph::{AttributedGraph, VertexId};
+
+/// `ubcp`: the number of vertices on the longest colorful path of the colored instance
+/// subgraph. Returns 0 for an empty graph.
+pub fn colorful_path_bound(sub: &AttributedGraph, coloring: &Coloring) -> usize {
+    longest_colorful_path_len(sub, coloring)
+}
+
+/// Length (vertex count) of the longest path in the color-ordered DAG of `sub`.
+pub fn longest_colorful_path_len(sub: &AttributedGraph, coloring: &Coloring) -> usize {
+    let n = sub.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    // Total order: (color, id) ascending. Processing vertices in this order is a
+    // topological order of the DAG, so f(v) can be finalized in one pass.
+    let mut order: Vec<VertexId> = sub.vertices().collect();
+    order.sort_unstable_by_key(|&v| (coloring.color(v), v));
+
+    let mut f = vec![1u32; n];
+    let mut maxlen = 1u32;
+    for &v in &order {
+        let key_v = (coloring.color(v), v);
+        for &u in sub.neighbors(v) {
+            // Incoming arcs of v come from lower-ranked neighbors.
+            if (coloring.color(u), u) < key_v {
+                f[v as usize] = f[v as usize].max(f[u as usize] + 1);
+            }
+        }
+        maxlen = maxlen.max(f[v as usize]);
+    }
+    maxlen as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::brute_force_max_fair_clique;
+    use crate::problem::FairCliqueParams;
+    use rfc_graph::coloring::greedy_coloring;
+    use rfc_graph::{fixtures, GraphBuilder};
+
+    #[test]
+    fn clique_path_length_equals_clique_size() {
+        let g = fixtures::balanced_clique(6);
+        let coloring = greedy_coloring(&g);
+        assert_eq!(longest_colorful_path_len(&g, &coloring), 6);
+    }
+
+    #[test]
+    fn path_graph_two_colors_gives_length_two() {
+        // The alternating-colored path graph only admits colorful paths of length 2
+        // (two colors exist in total).
+        let g = fixtures::path_graph(9);
+        let coloring = greedy_coloring(&g);
+        assert_eq!(longest_colorful_path_len(&g, &coloring), 2);
+    }
+
+    #[test]
+    fn bound_dominates_maximum_fair_clique() {
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let g = fixtures::fig1_graph();
+        let coloring = greedy_coloring(&g);
+        let ub = colorful_path_bound(&g, &coloring);
+        let opt = brute_force_max_fair_clique(&g, params).unwrap().size();
+        assert!(ub >= opt);
+        // It also dominates the plain clique number, here 8.
+        assert!(ub >= 8);
+    }
+
+    #[test]
+    fn star_graph_path_length() {
+        // Star: center + leaves of one other color: longest colorful path = 2.
+        let mut b = GraphBuilder::new(5);
+        for v in 1..5 {
+            b.add_edge(0, v);
+        }
+        let g = b.build().unwrap();
+        let coloring = greedy_coloring(&g);
+        assert_eq!(longest_colorful_path_len(&g, &coloring), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let empty = GraphBuilder::new(0).build().unwrap();
+        let c0 = greedy_coloring(&empty);
+        assert_eq!(longest_colorful_path_len(&empty, &c0), 0);
+        let single = GraphBuilder::new(1).build().unwrap();
+        let c1 = greedy_coloring(&single);
+        assert_eq!(longest_colorful_path_len(&single, &c1), 1);
+    }
+
+    #[test]
+    fn example4_structure() {
+        // A 5-clique plus some pendant structure: the longest colorful path covers the
+        // 5 clique colors, mirroring Example 4's ubcp = 5.
+        let mut b = GraphBuilder::new(7);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(4, 5);
+        b.add_edge(5, 6);
+        let g = b.build().unwrap();
+        let coloring = greedy_coloring(&g);
+        assert_eq!(longest_colorful_path_len(&g, &coloring), 5);
+    }
+}

@@ -1,0 +1,246 @@
+//! The greedy growth procedure shared by `DegHeur` and `ColorfulDegHeur` (Algorithm 5).
+
+use rfc_graph::coloring::greedy_coloring;
+use rfc_graph::colorful::colorful_degrees;
+use rfc_graph::{Attribute, AttributeCounts, AttributedGraph, VertexId};
+
+use super::HeuristicConfig;
+use crate::problem::{FairClique, FairCliqueParams};
+
+/// The vertex score that drives the greedy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GreedyScore {
+    /// Plain degree (the `DegHeur` strategy).
+    Degree,
+    /// Colorful degree `min(D_a(v), D_b(v))` (the `ColorfulDegHeur` strategy).
+    ColorfulDegree,
+}
+
+/// `DegHeur` (Algorithm 5): degree-based greedy fair clique construction.
+pub fn deg_heur(
+    g: &AttributedGraph,
+    params: FairCliqueParams,
+    config: &HeuristicConfig,
+) -> Option<FairClique> {
+    greedy_fair_clique(g, params, GreedyScore::Degree, config)
+}
+
+/// `ColorfulDegHeur`: colorful-degree-based greedy fair clique construction.
+pub fn colorful_deg_heur(
+    g: &AttributedGraph,
+    params: FairCliqueParams,
+    config: &HeuristicConfig,
+) -> Option<FairClique> {
+    greedy_fair_clique(g, params, GreedyScore::ColorfulDegree, config)
+}
+
+/// Runs the greedy construction from the `config.seeds` best-scoring seed vertices and
+/// returns the largest fair clique found, if any.
+pub fn greedy_fair_clique(
+    g: &AttributedGraph,
+    params: FairCliqueParams,
+    score_kind: GreedyScore,
+    config: &HeuristicConfig,
+) -> Option<FairClique> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    // Per-vertex score.
+    let scores: Vec<u64> = match score_kind {
+        GreedyScore::Degree => g.vertices().map(|v| g.degree(v) as u64).collect(),
+        GreedyScore::ColorfulDegree => {
+            let coloring = greedy_coloring(g);
+            let cd = colorful_degrees(g, &coloring);
+            g.vertices().map(|v| cd.min_degree(v) as u64).collect()
+        }
+    };
+
+    // Seeds: highest scores first, ties by id (deterministic).
+    let mut seed_order: Vec<VertexId> = g.vertices().collect();
+    seed_order.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .cmp(&scores[a as usize])
+            .then(a.cmp(&b))
+    });
+    let num_seeds = config.seeds.max(1).min(n);
+
+    let mut best: Option<Vec<VertexId>> = None;
+    for &seed in seed_order.iter().take(num_seeds) {
+        if g.degree(seed) + 1 < params.min_size() {
+            continue; // this seed can never be in a fair clique of size 2k
+        }
+        if let Some(candidate) = grow_from_seed(g, params, &scores, seed) {
+            if best.as_ref().map_or(true, |b| candidate.len() > b.len()) {
+                best = Some(candidate);
+            }
+        }
+    }
+    best.map(|vs| FairClique::from_vertices(g, vs))
+}
+
+/// One greedy walk (the `HeurBranch` loop of Algorithm 5), iterative rather than
+/// recursive. Returns the largest fair prefix of the walk, if any prefix is fair.
+fn grow_from_seed(
+    g: &AttributedGraph,
+    params: FairCliqueParams,
+    scores: &[u64],
+    seed: VertexId,
+) -> Option<Vec<VertexId>> {
+    let mut r: Vec<VertexId> = vec![seed];
+    let mut counts = AttributeCounts::new();
+    counts.add(g.attribute(seed));
+    let mut candidates: Vec<VertexId> = g.neighbors(seed).to_vec();
+    // Alternate attributes, starting with the one the seed does not have.
+    let mut attr_choose = g.attribute(seed).other();
+    // Cap on the number of vertices of each attribute, set once one attribute's
+    // candidate pool dries up (the `amax` of Algorithm 5).
+    let mut cap: Option<usize> = None;
+
+    let mut best_fair: Option<Vec<VertexId>> = None;
+    if params.is_fair(counts) {
+        best_fair = Some(r.clone());
+    }
+
+    loop {
+        // Enforce the cap: once an attribute has reached it, stop considering its
+        // candidates (they could only make the clique unfair).
+        if let Some(cap) = cap {
+            if counts.a() >= cap || counts.b() >= cap {
+                let full: Attribute = if counts.a() >= cap {
+                    Attribute::A
+                } else {
+                    Attribute::B
+                };
+                candidates.retain(|&v| g.attribute(v) != full);
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Feasibility: even taking every remaining candidate cannot reach k for some
+        // attribute, or cannot fix the imbalance — the walk is hopeless beyond the best
+        // fair prefix already recorded.
+        let cand_counts = g.attribute_counts_of(&candidates);
+        if counts.a() + cand_counts.a() < params.k || counts.b() + cand_counts.b() < params.k {
+            break;
+        }
+
+        // Pick the attribute to extend: prefer `attr_choose`, fall back to the other.
+        let mut pick_attr = attr_choose;
+        if !candidates.iter().any(|&v| g.attribute(v) == pick_attr) {
+            // The preferred attribute ran out: fix the cap (Algorithm 5 lines 9-11) and
+            // continue with the other attribute.
+            if cap.is_none() {
+                cap = Some(counts[pick_attr] + params.delta);
+            }
+            pick_attr = pick_attr.other();
+            if !candidates.iter().any(|&v| g.attribute(v) == pick_attr) {
+                break;
+            }
+        }
+
+        // Highest-scoring candidate of the chosen attribute (ties by id).
+        let v = candidates
+            .iter()
+            .copied()
+            .filter(|&v| g.attribute(v) == pick_attr)
+            .max_by(|&x, &y| {
+                scores[x as usize]
+                    .cmp(&scores[y as usize])
+                    .then(y.cmp(&x))
+            })
+            .expect("an eligible candidate exists");
+
+        r.push(v);
+        counts.add(g.attribute(v));
+        candidates.retain(|&u| u != v && g.has_edge(u, v));
+        attr_choose = g.attribute(v).other();
+
+        if params.is_fair(counts) && best_fair.as_ref().map_or(true, |b| r.len() > b.len()) {
+            best_fair = Some(r.clone());
+        }
+    }
+    best_fair
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_fair_and_clique;
+    use rfc_graph::fixtures;
+
+    fn cfg() -> HeuristicConfig {
+        HeuristicConfig::default()
+    }
+
+    #[test]
+    fn deg_heur_output_is_always_a_fair_clique() {
+        let g = fixtures::fig1_graph();
+        for (k, delta) in [(1, 0), (2, 1), (3, 1), (3, 2)] {
+            let params = FairCliqueParams::new(k, delta).unwrap();
+            if let Some(c) = deg_heur(&g, params, &cfg()) {
+                assert!(is_fair_and_clique(&g, &c.vertices, params), "(k={k}, δ={delta})");
+                assert!(c.size() >= params.min_size());
+            }
+        }
+    }
+
+    #[test]
+    fn colorful_deg_heur_output_is_always_a_fair_clique() {
+        let g = fixtures::fig1_graph();
+        for (k, delta) in [(1, 0), (2, 1), (3, 1), (3, 2)] {
+            let params = FairCliqueParams::new(k, delta).unwrap();
+            if let Some(c) = colorful_deg_heur(&g, params, &cfg()) {
+                assert!(is_fair_and_clique(&g, &c.vertices, params), "(k={k}, δ={delta})");
+            }
+        }
+    }
+
+    #[test]
+    fn finds_the_planted_clique_in_an_easy_instance() {
+        // On the balanced complete graph the greedy must recover the whole graph.
+        let g = fixtures::balanced_clique(10);
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let c = deg_heur(&g, params, &cfg()).expect("K10 has a fair clique");
+        assert_eq!(c.size(), 10);
+        let c2 = colorful_deg_heur(&g, params, &cfg()).unwrap();
+        assert_eq!(c2.size(), 10);
+    }
+
+    #[test]
+    fn respects_delta_cap() {
+        // Unbalanced clique: 5 a's and 3 b's; with δ = 0 the best fair clique has 6
+        // vertices; the greedy must not return an unfair 8-set.
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 0).unwrap();
+        if let Some(c) = deg_heur(&g, params, &cfg()) {
+            assert!(is_fair_and_clique(&g, &c.vertices, params));
+            assert!(c.counts.imbalance() == 0);
+        }
+    }
+
+    #[test]
+    fn returns_none_when_no_fair_clique_exists() {
+        let g = fixtures::path_graph(10);
+        let params = FairCliqueParams::new(2, 1).unwrap();
+        assert!(deg_heur(&g, params, &cfg()).is_none());
+        assert!(colorful_deg_heur(&g, params, &cfg()).is_none());
+        let single_attr = fixtures::two_cliques_with_bridge(0, 7);
+        assert!(deg_heur(&single_attr, FairCliqueParams::new(1, 1).unwrap(), &cfg()).is_none());
+    }
+
+    #[test]
+    fn empty_graph_returns_none() {
+        let g = rfc_graph::GraphBuilder::new(0).build().unwrap();
+        assert!(deg_heur(&g, FairCliqueParams::new(1, 1).unwrap(), &cfg()).is_none());
+    }
+
+    #[test]
+    fn seed_degree_gate_skips_hopeless_seeds() {
+        // Every vertex has degree 1 < 2k - 1, so no walk even starts.
+        let g = fixtures::path_graph(2);
+        let params = FairCliqueParams::new(2, 1).unwrap();
+        assert!(greedy_fair_clique(&g, params, GreedyScore::Degree, &cfg()).is_none());
+    }
+}

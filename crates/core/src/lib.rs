@@ -1,0 +1,61 @@
+//! # rfc-core — maximum relative fair clique search
+//!
+//! A faithful, production-quality Rust implementation of the algorithms from
+//! *"Efficient Maximum Fair Clique Search over Large Networks"* (ICDE 2025):
+//!
+//! * **Graph reductions** ([`reduction`]): the enhanced colorful k-core reduction
+//!   (`EnColorfulCore`), the colorful-support reduction (`ColorfulSup`, Algorithm 1) and
+//!   the enhanced colorful-support reduction (`EnColorfulSup`), which iteratively delete
+//!   vertices and edges that cannot belong to any relative fair clique.
+//! * **Upper bounds** ([`bounds`]): the size/attribute/color family (`ubs`, `uba`,
+//!   `ubc`, `ubac`, `ubeac`, grouped as `ubAD`), the degeneracy and h-index bounds
+//!   (`ub△`, `ubh`), and the colorful degeneracy / colorful h-index / colorful path
+//!   bounds (`ubcd`, `ubch`, `ubcp`).
+//! * **Branch-and-bound search** ([`search`]): the `MaxRFC` framework (Algorithms 2–3)
+//!   with configurable reductions, bounds, branching order and heuristic warm start.
+//! * **Heuristics** ([`heuristic`]): `DegHeur`, `ColorfulDegHeur` and the combined
+//!   `HeurRFC` framework (Algorithms 5–6) that finds a large fair clique in linear time.
+//! * **Baselines** ([`baseline`]): a Bron–Kerbosch maximal-clique sweep and a
+//!   brute-force oracle, used both as experimental baselines and as correctness oracles
+//!   in the test suite.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rfc_core::prelude::*;
+//! use rfc_graph::fixtures;
+//!
+//! let g = fixtures::fig1_graph();
+//! let params = FairCliqueParams::new(3, 1).unwrap();
+//! let outcome = max_fair_clique(&g, params, &SearchConfig::default());
+//! let best = outcome.best.expect("the example graph contains a fair clique");
+//! assert_eq!(best.size(), 7);
+//! assert!(rfc_core::verify::is_relative_fair_clique(&g, &best.vertices, params));
+//! ```
+//!
+//! The search is exact: it returns a maximum relative fair clique (there may be several
+//! of the same size; ties are broken deterministically).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod bounds;
+pub mod heuristic;
+pub mod problem;
+pub mod reduction;
+pub mod search;
+pub mod verify;
+
+pub use problem::{FairClique, FairCliqueParams, ParamError};
+pub use search::{max_fair_clique, SearchConfig, SearchOutcome, SearchStats};
+
+/// Commonly used items for glob import.
+pub mod prelude {
+    pub use crate::bounds::{BoundConfig, ExtraBound};
+    pub use crate::heuristic::{heur_rfc, HeuristicConfig};
+    pub use crate::problem::{FairClique, FairCliqueParams};
+    pub use crate::reduction::{ReductionConfig, ReductionStats};
+    pub use crate::search::{max_fair_clique, BranchOrder, SearchConfig, SearchOutcome};
+    pub use rfc_graph::prelude::*;
+}

@@ -1,0 +1,163 @@
+//! Problem parameters and solution types.
+
+use rfc_graph::{AttributeCounts, AttributedGraph, VertexId};
+
+/// Errors from constructing [`FairCliqueParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamError {
+    /// `k` must be at least 1: with `k = 0` the fairness constraint degenerates and the
+    /// problem collapses to (almost) plain maximum clique.
+    KMustBePositive,
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::KMustBePositive => write!(f, "parameter k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The parameters `(k, δ)` of the relative fair clique model (Definition 1).
+///
+/// A clique `C` is feasible when `cnt_C(a) ≥ k`, `cnt_C(b) ≥ k` and
+/// `|cnt_C(a) − cnt_C(b)| ≤ δ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FairCliqueParams {
+    /// Minimum number of vertices of each attribute.
+    pub k: usize,
+    /// Maximum allowed difference between the two attribute counts.
+    pub delta: usize,
+}
+
+impl FairCliqueParams {
+    /// Creates parameters, validating `k ≥ 1`.
+    pub fn new(k: usize, delta: usize) -> Result<Self, ParamError> {
+        if k == 0 {
+            return Err(ParamError::KMustBePositive);
+        }
+        Ok(Self { k, delta })
+    }
+
+    /// The minimum possible size of a relative fair clique: `2k`.
+    #[inline]
+    pub fn min_size(&self) -> usize {
+        2 * self.k
+    }
+
+    /// Whether a set with the given attribute counts satisfies the fairness constraint.
+    #[inline]
+    pub fn is_fair(&self, counts: AttributeCounts) -> bool {
+        counts.is_fair(self.k, self.delta)
+    }
+
+    /// The largest fair total achievable from *caps* on the per-attribute counts: the
+    /// maximum of `x + y` over `x ≤ cap_a`, `y ≤ cap_b`, `x ≥ k`, `y ≥ k`,
+    /// `|x − y| ≤ δ`; `None` if no such `(x, y)` exists.
+    ///
+    /// This is the workhorse behind all attribute-aware upper bounds: any sound cap on
+    /// how many vertices of each attribute a fair clique can contain converts into a cap
+    /// on its total size.
+    pub fn best_fair_total(&self, cap_a: usize, cap_b: usize) -> Option<usize> {
+        let lo = cap_a.min(cap_b);
+        let hi = cap_a.max(cap_b);
+        if lo < self.k {
+            return None;
+        }
+        Some(lo + hi.min(lo + self.delta))
+    }
+}
+
+impl std::fmt::Display for FairCliqueParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(k={}, δ={})", self.k, self.delta)
+    }
+}
+
+/// A relative fair clique: a set of vertices together with its attribute counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FairClique {
+    /// The clique's vertices, sorted by id.
+    pub vertices: Vec<VertexId>,
+    /// Attribute counts of the clique.
+    pub counts: AttributeCounts,
+}
+
+impl FairClique {
+    /// Builds a fair-clique value from a vertex set (sorting it and computing counts).
+    ///
+    /// This does **not** check the clique or fairness properties — see
+    /// [`crate::verify::is_relative_fair_clique`] for that.
+    pub fn from_vertices(g: &AttributedGraph, mut vertices: Vec<VertexId>) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        let counts = g.attribute_counts_of(&vertices);
+        Self { vertices, counts }
+    }
+
+    /// Number of vertices in the clique.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.vertices.len()
+    }
+}
+
+impl std::fmt::Display for FairClique {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FairClique(size={}, counts={})", self.size(), self.counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfc_graph::fixtures;
+
+    #[test]
+    fn params_validation() {
+        assert!(FairCliqueParams::new(0, 3).is_err());
+        let p = FairCliqueParams::new(2, 1).unwrap();
+        assert_eq!(p.min_size(), 4);
+        assert_eq!(p.to_string(), "(k=2, δ=1)");
+        assert_eq!(
+            FairCliqueParams::new(0, 0).unwrap_err().to_string(),
+            "parameter k must be at least 1"
+        );
+    }
+
+    #[test]
+    fn fairness_through_params() {
+        let p = FairCliqueParams::new(3, 1).unwrap();
+        assert!(p.is_fair(AttributeCounts::from_counts(3, 4)));
+        assert!(!p.is_fair(AttributeCounts::from_counts(2, 4)));
+        assert!(!p.is_fair(AttributeCounts::from_counts(4, 6)));
+    }
+
+    #[test]
+    fn best_fair_total_cases() {
+        let p = FairCliqueParams::new(3, 2).unwrap();
+        // Caps (5, 9): best is 5 + 7 = 12.
+        assert_eq!(p.best_fair_total(5, 9), Some(12));
+        assert_eq!(p.best_fair_total(9, 5), Some(12));
+        // Caps below k on one side: infeasible.
+        assert_eq!(p.best_fair_total(2, 9), None);
+        // Perfectly balanced caps.
+        assert_eq!(p.best_fair_total(4, 4), Some(8));
+        // delta = 0.
+        let p0 = FairCliqueParams::new(1, 0).unwrap();
+        assert_eq!(p0.best_fair_total(3, 7), Some(6));
+    }
+
+    #[test]
+    fn fair_clique_from_vertices_sorts_and_counts() {
+        let g = fixtures::fig1_graph();
+        let c = FairClique::from_vertices(&g, vec![9, 6, 7, 7, 10]);
+        assert_eq!(c.vertices, vec![6, 7, 9, 10]);
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.counts.a(), 1); // v11
+        assert_eq!(c.counts.b(), 3); // v7, v8, v10
+        assert!(c.to_string().contains("size=4"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Vertex-level reductions based on colorful k-cores (Lemmas 1 and 2).
+//!
+//! Any relative fair clique with parameter `k` is contained in the colorful
+//! `(k−1)`-core (Lemma 1) and, more strongly, in the *enhanced* colorful `(k−1)`-core
+//! (Lemma 2). These wrappers run the corresponding peelings from `rfc-graph` and
+//! materialize the surviving subgraph over the original vertex-id space.
+
+use rfc_graph::coloring::greedy_coloring;
+use rfc_graph::colorful::{colorful_k_core_mask, enhanced_colorful_k_core_mask};
+use rfc_graph::subgraph::vertex_filtered_subgraph;
+use rfc_graph::AttributedGraph;
+
+/// The colorful `(k−1)`-core reduction (`ColorfulCore`, Lemma 1).
+///
+/// Returns a graph on the same vertex-id space containing only the edges induced by the
+/// colorful `(k−1)`-core.
+pub fn colorful_core_reduction(g: &AttributedGraph, k: usize) -> AttributedGraph {
+    let coloring = greedy_coloring(g);
+    let mask = colorful_k_core_mask(g, &coloring, k.saturating_sub(1));
+    vertex_filtered_subgraph(g, &mask)
+}
+
+/// The enhanced colorful `(k−1)`-core reduction (`EnColorfulCore`, Lemma 2).
+pub fn en_colorful_core_reduction(g: &AttributedGraph, k: usize) -> AttributedGraph {
+    let coloring = greedy_coloring(g);
+    let mask = enhanced_colorful_k_core_mask(g, &coloring, k.saturating_sub(1));
+    vertex_filtered_subgraph(g, &mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfc_graph::fixtures;
+
+    #[test]
+    fn colorful_core_reduction_keeps_planted_clique() {
+        let g = fixtures::fig1_graph();
+        for k in 1..=3usize {
+            let reduced = colorful_core_reduction(&g, k);
+            for v in [6u32, 7, 9, 10, 11, 12, 13, 14] {
+                assert!(
+                    reduced.degree(v) >= 7,
+                    "k={k}: clique vertex {v} lost clique edges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enhanced_is_at_most_plain() {
+        let g = fixtures::fig1_graph();
+        for k in 1..=4usize {
+            let plain = colorful_core_reduction(&g, k);
+            let enhanced = en_colorful_core_reduction(&g, k);
+            assert!(
+                enhanced.num_edges() <= plain.num_edges(),
+                "k={k}: enhanced kept more edges than plain"
+            );
+            assert!(
+                enhanced.num_non_isolated_vertices() <= plain.num_non_isolated_vertices(),
+                "k={k}: enhanced kept more vertices than plain"
+            );
+        }
+    }
+
+    #[test]
+    fn large_k_empties_small_graph() {
+        let g = fixtures::fig1_graph();
+        let reduced = en_colorful_core_reduction(&g, 10);
+        assert_eq!(reduced.num_edges(), 0);
+    }
+
+    #[test]
+    fn k_equal_one_is_mild() {
+        // For k = 1 the (k-1)-core requirement is ED >= 0, which keeps everything.
+        let g = fixtures::fig1_graph();
+        let reduced = en_colorful_core_reduction(&g, 1);
+        assert_eq!(reduced.num_edges(), g.num_edges());
+    }
+}

@@ -1,0 +1,239 @@
+//! Graph reduction techniques (Section III of the paper).
+//!
+//! Before the branch-and-bound search runs, the graph is shrunk by removing vertices and
+//! edges that provably cannot appear in any relative fair clique of size ≥ 2k:
+//!
+//! 1. [`colorful_core::en_colorful_core_reduction`] — the *enhanced colorful k-core*
+//!    vertex reduction (`EnColorfulCore`, Lemma 2): keep only vertices whose neighbor
+//!    colors can be split so that each attribute gets at least `k − 1` colors.
+//! 2. [`colorful_sup::colorful_sup_reduction`] — the *colorful support* edge reduction
+//!    (`ColorfulSup`, Algorithm 1 / Lemma 3): peel edges whose common neighbors do not
+//!    offer enough distinct colors per attribute.
+//! 3. [`en_colorful_sup::en_colorful_sup_reduction`] — the *enhanced colorful support*
+//!    edge reduction (`EnColorfulSup`, Lemma 4): like ColorfulSup but each color is
+//!    assigned exclusively to one attribute before counting.
+//!
+//! [`apply_reductions`] chains the three stages in the order used by `MaxRFC`
+//! (Algorithm 2, lines 1–3) and records per-stage statistics — exactly the numbers
+//! plotted in Fig. 4 / Fig. 5 of the paper.
+
+pub mod colorful_core;
+pub mod colorful_sup;
+pub mod edge_support;
+pub mod en_colorful_sup;
+
+use rfc_graph::AttributedGraph;
+
+use crate::problem::FairCliqueParams;
+
+/// Which reduction stages to run, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReductionConfig {
+    /// Run the enhanced colorful (k−1)-core vertex reduction (`EnColorfulCore`).
+    pub en_colorful_core: bool,
+    /// Run the colorful-support edge reduction (`ColorfulSup`).
+    pub colorful_sup: bool,
+    /// Run the enhanced colorful-support edge reduction (`EnColorfulSup`).
+    pub en_colorful_sup: bool,
+}
+
+impl Default for ReductionConfig {
+    /// The full pipeline used by `MaxRFC`.
+    fn default() -> Self {
+        Self {
+            en_colorful_core: true,
+            colorful_sup: true,
+            en_colorful_sup: true,
+        }
+    }
+}
+
+impl ReductionConfig {
+    /// No reduction at all (useful for ablation).
+    pub fn none() -> Self {
+        Self {
+            en_colorful_core: false,
+            colorful_sup: false,
+            en_colorful_sup: false,
+        }
+    }
+
+    /// Only the vertex-level `EnColorfulCore` reduction.
+    pub fn core_only() -> Self {
+        Self {
+            en_colorful_core: true,
+            colorful_sup: false,
+            en_colorful_sup: false,
+        }
+    }
+
+    /// `EnColorfulCore` followed by `ColorfulSup` (no enhanced support stage).
+    pub fn up_to_colorful_sup() -> Self {
+        Self {
+            en_colorful_core: true,
+            colorful_sup: true,
+            en_colorful_sup: false,
+        }
+    }
+}
+
+/// Size of the graph after one reduction stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// Human-readable stage name (`"EnColorfulCore"`, `"ColorfulSup"`, `"EnColorfulSup"`).
+    pub stage: &'static str,
+    /// Number of vertices that still have at least one incident edge.
+    pub vertices: usize,
+    /// Number of remaining edges.
+    pub edges: usize,
+    /// Wall-clock time spent in this stage, in microseconds.
+    pub micros: u128,
+}
+
+/// Statistics for a full reduction pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Original graph size (`|V|` counting all vertices, `|E|`).
+    pub original_vertices: usize,
+    /// Original edge count.
+    pub original_edges: usize,
+    /// Per-stage sizes, in execution order.
+    pub stages: Vec<StageStats>,
+}
+
+impl ReductionStats {
+    /// Vertices remaining after the last executed stage (or the original count if no
+    /// stage ran).
+    pub fn final_vertices(&self) -> usize {
+        self.stages
+            .last()
+            .map(|s| s.vertices)
+            .unwrap_or(self.original_vertices)
+    }
+
+    /// Edges remaining after the last executed stage.
+    pub fn final_edges(&self) -> usize {
+        self.stages
+            .last()
+            .map(|s| s.edges)
+            .unwrap_or(self.original_edges)
+    }
+}
+
+/// Runs the configured reduction stages and returns the reduced graph (same vertex-id
+/// space as the input; removed vertices simply become isolated) plus statistics.
+pub fn apply_reductions(
+    g: &AttributedGraph,
+    params: FairCliqueParams,
+    config: &ReductionConfig,
+) -> (AttributedGraph, ReductionStats) {
+    let mut stats = ReductionStats {
+        original_vertices: g.num_vertices(),
+        original_edges: g.num_edges(),
+        stages: Vec::new(),
+    };
+    let mut current = g.clone();
+
+    if config.en_colorful_core {
+        let t = std::time::Instant::now();
+        current = colorful_core::en_colorful_core_reduction(&current, params.k);
+        stats.stages.push(StageStats {
+            stage: "EnColorfulCore",
+            vertices: current.num_non_isolated_vertices(),
+            edges: current.num_edges(),
+            micros: t.elapsed().as_micros(),
+        });
+    }
+    if config.colorful_sup {
+        let t = std::time::Instant::now();
+        current = colorful_sup::colorful_sup_reduction(&current, params.k);
+        stats.stages.push(StageStats {
+            stage: "ColorfulSup",
+            vertices: current.num_non_isolated_vertices(),
+            edges: current.num_edges(),
+            micros: t.elapsed().as_micros(),
+        });
+    }
+    if config.en_colorful_sup {
+        let t = std::time::Instant::now();
+        current = en_colorful_sup::en_colorful_sup_reduction(&current, params.k);
+        stats.stages.push(StageStats {
+            stage: "EnColorfulSup",
+            vertices: current.num_non_isolated_vertices(),
+            edges: current.num_edges(),
+            micros: t.elapsed().as_micros(),
+        });
+    }
+
+    (current, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfc_graph::fixtures;
+
+    #[test]
+    fn pipeline_preserves_planted_fair_clique_edges() {
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let (reduced, stats) = apply_reductions(&g, params, &ReductionConfig::default());
+        // All 28 edges of the planted 8-clique must survive: its sub-cliques include the
+        // maximum fair clique and every edge of the 8-clique lies in a fair clique of
+        // size >= 2k = 6.
+        let clique = [6u32, 7, 9, 10, 11, 12, 13, 14];
+        for (i, &u) in clique.iter().enumerate() {
+            for &v in &clique[i + 1..] {
+                assert!(reduced.has_edge(u, v), "lost clique edge ({u}, {v})");
+            }
+        }
+        assert_eq!(stats.original_edges, g.num_edges());
+        assert_eq!(stats.stages.len(), 3);
+        // Each stage is monotone non-increasing in edges.
+        let mut prev = stats.original_edges;
+        for s in &stats.stages {
+            assert!(s.edges <= prev, "stage {} grew the graph", s.stage);
+            prev = s.edges;
+        }
+        assert_eq!(stats.final_edges(), reduced.num_edges());
+    }
+
+    #[test]
+    fn pipeline_removes_sparse_left_side() {
+        // For k = 3 the sparse left half of the Fig.1 fixture cannot host any fair
+        // clique of size >= 6, so the support reductions should strip most of it.
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let (reduced, _) = apply_reductions(&g, params, &ReductionConfig::default());
+        assert!(reduced.num_edges() < g.num_edges());
+        // Specifically, the left-side edge (v1, v2) = (0, 1) cannot survive.
+        assert!(!reduced.has_edge(0, 1));
+    }
+
+    #[test]
+    fn disabled_pipeline_is_identity() {
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let (reduced, stats) = apply_reductions(&g, params, &ReductionConfig::none());
+        assert_eq!(reduced.num_edges(), g.num_edges());
+        assert!(stats.stages.is_empty());
+        assert_eq!(stats.final_vertices(), g.num_vertices());
+        assert_eq!(stats.final_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn partial_configs_run_expected_stages() {
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(2, 1).unwrap();
+        let (_, s1) = apply_reductions(&g, params, &ReductionConfig::core_only());
+        assert_eq!(
+            s1.stages.iter().map(|s| s.stage).collect::<Vec<_>>(),
+            vec!["EnColorfulCore"]
+        );
+        let (_, s2) = apply_reductions(&g, params, &ReductionConfig::up_to_colorful_sup());
+        assert_eq!(
+            s2.stages.iter().map(|s| s.stage).collect::<Vec<_>>(),
+            vec!["EnColorfulCore", "ColorfulSup"]
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! The per-component branch-and-bound recursion (Algorithm 3, canonical-order variant).
+
+use rfc_graph::subgraph::InducedSubgraph;
+use rfc_graph::{AttributeCounts, VertexId};
+
+use crate::bounds::{instance_upper_bound, ExtraBound};
+use crate::problem::FairCliqueParams;
+
+use super::ordering::ordering_positions;
+use super::{SearchConfig, SearchStats};
+
+/// Branch-and-bound search over a single connected component (given as an induced
+/// subgraph with compact vertex ids).
+pub(super) struct ComponentSearch<'a> {
+    sub: &'a InducedSubgraph,
+    params: FairCliqueParams,
+    config: &'a SearchConfig,
+    stats: &'a mut SearchStats,
+    /// Size of the best fair clique known so far (across components / heuristic).
+    best_size: usize,
+    /// Best fair clique found in this component, in *original* (parent graph) ids.
+    best: Option<Vec<VertexId>>,
+    /// Current partial clique, in component-local ids.
+    r: Vec<VertexId>,
+}
+
+impl<'a> ComponentSearch<'a> {
+    pub(super) fn new(
+        sub: &'a InducedSubgraph,
+        params: FairCliqueParams,
+        config: &'a SearchConfig,
+        stats: &'a mut SearchStats,
+    ) -> Self {
+        Self {
+            sub,
+            params,
+            config,
+            stats,
+            best_size: 0,
+            best: None,
+            r: Vec::new(),
+        }
+    }
+
+    /// Runs the search with the given incumbent size (from the heuristic or previous
+    /// components) and returns a strictly larger fair clique if one exists in this
+    /// component, expressed in parent-graph vertex ids.
+    pub(super) fn run(&mut self, incumbent_size: usize) -> Option<Vec<VertexId>> {
+        self.best_size = incumbent_size;
+        let cg = &self.sub.graph;
+        let positions = ordering_positions(cg, self.config.branch_order);
+
+        // Root candidate set: all component vertices, sorted by branching order.
+        let mut candidates: Vec<VertexId> = cg.vertices().collect();
+        candidates.sort_unstable_by_key(|&v| positions[v as usize]);
+
+        self.branch(AttributeCounts::new(), &candidates, 0);
+        self.best.take()
+    }
+
+    fn branch(&mut self, counts: AttributeCounts, candidates: &[VertexId], depth: usize) {
+        self.stats.branches += 1;
+        let cg = &self.sub.graph;
+        let params = self.params;
+
+        // Record the current clique if it is fair and improves the incumbent.
+        if self.r.len() > self.best_size && params.is_fair(counts) {
+            self.best_size = self.r.len();
+            self.best = Some(self.sub.to_original_set(&self.r));
+            self.stats.incumbent_updates += 1;
+        }
+        if candidates.is_empty() {
+            return;
+        }
+
+        // --- Cheap feasibility pruning (every node) ---------------------------------
+        let cand_counts = cg.attribute_counts_of(candidates);
+        let reach_a = counts.a() + cand_counts.a();
+        let reach_b = counts.b() + cand_counts.b();
+        if reach_a < params.k || reach_b < params.k {
+            self.stats.feasibility_prunes += 1;
+            return;
+        }
+        // δ-feasibility: the committed majority can never be balanced out.
+        if counts.a() > reach_b + params.delta || counts.b() > reach_a + params.delta {
+            self.stats.feasibility_prunes += 1;
+            return;
+        }
+        // Trivial size bound (ubs) and minimum-size gate.
+        let ubs = self.r.len() + candidates.len();
+        if ubs <= self.best_size || ubs < params.min_size() {
+            self.stats.bound_prunes += 1;
+            return;
+        }
+        // Attribute bound (uba) — still O(1) from the counts above.
+        match params.best_fair_total(reach_a, reach_b) {
+            None => {
+                self.stats.feasibility_prunes += 1;
+                return;
+            }
+            Some(uba) => {
+                if uba <= self.best_size || uba < params.min_size() {
+                    self.stats.bound_prunes += 1;
+                    return;
+                }
+            }
+        }
+
+        // --- Expensive bounds (shallow nodes only) -----------------------------------
+        let bounds = &self.config.bounds;
+        let use_expensive = depth <= bounds.max_depth
+            && (bounds.advanced || bounds.extra != ExtraBound::None)
+            && !candidates.is_empty();
+        if use_expensive {
+            let mut instance: Vec<VertexId> = Vec::with_capacity(self.r.len() + candidates.len());
+            instance.extend_from_slice(&self.r);
+            instance.extend_from_slice(candidates);
+            let ub = instance_upper_bound(cg, &instance, params, bounds);
+            if ub <= self.best_size || ub < params.min_size() {
+                self.stats.bound_prunes += 1;
+                return;
+            }
+        }
+
+        // --- Canonical-order branching ------------------------------------------------
+        for i in 0..candidates.len() {
+            // Even taking every remaining candidate cannot beat the incumbent.
+            let remaining = candidates.len() - i;
+            if self.r.len() + remaining <= self.best_size
+                || self.r.len() + remaining < params.min_size()
+            {
+                self.stats.bound_prunes += 1;
+                break;
+            }
+            let v = candidates[i];
+            let mut next_counts = counts;
+            next_counts.add(cg.attribute(v));
+            let next_candidates: Vec<VertexId> = candidates[i + 1..]
+                .iter()
+                .copied()
+                .filter(|&u| cg.has_edge(u, v))
+                .collect();
+            self.r.push(v);
+            self.branch(next_counts, &next_candidates, depth + 1);
+            self.r.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfc_graph::subgraph::induced_subgraph;
+    use rfc_graph::{fixtures, AttributedGraph};
+
+    fn search_component(
+        g: &AttributedGraph,
+        params: FairCliqueParams,
+        config: &SearchConfig,
+        incumbent: usize,
+    ) -> (Option<Vec<VertexId>>, SearchStats) {
+        let all: Vec<VertexId> = g.vertices().collect();
+        let sub = induced_subgraph(g, &all);
+        let mut stats = SearchStats::default();
+        let mut searcher = ComponentSearch::new(&sub, params, config, &mut stats);
+        let best = searcher.run(incumbent);
+        (best, stats)
+    }
+
+    #[test]
+    fn finds_optimum_within_a_component() {
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let (best, stats) = search_component(&g, params, &SearchConfig::default(), 0);
+        assert_eq!(best.unwrap().len(), 7);
+        assert!(stats.branches > 0);
+    }
+
+    #[test]
+    fn incumbent_at_optimum_suppresses_new_solution() {
+        // If the incumbent already matches the optimum, the component search must not
+        // return anything (it only reports strict improvements).
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let (best, _) = search_component(&g, params, &SearchConfig::default(), 7);
+        assert!(best.is_none());
+    }
+
+    #[test]
+    fn incumbent_below_optimum_is_improved() {
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let (best, _) = search_component(&g, params, &SearchConfig::default(), 6);
+        assert_eq!(best.unwrap().len(), 7);
+    }
+
+    #[test]
+    fn basic_config_explores_more_branches_than_bounded_config() {
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let (_, basic) = search_component(&g, params, &SearchConfig::basic(), 0);
+        let (_, bounded) = search_component(
+            &g,
+            params,
+            &SearchConfig::with_bounds(crate::bounds::ExtraBound::ColorfulDegeneracy),
+            0,
+        );
+        assert!(bounded.branches <= basic.branches);
+    }
+}

@@ -1,0 +1,357 @@
+//! The `MaxRFC` branch-and-bound framework (Section IV, Algorithms 2–3).
+//!
+//! [`max_fair_clique`] is the crate's main entry point. It:
+//!
+//! 1. shrinks the input graph with the configured [reduction pipeline](crate::reduction)
+//!    (`EnColorfulCore` → `ColorfulSup` → `EnColorfulSup`, Algorithm 2 lines 1–3);
+//! 2. optionally warm-starts the incumbent with the [`HeurRFC`](crate::heuristic)
+//!    heuristic;
+//! 3. runs an exact branch-and-bound over every connected component of the reduced
+//!    graph, ordering vertices by the colorful-core peeling order (`CalColorOD`) and
+//!    pruning with the configured [upper bounds](crate::bounds) plus attribute- and
+//!    δ-feasibility checks;
+//! 4. returns the maximum relative fair clique (if any) together with detailed
+//!    [`SearchStats`].
+//!
+//! ### Branching-order note
+//!
+//! Algorithm 3 of the paper interleaves an alternating-attribute vertex choice with the
+//! global ordering filter `O(v) > O(u)`; read literally, that combination can skip fair
+//! cliques whose attribute-alternating order disagrees with `O`. To keep the search
+//! exact, this implementation uses canonical-order branching: candidates are processed
+//! in the chosen [`BranchOrder`] and each branch keeps only later-ordered neighbors, so
+//! every clique of the component is visited exactly once. All of the paper's pruning
+//! rules are applied unchanged. See DESIGN.md §4 for the full discussion.
+
+mod branch;
+mod ordering;
+
+pub use ordering::{ordering_positions, BranchOrder};
+
+use std::time::Instant;
+
+use rfc_graph::components::components_of_subset;
+use rfc_graph::subgraph::induced_subgraph;
+use rfc_graph::{AttributedGraph, VertexId};
+
+use crate::bounds::BoundConfig;
+use crate::heuristic::{heur_rfc, HeuristicConfig};
+use crate::problem::{FairClique, FairCliqueParams};
+use crate::reduction::{apply_reductions, ReductionConfig, ReductionStats};
+
+/// Full configuration of the `MaxRFC` search.
+///
+/// The [`Default`] configuration is the strongest exact setup (full reductions, the
+/// advanced bounds plus the colorful-degeneracy bound, and the heuristic warm start —
+/// i.e. `MaxRFC+ub+HeurRFC`); use [`SearchConfig::basic`] or [`SearchConfig::with_bounds`]
+/// to reproduce the weaker configurations the paper compares against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Which reduction stages run before the search.
+    pub reductions: ReductionConfig,
+    /// Which upper bounds prune the search tree.
+    pub bounds: BoundConfig,
+    /// Whether to warm-start the incumbent with `HeurRFC`.
+    pub use_heuristic: bool,
+    /// Tuning for the heuristic warm start (ignored unless `use_heuristic`).
+    pub heuristic: HeuristicConfig,
+    /// Vertex ordering used for canonical branching.
+    pub branch_order: BranchOrder,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self::full(crate::bounds::ExtraBound::ColorfulDegeneracy)
+    }
+}
+
+impl SearchConfig {
+    /// The *basic* `MaxRFC` of the experiments: full reductions, only the trivial size
+    /// bound, no heuristic.
+    pub fn basic() -> Self {
+        Self {
+            reductions: ReductionConfig::default(),
+            bounds: BoundConfig::basic(),
+            use_heuristic: false,
+            heuristic: HeuristicConfig::default(),
+            branch_order: BranchOrder::ColorfulCore,
+        }
+    }
+
+    /// `MaxRFC+ub`: reductions plus the advanced bound group and the given extra bound.
+    pub fn with_bounds(extra: crate::bounds::ExtraBound) -> Self {
+        Self {
+            reductions: ReductionConfig::default(),
+            bounds: BoundConfig::with_extra(extra),
+            use_heuristic: false,
+            heuristic: HeuristicConfig::default(),
+            branch_order: BranchOrder::ColorfulCore,
+        }
+    }
+
+    /// `MaxRFC+ub+HeurRFC`: everything on (this is also the [`Default`]).
+    pub fn full(extra: crate::bounds::ExtraBound) -> Self {
+        Self {
+            reductions: ReductionConfig::default(),
+            bounds: BoundConfig::with_extra(extra),
+            use_heuristic: true,
+            heuristic: HeuristicConfig::default(),
+            branch_order: BranchOrder::ColorfulCore,
+        }
+    }
+}
+
+/// Counters describing one `max_fair_clique` run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Statistics of the reduction pipeline.
+    pub reduction: ReductionStats,
+    /// Size of the fair clique found by the heuristic warm start, if it ran and found one.
+    pub heuristic_size: Option<usize>,
+    /// Number of branch-and-bound nodes visited.
+    pub branches: u64,
+    /// Branches cut by an upper bound (including the trivial size bound).
+    pub bound_prunes: u64,
+    /// Branches cut by attribute-count or δ feasibility.
+    pub feasibility_prunes: u64,
+    /// Number of times the incumbent improved during the search.
+    pub incumbent_updates: u64,
+    /// Number of connected components searched.
+    pub components_searched: usize,
+    /// Total wall-clock time of the call, in microseconds.
+    pub elapsed_micros: u128,
+}
+
+/// The result of [`max_fair_clique`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// A maximum relative fair clique, or `None` if the graph has no fair clique.
+    pub best: Option<FairClique>,
+    /// Counters for the run.
+    pub stats: SearchStats,
+}
+
+/// Finds a maximum **weak** fair clique: a largest clique with at least `k` vertices of
+/// each attribute, with no constraint on the imbalance (the weak fair clique model of
+/// Pan et al., which the relative model generalizes with `δ = ∞`).
+pub fn max_weak_fair_clique(
+    g: &AttributedGraph,
+    k: usize,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    // A δ of |V| can never bind, so the relative model degenerates to the weak one.
+    let params = FairCliqueParams::new(k, g.num_vertices().max(1))
+        .expect("k is validated by the caller-visible constructor below");
+    max_fair_clique(g, params, config)
+}
+
+/// Finds a maximum **strong** fair clique: a largest clique with the *same* number of
+/// vertices of each attribute, both at least `k` (the strong fair clique model, i.e.
+/// the relative model with `δ = 0`).
+pub fn max_strong_fair_clique(
+    g: &AttributedGraph,
+    k: usize,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    let params = FairCliqueParams::new(k, 0).expect("k is validated by FairCliqueParams::new");
+    max_fair_clique(g, params, config)
+}
+
+/// Finds a maximum relative fair clique of `g` under `params` — the `MaxRFC` algorithm.
+pub fn max_fair_clique(
+    g: &AttributedGraph,
+    params: FairCliqueParams,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    let start = Instant::now();
+    let mut stats = SearchStats::default();
+
+    // Phase 1: graph reduction.
+    let (reduced, reduction_stats) = apply_reductions(g, params, &config.reductions);
+    stats.reduction = reduction_stats;
+
+    // Phase 2: heuristic warm start on the reduced graph.
+    let mut best: Option<FairClique> = None;
+    if config.use_heuristic {
+        let outcome = heur_rfc(&reduced, params, &config.heuristic);
+        stats.heuristic_size = outcome.best.as_ref().map(|c| c.size());
+        best = outcome.best;
+    }
+
+    // Phase 3: branch-and-bound per connected component of the reduced graph. Only
+    // vertices that kept enough neighbors can be part of a fair clique.
+    let active: Vec<VertexId> = reduced
+        .vertices()
+        .filter(|&v| reduced.degree(v) + 1 >= params.min_size())
+        .collect();
+    let components = components_of_subset(&reduced, &active);
+
+    for component in components {
+        if component.len() < params.min_size() {
+            continue;
+        }
+        stats.components_searched += 1;
+        let sub = induced_subgraph(&reduced, &component);
+        let mut searcher = branch::ComponentSearch::new(&sub, params, config, &mut stats);
+        let incumbent_size = best.as_ref().map(|c| c.size()).unwrap_or(0);
+        if let Some(found) = searcher.run(incumbent_size) {
+            // `found` is expressed in original vertex ids already (the component search
+            // maps back through the induced-subgraph vertex map).
+            let candidate = FairClique::from_vertices(g, found);
+            if best.as_ref().map_or(true, |b| candidate.size() > b.size()) {
+                best = Some(candidate);
+            }
+        }
+    }
+
+    stats.elapsed_micros = start.elapsed().as_micros();
+    SearchOutcome { best, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{bron_kerbosch_max_fair_clique, brute_force_max_fair_clique};
+    use crate::bounds::ExtraBound;
+    use crate::verify::{is_fair_and_clique, is_relative_fair_clique};
+    use rfc_graph::fixtures;
+
+    fn all_configs() -> Vec<SearchConfig> {
+        let mut configs = vec![SearchConfig::basic(), SearchConfig::default()];
+        for extra in ExtraBound::ALL {
+            configs.push(SearchConfig::with_bounds(extra));
+            configs.push(SearchConfig::full(extra));
+        }
+        configs
+    }
+
+    #[test]
+    fn finds_the_optimum_on_fig1_with_every_config() {
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        for config in all_configs() {
+            let outcome = max_fair_clique(&g, params, &config);
+            let best = outcome.best.expect("a fair clique exists");
+            assert_eq!(best.size(), 7, "config {config:?}");
+            assert!(is_fair_and_clique(&g, &best.vertices, params));
+            assert!(is_relative_fair_clique(&g, &best.vertices, params));
+        }
+    }
+
+    #[test]
+    fn agrees_with_baselines_across_parameters() {
+        let g = fixtures::fig1_graph();
+        for (k, delta) in [(1usize, 0usize), (1, 2), (2, 0), (2, 1), (3, 1), (3, 2), (4, 1), (4, 4)] {
+            let params = FairCliqueParams::new(k, delta).unwrap();
+            let exact = max_fair_clique(&g, params, &SearchConfig::default());
+            let brute = brute_force_max_fair_clique(&g, params);
+            let bk = bron_kerbosch_max_fair_clique(&g, params);
+            let sizes = (
+                exact.best.as_ref().map(|c| c.size()),
+                brute.as_ref().map(|c| c.size()),
+                bk.as_ref().map(|c| c.size()),
+            );
+            assert_eq!(sizes.0, sizes.1, "(k={k}, δ={delta})");
+            assert_eq!(sizes.0, sizes.2, "(k={k}, δ={delta})");
+        }
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        // Two cliques joined by a bridge: only the mixed-attribute one can be fair; the
+        // reductions disconnect / strip the other.
+        let g = fixtures::two_cliques_with_bridge(8, 6);
+        let params = FairCliqueParams::new(3, 2).unwrap();
+        let outcome = max_fair_clique(&g, params, &SearchConfig::default());
+        let best = outcome.best.unwrap();
+        assert_eq!(best.size(), 8);
+        assert!(best.vertices.iter().all(|&v| (v as usize) < 8));
+    }
+
+    #[test]
+    fn infeasible_instances_return_none() {
+        let g = fixtures::path_graph(10);
+        let params = FairCliqueParams::new(2, 1).unwrap();
+        assert!(max_fair_clique(&g, params, &SearchConfig::default()).best.is_none());
+
+        let single_attr = fixtures::two_cliques_with_bridge(0, 9);
+        let params1 = FairCliqueParams::new(1, 3).unwrap();
+        assert!(max_fair_clique(&single_attr, params1, &SearchConfig::default())
+            .best
+            .is_none());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let outcome = max_fair_clique(&g, params, &SearchConfig::full(ExtraBound::ColorfulPath));
+        assert!(outcome.stats.branches > 0);
+        assert!(outcome.stats.components_searched >= 1);
+        assert_eq!(outcome.stats.reduction.stages.len(), 3);
+        assert!(outcome.stats.heuristic_size.is_some());
+        // The heuristic can never beat the exact optimum.
+        assert!(outcome.stats.heuristic_size.unwrap() <= outcome.best.unwrap().size());
+    }
+
+    #[test]
+    fn heuristic_warm_start_prunes_at_least_as_much() {
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let plain = max_fair_clique(&g, params, &SearchConfig::with_bounds(ExtraBound::ColorfulDegeneracy));
+        let warm = max_fair_clique(&g, params, &SearchConfig::full(ExtraBound::ColorfulDegeneracy));
+        assert_eq!(
+            plain.best.as_ref().unwrap().size(),
+            warm.best.as_ref().unwrap().size()
+        );
+        assert!(warm.stats.branches <= plain.stats.branches);
+    }
+
+    #[test]
+    fn weak_and_strong_models_bracket_the_relative_model() {
+        // On the Fig.1 fixture with k = 3: strong (δ=0) gives 6, relative (δ=1) gives 7,
+        // weak (δ=∞) gives 8 (the whole planted clique).
+        let g = fixtures::fig1_graph();
+        let config = SearchConfig::default();
+        let strong = max_strong_fair_clique(&g, 3, &config).best.unwrap().size();
+        let relative = max_fair_clique(&g, FairCliqueParams::new(3, 1).unwrap(), &config)
+            .best
+            .unwrap()
+            .size();
+        let weak = max_weak_fair_clique(&g, 3, &config).best.unwrap().size();
+        assert_eq!(strong, 6);
+        assert_eq!(relative, 7);
+        assert_eq!(weak, 8);
+        assert!(strong <= relative && relative <= weak);
+        // Strong fair cliques are perfectly balanced.
+        let strong_clique = max_strong_fair_clique(&g, 3, &config).best.unwrap();
+        assert_eq!(strong_clique.counts.a(), strong_clique.counts.b());
+        // With k larger than the rarer attribute can support, all three are infeasible.
+        assert!(max_weak_fair_clique(&g, 6, &config).best.is_none());
+        assert!(max_strong_fair_clique(&g, 6, &config).best.is_none());
+    }
+
+    #[test]
+    fn different_branch_orders_agree() {
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(2, 1).unwrap();
+        let mut sizes = Vec::new();
+        for order in [
+            BranchOrder::ColorfulCore,
+            BranchOrder::Degeneracy,
+            BranchOrder::VertexId,
+        ] {
+            let config = SearchConfig {
+                branch_order: order,
+                ..SearchConfig::default()
+            };
+            sizes.push(
+                max_fair_clique(&g, params, &config)
+                    .best
+                    .map(|c| c.size())
+                    .unwrap_or(0),
+            );
+        }
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]), "sizes: {sizes:?}");
+    }
+}

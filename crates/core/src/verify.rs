@@ -1,0 +1,126 @@
+//! Solution verification.
+//!
+//! These checks are deliberately simple and independent of the search code so they can
+//! serve as trustworthy oracles in tests, benchmarks and downstream applications.
+
+use crate::problem::FairCliqueParams;
+use rfc_graph::{AttributedGraph, VertexId};
+
+/// Whether `vertices` is a clique in `g` whose attribute counts satisfy the fairness
+/// constraint of `params` (condition (i) of Definition 1).
+pub fn is_fair_and_clique(
+    g: &AttributedGraph,
+    vertices: &[VertexId],
+    params: FairCliqueParams,
+) -> bool {
+    if !g.is_clique(vertices) {
+        return false;
+    }
+    let mut unique = vertices.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    if unique.len() != vertices.len() {
+        return false;
+    }
+    params.is_fair(g.attribute_counts_of(vertices))
+}
+
+/// Whether `vertices` is a *relative fair clique* exactly as in Definition 1: it is a
+/// fair clique (condition (i)) **and** no proper superset is also a fair clique
+/// (condition (ii), maximality).
+pub fn is_relative_fair_clique(
+    g: &AttributedGraph,
+    vertices: &[VertexId],
+    params: FairCliqueParams,
+) -> bool {
+    if !is_fair_and_clique(g, vertices, params) {
+        return false;
+    }
+    // Maximality: no vertex outside the set that is adjacent to every member may be
+    // addable while keeping fairness.
+    let member = {
+        let mut m = vec![false; g.num_vertices()];
+        for &v in vertices {
+            m[v as usize] = true;
+        }
+        m
+    };
+    let counts = g.attribute_counts_of(vertices);
+    for u in g.vertices() {
+        if member[u as usize] {
+            continue;
+        }
+        if vertices.iter().all(|&v| g.has_edge(u, v)) {
+            let mut extended = counts;
+            extended.add(g.attribute(u));
+            if params.is_fair(extended) {
+                return false; // a strictly larger fair clique exists
+            }
+        }
+    }
+    true
+}
+
+/// Whether a claimed *maximum* fair clique is plausible: it must be a fair clique and be
+/// at least as large as another candidate solution. (The exhaustive optimality check is
+/// done against the baselines in the test suite.)
+pub fn is_at_least_as_large(
+    g: &AttributedGraph,
+    claimed: &[VertexId],
+    other: &[VertexId],
+    params: FairCliqueParams,
+) -> bool {
+    is_fair_and_clique(g, claimed, params) && claimed.len() >= other.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfc_graph::fixtures;
+
+    fn params(k: usize, delta: usize) -> FairCliqueParams {
+        FairCliqueParams::new(k, delta).unwrap()
+    }
+
+    #[test]
+    fn fair_and_clique_checks() {
+        let g = fixtures::fig1_graph();
+        // 7 of the 8 clique vertices (drop one `a`): 4 a's + 3 b's, fair for (3, 1).
+        let fair7 = vec![6, 7, 9, 10, 11, 12, 13];
+        assert!(is_fair_and_clique(&g, &fair7, params(3, 1)));
+        // The full 8-clique has 5 a's and 3 b's: imbalance 2 > δ=1.
+        let all8 = vec![6, 7, 9, 10, 11, 12, 13, 14];
+        assert!(!is_fair_and_clique(&g, &all8, params(3, 1)));
+        // Fair under δ=2 though.
+        assert!(is_fair_and_clique(&g, &all8, params(3, 2)));
+        // Not a clique.
+        assert!(!is_fair_and_clique(&g, &[0, 1, 14], params(1, 5)));
+        // Duplicates rejected.
+        assert!(!is_fair_and_clique(&g, &[6, 6, 7, 9], params(1, 5)));
+    }
+
+    #[test]
+    fn maximality_check() {
+        let g = fixtures::fig1_graph();
+        // The fair 7-subset is maximal for (3,1): the only possible extension is the
+        // remaining `a` vertex, which would push the imbalance to 2.
+        let fair7 = vec![6, 7, 9, 10, 11, 12, 13];
+        assert!(is_relative_fair_clique(&g, &fair7, params(3, 1)));
+        // A fair 6-subset (3 a's + 3 b's) is *not* maximal: another `a` can be added.
+        let fair6 = vec![6, 7, 9, 10, 11, 12];
+        assert!(is_fair_and_clique(&g, &fair6, params(3, 1)));
+        assert!(!is_relative_fair_clique(&g, &fair6, params(3, 1)));
+        // Under δ=2 the full 8-clique is maximal (nothing else is adjacent to all).
+        let all8 = vec![6, 7, 9, 10, 11, 12, 13, 14];
+        assert!(is_relative_fair_clique(&g, &all8, params(3, 2)));
+    }
+
+    #[test]
+    fn comparison_helper() {
+        let g = fixtures::fig1_graph();
+        let fair7 = vec![6, 7, 9, 10, 11, 12, 13];
+        let fair6 = vec![6, 7, 9, 10, 11, 12];
+        assert!(is_at_least_as_large(&g, &fair7, &fair6, params(3, 1)));
+        assert!(!is_at_least_as_large(&g, &fair6, &fair7, params(3, 1)));
+    }
+}

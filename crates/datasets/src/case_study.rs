@@ -1,0 +1,223 @@
+//! Case-study graphs mirroring Section VI-C.
+//!
+//! The paper runs its algorithms on four small real-world attributed graphs (an Aminer
+//! collaboration network, a DB+AI co-authorship graph, the NBA player network, and an
+//! IMDB collaboration graph) and inspects the returned team. The original data is not
+//! redistributable, so each case study here is generated as: a power-law background, a
+//! planted "team" (the intended maximum fair clique) with the same size and attribute
+//! split as the team reported in Fig. 10, and a couple of smaller planted groups as
+//! decoys. Vertex labels are synthesized (`"researcher-17"`, `"player-3"`, …) so the
+//! examples can print human-readable teams.
+
+use rfc_graph::{AttributedGraph, VertexId};
+
+use crate::synthetic::{plant_cliques, power_law, PlantedClique, PowerLawConfig};
+
+/// Identifier of a case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaseStudy {
+    /// Aminer collaboration network: gender-balanced research team (Fig. 10(a):
+    /// 13 males + 16 females under `k = 5`, `δ = 3`).
+    Aminer,
+    /// DBLP DB+AI co-authorship network (Fig. 10(b): 9 DB + 11 AI scholars).
+    Dbai,
+    /// NBA player relationship network (Fig. 10(c): 7 U.S. + 5 overseas players).
+    Nba,
+    /// IMDB collaboration network (Fig. 10(d): 6 senior + 4 junior artists).
+    Imdb,
+}
+
+/// A generated case-study instance.
+#[derive(Debug, Clone)]
+pub struct CaseStudyGraph {
+    /// Which case study this is.
+    pub case: CaseStudy,
+    /// The attributed graph.
+    pub graph: AttributedGraph,
+    /// A human-readable label per vertex.
+    pub labels: Vec<String>,
+    /// Human-readable names of the two attribute values `(a, b)`.
+    pub attribute_names: (&'static str, &'static str),
+    /// The planted team — the intended maximum fair clique under
+    /// [`Self::default_k`] / [`Self::default_delta`].
+    pub planted_team: Vec<VertexId>,
+    /// The `k` used in the paper's case study.
+    pub default_k: usize,
+    /// The `δ` used in the paper's case study.
+    pub default_delta: usize,
+}
+
+impl CaseStudy {
+    /// All four case studies in the order of Fig. 10.
+    pub const ALL: [CaseStudy; 4] = [
+        CaseStudy::Aminer,
+        CaseStudy::Dbai,
+        CaseStudy::Nba,
+        CaseStudy::Imdb,
+    ];
+
+    /// The display name used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseStudy::Aminer => "Aminer",
+            CaseStudy::Dbai => "DBAI",
+            CaseStudy::Nba => "NBA",
+            CaseStudy::Imdb => "IMDB",
+        }
+    }
+
+    /// Generates the case-study instance.
+    pub fn generate(self) -> CaseStudyGraph {
+        let (n, epv, tri, team, decoys, attr_names, label_prefixes, k, delta, seed) = match self {
+            CaseStudy::Aminer => (
+                800,
+                4,
+                0.35,
+                PlantedClique { count_a: 13, count_b: 16 },
+                vec![
+                    PlantedClique { count_a: 7, count_b: 6 },
+                    PlantedClique { count_a: 5, count_b: 4 },
+                ],
+                ("male", "female"),
+                ("scholar", "scholar"),
+                5,
+                3,
+                0xCA5E_0001u64,
+            ),
+            CaseStudy::Dbai => (
+                1_000,
+                4,
+                0.35,
+                PlantedClique { count_a: 9, count_b: 11 },
+                vec![
+                    PlantedClique { count_a: 6, count_b: 5 },
+                    PlantedClique { count_a: 5, count_b: 5 },
+                ],
+                ("DB", "AI"),
+                ("db-researcher", "ai-researcher"),
+                5,
+                3,
+                0xCA5E_0002,
+            ),
+            CaseStudy::Nba => (
+                403,
+                5,
+                0.4,
+                PlantedClique { count_a: 7, count_b: 5 },
+                vec![PlantedClique { count_a: 5, count_b: 4 }],
+                ("U.S.", "overseas"),
+                ("player", "player"),
+                5,
+                3,
+                0xCA5E_0003,
+            ),
+            // Note: the paper reports the IMDB team as 6 senior + 4 junior artists under
+            // k = 5, which does not satisfy its own fairness constraint; we keep the
+            // reported team composition and use k = 4 so the planted team is the valid
+            // maximum fair clique.
+            CaseStudy::Imdb => (
+                1_200,
+                4,
+                0.35,
+                PlantedClique { count_a: 6, count_b: 4 },
+                vec![PlantedClique { count_a: 4, count_b: 4 }],
+                ("senior", "junior"),
+                ("artist", "artist"),
+                4,
+                3,
+                0xCA5E_0004,
+            ),
+        };
+        let config = PowerLawConfig {
+            n,
+            edges_per_vertex: epv,
+            triangle_prob: tri,
+            prob_a: 0.5,
+        };
+        let background = power_law(&config, seed);
+        let mut cliques = vec![team];
+        cliques.extend(decoys);
+        let (graph, planted) = plant_cliques(&background, &cliques, seed.wrapping_add(1));
+        let labels = (0..n)
+            .map(|v| {
+                let prefix = if graph.attribute(v as VertexId) == rfc_graph::Attribute::A {
+                    label_prefixes.0
+                } else {
+                    label_prefixes.1
+                };
+                format!("{prefix}-{v}")
+            })
+            .collect();
+        CaseStudyGraph {
+            case: self,
+            graph,
+            labels,
+            attribute_names: attr_names,
+            planted_team: planted[0].clone(),
+            default_k: k,
+            default_delta: delta,
+        }
+    }
+}
+
+impl CaseStudyGraph {
+    /// The label of a vertex.
+    pub fn label(&self, v: VertexId) -> &str {
+        &self.labels[v as usize]
+    }
+
+    /// The human-readable attribute name of a vertex.
+    pub fn attribute_name(&self, v: VertexId) -> &'static str {
+        if self.graph.attribute(v) == rfc_graph::Attribute::A {
+            self.attribute_names.0
+        } else {
+            self.attribute_names.1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_case_studies_have_valid_planted_teams() {
+        for case in CaseStudy::ALL {
+            let cs = case.generate();
+            assert!(cs.graph.is_clique(&cs.planted_team), "{}", case.name());
+            let counts = cs.graph.attribute_counts_of(&cs.planted_team);
+            assert!(counts.min() >= cs.default_k);
+            assert!(counts.imbalance() <= cs.default_delta);
+            assert_eq!(cs.labels.len(), cs.graph.num_vertices());
+        }
+    }
+
+    #[test]
+    fn team_sizes_match_the_paper() {
+        assert_eq!(CaseStudy::Aminer.generate().planted_team.len(), 29);
+        assert_eq!(CaseStudy::Dbai.generate().planted_team.len(), 20);
+        assert_eq!(CaseStudy::Nba.generate().planted_team.len(), 12);
+        assert_eq!(CaseStudy::Imdb.generate().planted_team.len(), 10);
+    }
+
+    #[test]
+    fn labels_reflect_attributes() {
+        let cs = CaseStudy::Dbai.generate();
+        for v in cs.graph.vertices().take(50) {
+            let label = cs.label(v);
+            match cs.graph.attribute(v) {
+                rfc_graph::Attribute::A => assert!(label.starts_with("db-researcher")),
+                rfc_graph::Attribute::B => assert!(label.starts_with("ai-researcher")),
+            }
+        }
+        assert_eq!(cs.attribute_name(cs.planted_team[0]), cs.attribute_name(cs.planted_team[0]));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CaseStudy::Nba.generate();
+        let b = CaseStudy::Nba.generate();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.planted_team, b.planted_team);
+    }
+}

@@ -1,0 +1,31 @@
+//! # rfc-datasets — workloads for the maximum fair clique experiments
+//!
+//! The paper evaluates on six real-world graphs (Table I) with up to 44.6 million edges
+//! plus four case-study graphs assembled from external sources. Those raw datasets are
+//! not redistributable here and full-size runs exceed a laptop budget, so this crate
+//! provides **seeded synthetic analogs** that preserve the behaviours the experiments
+//! measure:
+//!
+//! * [`synthetic`] — building blocks: Erdős–Rényi and preferential-attachment
+//!   (power-law) generators with triadic closure, random attribute assignment, and
+//!   planted attributed cliques.
+//! * [`paper`] — one scaled-down analog per Table-I dataset (Themarker, Google, DBLP,
+//!   Flixster, Pokec, Aminer), each a power-law background with planted fair cliques and
+//!   the same parameter ranges (`k`, `δ`) as the paper's experiments.
+//! * [`case_study`] — small named graphs mirroring the four case studies of Section VI-C
+//!   (collaboration, DB+AI co-authorship, NBA, IMDB) with a planted "team" that the
+//!   maximum fair clique search should recover.
+//! * [`scaling`] — the 20%–100% vertex/edge subsampling used by the scalability test
+//!   (Fig. 9).
+//!
+//! Every generator takes an explicit seed, so workloads are fully reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case_study;
+pub mod paper;
+pub mod scaling;
+pub mod synthetic;
+
+pub use paper::{DatasetSpec, PaperDataset};

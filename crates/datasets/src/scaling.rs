@@ -1,0 +1,92 @@
+//! Subsampled workloads for the scalability test (Fig. 9).
+//!
+//! The paper evaluates scalability by running the search algorithms on subgraphs
+//! containing 20%–100% of a dataset's vertices (resp. edges). These helpers produce
+//! those subgraphs deterministically.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use rfc_graph::subgraph::{edge_filtered_subgraph, induced_subgraph};
+use rfc_graph::{AttributedGraph, EdgeId, VertexId};
+
+/// The sampling fractions used by Fig. 9.
+pub const FRACTIONS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Keeps a random `fraction` of the vertices (and the edges among them). Vertex ids are
+/// re-compacted; the returned graph is independent of the original id space.
+pub fn sample_vertices(g: &AttributedGraph, fraction: f64, seed: u64) -> AttributedGraph {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let n = g.num_vertices();
+    let keep = ((n as f64) * fraction).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vertices: Vec<VertexId> = g.vertices().collect();
+    vertices.shuffle(&mut rng);
+    vertices.truncate(keep);
+    induced_subgraph(g, &vertices).graph
+}
+
+/// Keeps a random `fraction` of the edges (all vertices are retained, so the vertex-id
+/// space is unchanged).
+pub fn sample_edges(g: &AttributedGraph, fraction: f64, seed: u64) -> AttributedGraph {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let m = g.num_edges();
+    let keep = ((m as f64) * fraction).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edge_ids: Vec<EdgeId> = (0..m as EdgeId).collect();
+    edge_ids.shuffle(&mut rng);
+    edge_ids.truncate(keep);
+    let mut alive = vec![false; m];
+    for e in edge_ids {
+        alive[e as usize] = true;
+    }
+    edge_filtered_subgraph(g, &alive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::erdos_renyi;
+
+    #[test]
+    fn vertex_sampling_sizes() {
+        let g = erdos_renyi(500, 0.05, 0.5, 1);
+        for &f in &FRACTIONS {
+            let s = sample_vertices(&g, f, 7);
+            assert_eq!(s.num_vertices(), (500.0 * f).round() as usize);
+        }
+        // 100% keeps everything (possibly relabeled, but same size).
+        let full = sample_vertices(&g, 1.0, 7);
+        assert_eq!(full.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn edge_sampling_sizes() {
+        let g = erdos_renyi(300, 0.05, 0.5, 2);
+        for &f in &FRACTIONS {
+            let s = sample_edges(&g, f, 9);
+            assert_eq!(s.num_edges(), ((g.num_edges() as f64) * f).round() as usize);
+            assert_eq!(s.num_vertices(), g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_monotone_in_fraction() {
+        let g = erdos_renyi(400, 0.03, 0.5, 3);
+        assert_eq!(sample_vertices(&g, 0.5, 11), sample_vertices(&g, 0.5, 11));
+        assert_eq!(sample_edges(&g, 0.5, 11), sample_edges(&g, 0.5, 11));
+        let e20 = sample_edges(&g, 0.2, 11).num_edges();
+        let e80 = sample_edges(&g, 0.8, 11).num_edges();
+        assert!(e20 < e80);
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let g = erdos_renyi(100, 0.1, 0.5, 4);
+        assert_eq!(sample_vertices(&g, 0.0, 5).num_vertices(), 0);
+        assert_eq!(sample_edges(&g, 0.0, 5).num_edges(), 0);
+        // Out-of-range fractions are clamped.
+        assert_eq!(sample_edges(&g, 1.7, 5).num_edges(), g.num_edges());
+    }
+}

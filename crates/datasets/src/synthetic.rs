@@ -1,0 +1,401 @@
+//! Random-graph building blocks: Erdős–Rényi, power-law backgrounds, attribute
+//! assignment and planted attributed cliques.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use rfc_graph::{Attribute, AttributedGraph, GraphBuilder, VertexId};
+
+/// Assigns each vertex attribute `a` with probability `prob_a` (and `b` otherwise),
+/// mirroring the paper's "randomly assigning attributes to vertices with approximately
+/// equal probability" for the non-attributed datasets.
+pub fn random_attributes(n: usize, prob_a: f64, rng: &mut StdRng) -> Vec<Attribute> {
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(prob_a.clamp(0.0, 1.0)) {
+                Attribute::A
+            } else {
+                Attribute::B
+            }
+        })
+        .collect()
+}
+
+/// Erdős–Rényi `G(n, p)` graph with random attributes (`prob_a` chance of `a`).
+pub fn erdos_renyi(n: usize, p: f64, prob_a: f64, seed: u64) -> AttributedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let attrs = random_attributes(n, prob_a, &mut rng);
+    let mut builder = GraphBuilder::with_attributes(attrs);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen_bool(p) {
+                builder.add_edge(u, v);
+            }
+        }
+    }
+    builder.build().expect("generated edges are in range")
+}
+
+/// Parameters of the power-law (preferential-attachment) background generator.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawConfig {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edges attached from each new vertex to existing vertices (Barabási–Albert `m`).
+    pub edges_per_vertex: usize,
+    /// Probability that, for each attached edge, an additional triangle-closing edge is
+    /// added between the new vertex and a neighbor of the chosen endpoint. Triadic
+    /// closure gives the background realistic clustering so the colorful-support
+    /// reductions have triangles to reason about.
+    pub triangle_prob: f64,
+    /// Probability that a vertex gets attribute `a`.
+    pub prob_a: f64,
+}
+
+/// Generates a power-law graph by preferential attachment with triadic closure.
+///
+/// The degree distribution is heavy-tailed like the paper's social/web/collaboration
+/// networks; `triangle_prob` controls clustering.
+pub fn power_law(config: &PowerLawConfig, seed: u64) -> AttributedGraph {
+    let PowerLawConfig {
+        n,
+        edges_per_vertex,
+        triangle_prob,
+        prob_a,
+    } = *config;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let attrs = random_attributes(n, prob_a, &mut rng);
+    let mut builder = GraphBuilder::with_attributes(attrs);
+
+    // `targets` holds one entry per edge endpoint, so sampling uniformly from it is
+    // degree-proportional sampling (the standard BA trick).
+    let m0 = edges_per_vertex.max(1);
+    let mut targets: Vec<VertexId> = Vec::new();
+    let mut adjacency: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let seed_size = (m0 + 1).min(n);
+    // Seed clique connecting the first few vertices.
+    for u in 0..seed_size as VertexId {
+        for v in (u + 1)..seed_size as VertexId {
+            builder.add_edge(u, v);
+            adjacency[u as usize].push(v);
+            adjacency[v as usize].push(u);
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    for v in seed_size as VertexId..n as VertexId {
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m0);
+        let mut guard = 0;
+        while chosen.len() < m0 && guard < 20 * m0 {
+            guard += 1;
+            let candidate = if targets.is_empty() {
+                rng.gen_range(0..v)
+            } else {
+                targets[rng.gen_range(0..targets.len())]
+            };
+            if candidate != v && !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        for &u in &chosen {
+            builder.add_edge(v, u);
+            targets.push(v);
+            targets.push(u);
+            adjacency[v as usize].push(u);
+            adjacency[u as usize].push(v);
+            // Triadic closure: also connect to a random neighbor of u.
+            if rng.gen_bool(triangle_prob) && !adjacency[u as usize].is_empty() {
+                let w = adjacency[u as usize][rng.gen_range(0..adjacency[u as usize].len())];
+                if w != v {
+                    builder.add_edge(v, w);
+                    targets.push(v);
+                    targets.push(w);
+                    adjacency[v as usize].push(w);
+                    adjacency[w as usize].push(v);
+                }
+            }
+        }
+    }
+    builder.build().expect("generated edges are in range")
+}
+
+/// Description of a dense Erdős–Rényi community to embed into a background graph.
+///
+/// Real social and collaboration networks contain dense, overlapping communities in
+/// which the maximum (fair) clique hides among many near-maximum cliques; this is what
+/// makes the branch-and-bound search non-trivial. The paper's dataset analogs embed one
+/// such community and plant their largest fair clique inside it.
+#[derive(Debug, Clone, Copy)]
+pub struct DenseCommunity {
+    /// Number of vertices participating in the community.
+    pub size: usize,
+    /// Probability of an edge between any two community members.
+    pub edge_prob: f64,
+}
+
+/// Adds a dense community to `background`: the `community.size` *highest-degree*
+/// vertices are selected (real networks grow their dense cores around their hubs) and
+/// every pair among them is connected with probability `community.edge_prob`
+/// (attributes are left untouched). Returns the new graph and the community members
+/// (sorted).
+pub fn add_dense_community(
+    background: &AttributedGraph,
+    community: &DenseCommunity,
+    seed: u64,
+) -> (AttributedGraph, Vec<VertexId>) {
+    let n = background.num_vertices();
+    assert!(
+        community.size <= n,
+        "community of {} vertices does not fit a graph with {n} vertices",
+        community.size
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_degree: Vec<VertexId> = (0..n as VertexId).collect();
+    by_degree.sort_unstable_by(|&a, &b| {
+        background
+            .degree(b)
+            .cmp(&background.degree(a))
+            .then(a.cmp(&b))
+    });
+    let mut pool: Vec<VertexId> = by_degree.into_iter().take(community.size).collect();
+    pool.sort_unstable();
+
+    let mut edges: Vec<(VertexId, VertexId)> = background.edge_list().to_vec();
+    for (i, &u) in pool.iter().enumerate() {
+        for &v in &pool[i + 1..] {
+            if rng.gen_bool(community.edge_prob.clamp(0.0, 1.0)) {
+                edges.push((u, v));
+            }
+        }
+    }
+    let mut builder = GraphBuilder::with_attributes(background.attributes().to_vec());
+    builder.add_edges(edges);
+    (
+        builder.build().expect("community edges are in range"),
+        pool,
+    )
+}
+
+/// Description of a clique to plant into a background graph.
+#[derive(Debug, Clone, Copy)]
+pub struct PlantedClique {
+    /// Number of vertices with attribute `a` in the planted clique.
+    pub count_a: usize,
+    /// Number of vertices with attribute `b`.
+    pub count_b: usize,
+}
+
+impl PlantedClique {
+    /// Total planted clique size.
+    pub fn size(&self) -> usize {
+        self.count_a + self.count_b
+    }
+}
+
+/// Plants the given cliques into `background`: for each clique, a random set of distinct
+/// vertices is selected (disjoint across cliques), their attributes are overwritten to
+/// match the requested counts, and all pairwise edges are added.
+///
+/// Returns the resulting graph and, for each planted clique, its vertex set.
+pub fn plant_cliques(
+    background: &AttributedGraph,
+    cliques: &[PlantedClique],
+    seed: u64,
+) -> (AttributedGraph, Vec<Vec<VertexId>>) {
+    let pool: Vec<VertexId> = (0..background.num_vertices() as VertexId).collect();
+    plant_cliques_in_pool(background, cliques, &pool, seed)
+}
+
+/// Like [`plant_cliques`], but clique members are drawn only from the given `pool` of
+/// vertices (used to hide the largest planted clique inside a dense community).
+pub fn plant_cliques_in_pool(
+    background: &AttributedGraph,
+    cliques: &[PlantedClique],
+    pool: &[VertexId],
+    seed: u64,
+) -> (AttributedGraph, Vec<Vec<VertexId>>) {
+    let n = pool.len();
+    let total: usize = cliques.iter().map(|c| c.size()).sum();
+    assert!(
+        total <= n,
+        "cannot plant {total} clique vertices into a pool with {n} vertices"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool: Vec<VertexId> = pool.to_vec();
+    pool.shuffle(&mut rng);
+
+    let mut attrs = background.attributes().to_vec();
+    let mut builder_edges: Vec<(VertexId, VertexId)> = background.edge_list().to_vec();
+    let mut planted_sets = Vec::with_capacity(cliques.len());
+    let mut cursor = 0usize;
+    for clique in cliques {
+        let members: Vec<VertexId> = pool[cursor..cursor + clique.size()].to_vec();
+        cursor += clique.size();
+        for (i, &v) in members.iter().enumerate() {
+            attrs[v as usize] = if i < clique.count_a {
+                Attribute::A
+            } else {
+                Attribute::B
+            };
+        }
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                builder_edges.push((u, v));
+            }
+        }
+        let mut sorted = members;
+        sorted.sort_unstable();
+        planted_sets.push(sorted);
+    }
+    let mut builder = GraphBuilder::with_attributes(attrs);
+    builder.add_edges(builder_edges);
+    (
+        builder.build().expect("planted edges are in range"),
+        planted_sets,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_basic_properties() {
+        let g = erdos_renyi(200, 0.05, 0.5, 7);
+        assert_eq!(g.num_vertices(), 200);
+        // Expected edges ~ C(200,2) * 0.05 ≈ 995; allow wide tolerance.
+        assert!(g.num_edges() > 600 && g.num_edges() < 1400, "m = {}", g.num_edges());
+        let counts = g.attribute_counts();
+        assert!(counts.a() > 60 && counts.b() > 60);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_per_seed() {
+        let g1 = erdos_renyi(100, 0.1, 0.5, 42);
+        let g2 = erdos_renyi(100, 0.1, 0.5, 42);
+        let g3 = erdos_renyi(100, 0.1, 0.5, 43);
+        assert_eq!(g1, g2);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn power_law_has_heavy_tail_and_triangles() {
+        let config = PowerLawConfig {
+            n: 2000,
+            edges_per_vertex: 4,
+            triangle_prob: 0.5,
+            prob_a: 0.5,
+        };
+        let g = power_law(&config, 11);
+        assert_eq!(g.num_vertices(), 2000);
+        // Average degree should be roughly 2 * (m0 + closure) = 8-12.
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(avg > 6.0 && avg < 16.0, "avg degree = {avg}");
+        // Heavy tail: the maximum degree far exceeds the average.
+        assert!(g.max_degree() as f64 > 4.0 * avg, "dmax = {}", g.max_degree());
+        // Clustering: at least some triangles exist.
+        let mut triangles = 0usize;
+        'outer: for e in 0..g.num_edges() as u32 {
+            let (u, v) = g.edge_endpoints(e);
+            if !g.common_neighbors(u, v).is_empty() {
+                triangles += 1;
+                if triangles > 50 {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(triangles > 50);
+    }
+
+    #[test]
+    fn power_law_is_deterministic_per_seed() {
+        let config = PowerLawConfig {
+            n: 500,
+            edges_per_vertex: 3,
+            triangle_prob: 0.3,
+            prob_a: 0.5,
+        };
+        assert_eq!(power_law(&config, 5), power_law(&config, 5));
+        assert_ne!(power_law(&config, 5), power_law(&config, 6));
+    }
+
+    #[test]
+    fn planted_cliques_are_cliques_with_requested_counts() {
+        let background = erdos_renyi(300, 0.02, 0.5, 3);
+        let cliques = [
+            PlantedClique { count_a: 8, count_b: 6 },
+            PlantedClique { count_a: 5, count_b: 5 },
+        ];
+        let (g, sets) = plant_cliques(&background, &cliques, 9);
+        assert_eq!(sets.len(), 2);
+        for (set, spec) in sets.iter().zip(cliques.iter()) {
+            assert_eq!(set.len(), spec.size());
+            assert!(g.is_clique(set));
+            let counts = g.attribute_counts_of(set);
+            assert_eq!(counts.a(), spec.count_a);
+            assert_eq!(counts.b(), spec.count_b);
+        }
+        // Planted sets are disjoint.
+        let mut all: Vec<u32> = sets.iter().flatten().copied().collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot plant")]
+    fn planting_too_many_vertices_panics() {
+        let background = erdos_renyi(10, 0.1, 0.5, 1);
+        let cliques = [PlantedClique { count_a: 8, count_b: 8 }];
+        let _ = plant_cliques(&background, &cliques, 2);
+    }
+
+    #[test]
+    fn dense_community_adds_edges_only_among_members() {
+        let background = erdos_renyi(200, 0.01, 0.5, 12);
+        let community = DenseCommunity {
+            size: 40,
+            edge_prob: 0.5,
+        };
+        let (g, members) = add_dense_community(&background, &community, 77);
+        assert_eq!(members.len(), 40);
+        assert!(members.windows(2).all(|w| w[0] < w[1]), "members are sorted");
+        assert!(g.num_edges() > background.num_edges());
+        // Every added edge joins two community members.
+        let old: std::collections::HashSet<_> = background.edge_list().iter().copied().collect();
+        for &(u, v) in g.edge_list() {
+            if !old.contains(&(u, v)) {
+                assert!(members.contains(&u) && members.contains(&v));
+            }
+        }
+        // Attributes unchanged.
+        assert_eq!(g.attributes(), background.attributes());
+        // The community is dense: average internal degree well above the background's.
+        let internal: usize = g
+            .edge_list()
+            .iter()
+            .filter(|&&(u, v)| members.contains(&u) && members.contains(&v))
+            .count();
+        assert!(internal as f64 > 0.3 * (40.0 * 39.0 / 2.0));
+    }
+
+    #[test]
+    fn plant_in_pool_respects_the_pool() {
+        let background = erdos_renyi(100, 0.02, 0.5, 5);
+        let pool: Vec<u32> = (0..30).collect();
+        let cliques = [PlantedClique { count_a: 5, count_b: 5 }];
+        let (g, sets) = plant_cliques_in_pool(&background, &cliques, &pool, 6);
+        assert!(sets[0].iter().all(|&v| v < 30));
+        assert!(g.is_clique(&sets[0]));
+    }
+
+    #[test]
+    fn random_attributes_respect_probability() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let attrs = random_attributes(10_000, 0.7, &mut rng);
+        let a = attrs.iter().filter(|&&x| x == Attribute::A).count();
+        assert!(a > 6_600 && a < 7_400, "a = {a}");
+    }
+}

@@ -1,0 +1,335 @@
+//! Binary vertex attributes and attribute bookkeeping.
+//!
+//! The paper (and this reproduction) focuses on the two-dimensional attribute case
+//! `A = {a, b}` (Section II). [`Attribute`] is that two-valued attribute and
+//! [`AttributeCounts`] is the `(cnt(a), cnt(b))` pair that the fairness constraints are
+//! expressed over.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A binary vertex attribute (`a` or `b` in the paper).
+///
+/// In application terms this is e.g. gender in a collaboration network, research area in
+/// a co-authorship network, nationality in a sports network, or seniority in a movie
+/// collaboration network (Section VI-C of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Attribute {
+    /// Attribute value `a` (index 0).
+    A,
+    /// Attribute value `b` (index 1).
+    B,
+}
+
+impl Attribute {
+    /// All attribute values in index order.
+    pub const ALL: [Attribute; 2] = [Attribute::A, Attribute::B];
+
+    /// The number of distinct attribute values (`An = 2` in the paper).
+    pub const COUNT: usize = 2;
+
+    /// Returns the 0-based index of this attribute value (`A → 0`, `B → 1`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Attribute::A => 0,
+            Attribute::B => 1,
+        }
+    }
+
+    /// Returns the attribute with the given index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 2`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Attribute {
+        match idx {
+            0 => Attribute::A,
+            1 => Attribute::B,
+            _ => panic!("attribute index out of range: {idx}"),
+        }
+    }
+
+    /// Returns the other attribute value.
+    #[inline]
+    pub fn other(self) -> Attribute {
+        match self {
+            Attribute::A => Attribute::B,
+            Attribute::B => Attribute::A,
+        }
+    }
+
+    /// Parses an attribute from common textual spellings.
+    ///
+    /// Accepts `a`/`A`/`0` for [`Attribute::A`] and `b`/`B`/`1` for [`Attribute::B`].
+    pub fn parse(s: &str) -> Option<Attribute> {
+        match s.trim() {
+            "a" | "A" | "0" => Some(Attribute::A),
+            "b" | "B" | "1" => Some(Attribute::B),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attribute::A => write!(f, "a"),
+            Attribute::B => write!(f, "b"),
+        }
+    }
+}
+
+/// A pair of per-attribute counts: `(cnt(a), cnt(b))`.
+///
+/// This is the quantity the relative-fairness constraint is stated over:
+/// `cnt(a) ≥ k`, `cnt(b) ≥ k`, `|cnt(a) − cnt(b)| ≤ δ`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttributeCounts {
+    counts: [usize; 2],
+}
+
+impl AttributeCounts {
+    /// An empty (all-zero) count pair.
+    #[inline]
+    pub fn new() -> Self {
+        Self { counts: [0, 0] }
+    }
+
+    /// Builds counts from explicit values.
+    #[inline]
+    pub fn from_counts(a: usize, b: usize) -> Self {
+        Self { counts: [a, b] }
+    }
+
+    /// Counts attributes over an iterator of attribute values.
+    pub fn from_iter<I: IntoIterator<Item = Attribute>>(iter: I) -> Self {
+        let mut c = Self::new();
+        for attr in iter {
+            c.add(attr);
+        }
+        c
+    }
+
+    /// The count for attribute `a`.
+    #[inline]
+    pub fn a(&self) -> usize {
+        self.counts[0]
+    }
+
+    /// The count for attribute `b`.
+    #[inline]
+    pub fn b(&self) -> usize {
+        self.counts[1]
+    }
+
+    /// The total count (`cnt(a) + cnt(b)`).
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.counts[0] + self.counts[1]
+    }
+
+    /// The smaller of the two counts.
+    #[inline]
+    pub fn min(&self) -> usize {
+        self.counts[0].min(self.counts[1])
+    }
+
+    /// The larger of the two counts.
+    #[inline]
+    pub fn max(&self) -> usize {
+        self.counts[0].max(self.counts[1])
+    }
+
+    /// Absolute difference `|cnt(a) − cnt(b)|`.
+    #[inline]
+    pub fn imbalance(&self) -> usize {
+        self.max() - self.min()
+    }
+
+    /// Increments the count of `attr`.
+    #[inline]
+    pub fn add(&mut self, attr: Attribute) {
+        self.counts[attr.index()] += 1;
+    }
+
+    /// Decrements the count of `attr`.
+    ///
+    /// # Panics
+    /// Panics if the count is already zero.
+    #[inline]
+    pub fn remove(&mut self, attr: Attribute) {
+        assert!(self.counts[attr.index()] > 0, "attribute count underflow");
+        self.counts[attr.index()] -= 1;
+    }
+
+    /// Returns whether a vertex set with these counts satisfies the relative fairness
+    /// constraint for parameters `k` and `δ`.
+    #[inline]
+    pub fn is_fair(&self, k: usize, delta: usize) -> bool {
+        self.min() >= k && self.imbalance() <= delta
+    }
+
+    /// Size of the largest *subset* of a vertex set with these counts that satisfies the
+    /// fairness constraint, or `None` if no subset does.
+    ///
+    /// Any subset of a clique is a clique, so for a clique with counts `(x, y)` the best
+    /// fair sub-clique keeps `min(x, y)` vertices of the rarer attribute (must be ≥ k)
+    /// and `min(max(x, y), min(x, y) + δ)` of the more common one.
+    pub fn best_fair_subset_size(&self, k: usize, delta: usize) -> Option<usize> {
+        let lo = self.min();
+        let hi = self.max();
+        if lo < k {
+            return None;
+        }
+        Some(lo + hi.min(lo + delta))
+    }
+}
+
+impl Index<Attribute> for AttributeCounts {
+    type Output = usize;
+
+    #[inline]
+    fn index(&self, attr: Attribute) -> &usize {
+        &self.counts[attr.index()]
+    }
+}
+
+impl IndexMut<Attribute> for AttributeCounts {
+    #[inline]
+    fn index_mut(&mut self, attr: Attribute) -> &mut usize {
+        &mut self.counts[attr.index()]
+    }
+}
+
+impl fmt::Display for AttributeCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(a: {}, b: {})", self.a(), self.b())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_index_roundtrip() {
+        for attr in Attribute::ALL {
+            assert_eq!(Attribute::from_index(attr.index()), attr);
+        }
+    }
+
+    #[test]
+    fn attribute_other_is_involution() {
+        assert_eq!(Attribute::A.other(), Attribute::B);
+        assert_eq!(Attribute::B.other(), Attribute::A);
+        for attr in Attribute::ALL {
+            assert_eq!(attr.other().other(), attr);
+        }
+    }
+
+    #[test]
+    fn attribute_parse_accepts_common_spellings() {
+        assert_eq!(Attribute::parse("a"), Some(Attribute::A));
+        assert_eq!(Attribute::parse(" A "), Some(Attribute::A));
+        assert_eq!(Attribute::parse("0"), Some(Attribute::A));
+        assert_eq!(Attribute::parse("b"), Some(Attribute::B));
+        assert_eq!(Attribute::parse("B"), Some(Attribute::B));
+        assert_eq!(Attribute::parse("1"), Some(Attribute::B));
+        assert_eq!(Attribute::parse("x"), None);
+        assert_eq!(Attribute::parse("2"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute index out of range")]
+    fn attribute_from_index_out_of_range_panics() {
+        let _ = Attribute::from_index(2);
+    }
+
+    #[test]
+    fn counts_add_remove_total() {
+        let mut c = AttributeCounts::new();
+        c.add(Attribute::A);
+        c.add(Attribute::A);
+        c.add(Attribute::B);
+        assert_eq!(c.a(), 2);
+        assert_eq!(c.b(), 1);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.min(), 1);
+        assert_eq!(c.max(), 2);
+        assert_eq!(c.imbalance(), 1);
+        c.remove(Attribute::A);
+        assert_eq!(c.a(), 1);
+        assert_eq!(c.imbalance(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute count underflow")]
+    fn counts_remove_underflow_panics() {
+        let mut c = AttributeCounts::new();
+        c.remove(Attribute::B);
+    }
+
+    #[test]
+    fn counts_from_iter_matches_manual() {
+        let attrs = [Attribute::A, Attribute::B, Attribute::B, Attribute::B];
+        let c = AttributeCounts::from_iter(attrs);
+        assert_eq!(c, AttributeCounts::from_counts(1, 3));
+    }
+
+    #[test]
+    fn fairness_check_matches_definition() {
+        // cnt(a)=3, cnt(b)=4, k=3, delta=1: fair.
+        assert!(AttributeCounts::from_counts(3, 4).is_fair(3, 1));
+        // Too few of attribute a.
+        assert!(!AttributeCounts::from_counts(2, 4).is_fair(3, 1));
+        // Imbalance too large.
+        assert!(!AttributeCounts::from_counts(3, 5).is_fair(3, 1));
+        // Exactly balanced at the threshold.
+        assert!(AttributeCounts::from_counts(3, 3).is_fair(3, 0));
+    }
+
+    #[test]
+    fn best_fair_subset_size_matches_hand_calculation() {
+        // x=5, y=9, k=3, delta=2 -> keep 5 + min(9, 7) = 12.
+        assert_eq!(
+            AttributeCounts::from_counts(5, 9).best_fair_subset_size(3, 2),
+            Some(12)
+        );
+        // Already balanced: keep everything.
+        assert_eq!(
+            AttributeCounts::from_counts(4, 4).best_fair_subset_size(3, 1),
+            Some(8)
+        );
+        // Rarer attribute below k: infeasible.
+        assert_eq!(
+            AttributeCounts::from_counts(2, 9).best_fair_subset_size(3, 2),
+            None
+        );
+        // delta = 0 forces strict balance.
+        assert_eq!(
+            AttributeCounts::from_counts(5, 9).best_fair_subset_size(3, 0),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn indexing_by_attribute() {
+        let mut c = AttributeCounts::new();
+        c[Attribute::A] = 7;
+        c[Attribute::B] = 2;
+        assert_eq!(c[Attribute::A], 7);
+        assert_eq!(c[Attribute::B], 2);
+        assert_eq!(c.total(), 9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Attribute::A.to_string(), "a");
+        assert_eq!(Attribute::B.to_string(), "b");
+        assert_eq!(
+            AttributeCounts::from_counts(1, 2).to_string(),
+            "(a: 1, b: 2)"
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Degree-based greedy proper vertex coloring.
+//!
+//! Every reduction and bound in the paper is built on a proper coloring of the graph:
+//! adjacent vertices get distinct colors, so vertices sharing a color can never coexist
+//! in a clique. The paper uses the classic degree-ordered greedy heuristic
+//! (largest-degree-first), which runs in `O(|V| + |E|)` time and gives at most
+//! `d_max + 1` colors.
+
+use crate::graph::{AttributedGraph, VertexId};
+
+/// A proper vertex coloring of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    /// Color of each vertex, a dense index in `0..num_colors`.
+    pub colors: Vec<u32>,
+    /// Number of distinct colors used (`color(G)` in the paper).
+    pub num_colors: usize,
+}
+
+impl Coloring {
+    /// The color of vertex `v`.
+    #[inline]
+    pub fn color(&self, v: VertexId) -> u32 {
+        self.colors[v as usize]
+    }
+
+    /// Verifies that the coloring is proper for `g`: every edge joins differently
+    /// colored vertices and every color index is within range.
+    pub fn is_proper(&self, g: &AttributedGraph) -> bool {
+        if self.colors.len() != g.num_vertices() {
+            return false;
+        }
+        if self.colors.iter().any(|&c| c as usize >= self.num_colors) {
+            return false;
+        }
+        g.edge_list()
+            .iter()
+            .all(|&(u, v)| self.colors[u as usize] != self.colors[v as usize])
+    }
+}
+
+/// Colors the whole graph with the degree-based greedy heuristic.
+///
+/// Vertices are processed in non-increasing degree order (ties broken by vertex id for
+/// determinism); each vertex receives the smallest color not used by its already-colored
+/// neighbors.
+pub fn greedy_coloring(g: &AttributedGraph) -> Coloring {
+    let order: Vec<VertexId> = degree_descending_order(g);
+    greedy_coloring_in_order(g, &order)
+}
+
+/// Colors only the vertices listed in `vertices` (the induced subgraph view), using the
+/// degree-within-the-subset greedy order. Vertices outside the set keep color `u32::MAX`
+/// (an invalid marker) and are ignored.
+///
+/// Returns the coloring over the *full* vertex-id space (so callers can index by
+/// original vertex id) together with the number of colors used on the subset.
+pub fn greedy_coloring_of_subset(g: &AttributedGraph, vertices: &[VertexId]) -> Coloring {
+    let mut in_set = vec![false; g.num_vertices()];
+    for &v in vertices {
+        in_set[v as usize] = true;
+    }
+    // Degree restricted to the subset.
+    let mut sub_deg: Vec<(usize, VertexId)> = vertices
+        .iter()
+        .map(|&v| {
+            let d = g.neighbors(v).iter().filter(|&&u| in_set[u as usize]).count();
+            (d, v)
+        })
+        .collect();
+    sub_deg.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let mut colors = vec![u32::MAX; g.num_vertices()];
+    let mut used = Vec::new();
+    let mut max_color = 0u32;
+    let mut any = false;
+    for &(_, v) in &sub_deg {
+        used.clear();
+        for &u in g.neighbors(v) {
+            let c = colors[u as usize];
+            if in_set[u as usize] && c != u32::MAX {
+                used.push(c);
+            }
+        }
+        let c = smallest_absent(&mut used);
+        colors[v as usize] = c;
+        max_color = max_color.max(c);
+        any = true;
+    }
+    Coloring {
+        colors,
+        num_colors: if any { max_color as usize + 1 } else { 0 },
+    }
+}
+
+/// Colors the graph processing vertices in the given order.
+pub fn greedy_coloring_in_order(g: &AttributedGraph, order: &[VertexId]) -> Coloring {
+    let n = g.num_vertices();
+    let mut colors = vec![u32::MAX; n];
+    let mut used = Vec::new();
+    let mut max_color = 0u32;
+    for &v in order {
+        used.clear();
+        for &u in g.neighbors(v) {
+            let c = colors[u as usize];
+            if c != u32::MAX {
+                used.push(c);
+            }
+        }
+        let c = smallest_absent(&mut used);
+        colors[v as usize] = c;
+        max_color = max_color.max(c);
+    }
+    // Any vertex not covered by `order` (callers normally pass all vertices) gets a
+    // fresh color of its own to keep the coloring proper.
+    for v in 0..n {
+        if colors[v] == u32::MAX {
+            max_color += 1;
+            colors[v] = max_color;
+        }
+    }
+    let num_colors = if n == 0 { 0 } else { max_color as usize + 1 };
+    Coloring { colors, num_colors }
+}
+
+/// Vertices sorted by non-increasing degree (ties by id) — the order used by the
+/// degree-based greedy coloring of the paper.
+pub fn degree_descending_order(g: &AttributedGraph) -> Vec<VertexId> {
+    let mut order: Vec<VertexId> = g.vertices().collect();
+    order.sort_unstable_by(|&a, &b| {
+        g.degree(b)
+            .cmp(&g.degree(a))
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Smallest non-negative integer not present in `used` (which is clobbered/sorted).
+fn smallest_absent(used: &mut Vec<u32>) -> u32 {
+    used.sort_unstable();
+    used.dedup();
+    let mut c = 0u32;
+    for &x in used.iter() {
+        if x == c {
+            c += 1;
+        } else if x > c {
+            break;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn smallest_absent_works() {
+        assert_eq!(smallest_absent(&mut vec![]), 0);
+        assert_eq!(smallest_absent(&mut vec![0, 1, 2]), 3);
+        assert_eq!(smallest_absent(&mut vec![1, 2]), 0);
+        assert_eq!(smallest_absent(&mut vec![0, 2, 3]), 1);
+        assert_eq!(smallest_absent(&mut vec![2, 0, 0, 1, 5]), 3);
+    }
+
+    #[test]
+    fn coloring_of_clique_uses_n_colors() {
+        let g = fixtures::balanced_clique(7);
+        let c = greedy_coloring(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors, 7);
+    }
+
+    #[test]
+    fn coloring_of_path_uses_two_colors() {
+        let g = fixtures::path_graph(10);
+        let c = greedy_coloring(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors, 2);
+    }
+
+    #[test]
+    fn coloring_of_fig1_is_proper_and_at_least_clique_size() {
+        let g = fixtures::fig1_graph();
+        let c = greedy_coloring(&g);
+        assert!(c.is_proper(&g));
+        // Contains an 8-clique, so at least 8 colors are necessary.
+        assert!(c.num_colors >= 8);
+        // Greedy never exceeds max degree + 1.
+        assert!(c.num_colors <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn coloring_is_deterministic() {
+        let g = fixtures::fig1_graph();
+        assert_eq!(greedy_coloring(&g), greedy_coloring(&g));
+    }
+
+    #[test]
+    fn empty_graph_coloring() {
+        let g = crate::builder::GraphBuilder::new(0).build().unwrap();
+        let c = greedy_coloring(&g);
+        assert_eq!(c.num_colors, 0);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_all_get_color_zero() {
+        let g = crate::builder::GraphBuilder::new(4).build().unwrap();
+        let c = greedy_coloring(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors, 1);
+    }
+
+    #[test]
+    fn subset_coloring_only_colors_subset_and_is_proper_on_it() {
+        let g = fixtures::fig1_graph();
+        let subset: Vec<u32> = vec![6, 7, 9, 10, 11, 12, 13, 14];
+        let c = greedy_coloring_of_subset(&g, &subset);
+        // The subset is an 8-clique: exactly 8 colors, all distinct.
+        assert_eq!(c.num_colors, 8);
+        let mut seen: Vec<u32> = subset.iter().map(|&v| c.color(v)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 8);
+        // Vertices outside the subset keep the invalid marker.
+        assert_eq!(c.color(0), u32::MAX);
+    }
+
+    #[test]
+    fn is_proper_rejects_bad_colorings() {
+        let g = fixtures::path_graph(3);
+        let bad = Coloring {
+            colors: vec![0, 0, 1],
+            num_colors: 2,
+        };
+        assert!(!bad.is_proper(&g));
+        let wrong_len = Coloring {
+            colors: vec![0, 1],
+            num_colors: 2,
+        };
+        assert!(!wrong_len.is_proper(&g));
+        let out_of_range = Coloring {
+            colors: vec![0, 1, 5],
+            num_colors: 2,
+        };
+        assert!(!out_of_range.is_proper(&g));
+    }
+}

@@ -1,0 +1,161 @@
+//! Connected components.
+//!
+//! The branch-and-bound framework (Algorithm 2) runs one search per connected component
+//! of the reduced graph, and the reductions can disconnect the graph, so component
+//! extraction is on the hot path between reduction and search.
+
+use crate::graph::{AttributedGraph, VertexId};
+
+/// A partition of the vertices into connected components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component id of each vertex (dense, `0..num_components`).
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub num_components: usize,
+}
+
+impl Components {
+    /// The vertices of component `c`, in increasing id order.
+    pub fn vertices_of(&self, c: u32) -> Vec<VertexId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &l)| (l == c).then_some(v as VertexId))
+            .collect()
+    }
+
+    /// All components as vertex lists, ordered by component id.
+    pub fn all(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.num_components];
+        for (v, &l) in self.labels.iter().enumerate() {
+            out[l as usize].push(v as VertexId);
+        }
+        out
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest_size(&self) -> usize {
+        self.all().iter().map(|c| c.len()).max().unwrap_or(0)
+    }
+}
+
+/// Labels the connected components of `g` with an iterative BFS.
+pub fn connected_components(g: &AttributedGraph) -> Components {
+    let n = g.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as u32 {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = next;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if labels[u as usize] == u32::MAX {
+                    labels[u as usize] = next;
+                    queue.push_back(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    Components {
+        labels,
+        num_components: next as usize,
+    }
+}
+
+/// Connected components restricted to a vertex subset: only vertices in `subset` are
+/// labeled and only edges with both endpoints in `subset` are traversed. Returns the
+/// components as vertex lists (each sorted by id), skipping vertices outside `subset`.
+pub fn components_of_subset(g: &AttributedGraph, subset: &[VertexId]) -> Vec<Vec<VertexId>> {
+    let mut in_set = vec![false; g.num_vertices()];
+    for &v in subset {
+        in_set[v as usize] = true;
+    }
+    let mut visited = vec![false; g.num_vertices()];
+    let mut out = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for &start in subset {
+        if visited[start as usize] {
+            continue;
+        }
+        visited[start as usize] = true;
+        queue.push_back(start);
+        let mut comp = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            comp.push(v);
+            for &u in g.neighbors(v) {
+                if in_set[u as usize] && !visited[u as usize] {
+                    visited[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::fixtures;
+
+    #[test]
+    fn single_component_graph() {
+        let g = fixtures::fig1_graph();
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 1);
+        assert_eq!(c.largest_size(), 15);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edges([(0, 1), (1, 2), (3, 4)]);
+        let g = b.build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(c.vertices_of(c.labels[0]), vec![0, 1, 2]);
+        assert_eq!(c.vertices_of(c.labels[3]), vec![3, 4]);
+        assert_eq!(c.vertices_of(c.labels[5]), vec![5]);
+        assert_eq!(c.largest_size(), 3);
+        let all = c.all();
+        assert_eq!(all.iter().map(|x| x.len()).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 0);
+        assert_eq!(c.largest_size(), 0);
+    }
+
+    #[test]
+    fn subset_components_ignore_outside_vertices() {
+        // Path 0-1-2-3-4; subset {0, 1, 3, 4} splits into {0,1} and {3,4} because 2 is
+        // excluded.
+        let g = fixtures::path_graph(5);
+        let comps = components_of_subset(&g, &[0, 1, 3, 4]);
+        assert_eq!(comps, vec![vec![0, 1], vec![3, 4]]);
+    }
+
+    #[test]
+    fn subset_components_of_bridge_graph() {
+        let g = fixtures::two_cliques_with_bridge(3, 3);
+        // Excluding the bridge endpoints separates nothing extra here; full subset is
+        // one component because of the bridge edge (2,3).
+        let comps = components_of_subset(&g, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(comps.len(), 1);
+        // Dropping a bridge endpoint splits it.
+        let comps = components_of_subset(&g, &[0, 1, 3, 4, 5]);
+        assert_eq!(comps.len(), 2);
+    }
+}

@@ -1,0 +1,242 @@
+//! Classic core decomposition, degeneracy and the graph h-index.
+//!
+//! These provide the `ub△` (degeneracy) and `ubh` (h-index) upper bounds of Lemmas 10
+//! and 11, the `(|R*| − 1)`-core pruning inside the heuristic framework `HeurRFC`
+//! (Algorithm 6), and the degeneracy ordering used by the Bron–Kerbosch baseline.
+
+use crate::graph::{AttributedGraph, VertexId};
+
+/// Result of a full core decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    /// Core number of every vertex.
+    pub core_numbers: Vec<u32>,
+    /// The degeneracy of the graph: the maximum core number (0 for an empty graph).
+    pub degeneracy: u32,
+    /// A degeneracy ordering: the order in which vertices were peeled (smallest core
+    /// first). Iterating this order, every vertex has at most `degeneracy` neighbors
+    /// later in the order.
+    pub order: Vec<VertexId>,
+}
+
+/// Computes core numbers, degeneracy and a degeneracy ordering with the linear-time
+/// bucket peeling algorithm of Batagelj–Zaveršnik (`O(|V| + |E|)`).
+pub fn core_decomposition(g: &AttributedGraph) -> CoreDecomposition {
+    let n = g.num_vertices();
+    if n == 0 {
+        return CoreDecomposition {
+            core_numbers: Vec::new(),
+            degeneracy: 0,
+            order: Vec::new(),
+        };
+    }
+    let mut degree: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let max_deg = *degree.iter().max().unwrap_or(&0);
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0 as VertexId; n];
+    {
+        let mut next = bin.clone();
+        for v in 0..n {
+            pos[v] = next[degree[v]];
+            vert[pos[v]] = v as VertexId;
+            next[degree[v]] += 1;
+        }
+    }
+
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i];
+        core[v as usize] = degree[v as usize] as u32;
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if degree[u] > degree[v as usize] {
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u as u32 != w {
+                    pos[u] = pw;
+                    pos[w as usize] = pu;
+                    vert[pu] = w;
+                    vert[pw] = u as VertexId;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+
+    let degeneracy = core.iter().copied().max().unwrap_or(0);
+    CoreDecomposition {
+        core_numbers: core,
+        degeneracy,
+        order: vert,
+    }
+}
+
+/// The degeneracy of the graph (maximum core number).
+pub fn degeneracy(g: &AttributedGraph) -> u32 {
+    core_decomposition(g).degeneracy
+}
+
+/// Vertices of the k-core of `g`: the maximal set of vertices whose induced subgraph
+/// has minimum degree ≥ `k`. Returned as a membership mask indexed by vertex id.
+pub fn k_core_mask(g: &AttributedGraph, k: usize) -> Vec<bool> {
+    let decomp = core_decomposition(g);
+    decomp
+        .core_numbers
+        .iter()
+        .map(|&c| c as usize >= k)
+        .collect()
+}
+
+/// Vertices of the k-core, as a sorted vertex list.
+pub fn k_core_vertices(g: &AttributedGraph, k: usize) -> Vec<VertexId> {
+    k_core_mask(g, k)
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &keep)| keep.then_some(v as VertexId))
+        .collect()
+}
+
+/// The h-index of the graph (Lemma 11): the largest `h` such that at least `h` vertices
+/// have degree ≥ `h`.
+pub fn graph_h_index(g: &AttributedGraph) -> usize {
+    let degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    h_index_of(&degrees)
+}
+
+/// The h-index of an arbitrary sequence of values: the largest `h` such that at least
+/// `h` entries are ≥ `h`. Runs in `O(len)` using a counting pass.
+pub fn h_index_of(values: &[usize]) -> usize {
+    let n = values.len();
+    if n == 0 {
+        return 0;
+    }
+    // counts[i] = number of entries with value exactly i (values > n count as n).
+    let mut counts = vec![0usize; n + 1];
+    for &v in values {
+        counts[v.min(n)] += 1;
+    }
+    let mut at_least = 0usize;
+    for h in (0..=n).rev() {
+        at_least += counts[h];
+        if at_least >= h {
+            return h;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::fixtures;
+
+    #[test]
+    fn h_index_of_sequences() {
+        assert_eq!(h_index_of(&[]), 0);
+        assert_eq!(h_index_of(&[0, 0, 0]), 0);
+        assert_eq!(h_index_of(&[1, 1, 1]), 1);
+        assert_eq!(h_index_of(&[5, 4, 3, 2, 1]), 3);
+        assert_eq!(h_index_of(&[10, 10, 10]), 3);
+        assert_eq!(h_index_of(&[3, 3, 3, 3]), 3);
+    }
+
+    #[test]
+    fn clique_core_numbers() {
+        let g = fixtures::balanced_clique(6);
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 5);
+        assert!(d.core_numbers.iter().all(|&c| c == 5));
+        assert_eq!(graph_h_index(&g), 5);
+    }
+
+    #[test]
+    fn path_core_numbers() {
+        let g = fixtures::path_graph(6);
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 1);
+        assert!(d.core_numbers.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn fig1_degeneracy_is_clique_minus_one() {
+        let g = fixtures::fig1_graph();
+        let d = core_decomposition(&g);
+        // The densest part is the 8-clique, so degeneracy = 7.
+        assert_eq!(d.degeneracy, 7);
+        // Each clique vertex has core number 7.
+        for v in [6u32, 7, 9, 10, 11, 12, 13, 14] {
+            assert_eq!(d.core_numbers[v as usize], 7);
+        }
+    }
+
+    #[test]
+    fn degeneracy_order_property() {
+        // In a degeneracy order, every vertex has at most `degeneracy` neighbors that
+        // appear later in the order.
+        let g = fixtures::fig1_graph();
+        let d = core_decomposition(&g);
+        let mut rank = vec![0usize; g.num_vertices()];
+        for (i, &v) in d.order.iter().enumerate() {
+            rank[v as usize] = i;
+        }
+        for v in g.vertices() {
+            let later = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| rank[u as usize] > rank[v as usize])
+                .count();
+            assert!(later <= d.degeneracy as usize);
+        }
+        // The order is a permutation.
+        let mut sorted = d.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..g.num_vertices() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn k_core_peels_pendants() {
+        // Triangle with a pendant: 2-core is the triangle.
+        let mut b = GraphBuilder::new(4);
+        b.add_edges([(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let g = b.build().unwrap();
+        assert_eq!(k_core_vertices(&g, 2), vec![0, 1, 2]);
+        assert_eq!(k_core_vertices(&g, 1), vec![0, 1, 2, 3]);
+        assert_eq!(k_core_vertices(&g, 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn empty_graph_core() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 0);
+        assert!(d.order.is_empty());
+        assert_eq!(graph_h_index(&g), 0);
+    }
+
+    #[test]
+    fn core_numbers_monotone_under_k() {
+        let g = fixtures::two_cliques_with_bridge(5, 3);
+        for k in 0..6 {
+            let inner = k_core_vertices(&g, k + 1);
+            let outer = k_core_vertices(&g, k);
+            // k-cores are nested.
+            assert!(inner.iter().all(|v| outer.contains(v)));
+        }
+    }
+}

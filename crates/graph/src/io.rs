@@ -1,0 +1,321 @@
+//! Plain-text graph input/output.
+//!
+//! Two simple formats are supported, matching how the paper's datasets are distributed:
+//!
+//! * **Edge list**: one `u v` pair per line (whitespace separated). Lines starting with
+//!   `#` or `%` are comments. Vertex ids may be arbitrary non-negative integers; they
+//!   are compacted to `0..n`.
+//! * **Attribute list**: one `v attr` pair per line, where `attr` is `a`/`b`/`0`/`1`.
+//!   Vertices without an explicit attribute default to `a`.
+//!
+//! There is also a single-file combined format (`write_graph` / `read_graph`) used by
+//! the examples to snapshot generated datasets.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::attr::Attribute;
+use crate::builder::GraphBuilder;
+use crate::graph::{AttributedGraph, VertexId};
+
+/// Errors arising while parsing graph text formats.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, reported with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads an edge list (with optional separate attribute map from raw id to attribute)
+/// from a reader, compacting arbitrary vertex ids to `0..n`.
+///
+/// Returns the graph and the mapping `original_id -> compact_id`.
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    attributes: &HashMap<u64, Attribute>,
+) -> Result<(AttributedGraph, HashMap<u64, VertexId>), IoError> {
+    let reader = BufReader::new(reader);
+    let mut id_map: HashMap<u64, VertexId> = HashMap::new();
+    let mut attrs: Vec<Attribute> = Vec::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+
+    let intern = |raw: u64, attrs: &mut Vec<Attribute>, id_map: &mut HashMap<u64, VertexId>| {
+        *id_map.entry(raw).or_insert_with(|| {
+            let id = attrs.len() as VertexId;
+            attrs.push(attributes.get(&raw).copied().unwrap_or(Attribute::A));
+            id
+        })
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next()) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected `u v`, got `{trimmed}`"),
+                })
+            }
+        };
+        let parse = |s: &str, lineno: usize| -> Result<u64, IoError> {
+            s.parse::<u64>().map_err(|_| IoError::Parse {
+                line: lineno + 1,
+                message: format!("invalid vertex id `{s}`"),
+            })
+        };
+        let (u, v) = (parse(u, lineno)?, parse(v, lineno)?);
+        let cu = intern(u, &mut attrs, &mut id_map);
+        let cv = intern(v, &mut attrs, &mut id_map);
+        edges.push((cu, cv));
+    }
+
+    let mut builder = GraphBuilder::with_attributes(attrs);
+    builder.add_edges(edges);
+    let graph = builder.build().map_err(|e| IoError::Parse {
+        line: 0,
+        message: e.to_string(),
+    })?;
+    Ok((graph, id_map))
+}
+
+/// Reads an attribute list (`raw_id attr` per line) into a map usable by
+/// [`read_edge_list`].
+pub fn read_attribute_list<R: Read>(reader: R) -> Result<HashMap<u64, Attribute>, IoError> {
+    let reader = BufReader::new(reader);
+    let mut map = HashMap::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (v, a) = match (parts.next(), parts.next()) {
+            (Some(v), Some(a)) => (v, a),
+            _ => {
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected `vertex attribute`, got `{trimmed}`"),
+                })
+            }
+        };
+        let v: u64 = v.parse().map_err(|_| IoError::Parse {
+            line: lineno + 1,
+            message: format!("invalid vertex id `{v}`"),
+        })?;
+        let attr = Attribute::parse(a).ok_or_else(|| IoError::Parse {
+            line: lineno + 1,
+            message: format!("invalid attribute `{a}` (expected a/b/0/1)"),
+        })?;
+        map.insert(v, attr);
+    }
+    Ok(map)
+}
+
+/// Writes a graph in the combined single-file format:
+///
+/// ```text
+/// # maxfairclique graph v1
+/// n <num_vertices>
+/// v <id> <attr>      (one per vertex)
+/// e <u> <v>          (one per edge)
+/// ```
+pub fn write_graph<W: Write>(graph: &AttributedGraph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# maxfairclique graph v1")?;
+    writeln!(w, "n {}", graph.num_vertices())?;
+    for v in graph.vertices() {
+        writeln!(w, "v {} {}", v, graph.attribute(v))?;
+    }
+    for &(u, v) in graph.edge_list() {
+        writeln!(w, "e {u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph written by [`write_graph`].
+pub fn read_graph<R: Read>(reader: R) -> Result<AttributedGraph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut builder: Option<GraphBuilder> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let tag = parts.next().unwrap_or_default();
+        let err = |message: String| IoError::Parse {
+            line: lineno + 1,
+            message,
+        };
+        match tag {
+            "n" => {
+                let n: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("invalid vertex count".into()))?;
+                builder = Some(GraphBuilder::new(n));
+            }
+            "v" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err("`v` line before `n` line".into()))?;
+                let id: VertexId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("invalid vertex id".into()))?;
+                let attr = parts
+                    .next()
+                    .and_then(Attribute::parse)
+                    .ok_or_else(|| err("invalid attribute".into()))?;
+                if (id as usize) >= b.num_vertices() {
+                    return Err(err(format!("vertex id {id} out of declared range")));
+                }
+                b.set_attribute(id, attr);
+            }
+            "e" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err("`e` line before `n` line".into()))?;
+                let u: VertexId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("invalid edge endpoint".into()))?;
+                let v: VertexId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("invalid edge endpoint".into()))?;
+                b.add_edge(u, v);
+            }
+            other => return Err(err(format!("unknown record tag `{other}`"))),
+        }
+    }
+    let builder = builder.ok_or(IoError::Parse {
+        line: 0,
+        message: "missing `n` header line".into(),
+    })?;
+    builder.build().map_err(|e| IoError::Parse {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+/// Convenience wrapper: writes a graph to a file path.
+pub fn write_graph_to_path<P: AsRef<Path>>(graph: &AttributedGraph, path: P) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    write_graph(graph, file)
+}
+
+/// Convenience wrapper: reads a graph from a file path.
+pub fn read_graph_from_path<P: AsRef<Path>>(path: P) -> Result<AttributedGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_graph(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn edge_list_roundtrip_with_attributes() {
+        let attr_text = "10 a\n20 b\n30 a\n";
+        let edge_text = "# a comment\n10 20\n20 30\n% another comment\n10 30\n";
+        let attrs = read_attribute_list(attr_text.as_bytes()).unwrap();
+        assert_eq!(attrs.len(), 3);
+        let (g, id_map) = read_edge_list(edge_text.as_bytes(), &attrs).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        let v20 = id_map[&20];
+        assert_eq!(g.attribute(v20), Attribute::B);
+        assert!(g.is_clique(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn edge_list_defaults_missing_attributes_to_a() {
+        let (g, _) = read_edge_list("1 2\n".as_bytes(), &HashMap::new()).unwrap();
+        assert_eq!(g.attribute(0), Attribute::A);
+        assert_eq!(g.attribute(1), Attribute::A);
+    }
+
+    #[test]
+    fn edge_list_parse_errors_carry_line_numbers() {
+        let err = read_edge_list("1 2\nbogus\n".as_bytes(), &HashMap::new()).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        let err = read_edge_list("1 x\n".as_bytes(), &HashMap::new()).unwrap_err();
+        assert!(err.to_string().contains("invalid vertex id"));
+    }
+
+    #[test]
+    fn attribute_list_rejects_bad_values() {
+        let err = read_attribute_list("5 z\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("invalid attribute"));
+    }
+
+    #[test]
+    fn combined_format_roundtrip() {
+        let g = fixtures::fig1_graph();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert_eq!(g.attributes(), g2.attributes());
+        assert_eq!(g.edge_list(), g2.edge_list());
+    }
+
+    #[test]
+    fn combined_format_rejects_malformed_input() {
+        assert!(read_graph("v 0 a\n".as_bytes()).is_err()); // v before n
+        assert!(read_graph("n 2\nv 5 a\n".as_bytes()).is_err()); // id out of range
+        assert!(read_graph("n 2\nx 1 2\n".as_bytes()).is_err()); // unknown tag
+        assert!(read_graph("".as_bytes()).is_err()); // missing header
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = fixtures::balanced_clique(5);
+        let dir = std::env::temp_dir().join("rfc_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clique5.graph");
+        write_graph_to_path(&g, &path).unwrap();
+        let g2 = read_graph_from_path(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+}

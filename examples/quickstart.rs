@@ -1,0 +1,62 @@
+//! Quickstart: build a small attributed graph, search for its maximum relative fair
+//! clique, and inspect the result.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p rfc-core --example quickstart
+//! ```
+
+use rfc_core::prelude::*;
+use rfc_core::verify;
+use rfc_graph::fixtures;
+
+fn main() {
+    // The running example of the paper (Fig. 1): 15 vertices, an 8-clique with five
+    // `a`-vertices and three `b`-vertices on one side, a sparse structure on the other.
+    let graph = fixtures::fig1_graph();
+    println!("graph: {}", graph.stats());
+
+    // Find the maximum relative fair clique with k = 3 and δ = 1: at least three
+    // vertices of each attribute, and the two attribute counts may differ by at most 1.
+    let params = FairCliqueParams::new(3, 1).expect("k must be positive");
+    let outcome = max_fair_clique(&graph, params, &SearchConfig::default());
+
+    match &outcome.best {
+        Some(clique) => {
+            println!(
+                "maximum relative fair clique {} has {} vertices: {:?}",
+                params,
+                clique.size(),
+                clique.vertices
+            );
+            println!("attribute counts: {}", clique.counts);
+            assert!(verify::is_relative_fair_clique(
+                &graph,
+                &clique.vertices,
+                params
+            ));
+        }
+        None => println!("no relative fair clique exists for {params}"),
+    }
+
+    // The search statistics show what the reductions and bounds did.
+    let stats = &outcome.stats;
+    println!(
+        "reduction: {} -> {} edges in {} stages",
+        stats.reduction.original_edges,
+        stats.reduction.final_edges(),
+        stats.reduction.stages.len()
+    );
+    println!(
+        "search: {} branches, {} bound prunes, {} feasibility prunes, {} µs total",
+        stats.branches, stats.bound_prunes, stats.feasibility_prunes, stats.elapsed_micros
+    );
+
+    // Varying δ changes the answer: with δ = 2 the whole 8-clique becomes fair.
+    let relaxed = FairCliqueParams::new(3, 2).unwrap();
+    let bigger = max_fair_clique(&graph, relaxed, &SearchConfig::default());
+    println!(
+        "with {relaxed} the maximum fair clique has {} vertices",
+        bigger.best.map(|c| c.size()).unwrap_or(0)
+    );
+}

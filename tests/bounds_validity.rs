@@ -1,0 +1,99 @@
+//! Validity of every upper bound: on randomized instances, each configured bound must
+//! dominate the true maximum fair clique size.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rfc_core::baseline::brute_force_max_fair_clique;
+use rfc_core::bounds::{instance_upper_bound, BoundConfig, ExtraBound};
+use rfc_core::prelude::*;
+use rfc_datasets::synthetic::{erdos_renyi, plant_cliques, PlantedClique};
+
+#[test]
+fn bounds_dominate_optimum_on_random_graphs() {
+    for seed in 0..15u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(6..16);
+        let p = rng.gen_range(0.3..0.8);
+        let g = erdos_renyi(n, p, 0.5, seed.wrapping_add(3000));
+        let all: Vec<u32> = g.vertices().collect();
+        for (k, delta) in [(1usize, 0usize), (1, 2), (2, 1), (3, 1)] {
+            let params = FairCliqueParams::new(k, delta).unwrap();
+            let opt = brute_force_max_fair_clique(&g, params)
+                .map(|c| c.size())
+                .unwrap_or(0);
+            for extra in ExtraBound::ALL {
+                let ub = instance_upper_bound(&g, &all, params, &BoundConfig::with_extra(extra));
+                assert!(
+                    ub >= opt,
+                    "{} = {ub} < optimum {opt} (seed {seed}, n {n}, {params})",
+                    extra.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bounds_dominate_optimum_on_planted_instances() {
+    for seed in 0..6u64 {
+        let background = erdos_renyi(60, 0.08, 0.5, seed.wrapping_add(4000));
+        let (g, planted) = plant_cliques(
+            &background,
+            &[PlantedClique { count_a: 5, count_b: 4 }],
+            seed.wrapping_add(5000),
+        );
+        let all: Vec<u32> = g.vertices().collect();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        // The planted clique guarantees an optimum of at least 8 (4+4 under δ=1).
+        let lower = g
+            .attribute_counts_of(&planted[0])
+            .best_fair_subset_size(params.k, params.delta)
+            .unwrap();
+        for extra in ExtraBound::ALL {
+            let ub = instance_upper_bound(&g, &all, params, &BoundConfig::with_extra(extra));
+            assert!(ub >= lower, "{}: {ub} < {lower}", extra.label());
+        }
+    }
+}
+
+#[test]
+fn bound_on_candidate_neighborhoods_is_sound() {
+    // The search applies bounds to (R = {v}, C = N(v) ∩ later) instances; emulate that
+    // shape here: the instance is a vertex plus its neighborhood, and the bound must
+    // dominate the best fair clique containing v.
+    for seed in 0..6u64 {
+        let g = erdos_renyi(14, 0.5, 0.5, seed.wrapping_add(8000));
+        let params = FairCliqueParams::new(2, 1).unwrap();
+        for v in g.vertices() {
+            let mut instance = vec![v];
+            instance.extend_from_slice(g.neighbors(v));
+            let ub = instance_upper_bound(&g, &instance, params, &BoundConfig::default());
+            // Brute force restricted to the closed neighborhood of v.
+            let sub = rfc_graph::subgraph::induced_subgraph(&g, &instance);
+            let local_opt = brute_force_max_fair_clique(&sub.graph, params)
+                .map(|c| c.size())
+                .unwrap_or(0);
+            assert!(ub >= local_opt, "seed {seed}, v {v}: {ub} < {local_opt}");
+        }
+    }
+}
+
+#[test]
+fn zero_bound_certifies_infeasibility() {
+    // Whenever a bound evaluates to 0 the instance must truly contain no fair clique.
+    for seed in 0..10u64 {
+        let g = erdos_renyi(12, 0.35, 0.7, seed.wrapping_add(9000));
+        let all: Vec<u32> = g.vertices().collect();
+        for (k, delta) in [(2usize, 0usize), (3, 1), (4, 2)] {
+            let params = FairCliqueParams::new(k, delta).unwrap();
+            let ub = instance_upper_bound(&g, &all, params, &BoundConfig::default());
+            if ub == 0 {
+                assert!(
+                    brute_force_max_fair_clique(&g, params).is_none(),
+                    "seed {seed} {params}: bound said infeasible but a fair clique exists"
+                );
+            }
+        }
+    }
+}

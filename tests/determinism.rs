@@ -1,0 +1,69 @@
+//! Determinism guarantees: generators are reproducible per seed and the search returns
+//! the same solution (not just the same size) across repeated runs.
+
+use rfc_core::prelude::*;
+use rfc_datasets::case_study::CaseStudy;
+use rfc_datasets::scaling::{sample_edges, sample_vertices};
+use rfc_datasets::synthetic::{erdos_renyi, power_law, PowerLawConfig};
+use rfc_datasets::PaperDataset;
+
+#[test]
+fn generators_are_reproducible() {
+    assert_eq!(erdos_renyi(80, 0.1, 0.5, 5), erdos_renyi(80, 0.1, 0.5, 5));
+    let cfg = PowerLawConfig {
+        n: 400,
+        edges_per_vertex: 3,
+        triangle_prob: 0.3,
+        prob_a: 0.5,
+    };
+    assert_eq!(power_law(&cfg, 9), power_law(&cfg, 9));
+    assert_eq!(
+        PaperDataset::Flixster.generate(),
+        PaperDataset::Flixster.generate()
+    );
+    let g = erdos_renyi(120, 0.08, 0.5, 6);
+    assert_eq!(sample_vertices(&g, 0.6, 3), sample_vertices(&g, 0.6, 3));
+    assert_eq!(sample_edges(&g, 0.6, 3), sample_edges(&g, 0.6, 3));
+}
+
+#[test]
+fn different_seeds_give_different_graphs() {
+    assert_ne!(erdos_renyi(80, 0.1, 0.5, 5), erdos_renyi(80, 0.1, 0.5, 6));
+}
+
+#[test]
+fn search_returns_identical_solutions_across_runs() {
+    let cs = CaseStudy::Nba.generate();
+    let params = FairCliqueParams::new(cs.default_k, cs.default_delta).unwrap();
+    let first = max_fair_clique(&cs.graph, params, &SearchConfig::default());
+    for _ in 0..3 {
+        let again = max_fair_clique(&cs.graph, params, &SearchConfig::default());
+        assert_eq!(
+            first.best.as_ref().map(|c| c.vertices.clone()),
+            again.best.as_ref().map(|c| c.vertices.clone()),
+            "the search must be fully deterministic"
+        );
+        assert_eq!(first.stats.branches, again.stats.branches);
+    }
+}
+
+#[test]
+fn heuristic_is_deterministic() {
+    let cs = CaseStudy::Aminer.generate();
+    let params = FairCliqueParams::new(cs.default_k, cs.default_delta).unwrap();
+    let a = heur_rfc(&cs.graph, params, &HeuristicConfig::default());
+    let b = heur_rfc(&cs.graph, params, &HeuristicConfig::default());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn reduction_stats_are_deterministic_modulo_timing() {
+    let g = erdos_renyi(200, 0.06, 0.5, 17);
+    let params = FairCliqueParams::new(2, 1).unwrap();
+    let (r1, s1) = rfc_core::reduction::apply_reductions(&g, params, &ReductionConfig::default());
+    let (r2, s2) = rfc_core::reduction::apply_reductions(&g, params, &ReductionConfig::default());
+    assert_eq!(r1, r2);
+    let sizes1: Vec<_> = s1.stages.iter().map(|s| (s.vertices, s.edges)).collect();
+    let sizes2: Vec<_> = s2.stages.iter().map(|s| (s.vertices, s.edges)).collect();
+    assert_eq!(sizes1, sizes2);
+}

@@ -1,0 +1,104 @@
+//! Cross-checks of the branch-and-bound search against the two independent baselines
+//! (Bron–Kerbosch sweep and brute force) on randomized workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rfc_core::baseline::{bron_kerbosch_max_fair_clique, brute_force_max_fair_clique};
+use rfc_core::prelude::*;
+use rfc_core::verify;
+use rfc_datasets::synthetic::{erdos_renyi, plant_cliques, PlantedClique};
+
+fn param_grid() -> Vec<FairCliqueParams> {
+    let mut out = Vec::new();
+    for k in 1..=3usize {
+        for delta in 0..=3usize {
+            out.push(FairCliqueParams::new(k, delta).unwrap());
+        }
+    }
+    out
+}
+
+/// Small dense random graphs: MaxRFC must equal the brute-force optimum exactly.
+#[test]
+fn matches_brute_force_on_small_random_graphs() {
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(6..15);
+        let p = rng.gen_range(0.25..0.7);
+        let g = erdos_renyi(n, p, 0.5, seed.wrapping_mul(31).wrapping_add(7));
+        for &params in &param_grid() {
+            let exact = max_fair_clique(&g, params, &SearchConfig::default())
+                .best
+                .map(|c| c.size());
+            let brute = brute_force_max_fair_clique(&g, params).map(|c| c.size());
+            assert_eq!(exact, brute, "seed {seed}, n {n}, {params}");
+        }
+    }
+}
+
+/// Mid-size sparse graphs with planted cliques: MaxRFC must equal the Bron–Kerbosch
+/// sweep (which is exact but slower) and return a verifiable solution.
+#[test]
+fn matches_bron_kerbosch_on_planted_instances() {
+    for seed in 0..5u64 {
+        let background = erdos_renyi(150, 0.03, 0.5, seed.wrapping_add(100));
+        let cliques = [
+            PlantedClique {
+                count_a: 6,
+                count_b: 4,
+            },
+            PlantedClique {
+                count_a: 3,
+                count_b: 5,
+            },
+        ];
+        let (g, _) = plant_cliques(&background, &cliques, seed.wrapping_add(200));
+        for (k, delta) in [(2usize, 1usize), (3, 2), (4, 2), (3, 0)] {
+            let params = FairCliqueParams::new(k, delta).unwrap();
+            let exact = max_fair_clique(&g, params, &SearchConfig::default());
+            let bk = bron_kerbosch_max_fair_clique(&g, params);
+            assert_eq!(
+                exact.best.as_ref().map(|c| c.size()),
+                bk.as_ref().map(|c| c.size()),
+                "seed {seed}, {params}"
+            );
+            if let Some(best) = &exact.best {
+                assert!(verify::is_fair_and_clique(&g, &best.vertices, params));
+            }
+        }
+    }
+}
+
+/// The basic configuration (no advanced bounds, no heuristic) is slower but must be just
+/// as exact.
+#[test]
+fn basic_configuration_is_exact_too() {
+    for seed in 0..6u64 {
+        let g = erdos_renyi(12, 0.5, 0.5, seed.wrapping_add(400));
+        for (k, delta) in [(1usize, 1usize), (2, 1), (2, 2)] {
+            let params = FairCliqueParams::new(k, delta).unwrap();
+            let basic = max_fair_clique(&g, params, &SearchConfig::basic())
+                .best
+                .map(|c| c.size());
+            let brute = brute_force_max_fair_clique(&g, params).map(|c| c.size());
+            assert_eq!(basic, brute, "seed {seed}, {params}");
+        }
+    }
+}
+
+/// Disabling the reductions must not change the answer either.
+#[test]
+fn search_without_reductions_is_exact() {
+    for seed in 0..6u64 {
+        let g = erdos_renyi(14, 0.45, 0.5, seed.wrapping_add(900));
+        let params = FairCliqueParams::new(2, 1).unwrap();
+        let config = SearchConfig {
+            reductions: ReductionConfig::none(),
+            ..SearchConfig::default()
+        };
+        let no_red = max_fair_clique(&g, params, &config).best.map(|c| c.size());
+        let brute = brute_force_max_fair_clique(&g, params).map(|c| c.size());
+        assert_eq!(no_red, brute, "seed {seed}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration behaviour of the heuristics: validity, quality relative to the exact
+//! optimum, and usefulness of the returned upper bound.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rfc_core::baseline::brute_force_max_fair_clique;
+use rfc_core::heuristic::{colorful_deg_heur, deg_heur};
+use rfc_core::prelude::*;
+use rfc_core::verify;
+use rfc_datasets::synthetic::{erdos_renyi, plant_cliques, PlantedClique};
+use rfc_datasets::PaperDataset;
+
+#[test]
+fn heuristics_always_return_valid_fair_cliques() {
+    for seed in 0..15u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(10..40);
+        let p = rng.gen_range(0.15..0.6);
+        let g = erdos_renyi(n, p, 0.5, seed.wrapping_add(600));
+        for (k, delta) in [(1usize, 1usize), (2, 1), (2, 2), (3, 2)] {
+            let params = FairCliqueParams::new(k, delta).unwrap();
+            let cfg = HeuristicConfig::default();
+            for result in [
+                deg_heur(&g, params, &cfg),
+                colorful_deg_heur(&g, params, &cfg),
+                heur_rfc(&g, params, &cfg).best,
+            ] {
+                if let Some(c) = result {
+                    assert!(
+                        verify::is_fair_and_clique(&g, &c.vertices, params),
+                        "seed {seed}, {params}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn heuristic_never_exceeds_optimum_and_bound_never_undercuts_it() {
+    for seed in 0..10u64 {
+        let g = erdos_renyi(13, 0.5, 0.5, seed.wrapping_add(700));
+        for (k, delta) in [(1usize, 1usize), (2, 1), (2, 0)] {
+            let params = FairCliqueParams::new(k, delta).unwrap();
+            let opt = brute_force_max_fair_clique(&g, params)
+                .map(|c| c.size())
+                .unwrap_or(0);
+            let out = heur_rfc(&g, params, &HeuristicConfig::default());
+            if let Some(found) = &out.best {
+                assert!(found.size() <= opt, "seed {seed} {params}");
+                assert!(out.upper_bound >= opt, "seed {seed} {params}");
+            }
+        }
+    }
+}
+
+/// On planted instances the heuristic should get close to the optimum (this is the
+/// behaviour Fig. 8 reports: differences of at most ~6).
+#[test]
+fn heuristic_quality_on_planted_cliques() {
+    let background = erdos_renyi(300, 0.02, 0.5, 42);
+    let (g, _) = plant_cliques(
+        &background,
+        &[PlantedClique { count_a: 10, count_b: 9 }],
+        43,
+    );
+    let params = FairCliqueParams::new(4, 2).unwrap();
+    let exact = max_fair_clique(&g, params, &SearchConfig::default())
+        .best
+        .map(|c| c.size())
+        .unwrap();
+    let heur = heur_rfc(&g, params, &HeuristicConfig::default())
+        .best
+        .map(|c| c.size())
+        .unwrap_or(0);
+    assert!(heur >= params.min_size());
+    assert!(exact >= 19);
+    assert!(
+        exact - heur <= 6,
+        "heuristic {heur} too far below exact {exact}"
+    );
+}
+
+/// The warm start must reduce (or at least not increase) the number of explored branches
+/// on a non-trivial dataset analog.
+#[test]
+fn warm_start_reduces_search_effort_on_dataset_analog() {
+    let spec = PaperDataset::Aminer.spec();
+    let g = spec.generate();
+    let params = FairCliqueParams::new(spec.default_k, spec.default_delta).unwrap();
+    let cold = max_fair_clique(&g, params, &SearchConfig::with_bounds(Default::default()));
+    let warm = max_fair_clique(&g, params, &SearchConfig::full(Default::default()));
+    assert_eq!(
+        cold.best.as_ref().map(|c| c.size()),
+        warm.best.as_ref().map(|c| c.size())
+    );
+    assert!(warm.stats.branches <= cold.stats.branches);
+    assert!(warm.stats.heuristic_size.is_some());
+}

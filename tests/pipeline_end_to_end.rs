@@ -1,0 +1,108 @@
+//! End-to-end integration tests spanning all crates: dataset generation → reduction →
+//! heuristic → exact search → verification.
+
+use rfc_core::prelude::*;
+use rfc_core::verify;
+use rfc_datasets::case_study::CaseStudy;
+use rfc_datasets::PaperDataset;
+
+/// The planted team of each case study is the maximum fair clique; the full pipeline
+/// must recover a fair clique at least that large and verify as maximal.
+#[test]
+fn case_studies_recover_planted_teams() {
+    for case in CaseStudy::ALL {
+        let cs = case.generate();
+        let params = FairCliqueParams::new(cs.default_k, cs.default_delta).unwrap();
+        let outcome = max_fair_clique(&cs.graph, params, &SearchConfig::default());
+        let best = outcome
+            .best
+            .unwrap_or_else(|| panic!("{}: no fair clique found", case.name()));
+        assert!(
+            best.size() >= cs.planted_team.len(),
+            "{}: found {} < planted {}",
+            case.name(),
+            best.size(),
+            cs.planted_team.len()
+        );
+        assert!(verify::is_relative_fair_clique(&cs.graph, &best.vertices, params));
+    }
+}
+
+/// On a full-size dataset analog the pipeline must find at least the best fair
+/// sub-clique of the largest planted clique, and the reductions must keep that clique.
+#[test]
+fn paper_dataset_analog_end_to_end() {
+    let spec = PaperDataset::Themarker.spec();
+    let (graph, planted) = spec.generate_with_ground_truth();
+    let params = FairCliqueParams::new(spec.default_k, spec.default_delta).unwrap();
+
+    // Expected lower bound: the fair sub-clique extractable from the largest planted
+    // clique.
+    let counts = graph.attribute_counts_of(&planted[0]);
+    let expected = counts
+        .best_fair_subset_size(params.k, params.delta)
+        .expect("the planted clique supports the default parameters");
+
+    let outcome = max_fair_clique(&graph, params, &SearchConfig::default());
+    let best = outcome.best.expect("a fair clique exists");
+    assert!(
+        best.size() >= expected,
+        "found {} but the planted clique guarantees {expected}",
+        best.size()
+    );
+    assert!(verify::is_fair_and_clique(&graph, &best.vertices, params));
+
+    // The reduction statistics must be monotone and non-trivial on this graph.
+    let stages = &outcome.stats.reduction.stages;
+    assert_eq!(stages.len(), 3);
+    assert!(stages[0].edges >= stages[1].edges);
+    assert!(stages[1].edges >= stages[2].edges);
+    assert!(
+        stages[2].edges < outcome.stats.reduction.original_edges,
+        "the reductions should remove something on a power-law background"
+    );
+}
+
+/// Different search configurations (bounds, heuristic, branch order) must agree on the
+/// optimum for a mid-size instance.
+#[test]
+fn all_configurations_agree_on_case_study() {
+    let cs = CaseStudy::Nba.generate();
+    let params = FairCliqueParams::new(cs.default_k, cs.default_delta).unwrap();
+    let mut sizes = Vec::new();
+    for extra in rfc_core::bounds::ExtraBound::ALL {
+        for use_heuristic in [false, true] {
+            let config = SearchConfig {
+                bounds: BoundConfig::with_extra(extra),
+                use_heuristic,
+                ..SearchConfig::default()
+            };
+            let size = max_fair_clique(&cs.graph, params, &config)
+                .best
+                .map(|c| c.size())
+                .unwrap_or(0);
+            sizes.push(size);
+        }
+    }
+    assert!(
+        sizes.windows(2).all(|w| w[0] == w[1]),
+        "configurations disagree: {sizes:?}"
+    );
+    assert!(sizes[0] >= cs.planted_team.len());
+}
+
+/// The heuristic upper bound reported by HeurRFC must dominate the exact optimum.
+#[test]
+fn heuristic_upper_bound_dominates_exact_optimum() {
+    let cs = CaseStudy::Imdb.generate();
+    let params = FairCliqueParams::new(cs.default_k, cs.default_delta).unwrap();
+    let heur = heur_rfc(&cs.graph, params, &HeuristicConfig::default());
+    let exact = max_fair_clique(&cs.graph, params, &SearchConfig::default())
+        .best
+        .map(|c| c.size())
+        .unwrap_or(0);
+    assert!(heur.upper_bound >= exact);
+    if let Some(h) = heur.best {
+        assert!(h.size() <= exact);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests (proptest) on randomly generated small attributed graphs.
+//!
+//! These check the core soundness invariants of the whole stack against the brute-force
+//! oracle: exactness of the search, safety of every reduction, validity of every upper
+//! bound, feasibility of heuristic output, and properness of the coloring.
+
+use proptest::prelude::*;
+
+use rfc_core::baseline::{bron_kerbosch_max_fair_clique, brute_force_max_fair_clique};
+use rfc_core::bounds::{instance_upper_bound, BoundConfig, ExtraBound};
+use rfc_core::heuristic::{heur_rfc, HeuristicConfig};
+use rfc_core::problem::FairCliqueParams;
+use rfc_core::reduction::{
+    colorful_core::en_colorful_core_reduction, colorful_sup::colorful_sup_reduction,
+    en_colorful_sup::en_colorful_sup_reduction,
+};
+use rfc_core::search::{max_fair_clique, SearchConfig};
+use rfc_core::verify;
+use rfc_graph::coloring::greedy_coloring;
+use rfc_graph::{Attribute, AttributedGraph, GraphBuilder};
+
+/// A compact description of a random attributed graph: per-vertex attribute bits plus
+/// one bit per vertex pair.
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    attrs: Vec<bool>,
+    edges: Vec<bool>,
+}
+
+impl RandomGraph {
+    fn build(&self) -> AttributedGraph {
+        let n = self.attrs.len();
+        let attrs = self
+            .attrs
+            .iter()
+            .map(|&a| if a { Attribute::A } else { Attribute::B })
+            .collect();
+        let mut b = GraphBuilder::with_attributes(attrs);
+        let mut idx = 0usize;
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if self.edges[idx] {
+                    b.add_edge(u, v);
+                }
+                idx += 1;
+            }
+        }
+        b.build().expect("generated graph is valid")
+    }
+}
+
+fn random_graph(max_n: usize) -> impl Strategy<Value = RandomGraph> {
+    (4..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        (
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec(proptest::bool::weighted(0.55), pairs),
+        )
+            .prop_map(|(attrs, edges)| RandomGraph { attrs, edges })
+    })
+}
+
+fn params_strategy() -> impl Strategy<Value = FairCliqueParams> {
+    (1usize..=3, 0usize..=3).prop_map(|(k, delta)| FairCliqueParams::new(k, delta).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        .. ProptestConfig::default()
+    })]
+
+    /// MaxRFC (default config) is exact and its output verifies as a relative fair
+    /// clique; the Bron–Kerbosch baseline agrees.
+    #[test]
+    fn search_matches_brute_force(rg in random_graph(12), params in params_strategy()) {
+        let g = rg.build();
+        let brute = brute_force_max_fair_clique(&g, params).map(|c| c.size());
+        let exact = max_fair_clique(&g, params, &SearchConfig::default());
+        prop_assert_eq!(exact.best.as_ref().map(|c| c.size()), brute);
+        let bk = bron_kerbosch_max_fair_clique(&g, params).map(|c| c.size());
+        prop_assert_eq!(bk, brute);
+        if let Some(best) = &exact.best {
+            prop_assert!(verify::is_relative_fair_clique(&g, &best.vertices, params));
+        }
+    }
+
+    /// Every reduction stage preserves the optimum.
+    #[test]
+    fn reductions_are_safe(rg in random_graph(12), params in params_strategy()) {
+        let g = rg.build();
+        let before = brute_force_max_fair_clique(&g, params).map(|c| c.size());
+        for reduced in [
+            en_colorful_core_reduction(&g, params.k),
+            colorful_sup_reduction(&g, params.k),
+            en_colorful_sup_reduction(&g, params.k),
+        ] {
+            let after = brute_force_max_fair_clique(&reduced, params).map(|c| c.size());
+            prop_assert_eq!(before, after);
+        }
+    }
+
+    /// Every upper bound dominates the optimum on the full-graph instance.
+    #[test]
+    fn bounds_dominate_optimum(rg in random_graph(12), params in params_strategy()) {
+        let g = rg.build();
+        let opt = brute_force_max_fair_clique(&g, params).map(|c| c.size()).unwrap_or(0);
+        let all: Vec<u32> = g.vertices().collect();
+        for extra in ExtraBound::ALL {
+            let ub = instance_upper_bound(&g, &all, params, &BoundConfig::with_extra(extra));
+            prop_assert!(ub >= opt, "{} = {} < {}", extra.label(), ub, opt);
+        }
+    }
+
+    /// Heuristic output is always a valid fair clique no larger than the optimum, and
+    /// its reported upper bound is no smaller than the optimum.
+    #[test]
+    fn heuristic_is_feasible_and_bounded(rg in random_graph(14), params in params_strategy()) {
+        let g = rg.build();
+        let opt = brute_force_max_fair_clique(&g, params).map(|c| c.size()).unwrap_or(0);
+        let out = heur_rfc(&g, params, &HeuristicConfig::default());
+        if let Some(found) = &out.best {
+            prop_assert!(verify::is_fair_and_clique(&g, &found.vertices, params));
+            prop_assert!(found.size() <= opt);
+            prop_assert!(out.upper_bound >= opt);
+        }
+    }
+
+    /// The greedy coloring is always proper and uses at least as many colors as the
+    /// clique number implied by any fair clique.
+    #[test]
+    fn coloring_is_proper(rg in random_graph(14)) {
+        let g = rg.build();
+        let coloring = greedy_coloring(&g);
+        prop_assert!(coloring.is_proper(&g));
+        prop_assert!(coloring.num_colors <= g.max_degree() + 1);
+    }
+
+    /// The colorful k-core is nested across k and contained in the plain k-core logic
+    /// of the reduction (monotonicity of the peeling).
+    #[test]
+    fn colorful_cores_are_nested(rg in random_graph(14)) {
+        let g = rg.build();
+        let coloring = greedy_coloring(&g);
+        let mut previous: Option<Vec<u32>> = None;
+        for k in (0..4usize).rev() {
+            let current = rfc_graph::colorful::colorful_k_core_vertices(&g, &coloring, k);
+            if let Some(prev) = &previous {
+                // prev was computed for k+1 and must be a subset of the k-core.
+                prop_assert!(prev.iter().all(|v| current.contains(v)));
+            }
+            previous = Some(current);
+        }
+    }
+}

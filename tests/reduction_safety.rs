@@ -1,0 +1,99 @@
+//! Safety of the graph reductions: no reduction stage may change the maximum fair
+//! clique (Lemmas 1–4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rfc_core::baseline::brute_force_max_fair_clique;
+use rfc_core::prelude::*;
+use rfc_core::reduction::{
+    apply_reductions,
+    colorful_core::{colorful_core_reduction, en_colorful_core_reduction},
+    colorful_sup::colorful_sup_reduction,
+    en_colorful_sup::en_colorful_sup_reduction,
+};
+use rfc_datasets::synthetic::erdos_renyi;
+use rfc_graph::AttributedGraph;
+
+fn optimum(g: &AttributedGraph, params: FairCliqueParams) -> Option<usize> {
+    brute_force_max_fair_clique(g, params).map(|c| c.size())
+}
+
+/// Each individual reduction preserves the optimum on random small graphs.
+#[test]
+fn individual_reductions_preserve_optimum() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(8..16);
+        let p = rng.gen_range(0.3..0.7);
+        let g = erdos_renyi(n, p, 0.5, seed.wrapping_add(55));
+        for (k, delta) in [(1usize, 1usize), (2, 0), (2, 1), (2, 2), (3, 1)] {
+            let params = FairCliqueParams::new(k, delta).unwrap();
+            let before = optimum(&g, params);
+            let reductions: [(&str, AttributedGraph); 4] = [
+                ("ColorfulCore", colorful_core_reduction(&g, k)),
+                ("EnColorfulCore", en_colorful_core_reduction(&g, k)),
+                ("ColorfulSup", colorful_sup_reduction(&g, k)),
+                ("EnColorfulSup", en_colorful_sup_reduction(&g, k)),
+            ];
+            for (name, reduced) in &reductions {
+                let after = optimum(reduced, params);
+                assert_eq!(
+                    before, after,
+                    "{name} changed the optimum (seed {seed}, n {n}, {params})"
+                );
+            }
+        }
+    }
+}
+
+/// The full pipeline preserves the optimum and never grows the graph.
+#[test]
+fn full_pipeline_preserves_optimum_and_shrinks() {
+    for seed in 0..8u64 {
+        let g = erdos_renyi(14, 0.5, 0.5, seed.wrapping_add(70));
+        for (k, delta) in [(2usize, 1usize), (3, 1), (3, 2)] {
+            let params = FairCliqueParams::new(k, delta).unwrap();
+            let (reduced, stats) = apply_reductions(&g, params, &ReductionConfig::default());
+            assert!(reduced.num_edges() <= g.num_edges());
+            let mut prev = stats.original_edges;
+            for s in &stats.stages {
+                assert!(s.edges <= prev, "stage {} grew the edge count", s.stage);
+                prev = s.edges;
+            }
+            assert_eq!(optimum(&g, params), optimum(&reduced, params), "seed {seed}, {params}");
+        }
+    }
+}
+
+/// The enhanced variants are at least as aggressive as their plain counterparts.
+#[test]
+fn enhanced_reductions_dominate_plain_ones() {
+    for seed in 0..6u64 {
+        let g = erdos_renyi(40, 0.2, 0.5, seed.wrapping_add(500));
+        for k in 1..=4usize {
+            let core = colorful_core_reduction(&g, k);
+            let en_core = en_colorful_core_reduction(&g, k);
+            assert!(en_core.num_edges() <= core.num_edges(), "seed {seed}, k {k}");
+            let sup = colorful_sup_reduction(&g, k);
+            let en_sup = en_colorful_sup_reduction(&g, k);
+            assert!(en_sup.num_edges() <= sup.num_edges(), "seed {seed}, k {k}");
+        }
+    }
+}
+
+/// Reductions are idempotent: applying a stage twice gives the same graph as once.
+#[test]
+fn reductions_are_idempotent() {
+    for seed in 0..4u64 {
+        let g = erdos_renyi(30, 0.25, 0.5, seed.wrapping_add(1000));
+        for k in 1..=3usize {
+            let once = en_colorful_sup_reduction(&g, k);
+            let twice = en_colorful_sup_reduction(&once, k);
+            assert_eq!(once.num_edges(), twice.num_edges(), "seed {seed}, k {k}");
+            let core_once = en_colorful_core_reduction(&g, k);
+            let core_twice = en_colorful_core_reduction(&core_once, k);
+            assert_eq!(core_once.num_edges(), core_twice.num_edges());
+        }
+    }
+}
