@@ -41,7 +41,11 @@ fn bench_bounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("bounds/whole-graph-instance");
     group.sample_size(10);
     let all: Vec<VertexId> = g.vertices().collect();
-    for extra in [ExtraBound::None, ExtraBound::ColorfulDegeneracy, ExtraBound::ColorfulPath] {
+    for extra in [
+        ExtraBound::None,
+        ExtraBound::ColorfulDegeneracy,
+        ExtraBound::ColorfulPath,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("instance_upper_bound", extra.label()),
             &extra,

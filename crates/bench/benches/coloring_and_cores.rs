@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use rfc_datasets::synthetic::{power_law, PowerLawConfig};
-use rfc_graph::coloring::greedy_coloring;
 use rfc_graph::colorful::{colorful_core_decomposition, enhanced_colorful_k_core_mask};
+use rfc_graph::coloring::greedy_coloring;
 use rfc_graph::cores::core_decomposition;
 use rfc_graph::AttributedGraph;
 

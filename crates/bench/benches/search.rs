@@ -48,5 +48,9 @@ fn bench_search_on_case_studies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search_on_analog, bench_search_on_case_studies);
+criterion_group!(
+    benches,
+    bench_search_on_analog,
+    bench_search_on_case_studies
+);
 criterion_main!(benches);

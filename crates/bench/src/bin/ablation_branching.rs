@@ -20,7 +20,14 @@ fn main() {
     }
     let mut table = Table::new(
         "Branching-order ablation at default (k, δ)",
-        &["dataset", "order", "MRFC size", "branches", "bound prunes", "time(µs)"],
+        &[
+            "dataset",
+            "order",
+            "MRFC size",
+            "branches",
+            "bound prunes",
+            "time(µs)",
+        ],
     );
     for workload in load_workloads() {
         let spec = &workload.spec;
@@ -47,7 +54,11 @@ fn main() {
                 micros.to_string(),
             ]);
         }
-        assert!(sizes.windows(2).all(|w| w[0] == w[1]), "orders disagree on {}", spec.name);
+        assert!(
+            sizes.windows(2).all(|w| w[0] == w[1]),
+            "orders disagree on {}",
+            spec.name
+        );
         eprintln!("  [{}] done", spec.name);
     }
     table.print();

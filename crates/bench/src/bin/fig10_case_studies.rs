@@ -32,11 +32,16 @@ fn main() {
     for case in CaseStudy::ALL {
         let cs = case.generate();
         let params = FairCliqueParams::new(cs.default_k, cs.default_delta).unwrap();
-        let (outcome, micros) = timed(|| max_fair_clique(&cs.graph, params, &SearchConfig::default()));
+        let (outcome, micros) =
+            timed(|| max_fair_clique(&cs.graph, params, &SearchConfig::default()));
         let team = outcome
             .best
             .unwrap_or_else(|| panic!("{}: no fair clique found", case.name()));
-        assert!(verify::is_relative_fair_clique(&cs.graph, &team.vertices, params));
+        assert!(verify::is_relative_fair_clique(
+            &cs.graph,
+            &team.vertices,
+            params
+        ));
         summary.add_row(vec![
             case.name().to_string(),
             cs.graph.num_vertices().to_string(),

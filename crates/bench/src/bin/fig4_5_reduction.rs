@@ -26,7 +26,13 @@ fn main() {
                 graph.num_non_isolated_vertices(),
                 spec.default_delta
             ),
-            &["k", "Original |V|", "EnColorfulCore", "ColorfulSup", "EnColorfulSup"],
+            &[
+                "k",
+                "Original |V|",
+                "EnColorfulCore",
+                "ColorfulSup",
+                "EnColorfulSup",
+            ],
         );
         let mut edges_table = Table::new(
             format!(
@@ -35,7 +41,13 @@ fn main() {
                 graph.num_edges(),
                 spec.default_delta
             ),
-            &["k", "Original |E|", "EnColorfulCore", "ColorfulSup", "EnColorfulSup"],
+            &[
+                "k",
+                "Original |E|",
+                "EnColorfulCore",
+                "ColorfulSup",
+                "EnColorfulSup",
+            ],
         );
         for k in spec.k_values() {
             let params = FairCliqueParams::new(k, spec.default_delta).unwrap();

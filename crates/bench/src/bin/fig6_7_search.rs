@@ -60,7 +60,9 @@ fn run_setting(
 }
 
 fn main() {
-    println!("Experiment E4/E5 — MaxRFC vs MaxRFC+ub vs MaxRFC+ub+HeurRFC (paper Fig. 6 / Fig. 7)\n");
+    println!(
+        "Experiment E4/E5 — MaxRFC vs MaxRFC+ub vs MaxRFC+ub+HeurRFC (paper Fig. 6 / Fig. 7)\n"
+    );
     let mut table = Table::new(
         "Fig. 6/7 analog — runtimes in µs",
         &[

@@ -37,7 +37,11 @@ fn main() {
         let (exact, exact_us) = timed(|| max_fair_clique(graph, params, &SearchConfig::default()));
         let heur_size = heur.best.as_ref().map(|c| c.size()).unwrap_or(0);
         let exact_size = exact.best.as_ref().map(|c| c.size()).unwrap_or(0);
-        assert!(heur_size <= exact_size, "{}: heuristic beat the optimum", spec.name);
+        assert!(
+            heur_size <= exact_size,
+            "{}: heuristic beat the optimum",
+            spec.name
+        );
         table.add_row(vec![
             spec.name.to_string(),
             params.k.to_string(),

@@ -28,11 +28,18 @@ fn main() {
         let params = default_params(spec);
         let configs = figure6_configs(workload.dataset);
         for (axis, sampler) in [
-            ("m", &sample_edges as &dyn Fn(&rfc_graph::AttributedGraph, f64, u64) -> rfc_graph::AttributedGraph),
+            (
+                "m",
+                &sample_edges
+                    as &dyn Fn(&rfc_graph::AttributedGraph, f64, u64) -> rfc_graph::AttributedGraph,
+            ),
             ("n", &sample_vertices),
         ] {
             let mut table = Table::new(
-                format!("{} — vary {axis} (k={}, δ={})", spec.name, params.k, params.delta),
+                format!(
+                    "{} — vary {axis} (k={}, δ={})",
+                    spec.name, params.k, params.delta
+                ),
                 &[
                     "fraction",
                     "|V|",
@@ -61,7 +68,11 @@ fn main() {
                     times[1].to_string(),
                     times[2].to_string(),
                 ]);
-                eprintln!("  [{} vary {axis}] {:.0}% done", spec.name, fraction * 100.0);
+                eprintln!(
+                    "  [{} vary {axis}] {:.0}% done",
+                    spec.name,
+                    fraction * 100.0
+                );
             }
             table.print();
         }

@@ -50,7 +50,10 @@ fn main() {
         }
         h
     };
-    let mut table = Table::new("Table II analog — runtimes in µs (* = fastest per row)", &headers);
+    let mut table = Table::new(
+        "Table II analog — runtimes in µs (* = fastest per row)",
+        &headers,
+    );
 
     for workload in load_workloads() {
         let spec = &workload.spec;

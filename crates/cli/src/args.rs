@@ -314,11 +314,20 @@ mod tests {
     fn parses_other_subcommands() {
         assert!(matches!(
             parse(&argv("heuristic --graph g.graph -k 3 -d 2 --seeds 16")).unwrap(),
-            Command::Heuristic { seeds: 16, k: 3, delta: 2, .. }
+            Command::Heuristic {
+                seeds: 16,
+                k: 3,
+                delta: 2,
+                ..
+            }
         ));
         assert!(matches!(
             parse(&argv("reduce --graph g.graph -k 5 --output out.graph")).unwrap(),
-            Command::Reduce { k: 5, output: Some(_), .. }
+            Command::Reduce {
+                k: 5,
+                output: Some(_),
+                ..
+            }
         ));
         assert!(matches!(
             parse(&argv("stats --edges e.txt")).unwrap(),
@@ -326,7 +335,11 @@ mod tests {
         ));
         assert!(matches!(
             parse(&argv("generate --dataset aminer --output g.graph")).unwrap(),
-            Command::Generate { dataset: Some(_), case_study: None, .. }
+            Command::Generate {
+                dataset: Some(_),
+                case_study: None,
+                ..
+            }
         ));
         assert!(matches!(parse(&argv("--help")).unwrap(), Command::Help));
         assert!(matches!(parse(&[]).unwrap(), Command::Help));

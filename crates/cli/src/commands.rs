@@ -26,7 +26,10 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Stats { input } => {
             let graph = load_graph(&input)?;
             println!("{}", graph.stats());
-            println!("non-isolated vertices: {}", graph.num_non_isolated_vertices());
+            println!(
+                "non-isolated vertices: {}",
+                graph.num_non_isolated_vertices()
+            );
             Ok(())
         }
         Command::Solve {
@@ -87,7 +90,13 @@ pub fn run(command: Command) -> Result<(), String> {
         } => {
             let graph = load_graph(&input)?;
             let params = FairCliqueParams::new(k, delta).map_err(|e| e.to_string())?;
-            let outcome = heur_rfc(&graph, params, &HeuristicConfig { seeds: seeds.max(1) });
+            let outcome = heur_rfc(
+                &graph,
+                params,
+                &HeuristicConfig {
+                    seeds: seeds.max(1),
+                },
+            );
             match &outcome.best {
                 None => println!("the heuristic found no fair clique for (k={k}, δ={delta})"),
                 Some(clique) => println!(

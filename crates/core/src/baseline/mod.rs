@@ -106,11 +106,15 @@ mod tests {
         let small = FairClique::from_vertices(&g, vec![0, 1]);
         let large = FairClique::from_vertices(&g, vec![0, 1, 2]);
         assert_eq!(
-            keep_larger(Some(small.clone()), Some(large.clone())).unwrap().size(),
+            keep_larger(Some(small.clone()), Some(large.clone()))
+                .unwrap()
+                .size(),
             3
         );
         assert_eq!(
-            keep_larger(Some(large.clone()), Some(small.clone())).unwrap().size(),
+            keep_larger(Some(large.clone()), Some(small.clone()))
+                .unwrap()
+                .size(),
             3
         );
         assert_eq!(keep_larger(None, Some(small.clone())).unwrap().size(), 2);

@@ -34,9 +34,7 @@ pub fn attribute_color_bound(
     let (color_a, color_b, _mixed) = per_attribute_color_counts(sub, coloring);
     // A color counted for both attributes contributes to both caps, exactly as in the
     // paper's colorR∪C(a) / colorR∪C(b).
-    params
-        .best_fair_total(color_a, color_b)
-        .unwrap_or(0)
+    params.best_fair_total(color_a, color_b).unwrap_or(0)
 }
 
 /// `ubeac` (Lemma 9, sound variant): partitions the instance's colors into exclusive-a,
@@ -163,7 +161,14 @@ mod tests {
         let mut b = GraphBuilder::new(7);
         b.set_attribute(0, Attribute::A);
         for v in 1..7 {
-            b.set_attribute(v, if v % 2 == 0 { Attribute::A } else { Attribute::B });
+            b.set_attribute(
+                v,
+                if v % 2 == 0 {
+                    Attribute::A
+                } else {
+                    Attribute::B
+                },
+            );
             b.add_edge(0, v);
         }
         let g = b.build().unwrap();

@@ -8,8 +8,8 @@
 //! `|x − y| ≤ δ` gives the bounds below (the `+ 1` is the soundness correction
 //! discussed in [`crate::bounds`]).
 
-use rfc_graph::coloring::Coloring;
 use rfc_graph::colorful::{colorful_core_decomposition, colorful_h_index};
+use rfc_graph::coloring::Coloring;
 use rfc_graph::AttributedGraph;
 
 use crate::problem::FairCliqueParams;

@@ -208,7 +208,9 @@ mod tests {
     use rfc_graph::fixtures;
 
     fn optimum(g: &AttributedGraph, params: FairCliqueParams) -> usize {
-        brute_force_max_fair_clique(g, params).map(|c| c.size()).unwrap_or(0)
+        brute_force_max_fair_clique(g, params)
+            .map(|c| c.size())
+            .unwrap_or(0)
     }
 
     #[test]

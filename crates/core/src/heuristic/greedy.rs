@@ -1,7 +1,7 @@
 //! The greedy growth procedure shared by `DegHeur` and `ColorfulDegHeur` (Algorithm 5).
 
-use rfc_graph::coloring::greedy_coloring;
 use rfc_graph::colorful::colorful_degrees;
+use rfc_graph::coloring::greedy_coloring;
 use rfc_graph::{Attribute, AttributeCounts, AttributedGraph, VertexId};
 
 use super::HeuristicConfig;
@@ -58,11 +58,8 @@ pub fn greedy_fair_clique(
 
     // Seeds: highest scores first, ties by id (deterministic).
     let mut seed_order: Vec<VertexId> = g.vertices().collect();
-    seed_order.sort_unstable_by(|&a, &b| {
-        scores[b as usize]
-            .cmp(&scores[a as usize])
-            .then(a.cmp(&b))
-    });
+    seed_order
+        .sort_unstable_by(|&a, &b| scores[b as usize].cmp(&scores[a as usize]).then(a.cmp(&b)));
     let num_seeds = config.seeds.max(1).min(n);
 
     let mut best: Option<Vec<VertexId>> = None;
@@ -145,11 +142,7 @@ fn grow_from_seed(
             .iter()
             .copied()
             .filter(|&v| g.attribute(v) == pick_attr)
-            .max_by(|&x, &y| {
-                scores[x as usize]
-                    .cmp(&scores[y as usize])
-                    .then(y.cmp(&x))
-            })
+            .max_by(|&x, &y| scores[x as usize].cmp(&scores[y as usize]).then(y.cmp(&x)))
             .expect("an eligible candidate exists");
 
         r.push(v);
@@ -180,7 +173,10 @@ mod tests {
         for (k, delta) in [(1, 0), (2, 1), (3, 1), (3, 2)] {
             let params = FairCliqueParams::new(k, delta).unwrap();
             if let Some(c) = deg_heur(&g, params, &cfg()) {
-                assert!(is_fair_and_clique(&g, &c.vertices, params), "(k={k}, δ={delta})");
+                assert!(
+                    is_fair_and_clique(&g, &c.vertices, params),
+                    "(k={k}, δ={delta})"
+                );
                 assert!(c.size() >= params.min_size());
             }
         }
@@ -192,7 +188,10 @@ mod tests {
         for (k, delta) in [(1, 0), (2, 1), (3, 1), (3, 2)] {
             let params = FairCliqueParams::new(k, delta).unwrap();
             if let Some(c) = colorful_deg_heur(&g, params, &cfg()) {
-                assert!(is_fair_and_clique(&g, &c.vertices, params), "(k={k}, δ={delta})");
+                assert!(
+                    is_fair_and_clique(&g, &c.vertices, params),
+                    "(k={k}, δ={delta})"
+                );
             }
         }
     }

@@ -106,7 +106,12 @@ impl FairClique {
 
 impl std::fmt::Display for FairClique {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "FairClique(size={}, counts={})", self.size(), self.counts)
+        write!(
+            f,
+            "FairClique(size={}, counts={})",
+            self.size(),
+            self.counts
+        )
     }
 }
 

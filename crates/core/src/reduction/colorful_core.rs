@@ -5,8 +5,8 @@
 //! (Lemma 2). These wrappers run the corresponding peelings from `rfc-graph` and
 //! materialize the surviving subgraph over the original vertex-id space.
 
-use rfc_graph::coloring::greedy_coloring;
 use rfc_graph::colorful::{colorful_k_core_mask, enhanced_colorful_k_core_mask};
+use rfc_graph::coloring::greedy_coloring;
 use rfc_graph::subgraph::vertex_filtered_subgraph;
 use rfc_graph::AttributedGraph;
 

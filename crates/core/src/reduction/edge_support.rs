@@ -206,7 +206,10 @@ mod tests {
         let state = EdgeSupportState::new(&g, &coloring);
         let e = g.edge_id(10, 11).unwrap(); // (v11, v12), both a
         let (sa, sb) = state.colorful_support(e);
-        assert!(sa >= 3 && sb >= 3, "clique edge support too small: ({sa}, {sb})");
+        assert!(
+            sa >= 3 && sb >= 3,
+            "clique edge support too small: ({sa}, {sb})"
+        );
     }
 
     #[test]

@@ -73,7 +73,9 @@ mod tests {
         let params = FairCliqueParams::new(3, 1).unwrap();
         let best_before = brute_force_max_fair_clique(&g, params).unwrap().size();
         let reduced = en_colorful_sup_reduction(&g, params.k);
-        let best_after = brute_force_max_fair_clique(&reduced, params).unwrap().size();
+        let best_after = brute_force_max_fair_clique(&reduced, params)
+            .unwrap()
+            .size();
         assert_eq!(best_before, best_after);
     }
 
@@ -84,8 +86,8 @@ mod tests {
         // and two mixed colors. Plain colorful support counts the mixed colors for both
         // attributes and keeps the edge; the enhanced assignment shows the b-side demand
         // cannot be met.
-        use rfc_graph::colorful::ColorGroups;
         use crate::reduction::edge_support::support_requirements;
+        use rfc_graph::colorful::ColorGroups;
 
         let groups = ColorGroups {
             exclusive: [0, 3],
@@ -94,8 +96,14 @@ mod tests {
         let (need_a, need_b) = support_requirements(Attribute::A, Attribute::A, 4);
         assert_eq!((need_a, need_b), (2, 4));
         // Plain supports: sup_attr = exclusive + mixed.
-        let (sup_a, sup_b) = (groups.exclusive[0] + groups.mixed, groups.exclusive[1] + groups.mixed);
-        assert!(sup_a >= need_a && sup_b >= need_b, "plain check keeps the edge");
+        let (sup_a, sup_b) = (
+            groups.exclusive[0] + groups.mixed,
+            groups.exclusive[1] + groups.mixed,
+        );
+        assert!(
+            sup_a >= need_a && sup_b >= need_b,
+            "plain check keeps the edge"
+        );
         // Enhanced supports after exclusive assignment.
         let (gsup_a, gsup_b) = groups.demand_assignment(need_a, need_b);
         assert_eq!((gsup_a, gsup_b), (2, 3));
@@ -107,7 +115,14 @@ mod tests {
         // Sanity: for small k both reductions agree on a well-supported clique edge.
         let mut b = GraphBuilder::new(6);
         for v in 0..6u32 {
-            b.set_attribute(v, if v % 2 == 0 { Attribute::A } else { Attribute::B });
+            b.set_attribute(
+                v,
+                if v % 2 == 0 {
+                    Attribute::A
+                } else {
+                    Attribute::B
+                },
+            );
             for u in 0..v {
                 b.add_edge(u, v);
             }

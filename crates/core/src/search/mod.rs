@@ -134,11 +134,7 @@ pub struct SearchOutcome {
 /// Finds a maximum **weak** fair clique: a largest clique with at least `k` vertices of
 /// each attribute, with no constraint on the imbalance (the weak fair clique model of
 /// Pan et al., which the relative model generalizes with `δ = ∞`).
-pub fn max_weak_fair_clique(
-    g: &AttributedGraph,
-    k: usize,
-    config: &SearchConfig,
-) -> SearchOutcome {
+pub fn max_weak_fair_clique(g: &AttributedGraph, k: usize, config: &SearchConfig) -> SearchOutcome {
     // A δ of |V| can never bind, so the relative model degenerates to the weak one.
     let params = FairCliqueParams::new(k, g.num_vertices().max(1))
         .expect("k is validated by the caller-visible constructor below");
@@ -241,7 +237,16 @@ mod tests {
     #[test]
     fn agrees_with_baselines_across_parameters() {
         let g = fixtures::fig1_graph();
-        for (k, delta) in [(1usize, 0usize), (1, 2), (2, 0), (2, 1), (3, 1), (3, 2), (4, 1), (4, 4)] {
+        for (k, delta) in [
+            (1usize, 0usize),
+            (1, 2),
+            (2, 0),
+            (2, 1),
+            (3, 1),
+            (3, 2),
+            (4, 1),
+            (4, 4),
+        ] {
             let params = FairCliqueParams::new(k, delta).unwrap();
             let exact = max_fair_clique(&g, params, &SearchConfig::default());
             let brute = brute_force_max_fair_clique(&g, params);
@@ -272,13 +277,17 @@ mod tests {
     fn infeasible_instances_return_none() {
         let g = fixtures::path_graph(10);
         let params = FairCliqueParams::new(2, 1).unwrap();
-        assert!(max_fair_clique(&g, params, &SearchConfig::default()).best.is_none());
+        assert!(max_fair_clique(&g, params, &SearchConfig::default())
+            .best
+            .is_none());
 
         let single_attr = fixtures::two_cliques_with_bridge(0, 9);
         let params1 = FairCliqueParams::new(1, 3).unwrap();
-        assert!(max_fair_clique(&single_attr, params1, &SearchConfig::default())
-            .best
-            .is_none());
+        assert!(
+            max_fair_clique(&single_attr, params1, &SearchConfig::default())
+                .best
+                .is_none()
+        );
     }
 
     #[test]
@@ -298,8 +307,16 @@ mod tests {
     fn heuristic_warm_start_prunes_at_least_as_much() {
         let g = fixtures::fig1_graph();
         let params = FairCliqueParams::new(3, 1).unwrap();
-        let plain = max_fair_clique(&g, params, &SearchConfig::with_bounds(ExtraBound::ColorfulDegeneracy));
-        let warm = max_fair_clique(&g, params, &SearchConfig::full(ExtraBound::ColorfulDegeneracy));
+        let plain = max_fair_clique(
+            &g,
+            params,
+            &SearchConfig::with_bounds(ExtraBound::ColorfulDegeneracy),
+        );
+        let warm = max_fair_clique(
+            &g,
+            params,
+            &SearchConfig::full(ExtraBound::ColorfulDegeneracy),
+        );
         assert_eq!(
             plain.best.as_ref().unwrap().size(),
             warm.best.as_ref().unwrap().size()

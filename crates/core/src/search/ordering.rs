@@ -6,8 +6,8 @@
 //! candidate sets passed down the search tree stay small — the same trick degeneracy
 //! ordering plays for plain maximum clique search.
 
-use rfc_graph::coloring::greedy_coloring;
 use rfc_graph::colorful::colorful_core_decomposition;
+use rfc_graph::coloring::greedy_coloring;
 use rfc_graph::cores::core_decomposition;
 use rfc_graph::{AttributedGraph, VertexId};
 
@@ -59,14 +59,21 @@ mod tests {
             let pos = ordering_positions(&g, order);
             let mut sorted = pos.clone();
             sorted.sort_unstable();
-            assert_eq!(sorted, (0..g.num_vertices()).collect::<Vec<_>>(), "{order:?}");
+            assert_eq!(
+                sorted,
+                (0..g.num_vertices()).collect::<Vec<_>>(),
+                "{order:?}"
+            );
         }
     }
 
     #[test]
     fn vertex_id_order_is_identity() {
         let g = fixtures::path_graph(5);
-        assert_eq!(ordering_positions(&g, BranchOrder::VertexId), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            ordering_positions(&g, BranchOrder::VertexId),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]
@@ -78,6 +85,9 @@ mod tests {
         let g = fixtures::fig1_graph();
         let pos = ordering_positions(&g, BranchOrder::ColorfulCore);
         let last = (0..g.num_vertices()).max_by_key(|&v| pos[v]).unwrap() as u32;
-        assert!([6, 7, 9, 10, 11, 12, 13, 14].contains(&last), "last = {last}");
+        assert!(
+            [6, 7, 9, 10, 11, 12, 13, 14].contains(&last),
+            "last = {last}"
+        );
     }
 }

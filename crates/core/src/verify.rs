@@ -4,7 +4,7 @@
 //! serve as trustworthy oracles in tests, benchmarks and downstream applications.
 
 use crate::problem::FairCliqueParams;
-use rfc_graph::{AttributedGraph, VertexId};
+use rfc_graph::{AttributeCounts, AttributedGraph, VertexId};
 
 /// Whether `vertices` is a clique in `g` whose attribute counts satisfy the fairness
 /// constraint of `params` (condition (i) of Definition 1).
@@ -28,6 +28,12 @@ pub fn is_fair_and_clique(
 /// Whether `vertices` is a *relative fair clique* exactly as in Definition 1: it is a
 /// fair clique (condition (i)) **and** no proper superset is also a fair clique
 /// (condition (ii), maximality).
+///
+/// Maximality genuinely requires looking beyond single-vertex extensions: with `δ = 0`
+/// adding any one vertex to a balanced clique breaks balance, yet adding a balanced
+/// *pair* of common neighbors can restore it. The check therefore searches all cliques
+/// within the common-neighbor set of `vertices` for a fair extension — exponential in
+/// that (typically tiny) candidate set, which is fine for an oracle.
 pub fn is_relative_fair_clique(
     g: &AttributedGraph,
     vertices: &[VertexId],
@@ -36,8 +42,6 @@ pub fn is_relative_fair_clique(
     if !is_fair_and_clique(g, vertices, params) {
         return false;
     }
-    // Maximality: no vertex outside the set that is adjacent to every member may be
-    // addable while keeping fairness.
     let member = {
         let mut m = vec![false; g.num_vertices()];
         for &v in vertices {
@@ -45,20 +49,40 @@ pub fn is_relative_fair_clique(
         }
         m
     };
+    // Any fair superset is `vertices ∪ S` where S is a non-empty clique drawn from the
+    // vertices adjacent to every member.
+    let candidates: Vec<VertexId> = g
+        .vertices()
+        .filter(|&u| !member[u as usize] && vertices.iter().all(|&v| g.has_edge(u, v)))
+        .collect();
     let counts = g.attribute_counts_of(vertices);
-    for u in g.vertices() {
-        if member[u as usize] {
-            continue;
+    !has_fair_extension(g, params, counts, &candidates)
+}
+
+/// Whether some non-empty clique within `candidates` (all assumed adjacent to the
+/// current set) extends counts `counts` to a fair total.
+fn has_fair_extension(
+    g: &AttributedGraph,
+    params: FairCliqueParams,
+    counts: AttributeCounts,
+    candidates: &[VertexId],
+) -> bool {
+    for (i, &u) in candidates.iter().enumerate() {
+        let mut extended = counts;
+        extended.add(g.attribute(u));
+        if params.is_fair(extended) {
+            return true; // a strictly larger fair clique exists
         }
-        if vertices.iter().all(|&v| g.has_edge(u, v)) {
-            let mut extended = counts;
-            extended.add(g.attribute(u));
-            if params.is_fair(extended) {
-                return false; // a strictly larger fair clique exists
-            }
+        let rest: Vec<VertexId> = candidates[i + 1..]
+            .iter()
+            .copied()
+            .filter(|&w| g.has_edge(u, w))
+            .collect();
+        if has_fair_extension(g, params, extended, &rest) {
+            return true;
         }
     }
-    true
+    false
 }
 
 /// Whether a claimed *maximum* fair clique is plausible: it must be a fair clique and be
@@ -113,6 +137,17 @@ mod tests {
         // Under δ=2 the full 8-clique is maximal (nothing else is adjacent to all).
         let all8 = vec![6, 7, 9, 10, 11, 12, 13, 14];
         assert!(is_relative_fair_clique(&g, &all8, params(3, 2)));
+    }
+
+    #[test]
+    fn maximality_sees_multi_vertex_extensions() {
+        // Balanced K4 (a, b, a, b): under δ = 0 no *single* vertex extends the
+        // balanced pair {0, 1}, but the pair {2, 3} does — so {0, 1} must not
+        // count as maximal.
+        let g = fixtures::balanced_clique(4);
+        assert!(is_fair_and_clique(&g, &[0, 1], params(1, 0)));
+        assert!(!is_relative_fair_clique(&g, &[0, 1], params(1, 0)));
+        assert!(is_relative_fair_clique(&g, &[0, 1, 2, 3], params(2, 0)));
     }
 
     #[test]

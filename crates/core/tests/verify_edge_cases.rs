@@ -1,0 +1,113 @@
+//! Edge cases of the verification oracles in `rfc_core::verify`.
+//!
+//! The oracles are the trust anchor of the whole test pyramid (property tests
+//! and baselines are judged against them), so their behaviour on degenerate
+//! inputs — empty sets, singletons, δ = 0 "strong" fairness, effectively
+//! unconstrained "weak" fairness, and outright non-cliques — is pinned here.
+
+use rfc_core::problem::FairCliqueParams;
+use rfc_core::verify::{is_at_least_as_large, is_fair_and_clique, is_relative_fair_clique};
+use rfc_graph::{fixtures, Attribute, GraphBuilder};
+
+fn params(k: usize, delta: usize) -> FairCliqueParams {
+    FairCliqueParams::new(k, delta).unwrap()
+}
+
+#[test]
+fn empty_set_is_never_fair() {
+    let g = fixtures::fig1_graph();
+    // `k ≥ 1` forces at least one vertex of each attribute, so the empty set
+    // (vacuously a clique) is never a fair clique.
+    assert!(!is_fair_and_clique(&g, &[], params(1, 0)));
+    assert!(!is_fair_and_clique(&g, &[], params(1, usize::MAX)));
+    assert!(!is_relative_fair_clique(&g, &[], params(1, 1)));
+}
+
+#[test]
+fn single_vertex_is_never_fair() {
+    let g = fixtures::fig1_graph();
+    for v in g.vertices() {
+        // One vertex gives counts (1, 0) or (0, 1); the rarer attribute count
+        // is 0 < k for every legal k.
+        assert!(!is_fair_and_clique(&g, &[v], params(1, 5)));
+        assert!(!is_relative_fair_clique(&g, &[v], params(1, 5)));
+    }
+}
+
+#[test]
+fn strong_fairness_delta_zero_requires_exact_balance() {
+    // K4 with attributes a, b, a, b.
+    let g = fixtures::balanced_clique(4);
+    // (2, 2) split: fair under δ = 0.
+    assert!(is_fair_and_clique(&g, &[0, 1, 2, 3], params(2, 0)));
+    // Dropping one vertex unbalances to (2, 1): rejected under δ = 0 but
+    // accepted under δ = 1.
+    assert!(!is_fair_and_clique(&g, &[0, 1, 2], params(1, 0)));
+    assert!(is_fair_and_clique(&g, &[0, 1, 2], params(1, 1)));
+    // The balanced 4-clique is maximal (it is the whole graph).
+    assert!(is_relative_fair_clique(&g, &[0, 1, 2, 3], params(2, 0)));
+    // A balanced 2-subset is fair for (1, 0) but not maximal: the other
+    // balanced pair extends it.
+    assert!(is_fair_and_clique(&g, &[0, 1], params(1, 0)));
+    assert!(!is_relative_fair_clique(&g, &[0, 1], params(1, 0)));
+}
+
+#[test]
+fn weak_fairness_large_delta_only_enforces_k() {
+    // The CLI's --weak mode maps to δ = n, dropping the imbalance constraint.
+    let g = fixtures::fig1_graph();
+    let weak = params(3, g.num_vertices());
+    // The full 8-clique (5 a's, 3 b's, imbalance 2) is fair and maximal.
+    let all8 = [6, 7, 9, 10, 11, 12, 13, 14];
+    assert!(is_fair_and_clique(&g, &all8, weak));
+    assert!(is_relative_fair_clique(&g, &all8, weak));
+    // Its fair 7-subset is no longer maximal once δ stops binding.
+    let fair7 = [6, 7, 9, 10, 11, 12, 13];
+    assert!(is_fair_and_clique(&g, &fair7, weak));
+    assert!(!is_relative_fair_clique(&g, &fair7, weak));
+    // k still binds: only 3 b's exist in the clique, so k = 4 is infeasible.
+    assert!(!is_fair_and_clique(&g, &all8, params(4, g.num_vertices())));
+}
+
+#[test]
+fn non_cliques_are_rejected_regardless_of_fairness() {
+    let g = fixtures::fig1_graph();
+    // {v1, v2, v9} (ids 0, 1, 8): 0-1 and 1-8 are edges but 0-8 is not; the
+    // attribute mix (a, b, b) would be fair for (1, 1).
+    assert!(!is_fair_and_clique(&g, &[0, 1, 8], params(1, 1)));
+    assert!(!is_relative_fair_clique(&g, &[0, 1, 8], params(1, 1)));
+    // A path graph contains no triangle at all.
+    let p = fixtures::path_graph(5);
+    assert!(!is_fair_and_clique(&p, &[0, 1, 2], params(1, 3)));
+}
+
+#[test]
+fn duplicate_vertices_are_rejected() {
+    let g = fixtures::balanced_clique(4);
+    // {0, 1} is fair for (1, 0); padding it with a duplicate must not pass.
+    assert!(!is_fair_and_clique(&g, &[0, 1, 0], params(1, 0)));
+    assert!(!is_fair_and_clique(&g, &[0, 0], params(1, 0)));
+}
+
+#[test]
+fn single_attribute_graph_has_no_fair_clique() {
+    // All-a triangle: cnt(b) = 0 < k for any k ≥ 1, under any δ.
+    let mut b = GraphBuilder::new(3);
+    for v in 0..3 {
+        b.set_attribute(v, Attribute::A);
+    }
+    b.add_edges([(0, 1), (1, 2), (0, 2)]);
+    let g = b.build().unwrap();
+    assert!(!is_fair_and_clique(&g, &[0, 1, 2], params(1, 10)));
+}
+
+#[test]
+fn comparison_helper_edge_cases() {
+    let g = fixtures::balanced_clique(4);
+    let fair = [0, 1];
+    // A fair clique always dominates the empty candidate.
+    assert!(is_at_least_as_large(&g, &fair, &[], params(1, 0)));
+    // An unfair claimed set never qualifies, even against an empty candidate.
+    assert!(!is_at_least_as_large(&g, &[0], &[], params(1, 0)));
+    assert!(!is_at_least_as_large(&g, &[], &[], params(1, 0)));
+}

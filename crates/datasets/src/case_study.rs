@@ -73,10 +73,19 @@ impl CaseStudy {
                 800,
                 4,
                 0.35,
-                PlantedClique { count_a: 13, count_b: 16 },
+                PlantedClique {
+                    count_a: 13,
+                    count_b: 16,
+                },
                 vec![
-                    PlantedClique { count_a: 7, count_b: 6 },
-                    PlantedClique { count_a: 5, count_b: 4 },
+                    PlantedClique {
+                        count_a: 7,
+                        count_b: 6,
+                    },
+                    PlantedClique {
+                        count_a: 5,
+                        count_b: 4,
+                    },
                 ],
                 ("male", "female"),
                 ("scholar", "scholar"),
@@ -88,10 +97,19 @@ impl CaseStudy {
                 1_000,
                 4,
                 0.35,
-                PlantedClique { count_a: 9, count_b: 11 },
+                PlantedClique {
+                    count_a: 9,
+                    count_b: 11,
+                },
                 vec![
-                    PlantedClique { count_a: 6, count_b: 5 },
-                    PlantedClique { count_a: 5, count_b: 5 },
+                    PlantedClique {
+                        count_a: 6,
+                        count_b: 5,
+                    },
+                    PlantedClique {
+                        count_a: 5,
+                        count_b: 5,
+                    },
                 ],
                 ("DB", "AI"),
                 ("db-researcher", "ai-researcher"),
@@ -103,8 +121,14 @@ impl CaseStudy {
                 403,
                 5,
                 0.4,
-                PlantedClique { count_a: 7, count_b: 5 },
-                vec![PlantedClique { count_a: 5, count_b: 4 }],
+                PlantedClique {
+                    count_a: 7,
+                    count_b: 5,
+                },
+                vec![PlantedClique {
+                    count_a: 5,
+                    count_b: 4,
+                }],
                 ("U.S.", "overseas"),
                 ("player", "player"),
                 5,
@@ -119,8 +143,14 @@ impl CaseStudy {
                 1_200,
                 4,
                 0.35,
-                PlantedClique { count_a: 6, count_b: 4 },
-                vec![PlantedClique { count_a: 4, count_b: 4 }],
+                PlantedClique {
+                    count_a: 6,
+                    count_b: 4,
+                },
+                vec![PlantedClique {
+                    count_a: 4,
+                    count_b: 4,
+                }],
                 ("senior", "junior"),
                 ("artist", "artist"),
                 4,
@@ -210,7 +240,10 @@ mod tests {
                 rfc_graph::Attribute::B => assert!(label.starts_with("ai-researcher")),
             }
         }
-        assert_eq!(cs.attribute_name(cs.planted_team[0]), cs.attribute_name(cs.planted_team[0]));
+        assert_eq!(
+            cs.attribute_name(cs.planted_team[0]),
+            cs.attribute_name(cs.planted_team[0])
+        );
     }
 
     #[test]

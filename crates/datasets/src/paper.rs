@@ -173,12 +173,27 @@ impl PaperDataset {
                 edges_per_vertex: 10,
                 triangle_prob: 0.4,
                 prob_a: 0.5,
-                community: DenseCommunity { size: 170, edge_prob: 0.5 },
+                community: DenseCommunity {
+                    size: 170,
+                    edge_prob: 0.5,
+                },
                 planted: vec![
-                    PlantedClique { count_a: 14, count_b: 13 },
-                    PlantedClique { count_a: 9, count_b: 8 },
-                    PlantedClique { count_a: 7, count_b: 5 },
-                    PlantedClique { count_a: 4, count_b: 4 },
+                    PlantedClique {
+                        count_a: 14,
+                        count_b: 13,
+                    },
+                    PlantedClique {
+                        count_a: 9,
+                        count_b: 8,
+                    },
+                    PlantedClique {
+                        count_a: 7,
+                        count_b: 5,
+                    },
+                    PlantedClique {
+                        count_a: 4,
+                        count_b: 4,
+                    },
                 ],
                 k_range: (2, 6),
                 default_k: 6,
@@ -195,11 +210,23 @@ impl PaperDataset {
                 edges_per_vertex: 5,
                 triangle_prob: 0.3,
                 prob_a: 0.5,
-                community: DenseCommunity { size: 160, edge_prob: 0.5 },
+                community: DenseCommunity {
+                    size: 160,
+                    edge_prob: 0.5,
+                },
                 planted: vec![
-                    PlantedClique { count_a: 16, count_b: 15 },
-                    PlantedClique { count_a: 10, count_b: 9 },
-                    PlantedClique { count_a: 6, count_b: 6 },
+                    PlantedClique {
+                        count_a: 16,
+                        count_b: 15,
+                    },
+                    PlantedClique {
+                        count_a: 10,
+                        count_b: 9,
+                    },
+                    PlantedClique {
+                        count_a: 6,
+                        count_b: 6,
+                    },
                 ],
                 k_range: (5, 9),
                 default_k: 7,
@@ -216,11 +243,23 @@ impl PaperDataset {
                 edges_per_vertex: 5,
                 triangle_prob: 0.3,
                 prob_a: 0.5,
-                community: DenseCommunity { size: 130, edge_prob: 0.5 },
+                community: DenseCommunity {
+                    size: 130,
+                    edge_prob: 0.5,
+                },
                 planted: vec![
-                    PlantedClique { count_a: 10, count_b: 9 },
-                    PlantedClique { count_a: 8, count_b: 7 },
-                    PlantedClique { count_a: 5, count_b: 5 },
+                    PlantedClique {
+                        count_a: 10,
+                        count_b: 9,
+                    },
+                    PlantedClique {
+                        count_a: 8,
+                        count_b: 7,
+                    },
+                    PlantedClique {
+                        count_a: 5,
+                        count_b: 5,
+                    },
                 ],
                 k_range: (5, 9),
                 default_k: 7,
@@ -237,11 +276,23 @@ impl PaperDataset {
                 edges_per_vertex: 4,
                 triangle_prob: 0.3,
                 prob_a: 0.5,
-                community: DenseCommunity { size: 140, edge_prob: 0.5 },
+                community: DenseCommunity {
+                    size: 140,
+                    edge_prob: 0.5,
+                },
                 planted: vec![
-                    PlantedClique { count_a: 13, count_b: 11 },
-                    PlantedClique { count_a: 8, count_b: 8 },
-                    PlantedClique { count_a: 5, count_b: 4 },
+                    PlantedClique {
+                        count_a: 13,
+                        count_b: 11,
+                    },
+                    PlantedClique {
+                        count_a: 8,
+                        count_b: 8,
+                    },
+                    PlantedClique {
+                        count_a: 5,
+                        count_b: 4,
+                    },
                 ],
                 k_range: (2, 6),
                 default_k: 3,
@@ -258,11 +309,23 @@ impl PaperDataset {
                 edges_per_vertex: 8,
                 triangle_prob: 0.4,
                 prob_a: 0.5,
-                community: DenseCommunity { size: 170, edge_prob: 0.5 },
+                community: DenseCommunity {
+                    size: 170,
+                    edge_prob: 0.5,
+                },
                 planted: vec![
-                    PlantedClique { count_a: 15, count_b: 13 },
-                    PlantedClique { count_a: 10, count_b: 10 },
-                    PlantedClique { count_a: 7, count_b: 6 },
+                    PlantedClique {
+                        count_a: 15,
+                        count_b: 13,
+                    },
+                    PlantedClique {
+                        count_a: 10,
+                        count_b: 10,
+                    },
+                    PlantedClique {
+                        count_a: 7,
+                        count_b: 6,
+                    },
                 ],
                 k_range: (3, 7),
                 default_k: 4,
@@ -279,11 +342,23 @@ impl PaperDataset {
                 edges_per_vertex: 5,
                 triangle_prob: 0.35,
                 prob_a: 0.55,
-                community: DenseCommunity { size: 130, edge_prob: 0.5 },
+                community: DenseCommunity {
+                    size: 130,
+                    edge_prob: 0.5,
+                },
                 planted: vec![
-                    PlantedClique { count_a: 16, count_b: 14 },
-                    PlantedClique { count_a: 9, count_b: 9 },
-                    PlantedClique { count_a: 6, count_b: 5 },
+                    PlantedClique {
+                        count_a: 16,
+                        count_b: 14,
+                    },
+                    PlantedClique {
+                        count_a: 9,
+                        count_b: 9,
+                    },
+                    PlantedClique {
+                        count_a: 6,
+                        count_b: 5,
+                    },
                 ],
                 k_range: (4, 8),
                 default_k: 6,
@@ -323,7 +398,12 @@ mod tests {
                 "{}: planted clique too small for k = {k_max}",
                 spec.name
             );
-            assert_eq!(spec.k_values().len(), 5, "{}: paper sweeps 5 k values", spec.name);
+            assert_eq!(
+                spec.k_values().len(),
+                5,
+                "{}: paper sweeps 5 k values",
+                spec.name
+            );
             assert_eq!(spec.delta_values(), vec![1, 2, 3, 4, 5]);
         }
     }
@@ -343,7 +423,11 @@ mod tests {
             assert_eq!(planted.len(), spec.planted.len());
             for (set, expected) in planted.iter().zip(spec.planted.iter()) {
                 assert_eq!(set.len(), expected.size());
-                assert!(g.is_clique(set), "{}: planted set is not a clique", spec.name);
+                assert!(
+                    g.is_clique(set),
+                    "{}: planted set is not a clique",
+                    spec.name
+                );
                 let counts = g.attribute_counts_of(set);
                 assert_eq!(counts.a(), expected.count_a);
                 assert_eq!(counts.b(), expected.count_b);

@@ -171,10 +171,7 @@ pub fn add_dense_community(
     }
     let mut builder = GraphBuilder::with_attributes(background.attributes().to_vec());
     builder.add_edges(edges);
-    (
-        builder.build().expect("community edges are in range"),
-        pool,
-    )
+    (builder.build().expect("community edges are in range"), pool)
 }
 
 /// Description of a clique to plant into a background graph.
@@ -265,7 +262,11 @@ mod tests {
         let g = erdos_renyi(200, 0.05, 0.5, 7);
         assert_eq!(g.num_vertices(), 200);
         // Expected edges ~ C(200,2) * 0.05 ≈ 995; allow wide tolerance.
-        assert!(g.num_edges() > 600 && g.num_edges() < 1400, "m = {}", g.num_edges());
+        assert!(
+            g.num_edges() > 600 && g.num_edges() < 1400,
+            "m = {}",
+            g.num_edges()
+        );
         let counts = g.attribute_counts();
         assert!(counts.a() > 60 && counts.b() > 60);
     }
@@ -293,7 +294,11 @@ mod tests {
         let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
         assert!(avg > 6.0 && avg < 16.0, "avg degree = {avg}");
         // Heavy tail: the maximum degree far exceeds the average.
-        assert!(g.max_degree() as f64 > 4.0 * avg, "dmax = {}", g.max_degree());
+        assert!(
+            g.max_degree() as f64 > 4.0 * avg,
+            "dmax = {}",
+            g.max_degree()
+        );
         // Clustering: at least some triangles exist.
         let mut triangles = 0usize;
         'outer: for e in 0..g.num_edges() as u32 {
@@ -324,8 +329,14 @@ mod tests {
     fn planted_cliques_are_cliques_with_requested_counts() {
         let background = erdos_renyi(300, 0.02, 0.5, 3);
         let cliques = [
-            PlantedClique { count_a: 8, count_b: 6 },
-            PlantedClique { count_a: 5, count_b: 5 },
+            PlantedClique {
+                count_a: 8,
+                count_b: 6,
+            },
+            PlantedClique {
+                count_a: 5,
+                count_b: 5,
+            },
         ];
         let (g, sets) = plant_cliques(&background, &cliques, 9);
         assert_eq!(sets.len(), 2);
@@ -348,7 +359,10 @@ mod tests {
     #[should_panic(expected = "cannot plant")]
     fn planting_too_many_vertices_panics() {
         let background = erdos_renyi(10, 0.1, 0.5, 1);
-        let cliques = [PlantedClique { count_a: 8, count_b: 8 }];
+        let cliques = [PlantedClique {
+            count_a: 8,
+            count_b: 8,
+        }];
         let _ = plant_cliques(&background, &cliques, 2);
     }
 
@@ -361,7 +375,10 @@ mod tests {
         };
         let (g, members) = add_dense_community(&background, &community, 77);
         assert_eq!(members.len(), 40);
-        assert!(members.windows(2).all(|w| w[0] < w[1]), "members are sorted");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members are sorted"
+        );
         assert!(g.num_edges() > background.num_edges());
         // Every added edge joins two community members.
         let old: std::collections::HashSet<_> = background.edge_list().iter().copied().collect();
@@ -385,7 +402,10 @@ mod tests {
     fn plant_in_pool_respects_the_pool() {
         let background = erdos_renyi(100, 0.02, 0.5, 5);
         let pool: Vec<u32> = (0..30).collect();
-        let cliques = [PlantedClique { count_a: 5, count_b: 5 }];
+        let cliques = [PlantedClique {
+            count_a: 5,
+            count_b: 5,
+        }];
         let (g, sets) = plant_cliques_in_pool(&background, &cliques, &pool, 6);
         assert!(sets[0].iter().all(|&v| v < 30));
         assert!(g.is_clique(&sets[0]));

@@ -102,15 +102,6 @@ impl AttributeCounts {
         Self { counts: [a, b] }
     }
 
-    /// Counts attributes over an iterator of attribute values.
-    pub fn from_iter<I: IntoIterator<Item = Attribute>>(iter: I) -> Self {
-        let mut c = Self::new();
-        for attr in iter {
-            c.add(attr);
-        }
-        c
-    }
-
     /// The count for attribute `a`.
     #[inline]
     pub fn a(&self) -> usize {
@@ -183,6 +174,17 @@ impl AttributeCounts {
             return None;
         }
         Some(lo + hi.min(lo + delta))
+    }
+}
+
+impl FromIterator<Attribute> for AttributeCounts {
+    /// Counts attributes over an iterator of attribute values.
+    fn from_iter<I: IntoIterator<Item = Attribute>>(iter: I) -> Self {
+        let mut c = Self::new();
+        for attr in iter {
+            c.add(attr);
+        }
+        c
     }
 }
 

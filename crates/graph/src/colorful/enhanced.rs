@@ -113,8 +113,13 @@ pub fn enhanced_colorful_degrees(g: &AttributedGraph, coloring: &Coloring) -> Ve
     let counts = NeighborColorCounts::new(g, coloring);
     g.vertices()
         .map(|v| {
-            let groups =
-                ColorGroups::from_counts(counts.colors_of(v).map(|(_, c)| c).collect::<Vec<_>>().iter());
+            let groups = ColorGroups::from_counts(
+                counts
+                    .colors_of(v)
+                    .map(|(_, c)| c)
+                    .collect::<Vec<_>>()
+                    .iter(),
+            );
             groups.enhanced_degree()
         })
         .collect()
@@ -210,9 +215,9 @@ pub fn enhanced_colorful_k_core_vertices(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::colorful::colorful_k_core_vertices;
     use crate::coloring::greedy_coloring;
     use crate::fixtures;
-    use crate::colorful::colorful_k_core_vertices;
 
     #[test]
     fn closed_form_matches_brute_force() {

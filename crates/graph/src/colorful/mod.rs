@@ -19,11 +19,11 @@ mod degrees;
 mod enhanced;
 
 pub use self::core::{
-    colorful_core_decomposition, colorful_h_index, colorful_k_core_mask,
-    colorful_k_core_vertices, ColorfulCoreDecomposition,
+    colorful_core_decomposition, colorful_h_index, colorful_k_core_mask, colorful_k_core_vertices,
+    ColorfulCoreDecomposition,
 };
 pub use self::degrees::{colorful_degrees, ColorfulDegrees, NeighborColorCounts};
 pub use self::enhanced::{
-    enhanced_colorful_degree_from_groups, enhanced_colorful_degrees,
-    enhanced_colorful_k_core_mask, enhanced_colorful_k_core_vertices, ColorGroups,
+    enhanced_colorful_degree_from_groups, enhanced_colorful_degrees, enhanced_colorful_k_core_mask,
+    enhanced_colorful_k_core_vertices, ColorGroups,
 };

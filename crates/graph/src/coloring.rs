@@ -64,7 +64,11 @@ pub fn greedy_coloring_of_subset(g: &AttributedGraph, vertices: &[VertexId]) -> 
     let mut sub_deg: Vec<(usize, VertexId)> = vertices
         .iter()
         .map(|&v| {
-            let d = g.neighbors(v).iter().filter(|&&u| in_set[u as usize]).count();
+            let d = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| in_set[u as usize])
+                .count();
             (d, v)
         })
         .collect();
@@ -113,10 +117,10 @@ pub fn greedy_coloring_in_order(g: &AttributedGraph, order: &[VertexId]) -> Colo
     }
     // Any vertex not covered by `order` (callers normally pass all vertices) gets a
     // fresh color of its own to keep the coloring proper.
-    for v in 0..n {
-        if colors[v] == u32::MAX {
+    for color in colors.iter_mut() {
+        if *color == u32::MAX {
             max_color += 1;
-            colors[v] = max_color;
+            *color = max_color;
         }
     }
     let num_colors = if n == 0 { 0 } else { max_color as usize + 1 };
@@ -127,11 +131,7 @@ pub fn greedy_coloring_in_order(g: &AttributedGraph, order: &[VertexId]) -> Colo
 /// degree-based greedy coloring of the paper.
 pub fn degree_descending_order(g: &AttributedGraph) -> Vec<VertexId> {
     let mut order: Vec<VertexId> = g.vertices().collect();
-    order.sort_unstable_by(|&a, &b| {
-        g.degree(b)
-            .cmp(&g.degree(a))
-            .then(a.cmp(&b))
-    });
+    order.sort_unstable_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
     order
 }
 

@@ -59,7 +59,7 @@ pub fn fig1_graph() -> AttributedGraph {
     // Bridges between the two halves.
     b.add_edge(3, 6); // v4-v7
     b.add_edge(8, 9); // v9-v10
-    // Right-hand 8-clique on {v7, v8, v10, v11, v12, v13, v14, v15} = ids {6,7,9..14}.
+                      // Right-hand 8-clique on {v7, v8, v10, v11, v12, v13, v14, v15} = ids {6,7,9..14}.
     let clique: [u32; 8] = [6, 7, 9, 10, 11, 12, 13, 14];
     for (i, &u) in clique.iter().enumerate() {
         for &v in &clique[i + 1..] {
@@ -97,7 +97,11 @@ pub fn balanced_clique(n: usize) -> AttributedGraph {
 pub fn two_cliques_with_bridge(n1: usize, n2: usize) -> AttributedGraph {
     let mut attrs = Vec::with_capacity(n1 + n2);
     for i in 0..n1 {
-        attrs.push(if i % 2 == 0 { Attribute::A } else { Attribute::B });
+        attrs.push(if i % 2 == 0 {
+            Attribute::A
+        } else {
+            Attribute::B
+        });
     }
     attrs.extend(std::iter::repeat(Attribute::A).take(n2));
     let mut b = GraphBuilder::with_attributes(attrs);

@@ -40,10 +40,7 @@ impl AttributedGraph {
     ///
     /// `edges` must be canonical (`u < v`), sorted, and free of duplicates/self-loops;
     /// `attributes.len()` is the vertex count.
-    pub(crate) fn from_parts(
-        attributes: Vec<Attribute>,
-        edges: Vec<(VertexId, VertexId)>,
-    ) -> Self {
+    pub(crate) fn from_parts(attributes: Vec<Attribute>, edges: Vec<(VertexId, VertexId)>) -> Self {
         let n = attributes.len();
         let mut degrees = vec![0usize; n];
         for &(u, v) in &edges {
@@ -107,7 +104,7 @@ impl AttributedGraph {
     /// Iterator over all vertex ids `0..n`.
     #[inline]
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.num_vertices() as VertexId).into_iter()
+        0..self.num_vertices() as VertexId
     }
 
     /// The attribute of vertex `v`.

@@ -233,7 +233,10 @@ pub fn read_graph<R: Read>(reader: R) -> Result<AttributedGraph, IoError> {
 }
 
 /// Convenience wrapper: writes a graph to a file path.
-pub fn write_graph_to_path<P: AsRef<Path>>(graph: &AttributedGraph, path: P) -> Result<(), IoError> {
+pub fn write_graph_to_path<P: AsRef<Path>>(
+    graph: &AttributedGraph,
+    path: P,
+) -> Result<(), IoError> {
     let file = std::fs::File::create(path)?;
     write_graph(graph, file)
 }

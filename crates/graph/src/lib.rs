@@ -52,8 +52,8 @@
 
 pub mod attr;
 pub mod builder;
-pub mod coloring;
 pub mod colorful;
+pub mod coloring;
 pub mod components;
 pub mod cores;
 pub mod fixtures;

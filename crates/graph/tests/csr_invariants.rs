@@ -1,0 +1,151 @@
+//! Structural invariants of the [`AttributedGraph`] CSR representation.
+//!
+//! The search and reduction code in `rfc-core` leans on three properties of the
+//! representation that are easy to silently break when touching the builder or
+//! `from_parts`: adjacency slices are sorted (binary-search adjacency tests and
+//! merge-based common-neighbor enumeration), `has_edge` is symmetric, and each
+//! undirected edge's [`EdgeId`] is identical in both directions (flat per-edge
+//! state in the truss-style peelings). These tests pin all three on a spread of
+//! shapes: hand-built fixtures, cliques, paths, sparse builder output with
+//! duplicate/self-loop inputs, and graphs with isolated vertices.
+
+use rfc_graph::{fixtures, Attribute, AttributedGraph, EdgeId, GraphBuilder, VertexId};
+
+/// Graphs covering the structural corners: dense, sparse, bridged, isolated
+/// vertices, and the paper fixtures.
+fn sample_graphs() -> Vec<(&'static str, AttributedGraph)> {
+    let mut graphs = vec![
+        ("fig1", fixtures::fig1_graph()),
+        ("fig2", fixtures::fig2_graph()),
+        ("balanced_clique_9", fixtures::balanced_clique(9)),
+        (
+            "two_cliques_bridge",
+            fixtures::two_cliques_with_bridge(5, 4),
+        ),
+        ("path_7", fixtures::path_graph(7)),
+        ("empty", GraphBuilder::new(0).build().unwrap()),
+        ("isolated_only", GraphBuilder::new(4).build().unwrap()),
+    ];
+    // Builder input with duplicates, reversed duplicates and self-loops; the
+    // CSR must come out canonical regardless.
+    let mut b = GraphBuilder::new(6);
+    b.set_attribute(0, Attribute::A);
+    b.set_attribute(3, Attribute::B);
+    b.add_edges([(0, 1), (1, 0), (0, 1), (2, 2), (4, 1), (1, 4), (5, 0)]);
+    graphs.push(("messy_builder_input", b.build().unwrap()));
+    graphs
+}
+
+#[test]
+fn adjacency_slices_are_strictly_sorted() {
+    for (name, g) in sample_graphs() {
+        for v in g.vertices() {
+            let nbrs = g.neighbors(v);
+            assert!(
+                nbrs.windows(2).all(|w| w[0] < w[1]),
+                "{name}: neighbors({v}) = {nbrs:?} is not strictly sorted"
+            );
+            assert!(
+                !nbrs.contains(&v),
+                "{name}: neighbors({v}) contains a self-loop"
+            );
+            assert_eq!(
+                nbrs.len(),
+                g.degree(v),
+                "{name}: degree({v}) disagrees with the adjacency slice"
+            );
+        }
+    }
+}
+
+#[test]
+fn has_edge_is_symmetric_and_matches_the_edge_list() {
+    for (name, g) in sample_graphs() {
+        let n = g.num_vertices() as VertexId;
+        for u in 0..n {
+            for v in 0..n {
+                let forward = g.has_edge(u, v);
+                let backward = g.has_edge(v, u);
+                assert_eq!(forward, backward, "{name}: has_edge({u},{v}) asymmetric");
+                let canonical = (u.min(v), u.max(v));
+                let in_list = u != v && g.edge_list().binary_search(&canonical).is_ok();
+                assert_eq!(
+                    forward, in_list,
+                    "{name}: has_edge({u},{v}) disagrees with edge_list"
+                );
+            }
+            assert!(!g.has_edge(u, u), "{name}: self-adjacency reported for {u}");
+        }
+    }
+}
+
+#[test]
+fn edge_ids_are_stable_and_aligned_between_both_directions() {
+    for (name, g) in sample_graphs() {
+        let m = g.num_edges();
+        // Each undirected edge id appears exactly twice across the adjacency
+        // structure — once from each endpoint.
+        let mut appearances = vec![0usize; m];
+        for v in g.vertices() {
+            for (&nbr, &eid) in g.neighbors(v).iter().zip(g.neighbor_edge_ids(v)) {
+                appearances[eid as usize] += 1;
+                let (a, b) = g.edge_endpoints(eid);
+                assert_eq!(
+                    (a, b),
+                    (v.min(nbr), v.max(nbr)),
+                    "{name}: edge id {eid} at vertex {v} maps to wrong endpoints"
+                );
+            }
+        }
+        assert!(
+            appearances.iter().all(|&c| c == 2),
+            "{name}: some edge id does not appear exactly twice: {appearances:?}"
+        );
+        // `edge_id` agrees in both directions and round-trips with
+        // `edge_endpoints` / `edge_list`.
+        for (expected, &(u, v)) in g.edge_list().iter().enumerate() {
+            let expected = expected as EdgeId;
+            assert_eq!(
+                g.edge_id(u, v),
+                Some(expected),
+                "{name}: edge_id({u},{v}) mismatch"
+            );
+            assert_eq!(
+                g.edge_id(v, u),
+                Some(expected),
+                "{name}: edge_id({v},{u}) mismatch (direction asymmetry)"
+            );
+            assert_eq!(g.edge_endpoints(expected), (u, v), "{name}: round-trip");
+        }
+    }
+}
+
+#[test]
+fn edge_list_is_canonical() {
+    for (name, g) in sample_graphs() {
+        let edges = g.edge_list();
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "{name}: edge list not strictly sorted (or has duplicates)"
+        );
+        assert!(
+            edges.iter().all(|&(u, v)| u < v),
+            "{name}: edge list not canonical (u < v)"
+        );
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        assert_eq!(degree_sum, 2 * g.num_edges(), "{name}: handshake lemma");
+    }
+}
+
+#[test]
+fn messy_builder_input_is_deduplicated() {
+    let mut b = GraphBuilder::new(6);
+    b.add_edges([(0, 1), (1, 0), (0, 1), (2, 2), (4, 1), (1, 4), (5, 0)]);
+    let g = b.build().unwrap();
+    // {0-1, 1-4, 0-5}: self-loop (2,2) dropped, duplicates collapsed.
+    assert_eq!(g.num_edges(), 3);
+    assert_eq!(g.edge_list(), [(0, 1), (0, 5), (1, 4)]);
+    assert_eq!(g.degree(1), 2);
+    assert_eq!(g.degree(2), 0);
+    assert!(g.neighbors(2).is_empty());
+}

@@ -36,9 +36,17 @@ fn main() {
     assert!(h_size <= e_size);
 
     if let Some(team) = &exact.best {
-        println!("\nproduction team ({} senior, {} junior):", team.counts.a(), team.counts.b());
+        println!(
+            "\nproduction team ({} senior, {} junior):",
+            team.counts.a(),
+            team.counts.b()
+        );
         for &artist in &team.vertices {
-            println!("  - {} [{}]", case.label(artist), case.attribute_name(artist));
+            println!(
+                "  - {} [{}]",
+                case.label(artist),
+                case.attribute_name(artist)
+            );
         }
     }
 

@@ -23,7 +23,10 @@ fn main() {
         spec.paper_edges
     );
 
-    println!("\nper-stage reduction sizes while varying k (δ = {}):", spec.default_delta);
+    println!(
+        "\nper-stage reduction sizes while varying k (δ = {}):",
+        spec.default_delta
+    );
     println!(
         "{:>4} {:>22} {:>22} {:>22}",
         "k", "EnColorfulCore (V/E)", "ColorfulSup (V/E)", "EnColorfulSup (V/E)"

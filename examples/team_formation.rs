@@ -41,7 +41,9 @@ fn main() {
 
     // …then run the exact branch-and-bound search.
     let outcome = max_fair_clique(graph, params, &SearchConfig::default());
-    let team = outcome.best.expect("the collaboration network contains a balanced team");
+    let team = outcome
+        .best
+        .expect("the collaboration network contains a balanced team");
     println!(
         "exact maximum balanced team: {} researchers ({} DB, {} AI), found in {} µs",
         team.size(),
@@ -50,9 +52,17 @@ fn main() {
         outcome.stats.elapsed_micros
     );
     for &member in &team.vertices {
-        println!("  - {} [{}]", case.label(member), case.attribute_name(member));
+        println!(
+            "  - {} [{}]",
+            case.label(member),
+            case.attribute_name(member)
+        );
     }
-    assert!(verify::is_relative_fair_clique(graph, &team.vertices, params));
+    assert!(verify::is_relative_fair_clique(
+        graph,
+        &team.vertices,
+        params
+    ));
 
     // The planted ground-truth team should be exactly what the search recovers (or an
     // equally large alternative).

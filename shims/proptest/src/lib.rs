@@ -1,0 +1,184 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the API subset this workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`] /
+//!   [`Strategy::prop_flat_map`], plus strategies for integer ranges, tuples,
+//!   [`collection::vec`], [`bool::weighted`] and [`any`],
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, and
+//!   [`prop_assert!`] / [`prop_assert_eq!`],
+//! * a deterministic runner ([`test_runner::ProptestConfig`]).
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case reports its
+//! generated inputs verbatim. Runs are reproducible by construction — the RNG
+//! seed is a fixed per-test constant unless overridden with `PROPTEST_SEED`,
+//! and the case count honours `PROPTEST_CASES` (see [`test_runner`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::Strategy;
+
+/// Strategies for `bool` (mirrors `proptest::bool`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A strategy producing `true` with fixed probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted {
+        probability: f64,
+    }
+
+    /// Generates `true` with probability `probability`.
+    pub fn weighted(probability: f64) -> Weighted {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability {probability} is not in [0, 1]"
+        );
+        Weighted { probability }
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(self.probability)
+        }
+    }
+}
+
+/// Everything a property test typically imports (mirrors
+/// `proptest::prelude`).
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the generated
+/// inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert!({}) failed", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            panic!(
+                "prop_assert_eq!({}, {}) failed:\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            panic!(
+                "prop_assert_ne!({}, {}) failed: both are {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            );
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }` item
+/// expands to a `#[test]` that runs `body` over `cases` generated inputs.
+///
+/// Failures re-raise the original panic after printing the generated inputs
+/// (this shim does not shrink).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let cases = $crate::test_runner::resolved_cases(&config);
+                let mut rng = $crate::test_runner::deterministic_rng(stringify!($name));
+                for case_index in 0..cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    let rendered_inputs = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str("  ");
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&format!("{:?}\n", &$arg));
+                        )+
+                        s
+                    };
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest {}: case #{} of {} failed with inputs:\n{}",
+                            stringify!($name), case_index, cases, rendered_inputs,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,81 @@
+//! Self-tests for the proptest shim: the macro machinery, strategies and the
+//! deterministic runner behave as the workspace's property suites assume.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ranges_respect_bounds(n in 4usize..=12, m in 0usize..5) {
+        prop_assert!((4..=12).contains(&n));
+        prop_assert!(m < 5);
+    }
+
+    #[test]
+    fn vec_has_requested_length(v in proptest::collection::vec(any::<bool>(), 17)) {
+        prop_assert_eq!(v.len(), 17);
+    }
+
+    #[test]
+    fn flat_map_links_sizes(pair in (1usize..=8).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::bool::weighted(0.5), n)
+            .prop_map(move |v| (n, v))
+    })) {
+        prop_assert_eq!(pair.0, pair.1.len());
+    }
+
+    #[test]
+    fn tuples_and_map_compose(params in (1usize..=3, 0usize..=3).prop_map(|(k, d)| (k, d))) {
+        prop_assert!(params.0 >= 1 && params.0 <= 3);
+        prop_assert!(params.1 <= 3);
+    }
+}
+
+#[test]
+fn weighted_probabilities_hold_roughly() {
+    use proptest::strategy::Strategy;
+    let mut rng = proptest::test_runner::deterministic_rng("weighted_probabilities_hold_roughly");
+    let strategy = proptest::bool::weighted(0.8);
+    let hits = (0..10_000).filter(|_| strategy.generate(&mut rng)).count();
+    assert!((7_500..8_500).contains(&hits), "hits = {hits}");
+}
+
+#[test]
+fn runner_is_deterministic_per_test_name() {
+    use proptest::strategy::Strategy;
+    let collect = || {
+        let mut rng = proptest::test_runner::deterministic_rng("some_test");
+        (0..32)
+            .map(|_| (0usize..1000).generate(&mut rng))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(collect(), collect());
+    let mut other = proptest::test_runner::deterministic_rng("another_test");
+    let other_seq: Vec<usize> = (0..32)
+        .map(|_| (0usize..1000).generate(&mut other))
+        .collect();
+    assert_ne!(
+        collect(),
+        other_seq,
+        "distinct tests see distinct sequences"
+    );
+}
+
+#[test]
+fn failing_property_panics() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+            #[allow(dead_code)]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x >= 10, "x = {x} is always below 10");
+            }
+        }
+        always_fails();
+    });
+    assert!(
+        result.is_err(),
+        "a failing property must propagate its panic"
+    );
+}

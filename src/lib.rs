@@ -1,0 +1,12 @@
+//! # rfc-suite — workspace facade
+//!
+//! Thin re-export of the workspace crates so the repo-level integration tests
+//! (`tests/`) and examples (`examples/`) have a package to belong to. Depend on
+//! the individual crates (`rfc-graph`, `rfc-core`, `rfc-datasets`) directly in
+//! downstream code; this facade exists for the test pyramid.
+
+#![forbid(unsafe_code)]
+
+pub use rfc_core as core;
+pub use rfc_datasets as datasets;
+pub use rfc_graph as graph;

@@ -40,7 +40,10 @@ fn bounds_dominate_optimum_on_planted_instances() {
         let background = erdos_renyi(60, 0.08, 0.5, seed.wrapping_add(4000));
         let (g, planted) = plant_cliques(
             &background,
-            &[PlantedClique { count_a: 5, count_b: 4 }],
+            &[PlantedClique {
+                count_a: 5,
+                count_b: 4,
+            }],
             seed.wrapping_add(5000),
         );
         let all: Vec<u32> = g.vertices().collect();

@@ -1,5 +1,9 @@
 //! Determinism guarantees: generators are reproducible per seed and the search returns
 //! the same solution (not just the same size) across repeated runs.
+//!
+//! All RNG seeds in this suite are explicit literals, and the `rand` shim's
+//! `StdRng` is a pure function of its seed, so every assertion here is exactly
+//! reproducible in CI — there is no ambient entropy anywhere in the pipeline.
 
 use rfc_core::prelude::*;
 use rfc_datasets::case_study::CaseStudy;

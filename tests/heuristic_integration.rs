@@ -21,17 +21,18 @@ fn heuristics_always_return_valid_fair_cliques() {
         for (k, delta) in [(1usize, 1usize), (2, 1), (2, 2), (3, 2)] {
             let params = FairCliqueParams::new(k, delta).unwrap();
             let cfg = HeuristicConfig::default();
-            for result in [
+            for c in [
                 deg_heur(&g, params, &cfg),
                 colorful_deg_heur(&g, params, &cfg),
                 heur_rfc(&g, params, &cfg).best,
-            ] {
-                if let Some(c) = result {
-                    assert!(
-                        verify::is_fair_and_clique(&g, &c.vertices, params),
-                        "seed {seed}, {params}"
-                    );
-                }
+            ]
+            .into_iter()
+            .flatten()
+            {
+                assert!(
+                    verify::is_fair_and_clique(&g, &c.vertices, params),
+                    "seed {seed}, {params}"
+                );
             }
         }
     }
@@ -62,7 +63,10 @@ fn heuristic_quality_on_planted_cliques() {
     let background = erdos_renyi(300, 0.02, 0.5, 42);
     let (g, _) = plant_cliques(
         &background,
-        &[PlantedClique { count_a: 10, count_b: 9 }],
+        &[PlantedClique {
+            count_a: 10,
+            count_b: 9,
+        }],
         43,
     );
     let params = FairCliqueParams::new(4, 2).unwrap();

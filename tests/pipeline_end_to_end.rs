@@ -24,7 +24,11 @@ fn case_studies_recover_planted_teams() {
             best.size(),
             cs.planted_team.len()
         );
-        assert!(verify::is_relative_fair_clique(&cs.graph, &best.vertices, params));
+        assert!(verify::is_relative_fair_clique(
+            &cs.graph,
+            &best.vertices,
+            params
+        ));
     }
 }
 

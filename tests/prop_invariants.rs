@@ -3,6 +3,11 @@
 //! These check the core soundness invariants of the whole stack against the brute-force
 //! oracle: exactness of the search, safety of every reduction, validity of every upper
 //! bound, feasibility of heuristic output, and properness of the coloring.
+//!
+//! Reproducibility: the proptest runner derives each test's RNG stream from a
+//! committed fixed seed (`proptest::test_runner::FIXED_SEED`) mixed with the test
+//! name, so CI runs are deterministic. `PROPTEST_SEED=<u64>` explores a different
+//! stream; `PROPTEST_CASES=<n>` overrides the case count configured below.
 
 use proptest::prelude::*;
 

@@ -61,7 +61,11 @@ fn full_pipeline_preserves_optimum_and_shrinks() {
                 assert!(s.edges <= prev, "stage {} grew the edge count", s.stage);
                 prev = s.edges;
             }
-            assert_eq!(optimum(&g, params), optimum(&reduced, params), "seed {seed}, {params}");
+            assert_eq!(
+                optimum(&g, params),
+                optimum(&reduced, params),
+                "seed {seed}, {params}"
+            );
         }
     }
 }
@@ -74,7 +78,10 @@ fn enhanced_reductions_dominate_plain_ones() {
         for k in 1..=4usize {
             let core = colorful_core_reduction(&g, k);
             let en_core = en_colorful_core_reduction(&g, k);
-            assert!(en_core.num_edges() <= core.num_edges(), "seed {seed}, k {k}");
+            assert!(
+                en_core.num_edges() <= core.num_edges(),
+                "seed {seed}, k {k}"
+            );
             let sup = colorful_sup_reduction(&g, k);
             let en_sup = en_colorful_sup_reduction(&g, k);
             assert!(en_sup.num_edges() <= sup.num_edges(), "seed {seed}, k {k}");
