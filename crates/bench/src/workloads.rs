@@ -6,6 +6,10 @@ use std::time::Instant;
 use rfc_core::bounds::ExtraBound;
 use rfc_core::problem::FairCliqueParams;
 use rfc_core::search::SearchConfig;
+use rfc_datasets::synthetic::{
+    add_dense_community, disjoint_union, erdos_renyi, plant_cliques_in_pool, DenseCommunity,
+    PlantedClique,
+};
 use rfc_datasets::{DatasetSpec, PaperDataset};
 use rfc_graph::AttributedGraph;
 
@@ -75,6 +79,42 @@ pub fn figure6_configs(dataset: PaperDataset) -> [(&'static str, SearchConfig); 
     ]
 }
 
+/// A scaling workload for the parallel search: the disjoint union of `blobs`
+/// components of *increasing* size, each an Erdős–Rényi background with a dense
+/// community that survives the reductions and makes its branch-and-bound non-trivial.
+/// Only the largest (and last, in vertex-id order) component additionally hides a big
+/// planted fair clique inside its community.
+///
+/// That shape is exactly where component-level dispatch order matters: the serial
+/// search visits components in discovery (vertex-id) order and only finds the strong
+/// incumbent at the very end, while the parallel search starts the largest component
+/// first and shares its incumbent with every other worker immediately, pruning the
+/// dense-but-cliqueless components near their roots.
+pub fn multi_component_graph(blobs: usize, base_n: usize, seed: u64) -> AttributedGraph {
+    let parts: Vec<AttributedGraph> = (0..blobs)
+        .map(|i| {
+            let n = base_n + i * base_n / 2;
+            let p = 12.0 / n as f64; // constant average background degree
+            let background = erdos_renyi(n, p, 0.5, seed.wrapping_add(i as u64));
+            let community = DenseCommunity {
+                size: 45,
+                edge_prob: 0.5,
+            };
+            let (blob, pool) =
+                add_dense_community(&background, &community, seed.wrapping_add(7 * i as u64));
+            if i + 1 < blobs {
+                return blob;
+            }
+            let planted = PlantedClique {
+                count_a: 8,
+                count_b: 8,
+            };
+            plant_cliques_in_pool(&blob, &[planted], &pool, seed ^ 0xfeed).0
+        })
+        .collect();
+    disjoint_union(&parts)
+}
+
 /// Runs a closure and returns its result together with the elapsed wall-clock time in
 /// microseconds.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
@@ -93,6 +133,23 @@ mod tests {
         assert_eq!(value, 49_995_000);
         // Some time passed but not absurdly much.
         assert!(micros < 1_000_000);
+    }
+
+    #[test]
+    fn multi_component_graph_has_the_requested_shape() {
+        let g = multi_component_graph(4, 100, 11);
+        // Sizes 100 + 150 + 200 + 250.
+        assert_eq!(g.num_vertices(), 700);
+        let comps = rfc_graph::components::connected_components(&g);
+        // ER blobs at average degree 14 are connected with overwhelming probability;
+        // allow a couple of stray isolated vertices but require the four cores.
+        assert!(comps.num_components >= 4);
+        assert!(comps.largest_size() >= 240);
+        assert_eq!(
+            multi_component_graph(4, 100, 11),
+            g,
+            "deterministic per seed"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ maxfairclique — maximum relative fair clique search
 USAGE:
   maxfairclique solve     --graph FILE | --edges FILE [--attributes FILE]
                           -k K -d DELTA [--bound cd|cp|d|h|ch|none] [--basic]
-                          [--no-heuristic] [--weak] [--strong]
+                          [--no-heuristic] [--weak] [--strong] [--threads N]
   maxfairclique heuristic --graph FILE | --edges FILE [--attributes FILE]
                           -k K -d DELTA [--seeds N]
   maxfairclique reduce    --graph FILE | --edges FILE [--attributes FILE]
@@ -28,6 +28,9 @@ OPTIONS:
   --no-heuristic      disable the HeurRFC warm start
   --weak              weak fairness (no imbalance constraint; ignores --delta)
   --strong            strong fairness (exactly equal counts; ignores --delta)
+  --threads N         worker threads for the search (default / 0: all cores;
+                      1: deterministic serial; parallel runs may return a
+                      different maximum clique of the same optimal size)
   --seeds N           number of greedy seeds for the heuristic (default 8)
   --dataset NAME      themarker | google | dblp | flixster | pokec | aminer
   --case-study NAME   aminer | dbai | nba | imdb
@@ -79,6 +82,8 @@ pub enum Command {
         no_heuristic: bool,
         /// Fairness model.
         fairness: Fairness,
+        /// Worker threads for the search (`None`: default, i.e. all cores).
+        threads: Option<usize>,
     },
     /// Linear-time heuristic only.
     Heuristic {
@@ -145,6 +150,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 | "-d"
                 | "--delta"
                 | "--bound"
+                | "--threads"
                 | "--seeds"
                 | "--dataset"
                 | "--case-study"
@@ -206,6 +212,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 (false, true) => Fairness::Strong,
                 (false, false) => Fairness::Relative,
             };
+            let threads = match get("--threads") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid value for `--threads`: `{v}`"))?,
+                ),
+            };
             Ok(Command::Solve {
                 input: input()?,
                 k: parse_usize("-k", 2)?,
@@ -214,6 +227,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 basic: has("--basic"),
                 no_heuristic: has("--no-heuristic"),
                 fairness,
+                threads,
             })
         }
         "heuristic" => Ok(Command::Heuristic {
@@ -267,12 +281,14 @@ mod tests {
                 basic,
                 no_heuristic,
                 fairness,
+                threads,
             } => {
                 assert_eq!(input, GraphInput::Combined("g.graph".into()));
                 assert_eq!((k, delta), (2, 1));
                 assert_eq!(bound, ExtraBound::ColorfulDegeneracy);
                 assert!(!basic && !no_heuristic);
                 assert_eq!(fairness, Fairness::Relative);
+                assert_eq!(threads, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -281,7 +297,7 @@ mod tests {
     #[test]
     fn parses_solve_with_everything() {
         let cmd = parse(&argv(
-            "solve --edges e.txt --attributes a.txt -k 4 -d 2 --bound cp --basic --no-heuristic --strong",
+            "solve --edges e.txt --attributes a.txt -k 4 -d 2 --bound cp --basic --no-heuristic --strong --threads 4",
         ))
         .unwrap();
         match cmd {
@@ -293,6 +309,7 @@ mod tests {
                 basic,
                 no_heuristic,
                 fairness,
+                threads,
             } => {
                 assert_eq!(
                     input,
@@ -305,6 +322,7 @@ mod tests {
                 assert_eq!(bound, ExtraBound::ColorfulPath);
                 assert!(basic && no_heuristic);
                 assert_eq!(fairness, Fairness::Strong);
+                assert_eq!(threads, Some(4));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -352,6 +370,8 @@ mod tests {
         assert!(parse(&argv("solve --graph")).is_err()); // missing value
         assert!(parse(&argv("solve --graph g -k nope")).is_err());
         assert!(parse(&argv("solve --graph g --bound bogus")).is_err());
+        assert!(parse(&argv("solve --graph g --threads many")).is_err());
+        assert!(parse(&argv("solve --graph g --threads")).is_err());
         assert!(parse(&argv("solve --graph g --weak --strong")).is_err());
         assert!(parse(&argv("generate")).is_err());
         assert!(parse(&argv("generate --dataset a --case-study b")).is_err());

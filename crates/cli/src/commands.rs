@@ -7,7 +7,7 @@ use rfc_core::bounds::BoundConfig;
 use rfc_core::heuristic::{heur_rfc, HeuristicConfig};
 use rfc_core::problem::FairCliqueParams;
 use rfc_core::reduction::{apply_reductions, ReductionConfig};
-use rfc_core::search::{max_fair_clique, SearchConfig};
+use rfc_core::search::{max_fair_clique, SearchConfig, ThreadCount};
 use rfc_core::verify;
 use rfc_datasets::case_study::CaseStudy;
 use rfc_datasets::PaperDataset;
@@ -15,18 +15,34 @@ use rfc_graph::io;
 use rfc_graph::AttributedGraph;
 
 use crate::args::{Command, Fairness, GraphInput, USAGE};
+use crate::output::{outln, Output};
+
+/// Maps the CLI `--threads N` value onto a search [`ThreadCount`]: absent or `0` means
+/// all cores, `1` means the deterministic serial path, anything else a fixed pool.
+fn thread_count(threads: Option<usize>) -> ThreadCount {
+    match threads {
+        None | Some(0) => ThreadCount::Auto,
+        Some(1) => ThreadCount::Serial,
+        Some(n) => ThreadCount::Fixed(n),
+    }
+}
 
 /// Runs a parsed command, returning a human-readable error on failure.
+///
+/// All regular output goes through [`Output`], which turns a consumer-closed pipe
+/// (`maxfairclique … | head`) into a clean exit instead of a broken-pipe panic.
 pub fn run(command: Command) -> Result<(), String> {
+    let mut out = Output::stdout();
     match command {
         Command::Help => {
-            println!("{USAGE}");
+            outln!(out, "{USAGE}");
             Ok(())
         }
         Command::Stats { input } => {
             let graph = load_graph(&input)?;
-            println!("{}", graph.stats());
-            println!(
+            outln!(out, "{}", graph.stats());
+            outln!(
+                out,
                 "non-isolated vertices: {}",
                 graph.num_non_isolated_vertices()
             );
@@ -40,6 +56,7 @@ pub fn run(command: Command) -> Result<(), String> {
             basic,
             no_heuristic,
             fairness,
+            threads,
         } => {
             let graph = load_graph(&input)?;
             let effective_delta = match fairness {
@@ -56,23 +73,29 @@ pub fn run(command: Command) -> Result<(), String> {
                     use_heuristic: !no_heuristic,
                     ..SearchConfig::default()
                 }
-            };
+            }
+            .with_threads(thread_count(threads));
             let outcome = max_fair_clique(&graph, params, &config);
             match &outcome.best {
-                None => println!("no fair clique exists for k={k} ({fairness:?} fairness)"),
+                None => outln!(
+                    out,
+                    "no fair clique exists for k={k} ({fairness:?} fairness)"
+                ),
                 Some(clique) => {
                     debug_assert!(verify::is_fair_and_clique(&graph, &clique.vertices, params));
-                    println!(
+                    outln!(
+                        out,
                         "maximum fair clique: {} vertices (a: {}, b: {})",
                         clique.size(),
                         clique.counts.a(),
                         clique.counts.b()
                     );
-                    println!("vertices: {:?}", clique.vertices);
+                    outln!(out, "vertices: {:?}", clique.vertices);
                 }
             }
             let stats = &outcome.stats;
-            println!(
+            outln!(
+                out,
                 "reduction: {} -> {} edges; search: {} branches, {} bound prunes, {} µs total",
                 stats.reduction.original_edges,
                 stats.reduction.final_edges(),
@@ -98,8 +121,12 @@ pub fn run(command: Command) -> Result<(), String> {
                 },
             );
             match &outcome.best {
-                None => println!("the heuristic found no fair clique for (k={k}, δ={delta})"),
-                Some(clique) => println!(
+                None => outln!(
+                    out,
+                    "the heuristic found no fair clique for (k={k}, δ={delta})"
+                ),
+                Some(clique) => outln!(
+                    out,
                     "heuristic fair clique: {} vertices (a: {}, b: {}); upper bound {}",
                     clique.size(),
                     clique.counts.a(),
@@ -113,19 +140,25 @@ pub fn run(command: Command) -> Result<(), String> {
             let graph = load_graph(&input)?;
             let params = FairCliqueParams::new(k, 0).map_err(|e| e.to_string())?;
             let (reduced, stats) = apply_reductions(&graph, params, &ReductionConfig::default());
-            println!(
+            outln!(
+                out,
                 "original: {} vertices / {} edges",
-                stats.original_vertices, stats.original_edges
+                stats.original_vertices,
+                stats.original_edges
             );
             for stage in &stats.stages {
-                println!(
+                outln!(
+                    out,
                     "after {:>15}: {} vertices / {} edges ({} µs)",
-                    stage.stage, stage.vertices, stage.edges, stage.micros
+                    stage.stage,
+                    stage.vertices,
+                    stage.edges,
+                    stage.micros
                 );
             }
             if let Some(path) = output {
                 io::write_graph_to_path(&reduced, &path).map_err(|e| e.to_string())?;
-                println!("reduced graph written to {path}");
+                outln!(out, "reduced graph written to {path}");
             }
             Ok(())
         }
@@ -142,10 +175,10 @@ pub fn run(command: Command) -> Result<(), String> {
                 let generated = cs.generate();
                 (cs.name().to_string(), generated.graph)
             };
-            println!("generated {name}: {}", graph.stats());
+            outln!(out, "generated {name}: {}", graph.stats());
             if let Some(path) = output {
                 io::write_graph_to_path(&graph, &path).map_err(|e| e.to_string())?;
-                println!("written to {path}");
+                outln!(out, "written to {path}");
             }
             Ok(())
         }

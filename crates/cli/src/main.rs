@@ -2,7 +2,7 @@
 //! library.
 //!
 //! ```text
-//! maxfairclique solve      --graph g.graph -k 3 -d 1 [--bound cd|cp|d|h|ch|none] [--no-heuristic] [--basic]
+//! maxfairclique solve      --graph g.graph -k 3 -d 1 [--bound cd|cp|d|h|ch|none] [--no-heuristic] [--basic] [--threads N]
 //! maxfairclique heuristic  --graph g.graph -k 3 -d 1 [--seeds 8]
 //! maxfairclique reduce     --graph g.graph -k 3 [--output reduced.graph]
 //! maxfairclique stats      --graph g.graph
@@ -13,11 +13,18 @@
 //! Graphs are read/written in the plain-text format of `rfc_graph::io` (`n`/`v`/`e`
 //! records); `--edges edges.txt --attributes attrs.txt` reads a raw edge list plus an
 //! attribute list instead.
+//!
+//! All console output is pipe-safe: when a downstream consumer such as `head` closes
+//! the pipe early, every command stops writing and exits 0 instead of panicking (see
+//! [`output`]).
 
 use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod output;
+
+use output::errln;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -25,14 +32,14 @@ fn main() -> ExitCode {
         Ok(command) => match commands::run(command) {
             Ok(()) => ExitCode::SUCCESS,
             Err(err) => {
-                eprintln!("error: {err}");
+                errln!("error: {err}");
                 ExitCode::FAILURE
             }
         },
         Err(err) => {
-            eprintln!("error: {err}");
-            eprintln!();
-            eprintln!("{}", args::USAGE);
+            errln!("error: {err}");
+            errln!();
+            errln!("{}", args::USAGE);
             ExitCode::from(2)
         }
     }

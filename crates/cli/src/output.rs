@@ -1,0 +1,104 @@
+//! Broken-pipe-safe console output.
+//!
+//! Rust ignores `SIGPIPE` at startup, so when a consumer like `head` closes the read
+//! end of a pipe, the next `println!` returns `EPIPE` — and `println!` turns that into
+//! a panic with a backtrace. For a CLI that is wrong twice over: piping into `head` is
+//! a completely ordinary thing to do, and the orderly Unix behaviour is to simply stop
+//! producing output and exit successfully.
+//!
+//! [`Output`] is a thin `writeln!`-based wrapper over a locked [`std::io::Stdout`] that
+//! maps [`io::ErrorKind::BrokenPipe`] to a clean `exit(0)` (no libc / signal handling
+//! involved) and any other write error to an `exit(1)` with a message. The [`outln!`]
+//! macro gives it `println!` ergonomics. [`errln!`] is the stderr counterpart; it
+//! swallows write errors instead of exiting, because failing to report a failure must
+//! not mask the failure's own exit code.
+//!
+//! Under `cfg(test)` both sides degrade to the plain `println!`/`eprintln!` macros:
+//! raw `Stdout` writes bypass libtest's output capture, and a `process::exit` from a
+//! closed pipe would take down the whole test harness. The real pipe behaviour is
+//! exercised end-to-end (through the actual binary) in `tests/broken_pipe.rs`.
+
+use std::fmt;
+#[cfg(not(test))]
+use std::io::{self, Write};
+
+/// Line-oriented writer over locked stdout; a closed pipe ends the process cleanly.
+pub struct Output {
+    #[cfg(not(test))]
+    lock: io::StdoutLock<'static>,
+}
+
+impl Output {
+    /// Locks stdout for the lifetime of the value.
+    pub fn stdout() -> Self {
+        Self {
+            #[cfg(not(test))]
+            lock: io::stdout().lock(),
+        }
+    }
+
+    /// Writes one formatted line. On `BrokenPipe` the process exits with status 0; on
+    /// any other write error it exits with status 1 after reporting to stderr.
+    #[cfg(not(test))]
+    pub fn line(&mut self, args: fmt::Arguments<'_>) {
+        if let Err(err) = writeln!(self.lock, "{args}") {
+            if err.kind() == io::ErrorKind::BrokenPipe {
+                // The consumer has seen everything it wants; this is a success.
+                std::process::exit(0);
+            }
+            stderr_line(format_args!("error: cannot write to stdout: {err}"));
+            std::process::exit(1);
+        }
+    }
+
+    /// Test-harness variant: captured by libtest, never exits (see module docs).
+    #[cfg(test)]
+    pub fn line(&mut self, args: fmt::Arguments<'_>) {
+        println!("{args}");
+    }
+}
+
+/// `println!` for an [`Output`]: `outln!(out, "n = {}", n)`.
+macro_rules! outln {
+    ($out:expr) => { $out.line(format_args!("")) };
+    ($out:expr, $($arg:tt)*) => { $out.line(format_args!($($arg)*)) };
+}
+
+/// `eprintln!` that never panics: write errors on stderr (including a closed pipe) are
+/// ignored so the process can still exit with its intended status.
+macro_rules! errln {
+    () => { $crate::output::stderr_line(format_args!("")) };
+    ($($arg:tt)*) => { $crate::output::stderr_line(format_args!($($arg)*)) };
+}
+
+pub(crate) use {errln, outln};
+
+/// Backing implementation of [`errln!`].
+#[cfg(not(test))]
+pub fn stderr_line(args: fmt::Arguments<'_>) {
+    let mut lock = io::stderr().lock();
+    let _ = writeln!(lock, "{args}");
+}
+
+/// Test-harness variant: captured by libtest (see module docs).
+#[cfg(test)]
+pub fn stderr_line(args: fmt::Arguments<'_>) {
+    eprintln!("{args}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_writes_lines() {
+        // Smoke test of the captured test-mode path: must not exit or panic. The real
+        // locked-stdout path and its closed-pipe behaviour are covered end-to-end
+        // through the binary in tests/broken_pipe.rs.
+        let mut out = Output::stdout();
+        outln!(out, "output self-test {}", 42);
+        outln!(out);
+        errln!("stderr self-test {}", 42);
+        errln!();
+    }
+}

@@ -1,0 +1,110 @@
+//! Regression tests: piping `maxfairclique` output into a consumer that stops reading
+//! (`… | head`) must exit 0 with no broken-pipe panic.
+//!
+//! The tests construct a pipe whose read end is *already closed* before the CLI starts
+//! (spawn `head -c 0`, keep its stdin — the pipe's write end — and wait for it to
+//! exit), so every write the CLI attempts is guaranteed to hit `EPIPE`. That is
+//! stronger than racing a real `| head` pipeline, where a small output can fit the
+//! pipe buffer before the consumer exits.
+
+use std::process::{Child, ChildStdin, Command, Stdio};
+
+fn maxfairclique() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_maxfairclique"))
+}
+
+/// Returns the write end of a pipe whose read end is already closed.
+fn closed_pipe() -> ChildStdin {
+    let mut sink: Child = Command::new("head")
+        .args(["-c", "0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn `head -c 0`");
+    let write_end = sink.stdin.take().expect("sink stdin is piped");
+    sink.wait().expect("sink exits");
+    write_end
+}
+
+#[test]
+fn writing_to_a_closed_stdout_exits_zero_without_panicking() {
+    // One output-light and one output-heavy command; both must shut down cleanly.
+    let invocations: [&[&str]; 2] = [&["--help"], &["generate", "--case-study", "nba"]];
+    for args in invocations {
+        let output = maxfairclique()
+            .args(args)
+            .stdout(Stdio::from(closed_pipe()))
+            .stderr(Stdio::piped())
+            .output()
+            .expect("run maxfairclique");
+        assert_eq!(
+            output.status.code(),
+            Some(0),
+            "args {args:?}: expected a clean exit, got {:?}",
+            output.status
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            !stderr.to_lowercase().contains("panic"),
+            "args {args:?}: stderr shows a panic:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn solve_piped_into_closed_stdout_exits_zero() {
+    // End-to-end through the search path: generate a graph file, then solve with its
+    // stdout already unreadable.
+    let dir = std::env::temp_dir().join("rfc_cli_broken_pipe");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let graph = dir.join("nba.graph");
+    let status = maxfairclique()
+        .args([
+            "generate",
+            "--case-study",
+            "nba",
+            "--output",
+            graph.to_str().expect("utf-8 temp path"),
+        ])
+        .stdout(Stdio::null())
+        .status()
+        .expect("generate graph");
+    assert!(status.success());
+
+    let output = maxfairclique()
+        .args([
+            "solve",
+            "--graph",
+            graph.to_str().expect("utf-8 temp path"),
+            "-k",
+            "2",
+            "-d",
+            "1",
+            "--threads",
+            "2",
+        ])
+        .stdout(Stdio::from(closed_pipe()))
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run solve");
+    assert_eq!(output.status.code(), Some(0), "{:?}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(!stderr.to_lowercase().contains("panic"), "{stderr}");
+    std::fs::remove_file(&graph).ok();
+}
+
+#[test]
+fn healthy_stdout_still_receives_all_output() {
+    // The pipe-safe writer must not change behaviour when nobody closes the pipe.
+    let output = maxfairclique()
+        .arg("--help")
+        .output()
+        .expect("run maxfairclique --help");
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("USAGE"), "help text went missing: {stdout}");
+    assert!(
+        stdout.contains("--threads"),
+        "usage must document --threads"
+    );
+}

@@ -56,6 +56,8 @@ pub mod prelude {
     pub use crate::heuristic::{heur_rfc, HeuristicConfig};
     pub use crate::problem::{FairClique, FairCliqueParams};
     pub use crate::reduction::{ReductionConfig, ReductionStats};
-    pub use crate::search::{max_fair_clique, BranchOrder, SearchConfig, SearchOutcome};
+    pub use crate::search::{
+        max_fair_clique, BranchOrder, SearchConfig, SearchOutcome, SearchStats, ThreadCount,
+    };
     pub use rfc_graph::prelude::*;
 }

@@ -86,8 +86,9 @@ pub struct StageStats {
     pub vertices: usize,
     /// Number of remaining edges.
     pub edges: usize,
-    /// Wall-clock time spent in this stage, in microseconds.
-    pub micros: u128,
+    /// Wall-clock time spent in this stage, in microseconds (same unit and width as
+    /// [`SearchStats::elapsed_micros`](crate::search::SearchStats::elapsed_micros)).
+    pub micros: u64,
 }
 
 /// Statistics for a full reduction pipeline run.
@@ -141,7 +142,7 @@ pub fn apply_reductions(
             stage: "EnColorfulCore",
             vertices: current.num_non_isolated_vertices(),
             edges: current.num_edges(),
-            micros: t.elapsed().as_micros(),
+            micros: t.elapsed().as_micros() as u64,
         });
     }
     if config.colorful_sup {
@@ -151,7 +152,7 @@ pub fn apply_reductions(
             stage: "ColorfulSup",
             vertices: current.num_non_isolated_vertices(),
             edges: current.num_edges(),
-            micros: t.elapsed().as_micros(),
+            micros: t.elapsed().as_micros() as u64,
         });
     }
     if config.en_colorful_sup {
@@ -161,7 +162,7 @@ pub fn apply_reductions(
             stage: "EnColorfulSup",
             vertices: current.num_non_isolated_vertices(),
             edges: current.num_edges(),
-            micros: t.elapsed().as_micros(),
+            micros: t.elapsed().as_micros() as u64,
         });
     }
 

@@ -1,25 +1,43 @@
 //! The per-component branch-and-bound recursion (Algorithm 3, canonical-order variant).
+//!
+//! Vertices of the component are re-labeled by their rank in the configured
+//! [`BranchOrder`](super::BranchOrder), and all candidate sets are [`Bitset`]s over
+//! ranks backed by a dense [`BitMatrix`] adjacency built once per component. The hot
+//! `candidates ∩ N(v)` step of every branch is then a word-wise AND, and iterating a
+//! candidate set's bits in ascending order *is* iterating it in branching order.
 
+use rfc_graph::bitset::{BitMatrix, Bitset};
 use rfc_graph::subgraph::InducedSubgraph;
-use rfc_graph::{AttributeCounts, VertexId};
+use rfc_graph::{Attribute, AttributeCounts, VertexId};
 
 use crate::bounds::{instance_upper_bound, ExtraBound};
 use crate::problem::FairCliqueParams;
 
-use super::ordering::ordering_positions;
+use super::ordering::{ordering_sequence, positions_of};
+use super::parallel::SharedIncumbent;
 use super::{SearchConfig, SearchStats};
 
 /// Branch-and-bound search over a single connected component (given as an induced
 /// subgraph with compact vertex ids).
+///
+/// The incumbent is shared: improvements are published through the [`SharedIncumbent`]
+/// as soon as they are found, and the size/bound prunes always test against the current
+/// global incumbent — whether it came from this component, the heuristic warm start, or
+/// (in parallel mode) another worker.
 pub(super) struct ComponentSearch<'a> {
     sub: &'a InducedSubgraph,
     params: FairCliqueParams,
     config: &'a SearchConfig,
     stats: &'a mut SearchStats,
-    /// Size of the best fair clique known so far (across components / heuristic).
-    best_size: usize,
-    /// Best fair clique found in this component, in *original* (parent graph) ids.
-    best: Option<Vec<VertexId>>,
+    incumbent: &'a SharedIncumbent,
+    /// `order[rank]` is the component-local vertex with that branching rank.
+    order: Vec<VertexId>,
+    /// Adjacency over ranks: bit `r` of row `q` is set iff the vertices ranked `q` and
+    /// `r` are adjacent.
+    adj: BitMatrix,
+    /// Ranks whose vertex has attribute `a` (candidate attribute counts come from one
+    /// AND + popcount against this mask).
+    attr_a: Bitset,
     /// Current partial clique, in component-local ids.
     r: Vec<VertexId>,
 }
@@ -30,53 +48,64 @@ impl<'a> ComponentSearch<'a> {
         params: FairCliqueParams,
         config: &'a SearchConfig,
         stats: &'a mut SearchStats,
+        incumbent: &'a SharedIncumbent,
     ) -> Self {
+        let cg = &sub.graph;
+        let n = cg.num_vertices();
+        let order = ordering_sequence(cg, config.branch_order);
+        let positions = positions_of(&order);
+        let mut adj = BitMatrix::new(n);
+        for &(u, v) in cg.edge_list() {
+            adj.set_edge(positions[u as usize], positions[v as usize]);
+        }
+        let mut attr_a = Bitset::new(n);
+        for v in cg.vertices() {
+            if cg.attribute(v) == Attribute::A {
+                attr_a.insert(positions[v as usize]);
+            }
+        }
         Self {
             sub,
             params,
             config,
             stats,
-            best_size: 0,
-            best: None,
+            incumbent,
+            order,
+            adj,
+            attr_a,
             r: Vec::new(),
         }
     }
 
-    /// Runs the search with the given incumbent size (from the heuristic or previous
-    /// components) and returns a strictly larger fair clique if one exists in this
-    /// component, expressed in parent-graph vertex ids.
-    pub(super) fn run(&mut self, incumbent_size: usize) -> Option<Vec<VertexId>> {
-        self.best_size = incumbent_size;
-        let cg = &self.sub.graph;
-        let positions = ordering_positions(cg, self.config.branch_order);
-
-        // Root candidate set: all component vertices, sorted by branching order.
-        let mut candidates: Vec<VertexId> = cg.vertices().collect();
-        candidates.sort_unstable_by_key(|&v| positions[v as usize]);
-
-        self.branch(AttributeCounts::new(), &candidates, 0);
-        self.best.take()
+    /// Runs the search. Any fair clique strictly improving the shared incumbent is
+    /// published to it (in parent-graph vertex ids) the moment it is found.
+    pub(super) fn run(&mut self) {
+        let root = Bitset::full(self.sub.graph.num_vertices());
+        self.branch(AttributeCounts::new(), &root, 0);
     }
 
-    fn branch(&mut self, counts: AttributeCounts, candidates: &[VertexId], depth: usize) {
+    fn branch(&mut self, counts: AttributeCounts, candidates: &Bitset, depth: usize) {
         self.stats.branches += 1;
         let cg = &self.sub.graph;
         let params = self.params;
 
         // Record the current clique if it is fair and improves the incumbent.
-        if self.r.len() > self.best_size && params.is_fair(counts) {
-            self.best_size = self.r.len();
-            self.best = Some(self.sub.to_original_set(&self.r));
+        if self.r.len() > self.incumbent.size()
+            && params.is_fair(counts)
+            && self.incumbent.offer(self.sub.to_original_set(&self.r))
+        {
             self.stats.incumbent_updates += 1;
         }
-        if candidates.is_empty() {
+        let cand_total = candidates.count();
+        if cand_total == 0 {
             return;
         }
 
         // --- Cheap feasibility pruning (every node) ---------------------------------
-        let cand_counts = cg.attribute_counts_of(candidates);
-        let reach_a = counts.a() + cand_counts.a();
-        let reach_b = counts.b() + cand_counts.b();
+        let cand_a = candidates.intersection_count(self.attr_a.words());
+        let cand_b = cand_total - cand_a;
+        let reach_a = counts.a() + cand_a;
+        let reach_b = counts.b() + cand_b;
         if reach_a < params.k || reach_b < params.k {
             self.stats.feasibility_prunes += 1;
             return;
@@ -87,8 +116,9 @@ impl<'a> ComponentSearch<'a> {
             return;
         }
         // Trivial size bound (ubs) and minimum-size gate.
-        let ubs = self.r.len() + candidates.len();
-        if ubs <= self.best_size || ubs < params.min_size() {
+        let best_size = self.incumbent.size();
+        let ubs = self.r.len() + cand_total;
+        if ubs <= best_size || ubs < params.min_size() {
             self.stats.bound_prunes += 1;
             return;
         }
@@ -99,7 +129,7 @@ impl<'a> ComponentSearch<'a> {
                 return;
             }
             Some(uba) => {
-                if uba <= self.best_size || uba < params.min_size() {
+                if uba <= best_size || uba < params.min_size() {
                     self.stats.bound_prunes += 1;
                     return;
                 }
@@ -108,41 +138,42 @@ impl<'a> ComponentSearch<'a> {
 
         // --- Expensive bounds (shallow nodes only) -----------------------------------
         let bounds = &self.config.bounds;
-        let use_expensive = depth <= bounds.max_depth
-            && (bounds.advanced || bounds.extra != ExtraBound::None)
-            && !candidates.is_empty();
+        let use_expensive =
+            depth <= bounds.max_depth && (bounds.advanced || bounds.extra != ExtraBound::None);
         if use_expensive {
-            let mut instance: Vec<VertexId> = Vec::with_capacity(self.r.len() + candidates.len());
+            let mut instance: Vec<VertexId> = Vec::with_capacity(self.r.len() + cand_total);
             instance.extend_from_slice(&self.r);
-            instance.extend_from_slice(candidates);
+            instance.extend(candidates.iter().map(|rank| self.order[rank]));
             let ub = instance_upper_bound(cg, &instance, params, bounds);
-            if ub <= self.best_size || ub < params.min_size() {
+            if ub <= best_size || ub < params.min_size() {
                 self.stats.bound_prunes += 1;
                 return;
             }
         }
 
         // --- Canonical-order branching ------------------------------------------------
-        for i in 0..candidates.len() {
+        // `rest` always holds the candidates not yet branched on; taking the lowest set
+        // bit walks them in branching order, and removing the branch vertex before the
+        // AND keeps only *later-ordered* neighbors, so every clique is visited once.
+        let mut rest = candidates.clone();
+        let mut remaining = cand_total;
+        while let Some(rank) = rest.first_set() {
             // Even taking every remaining candidate cannot beat the incumbent.
-            let remaining = candidates.len() - i;
-            if self.r.len() + remaining <= self.best_size
+            if self.r.len() + remaining <= self.incumbent.size()
                 || self.r.len() + remaining < params.min_size()
             {
                 self.stats.bound_prunes += 1;
                 break;
             }
-            let v = candidates[i];
+            rest.remove(rank);
+            let v = self.order[rank];
             let mut next_counts = counts;
             next_counts.add(cg.attribute(v));
-            let next_candidates: Vec<VertexId> = candidates[i + 1..]
-                .iter()
-                .copied()
-                .filter(|&u| cg.has_edge(u, v))
-                .collect();
+            let next_candidates = rest.intersection_with(self.adj.row(rank));
             self.r.push(v);
             self.branch(next_counts, &next_candidates, depth + 1);
             self.r.pop();
+            remaining -= 1;
         }
     }
 }
@@ -157,14 +188,14 @@ mod tests {
         g: &AttributedGraph,
         params: FairCliqueParams,
         config: &SearchConfig,
-        incumbent: usize,
+        incumbent_size: usize,
     ) -> (Option<Vec<VertexId>>, SearchStats) {
         let all: Vec<VertexId> = g.vertices().collect();
         let sub = induced_subgraph(g, &all);
         let mut stats = SearchStats::default();
-        let mut searcher = ComponentSearch::new(&sub, params, config, &mut stats);
-        let best = searcher.run(incumbent);
-        (best, stats)
+        let incumbent = SharedIncumbent::with_floor(incumbent_size);
+        ComponentSearch::new(&sub, params, config, &mut stats, &incumbent).run();
+        (incumbent.into_best(), stats)
     }
 
     #[test]
@@ -174,12 +205,13 @@ mod tests {
         let (best, stats) = search_component(&g, params, &SearchConfig::default(), 0);
         assert_eq!(best.unwrap().len(), 7);
         assert!(stats.branches > 0);
+        assert!(stats.incumbent_updates > 0);
     }
 
     #[test]
     fn incumbent_at_optimum_suppresses_new_solution() {
         // If the incumbent already matches the optimum, the component search must not
-        // return anything (it only reports strict improvements).
+        // record anything (it only reports strict improvements).
         let g = fixtures::fig1_graph();
         let params = FairCliqueParams::new(3, 1).unwrap();
         let (best, _) = search_component(&g, params, &SearchConfig::default(), 7);
@@ -206,5 +238,28 @@ mod tests {
             0,
         );
         assert!(bounded.branches <= basic.branches);
+    }
+
+    #[test]
+    fn bitset_adjacency_matches_graph_adjacency() {
+        let g = fixtures::fig1_graph();
+        let all: Vec<VertexId> = g.vertices().collect();
+        let sub = induced_subgraph(&g, &all);
+        let config = SearchConfig::default();
+        let mut stats = SearchStats::default();
+        let incumbent = SharedIncumbent::new(None);
+        let params = FairCliqueParams::new(2, 1).unwrap();
+        let search = ComponentSearch::new(&sub, params, &config, &mut stats, &incumbent);
+        let n = sub.graph.num_vertices();
+        for qr in 0..n {
+            for rr in 0..n {
+                let (u, v) = (search.order[qr], search.order[rr]);
+                assert_eq!(
+                    search.adj.contains(qr, rr),
+                    sub.graph.has_edge(u, v),
+                    "ranks ({qr}, {rr}) ↔ vertices ({u}, {v})"
+                );
+            }
+        }
     }
 }

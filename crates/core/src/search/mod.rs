@@ -7,9 +7,10 @@
 //! 2. optionally warm-starts the incumbent with the [`HeurRFC`](crate::heuristic)
 //!    heuristic;
 //! 3. runs an exact branch-and-bound over every connected component of the reduced
-//!    graph, ordering vertices by the colorful-core peeling order (`CalColorOD`) and
-//!    pruning with the configured [upper bounds](crate::bounds) plus attribute- and
-//!    δ-feasibility checks;
+//!    graph — serially or across worker threads with a shared incumbent (see
+//!    [`ThreadCount`]) — ordering vertices by the colorful-core peeling order
+//!    (`CalColorOD`) and pruning with the configured [upper bounds](crate::bounds)
+//!    plus attribute- and δ-feasibility checks;
 //! 4. returns the maximum relative fair clique (if any) together with detailed
 //!    [`SearchStats`].
 //!
@@ -25,8 +26,10 @@
 
 mod branch;
 mod ordering;
+mod parallel;
 
-pub use ordering::{ordering_positions, BranchOrder};
+pub use ordering::{ordering_positions, ordering_sequence, BranchOrder};
+pub use parallel::ThreadCount;
 
 use std::time::Instant;
 
@@ -57,6 +60,14 @@ pub struct SearchConfig {
     pub heuristic: HeuristicConfig,
     /// Vertex ordering used for canonical branching.
     pub branch_order: BranchOrder,
+    /// How many worker threads search the connected components of the reduced graph.
+    ///
+    /// The default ([`ThreadCount::Auto`]) uses all available CPUs; components are
+    /// dispatched largest-first and all workers share one incumbent, so a clique found
+    /// anywhere immediately tightens every other worker's prunes. Use
+    /// [`ThreadCount::Serial`] for the classic fully deterministic sequential search —
+    /// see [`ThreadCount`] for the determinism trade-off.
+    pub threads: ThreadCount,
 }
 
 impl Default for SearchConfig {
@@ -75,6 +86,7 @@ impl SearchConfig {
             use_heuristic: false,
             heuristic: HeuristicConfig::default(),
             branch_order: BranchOrder::ColorfulCore,
+            threads: ThreadCount::default(),
         }
     }
 
@@ -86,6 +98,7 @@ impl SearchConfig {
             use_heuristic: false,
             heuristic: HeuristicConfig::default(),
             branch_order: BranchOrder::ColorfulCore,
+            threads: ThreadCount::default(),
         }
     }
 
@@ -97,16 +110,30 @@ impl SearchConfig {
             use_heuristic: true,
             heuristic: HeuristicConfig::default(),
             branch_order: BranchOrder::ColorfulCore,
+            threads: ThreadCount::default(),
         }
+    }
+
+    /// Returns this configuration with the given thread count.
+    pub fn with_threads(mut self, threads: ThreadCount) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
 /// Counters describing one `max_fair_clique` run.
+///
+/// In parallel mode every worker accumulates its own `SearchStats` and the per-worker
+/// counters are summed into the final value with the [`AddAssign`](std::ops::AddAssign)
+/// merge below, so no counter is ever dropped on the way back to the caller. The
+/// branch/prune counters of a multi-threaded run depend on incumbent-update timing and
+/// may differ between runs; with [`ThreadCount::Serial`] they are fully deterministic.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Statistics of the reduction pipeline.
     pub reduction: ReductionStats,
-    /// Size of the fair clique found by the heuristic warm start, if it ran and found one.
+    /// Size of the fair clique found by the heuristic warm start (which runs on the
+    /// *reduced* graph), if it ran and found one.
     pub heuristic_size: Option<usize>,
     /// Number of branch-and-bound nodes visited.
     pub branches: u64,
@@ -118,8 +145,31 @@ pub struct SearchStats {
     pub incumbent_updates: u64,
     /// Number of connected components searched.
     pub components_searched: usize,
-    /// Total wall-clock time of the call, in microseconds.
-    pub elapsed_micros: u128,
+    /// Total wall-clock time of the call, in microseconds (same unit and width as the
+    /// per-stage reduction timings in [`ReductionStats`]).
+    pub elapsed_micros: u64,
+}
+
+impl std::ops::AddAssign<&SearchStats> for SearchStats {
+    /// Merges another run's (or worker's) counters into `self`.
+    ///
+    /// All branch/prune/component counters and the elapsed time are summed (for worker
+    /// stats the elapsed sum is total busy time; [`max_fair_clique`] overwrites the
+    /// final value with the call's wall-clock time). `heuristic_size` keeps the larger
+    /// of the two, and the reduction stats keep whichever side actually ran a pipeline
+    /// (workers never do) — `self`'s wins if both did.
+    fn add_assign(&mut self, rhs: &SearchStats) {
+        self.branches += rhs.branches;
+        self.bound_prunes += rhs.bound_prunes;
+        self.feasibility_prunes += rhs.feasibility_prunes;
+        self.incumbent_updates += rhs.incumbent_updates;
+        self.components_searched += rhs.components_searched;
+        self.elapsed_micros += rhs.elapsed_micros;
+        self.heuristic_size = self.heuristic_size.max(rhs.heuristic_size);
+        if self.reduction == ReductionStats::default() {
+            self.reduction = rhs.reduction.clone();
+        }
+    }
 }
 
 /// The result of [`max_fair_clique`].
@@ -166,13 +216,15 @@ pub fn max_fair_clique(
     let (reduced, reduction_stats) = apply_reductions(g, params, &config.reductions);
     stats.reduction = reduction_stats;
 
-    // Phase 2: heuristic warm start on the reduced graph.
-    let mut best: Option<FairClique> = None;
+    // Phase 2: heuristic warm start on the reduced graph; its clique seeds the shared
+    // incumbent so every component search starts with the warm bound.
+    let mut warm_start: Option<Vec<VertexId>> = None;
     if config.use_heuristic {
         let outcome = heur_rfc(&reduced, params, &config.heuristic);
         stats.heuristic_size = outcome.best.as_ref().map(|c| c.size());
-        best = outcome.best;
+        warm_start = outcome.best.map(|c| c.vertices);
     }
+    let incumbent = parallel::SharedIncumbent::new(warm_start);
 
     // Phase 3: branch-and-bound per connected component of the reduced graph. Only
     // vertices that kept enough neighbors can be part of a fair clique.
@@ -180,27 +232,41 @@ pub fn max_fair_clique(
         .vertices()
         .filter(|&v| reduced.degree(v) + 1 >= params.min_size())
         .collect();
-    let components = components_of_subset(&reduced, &active);
+    let mut components: Vec<Vec<VertexId>> = components_of_subset(&reduced, &active)
+        .into_iter()
+        .filter(|component| component.len() >= params.min_size())
+        .collect();
 
-    for component in components {
-        if component.len() < params.min_size() {
-            continue;
+    let workers = config.threads.resolve().min(components.len());
+    if workers <= 1 {
+        // Deterministic serial path: components in discovery order, exactly the
+        // classic sequential algorithm (improvements still flow through `incumbent`).
+        for component in &components {
+            stats.components_searched += 1;
+            let sub = induced_subgraph(&reduced, component);
+            branch::ComponentSearch::new(&sub, params, config, &mut stats, &incumbent).run();
         }
-        stats.components_searched += 1;
-        let sub = induced_subgraph(&reduced, &component);
-        let mut searcher = branch::ComponentSearch::new(&sub, params, config, &mut stats);
-        let incumbent_size = best.as_ref().map(|c| c.size()).unwrap_or(0);
-        if let Some(found) = searcher.run(incumbent_size) {
-            // `found` is expressed in original vertex ids already (the component search
-            // maps back through the induced-subgraph vertex map).
-            let candidate = FairClique::from_vertices(g, found);
-            if best.as_ref().map_or(true, |b| candidate.size() > b.size()) {
-                best = Some(candidate);
-            }
-        }
+    } else {
+        // Largest components first so the most expensive searches start immediately
+        // and a straggler can't serialize the tail (ties broken by vertex ids to keep
+        // the dispatch order itself reproducible).
+        components.sort_unstable_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+        stats += &parallel::search_components(
+            &reduced,
+            &components,
+            params,
+            config,
+            workers,
+            &incumbent,
+        );
     }
 
-    stats.elapsed_micros = start.elapsed().as_micros();
+    // The incumbent holds parent-graph vertex ids throughout (the component search
+    // maps back through the induced-subgraph vertex map before offering).
+    let best = incumbent
+        .into_best()
+        .map(|vertices| FairClique::from_vertices(g, vertices));
+    stats.elapsed_micros = start.elapsed().as_micros() as u64;
     SearchOutcome { best, stats }
 }
 
@@ -346,6 +412,99 @@ mod tests {
         // With k larger than the rarer attribute can support, all three are infeasible.
         assert!(max_weak_fair_clique(&g, 6, &config).best.is_none());
         assert!(max_strong_fair_clique(&g, 6, &config).best.is_none());
+    }
+
+    #[test]
+    fn stats_merge_accounts_for_every_counter() {
+        // A worker's stats must fold into the aggregate without dropping anything:
+        // every counter field is non-zero on both sides and summed (or max'd) here.
+        // When adding a field to `SearchStats`, extend this test.
+        let mut total = SearchStats {
+            reduction: ReductionStats {
+                original_vertices: 10,
+                original_edges: 20,
+                stages: Vec::new(),
+            },
+            heuristic_size: Some(4),
+            branches: 100,
+            bound_prunes: 10,
+            feasibility_prunes: 20,
+            incumbent_updates: 1,
+            components_searched: 2,
+            elapsed_micros: 1_000,
+        };
+        let worker = SearchStats {
+            reduction: ReductionStats::default(),
+            heuristic_size: Some(6),
+            branches: 50,
+            bound_prunes: 5,
+            feasibility_prunes: 7,
+            incumbent_updates: 3,
+            components_searched: 4,
+            elapsed_micros: 500,
+        };
+        total += &worker;
+        assert_eq!(total.branches, 150);
+        assert_eq!(total.bound_prunes, 15);
+        assert_eq!(total.feasibility_prunes, 27);
+        assert_eq!(total.incumbent_updates, 4);
+        assert_eq!(total.components_searched, 6);
+        assert_eq!(total.elapsed_micros, 1_500);
+        assert_eq!(total.heuristic_size, Some(6));
+        // The aggregate's reduction stats survive a merge with a reduction-less worker…
+        assert_eq!(total.reduction.original_vertices, 10);
+        // …and a default aggregate adopts the other side's reduction stats.
+        let mut fresh = SearchStats::default();
+        fresh += &total;
+        assert_eq!(fresh.reduction.original_edges, 20);
+        assert_eq!(fresh.branches, 150);
+    }
+
+    #[test]
+    fn parallel_threads_find_the_serial_optimum() {
+        let graphs = [
+            fixtures::fig1_graph(),
+            fixtures::two_cliques_with_bridge(8, 6),
+            fixtures::fig2_graph(),
+        ];
+        for g in &graphs {
+            for (k, delta) in [(1usize, 1usize), (2, 1), (3, 2)] {
+                let params = FairCliqueParams::new(k, delta).unwrap();
+                let serial_cfg = SearchConfig::default().with_threads(ThreadCount::Serial);
+                let serial = max_fair_clique(g, params, &serial_cfg);
+                for threads in [
+                    ThreadCount::Fixed(2),
+                    ThreadCount::Fixed(4),
+                    ThreadCount::Auto,
+                ] {
+                    let parallel_cfg = SearchConfig::default().with_threads(threads);
+                    let parallel = max_fair_clique(g, params, &parallel_cfg);
+                    assert_eq!(
+                        serial.best.as_ref().map(|c| c.size()),
+                        parallel.best.as_ref().map(|c| c.size()),
+                        "(k={k}, δ={delta}, threads={threads:?})"
+                    );
+                    if let Some(clique) = &parallel.best {
+                        assert!(is_relative_fair_clique(g, &clique.vertices, params));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_runs_are_reproducible_including_stats() {
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let config = SearchConfig::default().with_threads(ThreadCount::Serial);
+        let first = max_fair_clique(&g, params, &config);
+        for _ in 0..2 {
+            let again = max_fair_clique(&g, params, &config);
+            assert_eq!(first.best, again.best);
+            assert_eq!(first.stats.branches, again.stats.branches);
+            assert_eq!(first.stats.bound_prunes, again.stats.bound_prunes);
+            assert_eq!(first.stats.incumbent_updates, again.stats.incumbent_updates);
+        }
     }
 
     #[test]

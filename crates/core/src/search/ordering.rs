@@ -23,20 +23,34 @@ pub enum BranchOrder {
     VertexId,
 }
 
-/// Computes the position of every vertex of `g` in the chosen ordering.
+/// Computes the branching sequence itself: `sequence[i]` is the vertex with rank `i`
+/// (branched on `i`-th).
 ///
-/// `positions[v]` is the rank of `v`; lower ranks are branched on first.
-pub fn ordering_positions(g: &AttributedGraph, order: BranchOrder) -> Vec<usize> {
-    let n = g.num_vertices();
-    let sequence: Vec<VertexId> = match order {
+/// The bitset-based component search re-labels vertices by rank so that iterating set
+/// bits in word order *is* iterating in branching order; it therefore needs the
+/// sequence and its inverse ([`ordering_positions`]) side by side.
+pub fn ordering_sequence(g: &AttributedGraph, order: BranchOrder) -> Vec<VertexId> {
+    match order {
         BranchOrder::ColorfulCore => {
             let coloring = greedy_coloring(g);
             colorful_core_decomposition(g, &coloring).order
         }
         BranchOrder::Degeneracy => core_decomposition(g).order,
-        BranchOrder::VertexId => (0..n as VertexId).collect(),
-    };
-    let mut positions = vec![0usize; n];
+        BranchOrder::VertexId => (0..g.num_vertices() as VertexId).collect(),
+    }
+}
+
+/// Computes the position of every vertex of `g` in the chosen ordering.
+///
+/// `positions[v]` is the rank of `v`; lower ranks are branched on first. This is the
+/// inverse permutation of [`ordering_sequence`].
+pub fn ordering_positions(g: &AttributedGraph, order: BranchOrder) -> Vec<usize> {
+    positions_of(&ordering_sequence(g, order))
+}
+
+/// Inverts a branching sequence into per-vertex positions.
+pub(super) fn positions_of(sequence: &[VertexId]) -> Vec<usize> {
+    let mut positions = vec![0usize; sequence.len()];
     for (i, &v) in sequence.iter().enumerate() {
         positions[v as usize] = i;
     }
@@ -64,6 +78,23 @@ mod tests {
                 (0..g.num_vertices()).collect::<Vec<_>>(),
                 "{order:?}"
             );
+        }
+    }
+
+    #[test]
+    fn sequence_and_positions_are_inverse_permutations() {
+        let g = fixtures::fig1_graph();
+        for order in [
+            BranchOrder::ColorfulCore,
+            BranchOrder::Degeneracy,
+            BranchOrder::VertexId,
+        ] {
+            let seq = ordering_sequence(&g, order);
+            let pos = ordering_positions(&g, order);
+            assert_eq!(seq.len(), g.num_vertices());
+            for (rank, &v) in seq.iter().enumerate() {
+                assert_eq!(pos[v as usize], rank, "{order:?}");
+            }
         }
     }
 

@@ -1,0 +1,237 @@
+//! Parallel component-level search with a shared incumbent.
+//!
+//! The `MaxRFC` branch-and-bound runs one exact search per connected component of the
+//! reduced graph, and every pruning rule it applies — the trivial size bound, the
+//! attribute bound, and the whole colorful bound family — is *incumbent-driven*: the
+//! larger the best fair clique known so far, the more of the tree gets cut. The
+//! components are otherwise completely independent, which makes component-level
+//! parallelism the natural scaling axis:
+//!
+//! * Workers are plain [`std::thread::scope`] threads (std only — no external runtime).
+//! * Components are dispatched **largest first** from a shared atomic cursor, so the
+//!   most expensive component starts immediately and stragglers don't serialize the
+//!   tail of the run.
+//! * The incumbent is shared through [`SharedIncumbent`]: a lock-free `AtomicUsize`
+//!   size bound read on the search hot path, plus a mutex-protected best clique updated
+//!   only on (rare) improvements. A clique found in one component therefore tightens
+//!   the prunes of every other component *immediately*, so the parallel search never
+//!   explores more of any component's tree than a serial run that happened to visit the
+//!   incumbent-producing component first.
+//!
+//! ### Determinism
+//!
+//! With [`ThreadCount::Serial`] the search is exactly the classic sequential algorithm:
+//! components are visited in discovery order and repeated runs produce identical
+//! cliques *and* identical [`SearchStats`](super::SearchStats). With two or more
+//! workers the *size* of the returned clique is still always the exact optimum, but
+//! which of several maximum fair cliques is returned — and all pruning counters —
+//! depend on the timing of incumbent updates across threads and may differ between
+//! runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rfc_graph::subgraph::induced_subgraph;
+use rfc_graph::{AttributedGraph, VertexId};
+
+use crate::problem::FairCliqueParams;
+
+use super::branch::ComponentSearch;
+use super::{SearchConfig, SearchStats};
+
+/// How many worker threads the component-level search uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreadCount {
+    /// Classic deterministic single-threaded search: components in discovery order,
+    /// reproducible cliques and stats.
+    Serial,
+    /// One worker per available CPU ([`std::thread::available_parallelism`]); falls
+    /// back to serial when parallelism cannot be determined.
+    #[default]
+    Auto,
+    /// Exactly this many workers. `Fixed(0)` and `Fixed(1)` behave like `Serial`.
+    Fixed(usize),
+}
+
+impl ThreadCount {
+    /// The number of workers this setting resolves to on the current machine. A result
+    /// of `1` selects the deterministic serial path.
+    pub fn resolve(self) -> usize {
+        match self {
+            ThreadCount::Serial => 1,
+            ThreadCount::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            ThreadCount::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+/// The best fair clique found so far, shared across component searches (and worker
+/// threads in parallel mode).
+///
+/// The size lives in an [`AtomicUsize`] so the branch-and-bound can read the current
+/// bound with a single relaxed load on every node; the clique itself sits behind a
+/// [`Mutex`] that is only touched on strict improvements. The size is monotonically
+/// non-decreasing and always equals the size of a clique that has actually been found
+/// (or the initial floor), so pruning against a possibly-stale read is always sound —
+/// staleness can only mean pruning *less*, never cutting the optimum.
+#[derive(Debug)]
+pub(crate) struct SharedIncumbent {
+    /// Cached size bound, readable without the lock.
+    size: AtomicUsize,
+    /// `(floor, best)`: the authoritative incumbent size and the best clique found so
+    /// far, in original (parent-graph) vertex ids. `best` is `None` while no clique
+    /// beating the initial floor has been found.
+    state: Mutex<(usize, Option<Vec<VertexId>>)>,
+}
+
+impl SharedIncumbent {
+    /// Starts from an initial clique (e.g. the heuristic warm start), or empty.
+    pub(crate) fn new(initial: Option<Vec<VertexId>>) -> Self {
+        let size = initial.as_ref().map_or(0, Vec::len);
+        Self {
+            size: AtomicUsize::new(size),
+            state: Mutex::new((size, initial)),
+        }
+    }
+
+    /// Starts from a size floor without a witness clique: only strictly larger cliques
+    /// will be recorded. Used by per-component searches that must report improvements
+    /// over an externally-known incumbent.
+    #[cfg(test)]
+    pub(crate) fn with_floor(size: usize) -> Self {
+        Self {
+            size: AtomicUsize::new(size),
+            state: Mutex::new((size, None)),
+        }
+    }
+
+    /// The current incumbent size (a lower bound on the optimum).
+    #[inline]
+    pub(crate) fn size(&self) -> usize {
+        self.size.load(Ordering::Relaxed)
+    }
+
+    /// Installs `clique` if it is strictly larger than the current incumbent. Returns
+    /// whether it was installed. Ties never replace the incumbent, so the first maximum
+    /// clique to be offered wins.
+    pub(crate) fn offer(&self, clique: Vec<VertexId>) -> bool {
+        // Fast reject without the lock; `size` is monotone so this cannot discard an
+        // actual improvement.
+        if clique.len() <= self.size() {
+            return false;
+        }
+        let mut state = self.state.lock().expect("incumbent lock poisoned");
+        if clique.len() > state.0 {
+            state.0 = clique.len();
+            self.size.store(clique.len(), Ordering::Relaxed);
+            state.1 = Some(clique);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the incumbent, returning the best clique found (in original vertex
+    /// ids), if any improved on the initial floor.
+    pub(crate) fn into_best(self) -> Option<Vec<VertexId>> {
+        self.state.into_inner().expect("incumbent lock poisoned").1
+    }
+}
+
+/// Searches `components` of `reduced` with `workers` scoped threads sharing
+/// `incumbent`, and returns the summed per-worker [`SearchStats`] counters.
+///
+/// `components` should be sorted largest-first by the caller; workers claim the next
+/// unclaimed component through a shared atomic cursor, so the ordering is exactly the
+/// dispatch priority.
+pub(super) fn search_components(
+    reduced: &AttributedGraph,
+    components: &[Vec<VertexId>],
+    params: FairCliqueParams,
+    config: &SearchConfig,
+    workers: usize,
+    incumbent: &SharedIncumbent,
+) -> SearchStats {
+    let cursor = AtomicUsize::new(0);
+    let mut merged = SearchStats::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = SearchStats::default();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(component) = components.get(i) else {
+                            break;
+                        };
+                        local.components_searched += 1;
+                        let sub = induced_subgraph(reduced, component);
+                        ComponentSearch::new(&sub, params, config, &mut local, incumbent).run();
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            let local = handle.join().expect("search worker panicked");
+            merged += &local;
+        }
+    });
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_resolution() {
+        assert_eq!(ThreadCount::Serial.resolve(), 1);
+        assert_eq!(ThreadCount::Fixed(0).resolve(), 1);
+        assert_eq!(ThreadCount::Fixed(1).resolve(), 1);
+        assert_eq!(ThreadCount::Fixed(6).resolve(), 6);
+        assert!(ThreadCount::Auto.resolve() >= 1);
+        assert_eq!(ThreadCount::default(), ThreadCount::Auto);
+    }
+
+    #[test]
+    fn incumbent_accepts_only_strict_improvements() {
+        let inc = SharedIncumbent::new(Some(vec![1, 2, 3]));
+        assert_eq!(inc.size(), 3);
+        assert!(!inc.offer(vec![4, 5, 6])); // tie: first winner is kept
+        assert!(inc.offer(vec![4, 5, 6, 7]));
+        assert_eq!(inc.size(), 4);
+        assert!(!inc.offer(vec![8, 9]));
+        assert_eq!(inc.into_best(), Some(vec![4, 5, 6, 7]));
+    }
+
+    #[test]
+    fn incumbent_floor_without_witness() {
+        let inc = SharedIncumbent::with_floor(5);
+        assert_eq!(inc.size(), 5);
+        assert!(!inc.offer(vec![0, 1, 2, 3, 4]));
+        let inc2 = SharedIncumbent::with_floor(2);
+        assert!(inc2.offer(vec![0, 1, 2]));
+        assert_eq!(inc2.into_best(), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn incumbent_is_safe_under_concurrent_offers() {
+        let inc = SharedIncumbent::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let inc = &inc;
+                scope.spawn(move || {
+                    for len in 1..=64u32 {
+                        inc.offer((0..len).collect());
+                    }
+                });
+            }
+        });
+        // Every thread offered cliques up to 64 vertices; exactly one size-64 offer won.
+        assert_eq!(inc.size(), 64);
+        assert_eq!(inc.into_best().map(|c| c.len()), Some(64));
+    }
+}

@@ -253,6 +253,28 @@ pub fn plant_cliques_in_pool(
     )
 }
 
+/// The disjoint union of `parts`: attributes and edges are concatenated with each
+/// part's vertex ids shifted past the previous parts, so every part becomes its own
+/// set of connected components. Used to assemble multi-component workloads for the
+/// component-parallel search.
+pub fn disjoint_union(parts: &[AttributedGraph]) -> AttributedGraph {
+    let mut attributes = Vec::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut offset: VertexId = 0;
+    for part in parts {
+        attributes.extend_from_slice(part.attributes());
+        edges.extend(
+            part.edge_list()
+                .iter()
+                .map(|&(u, v)| (u + offset, v + offset)),
+        );
+        offset += part.num_vertices() as VertexId;
+    }
+    let mut builder = GraphBuilder::with_attributes(attributes);
+    builder.add_edges(edges);
+    builder.build().expect("shifted edges stay in range")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +291,21 @@ mod tests {
         );
         let counts = g.attribute_counts();
         assert!(counts.a() > 60 && counts.b() > 60);
+    }
+
+    #[test]
+    fn disjoint_union_shifts_ids_and_keeps_parts_apart() {
+        let a = erdos_renyi(30, 0.2, 0.5, 1);
+        let b = erdos_renyi(50, 0.1, 0.5, 2);
+        let u = disjoint_union(&[a.clone(), b.clone()]);
+        assert_eq!(u.num_vertices(), 80);
+        assert_eq!(u.num_edges(), a.num_edges() + b.num_edges());
+        // Attributes line up part by part.
+        assert_eq!(u.attribute(0), a.attribute(0));
+        assert_eq!(u.attribute(30), b.attribute(0));
+        // No edge crosses the parts.
+        assert!(u.edge_list().iter().all(|&(x, y)| (x < 30) == (y < 30),));
+        assert_eq!(disjoint_union(&[]).num_vertices(), 0);
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Fixed-capacity bitsets and dense bitset adjacency matrices.
+//!
+//! The branch-and-bound search in `rfc-core` spends most of its time intersecting a
+//! candidate set with the neighborhood of the branching vertex. Over the small,
+//! re-labeled vertex spaces of post-reduction connected components that intersection is
+//! fastest as a word-wise AND of `u64` blocks:
+//!
+//! * [`Bitset`] — a fixed-capacity set of small integers backed by words of `u64`.
+//! * [`BitMatrix`] — a dense `n × n` bit matrix, one [`Bitset`]-compatible row per
+//!   vertex, used as an adjacency matrix so `candidates ∩ N(v)` is a single AND pass.
+//!
+//! Both types deliberately expose their raw `&[u64]` words so a [`Bitset`] can be
+//! intersected directly with a [`BitMatrix`] row without an intermediate allocation.
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = u64::BITS as usize;
+
+#[inline]
+fn word_count(nbits: usize) -> usize {
+    nbits.div_ceil(WORD_BITS)
+}
+
+/// A fixed-capacity set of integers in `0..capacity`, stored as words of `u64`.
+///
+/// The capacity is fixed at construction; all per-element operations are `O(1)` and the
+/// set-wide operations (`count`, intersections) are `O(capacity / 64)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitset {
+    nbits: usize,
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    /// Creates an empty bitset with room for values in `0..nbits`.
+    pub fn new(nbits: usize) -> Self {
+        Self {
+            nbits,
+            words: vec![0; word_count(nbits)],
+        }
+    }
+
+    /// Creates a bitset with every value in `0..nbits` present.
+    pub fn full(nbits: usize) -> Self {
+        let mut words = vec![u64::MAX; word_count(nbits)];
+        if let Some(last) = words.last_mut() {
+            let used = nbits % WORD_BITS;
+            if used != 0 {
+                *last = (1u64 << used) - 1;
+            }
+        }
+        Self { nbits, words }
+    }
+
+    /// The fixed capacity: values must lie in `0..capacity()`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Inserts `i` into the set.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.nbits, "bit {i} out of range 0..{}", self.nbits);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Removes `i` from the set.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.nbits, "bit {i} out of range 0..{}", self.nbits);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Whether `i` is in the set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.nbits, "bit {i} out of range 0..{}", self.nbits);
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 != 0
+    }
+
+    /// Number of elements in the set (population count).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The smallest element of the set, if any.
+    #[inline]
+    pub fn first_set(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .position(|&w| w != 0)
+            .map(|wi| wi * WORD_BITS + self.words[wi].trailing_zeros() as usize)
+    }
+
+    /// The raw storage words (least-significant bit of word 0 is element 0).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// `|self ∩ other|` where `other` is the word representation of a set with the same
+    /// capacity (another [`Bitset`]'s [`words`](Self::words) or a [`BitMatrix`] row).
+    #[inline]
+    pub fn intersection_count(&self, other: &[u64]) -> usize {
+        debug_assert_eq!(self.words.len(), other.len(), "capacity mismatch");
+        self.words
+            .iter()
+            .zip(other)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Returns `self ∩ other` as a new bitset (`other` as in
+    /// [`intersection_count`](Self::intersection_count)).
+    #[inline]
+    pub fn intersection_with(&self, other: &[u64]) -> Bitset {
+        debug_assert_eq!(self.words.len(), other.len(), "capacity mismatch");
+        Bitset {
+            nbits: self.nbits,
+            words: self.words.iter().zip(other).map(|(a, b)| a & b).collect(),
+        }
+    }
+
+    /// Intersects in place: `self ← self ∩ other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &[u64]) {
+        debug_assert_eq!(self.words.len(), other.len(), "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other) {
+            *a &= b;
+        }
+    }
+
+    /// Iterates the elements of the set in increasing order.
+    pub fn iter(&self) -> SetBits<'_> {
+        SetBits {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Bitset {
+    type Item = usize;
+    type IntoIter = SetBits<'a>;
+
+    fn into_iter(self) -> SetBits<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the elements of a [`Bitset`], in increasing order.
+#[derive(Debug, Clone)]
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear the lowest set bit
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+/// A dense `n × n` bit matrix with [`Bitset`]-compatible rows.
+///
+/// Used as an adjacency matrix over the compact vertex space of one connected component:
+/// row `v` is the neighborhood `N(v)` as a bitset, so candidate-set intersection during
+/// branching is a word-wise AND against [`row`](Self::row). Memory is `n² / 8` bytes,
+/// which is cheap for post-reduction components (a 4 096-vertex component takes 2 MiB).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = word_count(n);
+        Self {
+            n,
+            words_per_row,
+            words: vec![0; n * words_per_row],
+        }
+    }
+
+    /// The number of rows (and columns).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Sets the bit at `(i, j)` **and** its mirror `(j, i)` — an undirected edge.
+    #[inline]
+    pub fn set_edge(&mut self, i: usize, j: usize) {
+        debug_assert!(i < self.n && j < self.n, "index out of range");
+        self.words[i * self.words_per_row + j / WORD_BITS] |= 1u64 << (j % WORD_BITS);
+        self.words[j * self.words_per_row + i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Whether the bit at `(i, j)` is set.
+    #[inline]
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.n && j < self.n, "index out of range");
+        self.words[i * self.words_per_row + j / WORD_BITS] >> (j % WORD_BITS) & 1 != 0
+    }
+
+    /// Row `i` as bitset words, directly usable with the [`Bitset`] intersection
+    /// operations.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        debug_assert!(i < self.n, "row out of range");
+        &self.words[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = Bitset::new(130);
+        assert_eq!(s.capacity(), 130);
+        assert!(s.is_empty());
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            s.insert(i);
+            assert!(s.contains(i));
+        }
+        assert_eq!(s.count(), 8);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 7);
+        // Removing an absent element is a no-op.
+        s.remove(64);
+        assert_eq!(s.count(), 7);
+    }
+
+    #[test]
+    fn full_sets_exactly_the_capacity() {
+        for n in [0usize, 1, 63, 64, 65, 128, 130] {
+            let s = Bitset::full(n);
+            assert_eq!(s.count(), n, "n = {n}");
+            assert_eq!(s.iter().collect::<Vec<_>>(), (0..n).collect::<Vec<_>>());
+        }
+        // No stray bits above the capacity in the last word.
+        let s = Bitset::full(65);
+        assert_eq!(s.words()[1], 1);
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_matches_first_set() {
+        let mut s = Bitset::new(200);
+        for i in [5usize, 64, 66, 150, 199] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 64, 66, 150, 199]);
+        assert_eq!(s.first_set(), Some(5));
+        s.remove(5);
+        assert_eq!(s.first_set(), Some(64));
+        let empty = Bitset::new(100);
+        assert_eq!(empty.first_set(), None);
+        assert_eq!(empty.iter().count(), 0);
+        assert_eq!((&s).into_iter().count(), 4);
+    }
+
+    #[test]
+    fn intersections() {
+        let mut a = Bitset::new(100);
+        let mut b = Bitset::new(100);
+        for i in 0..100 {
+            if i % 2 == 0 {
+                a.insert(i);
+            }
+            if i % 3 == 0 {
+                b.insert(i);
+            }
+        }
+        // Multiples of 6 in 0..100: 0, 6, ..., 96 → 17 of them.
+        assert_eq!(a.intersection_count(b.words()), 17);
+        let c = a.intersection_with(b.words());
+        assert_eq!(c.count(), 17);
+        assert!(c.iter().all(|i| i % 6 == 0));
+        let mut d = a.clone();
+        d.intersect_with(b.words());
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn bit_matrix_roundtrip() {
+        let mut m = BitMatrix::new(70);
+        assert_eq!(m.order(), 70);
+        m.set_edge(0, 69);
+        m.set_edge(3, 4);
+        assert!(m.contains(0, 69) && m.contains(69, 0));
+        assert!(m.contains(3, 4) && m.contains(4, 3));
+        assert!(!m.contains(0, 1));
+        // Rows interoperate with Bitset: N(69) ∩ {0..70} = {0}.
+        let all = Bitset::full(70);
+        assert_eq!(
+            all.intersection_with(m.row(69)).iter().collect::<Vec<_>>(),
+            vec![0]
+        );
+        assert_eq!(all.intersection_count(m.row(3)), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_fine() {
+        let s = Bitset::new(0);
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.first_set(), None);
+        let m = BitMatrix::new(0);
+        assert_eq!(m.order(), 0);
+    }
+}

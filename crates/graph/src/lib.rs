@@ -13,6 +13,8 @@
 //!   degeneracy, the colorful h-index, and the *enhanced* colorful degree / k-core
 //!   (Definitions 2–5 and 8–10 of the paper).
 //! * [`components`] — connected components.
+//! * [`bitset`] — `u64`-word bitsets and dense bit-matrix adjacency for the
+//!   branch-and-bound hot loop.
 //! * [`subgraph`] — induced subgraphs and edge-mask subgraphs with vertex-id mappings.
 //! * [`io`] — plain-text edge-list / attribute-list readers and writers.
 //!
@@ -51,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod attr;
+pub mod bitset;
 pub mod builder;
 pub mod colorful;
 pub mod coloring;
@@ -62,6 +65,7 @@ pub mod io;
 pub mod subgraph;
 
 pub use attr::{Attribute, AttributeCounts};
+pub use bitset::{BitMatrix, Bitset};
 pub use builder::{BuildError, GraphBuilder};
 pub use coloring::Coloring;
 pub use graph::{AttributedGraph, EdgeId, GraphStats, VertexId};

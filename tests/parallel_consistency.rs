@@ -1,0 +1,198 @@
+//! Serial and parallel searches must agree on the optimum.
+//!
+//! The parallel search (`ThreadCount::Fixed(n)` / `Auto`) shares one incumbent across
+//! worker threads and dispatches components largest-first; none of that may change the
+//! *size* of the returned maximum fair clique — only which of several same-size optima
+//! is reported. This suite pins that contract on every fixture, on multi-component
+//! synthetic graphs from `rfc-datasets`, and on the case studies, for every
+//! [`BranchOrder`].
+//!
+//! The thread counts under test are env-driven so CI can sweep them:
+//! `RFC_TEST_THREADS=4` tests exactly 4 workers (1 = the serial path), unset tests
+//! 2 and 4.
+
+use rfc_core::prelude::*;
+use rfc_datasets::case_study::CaseStudy;
+use rfc_datasets::synthetic::{disjoint_union, erdos_renyi, plant_cliques, PlantedClique};
+use rfc_graph::fixtures;
+
+const ORDERS: [BranchOrder; 3] = [
+    BranchOrder::ColorfulCore,
+    BranchOrder::Degeneracy,
+    BranchOrder::VertexId,
+];
+
+/// Thread counts to exercise, from `RFC_TEST_THREADS` (see module docs).
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("RFC_TEST_THREADS") {
+        Ok(v) => vec![v
+            .parse()
+            .expect("RFC_TEST_THREADS must be a thread count such as 1 or 4")],
+        Err(_) => vec![2, 4],
+    }
+}
+
+fn config(order: BranchOrder, threads: ThreadCount, heuristic: bool) -> SearchConfig {
+    SearchConfig {
+        branch_order: order,
+        use_heuristic: heuristic,
+        threads,
+        ..SearchConfig::default()
+    }
+}
+
+/// Asserts serial and parallel searches agree on `g` for the given parameters, and
+/// that every returned clique actually is a relative fair clique.
+fn assert_serial_parallel_agree(g: &AttributedGraph, params: FairCliqueParams, label: &str) {
+    for order in ORDERS {
+        for heuristic in [false, true] {
+            let serial = max_fair_clique(g, params, &config(order, ThreadCount::Serial, heuristic));
+            let serial_size = serial.best.as_ref().map(|c| c.size());
+            if let Some(clique) = &serial.best {
+                assert!(
+                    rfc_core::verify::is_relative_fair_clique(g, &clique.vertices, params),
+                    "{label}: serial clique invalid ({order:?})"
+                );
+            }
+            for &n in &thread_counts() {
+                let threads = if n <= 1 {
+                    ThreadCount::Serial
+                } else {
+                    ThreadCount::Fixed(n)
+                };
+                let parallel = max_fair_clique(g, params, &config(order, threads, heuristic));
+                assert_eq!(
+                    serial_size,
+                    parallel.best.as_ref().map(|c| c.size()),
+                    "{label}: optimum differs ({order:?}, heuristic={heuristic}, {n} threads)"
+                );
+                if let Some(clique) = &parallel.best {
+                    assert!(
+                        rfc_core::verify::is_relative_fair_clique(g, &clique.vertices, params),
+                        "{label}: parallel clique invalid ({order:?}, {n} threads)"
+                    );
+                }
+                // Threading must not change the component partition itself.
+                assert_eq!(
+                    serial.stats.components_searched, parallel.stats.components_searched,
+                    "{label}: component count diverged ({order:?}, {n} threads)"
+                );
+            }
+        }
+    }
+}
+
+/// A multi-component synthetic workload: several ER blobs, each with one planted fair
+/// clique of a different size, so the optimum hides in exactly one component and the
+/// shared incumbent has real cross-component work to do.
+fn multi_component_graph() -> AttributedGraph {
+    let blobs: Vec<AttributedGraph> = [(4usize, 41u64), (5, 42), (3, 43), (6, 44)]
+        .iter()
+        .map(|&(half, seed)| {
+            let background = erdos_renyi(120, 0.04, 0.5, seed);
+            let planted = PlantedClique {
+                count_a: half,
+                count_b: half,
+            };
+            plant_cliques(&background, &[planted], seed ^ 0xfeed).0
+        })
+        .collect();
+    disjoint_union(&blobs)
+}
+
+#[test]
+fn fixtures_agree_across_thread_counts() {
+    for (g, label) in [
+        (fixtures::fig1_graph(), "fig1"),
+        (fixtures::fig2_graph(), "fig2"),
+        (fixtures::two_cliques_with_bridge(8, 6), "bridge"),
+        (fixtures::balanced_clique(10), "balanced-clique"),
+    ] {
+        for (k, delta) in [(1usize, 1usize), (2, 1), (3, 2)] {
+            let params = FairCliqueParams::new(k, delta).unwrap();
+            assert_serial_parallel_agree(&g, params, label);
+        }
+    }
+}
+
+#[test]
+fn multi_component_synthetic_agrees_across_thread_counts() {
+    let g = multi_component_graph();
+    for (k, delta) in [(2usize, 1usize), (3, 1)] {
+        let params = FairCliqueParams::new(k, delta).unwrap();
+        assert_serial_parallel_agree(&g, params, "multi-component");
+    }
+    // The biggest planted clique (6 + 6) must be found no matter the thread count.
+    let params = FairCliqueParams::new(3, 1).unwrap();
+    for &n in &thread_counts() {
+        let threads = if n <= 1 {
+            ThreadCount::Serial
+        } else {
+            ThreadCount::Fixed(n)
+        };
+        let outcome = max_fair_clique(
+            &g,
+            params,
+            &config(BranchOrder::ColorfulCore, threads, true),
+        );
+        assert!(outcome.best.expect("planted clique exists").size() >= 12);
+    }
+}
+
+#[test]
+fn case_studies_agree_across_thread_counts() {
+    for case in CaseStudy::ALL {
+        let cs = case.generate();
+        let params = FairCliqueParams::new(cs.default_k, cs.default_delta).unwrap();
+        let serial = max_fair_clique(
+            &cs.graph,
+            params,
+            &config(BranchOrder::ColorfulCore, ThreadCount::Serial, true),
+        );
+        for &n in &thread_counts() {
+            let parallel = max_fair_clique(
+                &cs.graph,
+                params,
+                &config(
+                    BranchOrder::ColorfulCore,
+                    ThreadCount::Fixed(n.max(1)),
+                    true,
+                ),
+            );
+            assert_eq!(
+                serial.best.as_ref().map(|c| c.size()),
+                parallel.best.as_ref().map(|c| c.size()),
+                "{} with {n} threads",
+                case.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn weak_and_strong_models_agree_in_parallel() {
+    use rfc_core::search::{max_strong_fair_clique, max_weak_fair_clique};
+    let g = multi_component_graph();
+    for &n in &thread_counts() {
+        let serial = SearchConfig::default().with_threads(ThreadCount::Serial);
+        let parallel = SearchConfig::default().with_threads(ThreadCount::Fixed(n.max(2)));
+        for k in [2usize, 3] {
+            assert_eq!(
+                max_weak_fair_clique(&g, k, &serial).best.map(|c| c.size()),
+                max_weak_fair_clique(&g, k, &parallel)
+                    .best
+                    .map(|c| c.size()),
+                "weak, k={k}, {n} threads"
+            );
+            assert_eq!(
+                max_strong_fair_clique(&g, k, &serial)
+                    .best
+                    .map(|c| c.size()),
+                max_strong_fair_clique(&g, k, &parallel)
+                    .best
+                    .map(|c| c.size()),
+                "strong, k={k}, {n} threads"
+            );
+        }
+    }
+}
