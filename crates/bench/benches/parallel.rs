@@ -7,6 +7,14 @@
 //! * `parallel/intersection` — the branch hot loop in isolation: `candidates ∩ N(v)`
 //!   as the pre-PR sorted-vec filter (binary-searched `has_edge` per candidate) versus
 //!   the bitset word-wise AND the search now uses.
+//!
+//! Besides the human-readable criterion output, the thread-scaling benchmark writes
+//! machine-readable mean timings to `BENCH_parallel.json` at the repository root (via
+//! [`rfc_bench::report::write_json_results`]) so the perf trajectory can be tracked
+//! across commits.
+
+use std::path::Path;
+use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -19,30 +27,57 @@ use rfc_datasets::synthetic::erdos_renyi;
 use rfc_graph::bitset::{BitMatrix, Bitset};
 use rfc_graph::VertexId;
 
+/// The thread-count sweep shared by the criterion group and the JSON emitter.
+const THREAD_CASES: [(&str, ThreadCount); 3] = [
+    ("serial", ThreadCount::Serial),
+    ("2-threads", ThreadCount::Fixed(2)),
+    ("4-threads", ThreadCount::Fixed(4)),
+];
+
+/// The measured configuration: no heuristic warm start (the incumbent must actually
+/// travel between components for the dispatch order to matter) and only the
+/// vertex-level reduction, so the measured time is dominated by the branch-and-bound
+/// the thread pool actually scales rather than the shared reduction pipeline.
+fn scaling_config(threads: ThreadCount) -> SearchConfig {
+    SearchConfig {
+        reductions: ReductionConfig::core_only(),
+        threads,
+        ..SearchConfig::with_bounds(ExtraBound::ColorfulDegeneracy)
+    }
+}
+
 fn bench_thread_scaling(c: &mut Criterion) {
     let g = multi_component_graph(6, 200, 7);
     let params = FairCliqueParams::new(3, 1).unwrap();
     let mut group = c.benchmark_group("parallel/threads");
     group.sample_size(10);
-    for (label, threads) in [
-        ("serial", ThreadCount::Serial),
-        ("2-threads", ThreadCount::Fixed(2)),
-        ("4-threads", ThreadCount::Fixed(4)),
-    ] {
-        // No heuristic warm start (the incumbent must actually travel between
-        // components for the dispatch order to matter) and only the vertex-level
-        // reduction, so the measured time is dominated by the branch-and-bound the
-        // thread pool actually scales rather than the shared reduction pipeline.
-        let config = SearchConfig {
-            reductions: ReductionConfig::core_only(),
-            threads,
-            ..SearchConfig::with_bounds(ExtraBound::ColorfulDegeneracy)
-        };
+    for (label, threads) in THREAD_CASES {
+        let config = scaling_config(threads);
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| max_fair_clique(&g, params, &config));
         });
     }
     group.finish();
+
+    // Machine-readable mean timings per thread count -> BENCH_parallel.json at the
+    // repository root, so the perf trajectory is tracked without parsing stdout.
+    let mut entries = Vec::new();
+    for (label, threads) in THREAD_CASES {
+        let config = scaling_config(threads);
+        black_box(max_fair_clique(&g, params, &config)); // warm-up
+        const RUNS: u32 = 10;
+        let started = Instant::now();
+        for _ in 0..RUNS {
+            black_box(max_fair_clique(&g, params, &config));
+        }
+        let mean_us = started.elapsed().as_secs_f64() * 1e6 / f64::from(RUNS);
+        entries.push((label.to_string(), mean_us));
+    }
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
+    match rfc_bench::report::write_json_results(&path, "parallel/threads", &entries) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }
 
 fn bench_candidate_intersection(c: &mut Criterion) {

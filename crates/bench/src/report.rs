@@ -1,7 +1,13 @@
-//! Minimal plain-text table formatting used by every experiment binary.
+//! Minimal plain-text table formatting used by every experiment binary, plus a
+//! machine-readable JSON emitter for tracked benchmark results.
 //!
 //! No external dependency: the harness prints fixed-width aligned tables to stdout and
-//! can also emit tab-separated values for downstream plotting.
+//! can also emit tab-separated values for downstream plotting. [`write_json_results`]
+//! writes `BENCH_*.json` files (benchmark name + mean timings per case) so the perf
+//! trajectory of the repo can be tracked across commits without parsing stdout.
+
+use std::io::Write;
+use std::path::Path;
 
 /// A simple column-aligned table.
 #[derive(Debug, Clone)]
@@ -96,6 +102,57 @@ impl Table {
     }
 }
 
+/// Serializes benchmark results as a small JSON document:
+///
+/// ```json
+/// {
+///   "benchmark": "parallel/threads",
+///   "unit": "us",
+///   "results": [
+///     { "name": "serial", "mean_us": 15380.123 },
+///     { "name": "2-threads", "mean_us": 12200.456 }
+///   ]
+/// }
+/// ```
+///
+/// `entries` are `(case name, mean microseconds)` pairs, emitted in order.
+pub fn json_results(benchmark: &str, entries: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"benchmark\": \"{}\",\n",
+        escape_json(benchmark)
+    ));
+    out.push_str("  \"unit\": \"us\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, (name, mean_us)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"mean_us\": {:.3} }}{comma}\n",
+            escape_json(name),
+            mean_us
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`json_results`] to `path` (atomically enough for a benchmark artifact:
+/// create/truncate then a single write).
+pub fn write_json_results(
+    path: &Path,
+    benchmark: &str,
+    entries: &[(String, f64)],
+) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(json_results(benchmark, entries).as_bytes())
+}
+
+/// Escapes the two characters that can break a JSON string in our identifiers.
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// Formats a microsecond count the way the paper's tables do (raw integer µs).
 pub fn micros(us: u128) -> String {
     us.to_string()
@@ -133,6 +190,36 @@ mod tests {
     fn mismatched_row_width_panics() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_results_are_well_formed() {
+        let entries = vec![
+            ("serial".to_string(), 15380.1234),
+            ("2-threads".to_string(), 12200.0),
+        ];
+        let json = json_results("parallel/threads", &entries);
+        assert!(json.contains("\"benchmark\": \"parallel/threads\""));
+        assert!(json.contains("\"unit\": \"us\""));
+        assert!(json.contains("{ \"name\": \"serial\", \"mean_us\": 15380.123 },"));
+        assert!(json.contains("{ \"name\": \"2-threads\", \"mean_us\": 12200.000 }\n"));
+        // Exactly one trailing-comma-free last entry; braces balance.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Quotes and backslashes in names are escaped.
+        let tricky = json_results("a\"b", &[("c\\d".to_string(), 1.0)]);
+        assert!(tricky.contains("a\\\"b"));
+        assert!(tricky.contains("c\\\\d"));
+    }
+
+    #[test]
+    fn json_results_round_trip_to_disk() {
+        let dir = std::env::temp_dir().join("rfc_bench_report_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        write_json_results(&path, "demo", &[("x".to_string(), 2.5)]).unwrap();
+        let read_back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read_back, json_results("demo", &[("x".to_string(), 2.5)]));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

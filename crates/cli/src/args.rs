@@ -10,8 +10,9 @@ USAGE:
   maxfairclique solve     --graph FILE | --edges FILE [--attributes FILE]
                           -k K -d DELTA [--bound cd|cp|d|h|ch|none] [--basic]
                           [--no-heuristic] [--weak] [--strong] [--threads N]
+                          [--time-limit SECS] [--node-limit N] [--top N]
   maxfairclique heuristic --graph FILE | --edges FILE [--attributes FILE]
-                          -k K -d DELTA [--seeds N]
+                          -k K -d DELTA [--seeds N] [--weak] [--strong]
   maxfairclique reduce    --graph FILE | --edges FILE [--attributes FILE]
                           -k K [--output FILE]
   maxfairclique stats     --graph FILE | --edges FILE [--attributes FILE]
@@ -31,6 +32,10 @@ OPTIONS:
   --threads N         worker threads for the search (default / 0: all cores;
                       1: deterministic serial; parallel runs may return a
                       different maximum clique of the same optimal size)
+  --time-limit SECS   wall-clock budget for the search phase (fractional ok);
+                      on exhaustion the verified best-so-far clique is printed
+  --node-limit N      branch-and-bound node budget for the search phase
+  --top N             report the N largest fair cliques instead of just one
   --seeds N           number of greedy seeds for the heuristic (default 8)
   --dataset NAME      themarker | google | dblp | flixster | pokec | aminer
   --case-study NAME   aminer | dbai | nba | imdb
@@ -64,7 +69,7 @@ pub enum Fairness {
 }
 
 /// A fully parsed CLI invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Exact maximum fair clique search.
     Solve {
@@ -84,6 +89,12 @@ pub enum Command {
         fairness: Fairness,
         /// Worker threads for the search (`None`: default, i.e. all cores).
         threads: Option<usize>,
+        /// Wall-clock budget for the search phase, in seconds.
+        time_limit: Option<f64>,
+        /// Branch-node budget for the search phase.
+        node_limit: Option<u64>,
+        /// Report the N largest fair cliques instead of a single maximum one.
+        top: Option<usize>,
     },
     /// Linear-time heuristic only.
     Heuristic {
@@ -95,6 +106,8 @@ pub enum Command {
         delta: usize,
         /// Number of greedy seeds.
         seeds: usize,
+        /// Fairness model.
+        fairness: Fairness,
     },
     /// Run the reduction pipeline and optionally write the reduced graph.
     Reduce {
@@ -151,6 +164,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 | "--delta"
                 | "--bound"
                 | "--threads"
+                | "--time-limit"
+                | "--node-limit"
+                | "--top"
                 | "--seeds"
                 | "--dataset"
                 | "--case-study"
@@ -195,6 +211,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
     };
 
+    let fairness = || -> Result<Fairness, String> {
+        match (has("--weak"), has("--strong")) {
+            (true, true) => Err("`--weak` and `--strong` are mutually exclusive".into()),
+            (true, false) => Ok(Fairness::Weak),
+            (false, true) => Ok(Fairness::Strong),
+            (false, false) => Ok(Fairness::Relative),
+        }
+    };
+
     match sub.as_str() {
         "solve" => {
             let bound = match get("--bound").as_deref() {
@@ -206,18 +231,38 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 Some("none") => ExtraBound::None,
                 Some(other) => return Err(format!("unknown bound `{other}`")),
             };
-            let fairness = match (has("--weak"), has("--strong")) {
-                (true, true) => return Err("`--weak` and `--strong` are mutually exclusive".into()),
-                (true, false) => Fairness::Weak,
-                (false, true) => Fairness::Strong,
-                (false, false) => Fairness::Relative,
-            };
             let threads = match get("--threads") {
                 None => None,
                 Some(v) => Some(
                     v.parse::<usize>()
                         .map_err(|_| format!("invalid value for `--threads`: `{v}`"))?,
                 ),
+            };
+            let time_limit = match get("--time-limit") {
+                None => None,
+                Some(v) => {
+                    let secs = v
+                        .parse::<f64>()
+                        .map_err(|_| format!("invalid value for `--time-limit`: `{v}`"))?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err(format!("invalid value for `--time-limit`: `{v}`"));
+                    }
+                    Some(secs)
+                }
+            };
+            let node_limit = match get("--node-limit") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("invalid value for `--node-limit`: `{v}`"))?,
+                ),
+            };
+            let top = match get("--top") {
+                None => None,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => return Err(format!("invalid value for `--top`: `{v}` (need N >= 1)")),
+                },
             };
             Ok(Command::Solve {
                 input: input()?,
@@ -226,8 +271,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 bound,
                 basic: has("--basic"),
                 no_heuristic: has("--no-heuristic"),
-                fairness,
+                fairness: fairness()?,
                 threads,
+                time_limit,
+                node_limit,
+                top,
             })
         }
         "heuristic" => Ok(Command::Heuristic {
@@ -235,6 +283,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             k: parse_usize("-k", 2)?,
             delta: parse_usize("-d", 1).or_else(|_| parse_usize("--delta", 1))?,
             seeds: parse_usize("--seeds", 8)?,
+            fairness: fairness()?,
         }),
         "reduce" => Ok(Command::Reduce {
             input: input()?,
@@ -282,6 +331,9 @@ mod tests {
                 no_heuristic,
                 fairness,
                 threads,
+                time_limit,
+                node_limit,
+                top,
             } => {
                 assert_eq!(input, GraphInput::Combined("g.graph".into()));
                 assert_eq!((k, delta), (2, 1));
@@ -289,6 +341,7 @@ mod tests {
                 assert!(!basic && !no_heuristic);
                 assert_eq!(fairness, Fairness::Relative);
                 assert_eq!(threads, None);
+                assert_eq!((time_limit, node_limit, top), (None, None, None));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -297,7 +350,7 @@ mod tests {
     #[test]
     fn parses_solve_with_everything() {
         let cmd = parse(&argv(
-            "solve --edges e.txt --attributes a.txt -k 4 -d 2 --bound cp --basic --no-heuristic --strong --threads 4",
+            "solve --edges e.txt --attributes a.txt -k 4 -d 2 --bound cp --basic --no-heuristic --strong --threads 4 --time-limit 2.5 --node-limit 1000 --top 3",
         ))
         .unwrap();
         match cmd {
@@ -310,6 +363,9 @@ mod tests {
                 no_heuristic,
                 fairness,
                 threads,
+                time_limit,
+                node_limit,
+                top,
             } => {
                 assert_eq!(
                     input,
@@ -323,6 +379,9 @@ mod tests {
                 assert!(basic && no_heuristic);
                 assert_eq!(fairness, Fairness::Strong);
                 assert_eq!(threads, Some(4));
+                assert_eq!(time_limit, Some(2.5));
+                assert_eq!(node_limit, Some(1000));
+                assert_eq!(top, Some(3));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -336,6 +395,14 @@ mod tests {
                 seeds: 16,
                 k: 3,
                 delta: 2,
+                fairness: Fairness::Relative,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&argv("heuristic --graph g.graph -k 3 --weak")).unwrap(),
+            Command::Heuristic {
+                fairness: Fairness::Weak,
                 ..
             }
         ));
@@ -373,6 +440,12 @@ mod tests {
         assert!(parse(&argv("solve --graph g --threads many")).is_err());
         assert!(parse(&argv("solve --graph g --threads")).is_err());
         assert!(parse(&argv("solve --graph g --weak --strong")).is_err());
+        assert!(parse(&argv("heuristic --graph g --weak --strong")).is_err());
+        assert!(parse(&argv("solve --graph g --time-limit fast")).is_err());
+        assert!(parse(&argv("solve --graph g --time-limit -1")).is_err());
+        assert!(parse(&argv("solve --graph g --node-limit many")).is_err());
+        assert!(parse(&argv("solve --graph g --top 0")).is_err());
+        assert!(parse(&argv("solve --graph g --top three")).is_err());
         assert!(parse(&argv("generate")).is_err());
         assert!(parse(&argv("generate --dataset a --case-study b")).is_err());
         assert!(parse(&argv("solve positional")).is_err());

@@ -2,12 +2,14 @@
 
 use std::collections::HashMap;
 use std::fs::File;
+use std::time::Duration;
 
 use rfc_core::bounds::BoundConfig;
-use rfc_core::heuristic::{heur_rfc, HeuristicConfig};
-use rfc_core::problem::FairCliqueParams;
+use rfc_core::heuristic::HeuristicConfig;
+use rfc_core::problem::{FairCliqueParams, FairnessModel};
 use rfc_core::reduction::{apply_reductions, ReductionConfig};
-use rfc_core::search::{max_fair_clique, SearchConfig, ThreadCount};
+use rfc_core::search::{SearchConfig, ThreadCount};
+use rfc_core::solver::{Budget, Objective, Query, RfcSolver, Termination};
 use rfc_core::verify;
 use rfc_datasets::case_study::CaseStudy;
 use rfc_datasets::PaperDataset;
@@ -24,6 +26,16 @@ fn thread_count(threads: Option<usize>) -> ThreadCount {
         None | Some(0) => ThreadCount::Auto,
         Some(1) => ThreadCount::Serial,
         Some(n) => ThreadCount::Fixed(n),
+    }
+}
+
+/// Maps the CLI fairness selection onto the core's first-class [`FairnessModel`] —
+/// the weak/strong δ handling lives in `rfc_core` now, not here.
+fn fairness_model(fairness: Fairness, k: usize, delta: usize) -> FairnessModel {
+    match fairness {
+        Fairness::Relative => FairnessModel::Relative { k, delta },
+        Fairness::Weak => FairnessModel::Weak { k },
+        Fairness::Strong => FairnessModel::Strong { k },
     }
 }
 
@@ -57,14 +69,12 @@ pub fn run(command: Command) -> Result<(), String> {
             no_heuristic,
             fairness,
             threads,
+            time_limit,
+            node_limit,
+            top,
         } => {
             let graph = load_graph(&input)?;
-            let effective_delta = match fairness {
-                Fairness::Relative => delta,
-                Fairness::Weak => graph.num_vertices().max(1),
-                Fairness::Strong => 0,
-            };
-            let params = FairCliqueParams::new(k, effective_delta).map_err(|e| e.to_string())?;
+            let model = fairness_model(fairness, k, delta);
             let config = if basic {
                 SearchConfig::basic()
             } else {
@@ -75,25 +85,72 @@ pub fn run(command: Command) -> Result<(), String> {
                 }
             }
             .with_threads(thread_count(threads));
-            let outcome = max_fair_clique(&graph, params, &config);
-            match &outcome.best {
-                None => outln!(
+            let mut budget = Budget::unlimited();
+            if let Some(secs) = time_limit {
+                let limit = Duration::try_from_secs_f64(secs)
+                    .map_err(|_| format!("`--time-limit {secs}` is out of range"))?;
+                budget = budget.with_time_limit(limit);
+            }
+            if let Some(nodes) = node_limit {
+                budget = budget.with_node_limit(nodes);
+            }
+            let mut query = Query::new(model).with_config(config).with_budget(budget);
+            if let Some(n) = top {
+                query = query.with_objective(Objective::TopK(n));
+            }
+            let solver = RfcSolver::new(graph);
+            let solution = solver.solve(&query).map_err(|e| e.to_string())?;
+
+            outln!(out, "model: {model} fairness");
+            match solution.termination {
+                Termination::BudgetExhausted => outln!(
                     out,
-                    "no fair clique exists for k={k} ({fairness:?} fairness)"
+                    "search budget exhausted: showing the verified best-so-far"
                 ),
-                Some(clique) => {
-                    debug_assert!(verify::is_fair_and_clique(&graph, &clique.vertices, params));
+                Termination::Cancelled => {
+                    outln!(out, "search cancelled: showing the verified best-so-far")
+                }
+                Termination::Optimal | Termination::Infeasible => {}
+            }
+            match solution.cliques.as_slice() {
+                [] if solution.termination == Termination::Infeasible => {
+                    outln!(out, "no fair clique exists under {model} fairness")
+                }
+                [] => outln!(out, "no fair clique found within the budget"),
+                cliques => {
+                    for clique in cliques {
+                        debug_assert!(verify::is_fair_clique_under(
+                            solver.graph(),
+                            &clique.vertices,
+                            model
+                        ));
+                    }
+                    let best = &cliques[0];
                     outln!(
                         out,
                         "maximum fair clique: {} vertices (a: {}, b: {})",
-                        clique.size(),
-                        clique.counts.a(),
-                        clique.counts.b()
+                        best.size(),
+                        best.counts.a(),
+                        best.counts.b()
                     );
-                    outln!(out, "vertices: {:?}", clique.vertices);
+                    if cliques.len() > 1 {
+                        for (rank, clique) in cliques.iter().enumerate() {
+                            outln!(
+                                out,
+                                "top {}: {} vertices (a: {}, b: {}): {:?}",
+                                rank + 1,
+                                clique.size(),
+                                clique.counts.a(),
+                                clique.counts.b(),
+                                clique.vertices
+                            );
+                        }
+                    } else {
+                        outln!(out, "vertices: {:?}", best.vertices);
+                    }
                 }
             }
-            let stats = &outcome.stats;
+            let stats = &solution.stats;
             outln!(
                 out,
                 "reduction: {} -> {} edges; search: {} branches, {} bound prunes, {} µs total",
@@ -110,24 +167,26 @@ pub fn run(command: Command) -> Result<(), String> {
             k,
             delta,
             seeds,
+            fairness,
         } => {
             let graph = load_graph(&input)?;
-            let params = FairCliqueParams::new(k, delta).map_err(|e| e.to_string())?;
-            let outcome = heur_rfc(
-                &graph,
-                params,
-                &HeuristicConfig {
+            let model = fairness_model(fairness, k, delta);
+            let solver = RfcSolver::new(graph);
+            let query = Query::new(model).with_config(SearchConfig {
+                heuristic: HeuristicConfig {
                     seeds: seeds.max(1),
                 },
-            );
+                ..SearchConfig::default()
+            });
+            let outcome = solver.heuristic(&query).map_err(|e| e.to_string())?;
             match &outcome.best {
                 None => outln!(
                     out,
-                    "the heuristic found no fair clique for (k={k}, δ={delta})"
+                    "the heuristic found no fair clique under {model} fairness"
                 ),
                 Some(clique) => outln!(
                     out,
-                    "heuristic fair clique: {} vertices (a: {}, b: {}); upper bound {}",
+                    "heuristic fair clique ({model} fairness): {} vertices (a: {}, b: {}); upper bound {}",
                     clique.size(),
                     clique.counts.a(),
                     clique.counts.b(),
@@ -254,7 +313,20 @@ mod tests {
         run(parse(&argv(&format!("stats --graph {graph_arg}"))).unwrap()).unwrap();
         run(parse(&argv(&format!("solve --graph {graph_arg} -k 5 -d 3"))).unwrap()).unwrap();
         run(parse(&argv(&format!("solve --graph {graph_arg} -k 5 --strong"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("solve --graph {graph_arg} -k 5 --weak"))).unwrap()).unwrap();
+        // Budgeted and top-k solves terminate and print without error.
+        run(parse(&argv(&format!(
+            "solve --graph {graph_arg} -k 5 -d 3 --node-limit 1 --threads 1"
+        )))
+        .unwrap())
+        .unwrap();
+        run(parse(&argv(&format!(
+            "solve --graph {graph_arg} -k 5 -d 3 --time-limit 30 --top 3"
+        )))
+        .unwrap())
+        .unwrap();
         run(parse(&argv(&format!("heuristic --graph {graph_arg} -k 5 -d 3"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("heuristic --graph {graph_arg} -k 5 --weak"))).unwrap()).unwrap();
         let reduced_path = temp_path("nba_reduced.graph");
         run(parse(&argv(&format!(
             "reduce --graph {graph_arg} -k 5 --output {}",
@@ -283,6 +355,27 @@ mod tests {
         .unwrap();
         std::fs::remove_file(&edges_path).ok();
         std::fs::remove_file(&attrs_path).ok();
+    }
+
+    #[test]
+    fn out_of_range_time_limit_is_an_error_not_a_panic() {
+        let edges_path = temp_path("limit_edges.txt");
+        std::fs::write(&edges_path, "0 1\n").unwrap();
+        let edges_arg = edges_path.to_string_lossy().to_string();
+        // Parses as a finite f64 but exceeds what Duration can represent.
+        let err = run(parse(&argv(&format!(
+            "solve --edges {edges_arg} -k 1 -d 0 --time-limit 2e19"
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("--time-limit"), "{err}");
+        // A representable-but-astronomical limit behaves as unlimited (no panic).
+        run(parse(&argv(&format!(
+            "solve --edges {edges_arg} -k 1 -d 0 --time-limit 1e19"
+        )))
+        .unwrap())
+        .unwrap();
+        std::fs::remove_file(&edges_path).ok();
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Exhaustive clique enumeration — the correctness oracle for small graphs.
 
-use rfc_graph::{AttributedGraph, VertexId};
+use rfc_graph::{AttributeCounts, AttributedGraph, VertexId};
 
-use crate::problem::{FairClique, FairCliqueParams};
+use crate::problem::{FairClique, FairCliqueParams, FairnessModel};
 
 /// Finds the maximum relative fair clique by recursively enumerating **every** clique.
 ///
@@ -13,23 +13,41 @@ pub fn brute_force_max_fair_clique(
     g: &AttributedGraph,
     params: FairCliqueParams,
 ) -> Option<FairClique> {
+    brute_force_satisfying(g, |counts| params.is_fair(counts))
+}
+
+/// Finds the maximum fair clique under any [`FairnessModel`] by exhaustive clique
+/// enumeration against the model's *native* constraint ([`FairnessModel::is_fair`]) —
+/// deliberately independent of [`FairnessModel::resolve`] so it can serve as an oracle
+/// for the solver's δ-remapping.
+pub fn brute_force_max_fair_clique_model(
+    g: &AttributedGraph,
+    model: FairnessModel,
+) -> Option<FairClique> {
+    brute_force_satisfying(g, |counts| model.is_fair(counts))
+}
+
+fn brute_force_satisfying(
+    g: &AttributedGraph,
+    is_fair: impl Fn(AttributeCounts) -> bool,
+) -> Option<FairClique> {
     let n = g.num_vertices();
     let mut best: Option<Vec<VertexId>> = None;
     let mut current: Vec<VertexId> = Vec::new();
     let candidates: Vec<VertexId> = (0..n as VertexId).collect();
-    extend(g, params, &mut current, &candidates, &mut best);
+    extend(g, &is_fair, &mut current, &candidates, &mut best);
     best.map(|vs| FairClique::from_vertices(g, vs))
 }
 
 fn extend(
     g: &AttributedGraph,
-    params: FairCliqueParams,
+    is_fair: &impl Fn(AttributeCounts) -> bool,
     current: &mut Vec<VertexId>,
     candidates: &[VertexId],
     best: &mut Option<Vec<VertexId>>,
 ) {
     // Record the current clique if it is fair and larger than the incumbent.
-    if params.is_fair(g.attribute_counts_of(current))
+    if is_fair(g.attribute_counts_of(current))
         && best.as_ref().map_or(true, |b| current.len() > b.len())
     {
         *best = Some(current.clone());
@@ -42,7 +60,7 @@ fn extend(
             .filter(|&u| g.has_edge(u, v))
             .collect();
         current.push(v);
-        extend(g, params, current, &next, best);
+        extend(g, is_fair, current, &next, best);
         current.pop();
     }
 }
@@ -83,6 +101,26 @@ mod tests {
         assert_eq!(best.size(), 6);
         assert_eq!(best.counts.a(), 3);
         assert_eq!(best.counts.b(), 3);
+    }
+
+    #[test]
+    fn model_oracle_brackets_the_relative_model() {
+        let g = fixtures::fig1_graph();
+        let weak = brute_force_max_fair_clique_model(&g, FairnessModel::Weak { k: 3 }).unwrap();
+        let strong = brute_force_max_fair_clique_model(&g, FairnessModel::Strong { k: 3 }).unwrap();
+        let relative =
+            brute_force_max_fair_clique_model(&g, FairnessModel::Relative { k: 3, delta: 1 })
+                .unwrap();
+        assert_eq!(weak.size(), 8);
+        assert_eq!(strong.size(), 6);
+        assert_eq!(relative.size(), 7);
+        assert_eq!(strong.counts.a(), strong.counts.b());
+        // The relative variant agrees with the params-based oracle.
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        assert_eq!(
+            relative.size(),
+            brute_force_max_fair_clique(&g, params).unwrap().size()
+        );
     }
 
     #[test]

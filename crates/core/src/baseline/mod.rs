@@ -17,7 +17,7 @@ mod bron_kerbosch;
 mod brute;
 
 pub use bron_kerbosch::{bron_kerbosch_max_fair_clique, enumerate_maximal_cliques};
-pub use brute::brute_force_max_fair_clique;
+pub use brute::{brute_force_max_fair_clique, brute_force_max_fair_clique_model};
 
 use rfc_graph::{AttributedGraph, VertexId};
 

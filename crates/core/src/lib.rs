@@ -18,23 +18,46 @@
 //! * **Baselines** ([`baseline`]): a Bron–Kerbosch maximal-clique sweep and a
 //!   brute-force oracle, used both as experimental baselines and as correctness oracles
 //!   in the test suite.
+//! * **The multi-query solver** ([`solver`]): [`RfcSolver`] computes the
+//!   query-independent preprocessing once and then serves many queries — each with a
+//!   first-class [`FairnessModel`] (relative / weak / strong), an [`Objective`]
+//!   (maximum or top-k), a time/node [`Budget`] and an optional
+//!   [`CancelToken`] — returning structured [`Solution`]s whose
+//!   [`Termination`] distinguishes exact answers from budgeted best-so-far results.
 //!
 //! ## Quick start
+//!
+//! Build an [`RfcSolver`] once, then query it as often as you like:
 //!
 //! ```
 //! use rfc_core::prelude::*;
 //! use rfc_graph::fixtures;
 //!
-//! let g = fixtures::fig1_graph();
-//! let params = FairCliqueParams::new(3, 1).unwrap();
-//! let outcome = max_fair_clique(&g, params, &SearchConfig::default());
-//! let best = outcome.best.expect("the example graph contains a fair clique");
+//! let solver = RfcSolver::new(fixtures::fig1_graph());
+//!
+//! // The paper's relative model: >= 3 of each attribute, imbalance <= 1.
+//! let relative = solver
+//!     .solve(&Query::new(FairnessModel::Relative { k: 3, delta: 1 }))
+//!     .unwrap();
+//! assert_eq!(relative.termination, Termination::Optimal);
+//! let best = relative.best().expect("the example graph contains a fair clique");
 //! assert_eq!(best.size(), 7);
-//! assert!(rfc_core::verify::is_relative_fair_clique(&g, &best.vertices, params));
+//! assert!(rfc_core::verify::is_fair_clique_under(
+//!     solver.graph(),
+//!     &best.vertices,
+//!     FairnessModel::Relative { k: 3, delta: 1 },
+//! ));
+//!
+//! // Weak / strong fairness reuse the same cached preprocessing (same k).
+//! let weak = solver.solve(&Query::new(FairnessModel::Weak { k: 3 })).unwrap();
+//! assert_eq!(weak.best().unwrap().size(), 8);
+//! assert!(weak.reduction_cache_hit);
 //! ```
 //!
-//! The search is exact: it returns a maximum relative fair clique (there may be several
-//! of the same size; ties are broken deterministically).
+//! The one-shot [`max_fair_clique`] free function remains as a compatibility wrapper
+//! over a throwaway solver. The search is exact: it returns a maximum fair clique
+//! (there may be several of the same size; ties are broken deterministically in
+//! serial mode).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,19 +68,26 @@ pub mod heuristic;
 pub mod problem;
 pub mod reduction;
 pub mod search;
+pub mod solver;
 pub mod verify;
 
-pub use problem::{FairClique, FairCliqueParams, ParamError};
+pub use problem::{FairClique, FairCliqueParams, FairnessModel, ParamError};
 pub use search::{max_fair_clique, SearchConfig, SearchOutcome, SearchStats};
+pub use solver::{
+    Budget, CancelToken, Objective, Query, RfcSolver, Solution, SolveError, Termination,
+};
 
 /// Commonly used items for glob import.
 pub mod prelude {
     pub use crate::bounds::{BoundConfig, ExtraBound};
     pub use crate::heuristic::{heur_rfc, HeuristicConfig};
-    pub use crate::problem::{FairClique, FairCliqueParams};
+    pub use crate::problem::{FairClique, FairCliqueParams, FairnessModel};
     pub use crate::reduction::{ReductionConfig, ReductionStats};
     pub use crate::search::{
         max_fair_clique, BranchOrder, SearchConfig, SearchOutcome, SearchStats, ThreadCount,
+    };
+    pub use crate::solver::{
+        Budget, CancelToken, Objective, Query, RfcSolver, Solution, SolveError, Termination,
     };
     pub use rfc_graph::prelude::*;
 }

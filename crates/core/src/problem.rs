@@ -20,6 +20,115 @@ impl std::fmt::Display for ParamError {
 
 impl std::error::Error for ParamError {}
 
+/// A first-class fairness model, as surveyed in Section II of the paper.
+///
+/// The paper's search algorithms are parameterized by the *relative* model `(k, δ)`;
+/// the weak and strong models of the earlier literature are exactly its two extremes:
+///
+/// * [`Weak`](FairnessModel::Weak) — at least `k` vertices of each attribute, no
+///   constraint on the imbalance (`δ = ∞`).
+/// * [`Strong`](FairnessModel::Strong) — exactly equal attribute counts, both at least
+///   `k` (`δ = 0`).
+/// * [`Relative`](FairnessModel::Relative) — the general `(k, δ)` model of Definition 1.
+///
+/// [`resolve`](FairnessModel::resolve) maps any model onto concrete
+/// [`FairCliqueParams`] for the search machinery (reductions, bounds, heuristic, and
+/// the branch-and-bound all consume the resolved parameters), while
+/// [`is_fair`](FairnessModel::is_fair) states each model's constraint directly so
+/// verification never depends on that mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FairnessModel {
+    /// The relative fair clique model: `cnt(a) ≥ k`, `cnt(b) ≥ k`,
+    /// `|cnt(a) − cnt(b)| ≤ δ`.
+    Relative {
+        /// Minimum number of vertices of each attribute.
+        k: usize,
+        /// Maximum allowed difference between the two attribute counts.
+        delta: usize,
+    },
+    /// The weak fair clique model: `cnt(a) ≥ k` and `cnt(b) ≥ k`.
+    Weak {
+        /// Minimum number of vertices of each attribute.
+        k: usize,
+    },
+    /// The strong fair clique model: `cnt(a) = cnt(b) ≥ k`.
+    Strong {
+        /// Minimum (and exactly equal) number of vertices of each attribute.
+        k: usize,
+    },
+}
+
+impl FairnessModel {
+    /// The `k` parameter common to all three models.
+    #[inline]
+    pub fn k(&self) -> usize {
+        match *self {
+            FairnessModel::Relative { k, .. }
+            | FairnessModel::Weak { k }
+            | FairnessModel::Strong { k } => k,
+        }
+    }
+
+    /// The minimum possible size of a fair clique under this model: `2k`.
+    #[inline]
+    pub fn min_size(&self) -> usize {
+        2 * self.k()
+    }
+
+    /// Validates the model's parameters (`k ≥ 1` for every model).
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.k() == 0 {
+            return Err(ParamError::KMustBePositive);
+        }
+        Ok(())
+    }
+
+    /// Whether attribute counts satisfy this model's fairness constraint, stated
+    /// directly per model (no δ-remapping involved) so it can serve as an independent
+    /// oracle for [`resolve`](FairnessModel::resolve).
+    #[inline]
+    pub fn is_fair(&self, counts: AttributeCounts) -> bool {
+        let (a, b) = (counts.a(), counts.b());
+        match *self {
+            FairnessModel::Relative { k, delta } => a >= k && b >= k && a.abs_diff(b) <= delta,
+            FairnessModel::Weak { k } => a >= k && b >= k,
+            FairnessModel::Strong { k } => a == b && a >= k,
+        }
+    }
+
+    /// Resolves the model to concrete relative-model parameters for a graph with
+    /// `num_vertices` vertices.
+    ///
+    /// The weak model becomes `δ = num_vertices` — no clique of the graph can have an
+    /// imbalance above its vertex count, so the constraint never binds; the strong
+    /// model becomes `δ = 0`. Within any one graph the resolved parameters accept
+    /// exactly the same vertex sets as [`is_fair`](FairnessModel::is_fair).
+    pub fn resolve(&self, num_vertices: usize) -> Result<FairCliqueParams, ParamError> {
+        match *self {
+            FairnessModel::Relative { k, delta } => FairCliqueParams::new(k, delta),
+            FairnessModel::Weak { k } => FairCliqueParams::new(k, num_vertices.max(1)),
+            FairnessModel::Strong { k } => FairCliqueParams::new(k, 0),
+        }
+    }
+}
+
+impl Default for FairnessModel {
+    /// The paper's running-example parameters, `relative (k=2, δ=1)`.
+    fn default() -> Self {
+        FairnessModel::Relative { k: 2, delta: 1 }
+    }
+}
+
+impl std::fmt::Display for FairnessModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FairnessModel::Relative { k, delta } => write!(f, "relative (k={k}, δ={delta})"),
+            FairnessModel::Weak { k } => write!(f, "weak (k={k})"),
+            FairnessModel::Strong { k } => write!(f, "strong (k={k})"),
+        }
+    }
+}
+
 /// The parameters `(k, δ)` of the relative fair clique model (Definition 1).
 ///
 /// A clique `C` is feasible when `cnt_C(a) ≥ k`, `cnt_C(b) ≥ k` and
@@ -153,6 +262,68 @@ mod tests {
         // delta = 0.
         let p0 = FairCliqueParams::new(1, 0).unwrap();
         assert_eq!(p0.best_fair_total(3, 7), Some(6));
+    }
+
+    #[test]
+    fn fairness_model_accessors_and_validation() {
+        let rel = FairnessModel::Relative { k: 3, delta: 1 };
+        let weak = FairnessModel::Weak { k: 2 };
+        let strong = FairnessModel::Strong { k: 4 };
+        assert_eq!((rel.k(), weak.k(), strong.k()), (3, 2, 4));
+        assert_eq!(
+            (rel.min_size(), weak.min_size(), strong.min_size()),
+            (6, 4, 8)
+        );
+        assert!(rel.validate().is_ok());
+        assert_eq!(
+            FairnessModel::Weak { k: 0 }.validate(),
+            Err(ParamError::KMustBePositive)
+        );
+        assert_eq!(rel.to_string(), "relative (k=3, δ=1)");
+        assert_eq!(weak.to_string(), "weak (k=2)");
+        assert_eq!(strong.to_string(), "strong (k=4)");
+    }
+
+    #[test]
+    fn fairness_model_native_constraints() {
+        let counts = AttributeCounts::from_counts(4, 2);
+        assert!(FairnessModel::Weak { k: 2 }.is_fair(counts));
+        assert!(!FairnessModel::Weak { k: 3 }.is_fair(counts));
+        assert!(!FairnessModel::Relative { k: 2, delta: 1 }.is_fair(counts));
+        assert!(FairnessModel::Relative { k: 2, delta: 2 }.is_fair(counts));
+        assert!(!FairnessModel::Strong { k: 2 }.is_fair(counts));
+        assert!(FairnessModel::Strong { k: 2 }.is_fair(AttributeCounts::from_counts(3, 3)));
+        assert!(!FairnessModel::Strong { k: 4 }.is_fair(AttributeCounts::from_counts(3, 3)));
+    }
+
+    #[test]
+    fn fairness_model_resolution_matches_native_constraints() {
+        // For every model and every reachable (a, b) count pair within an n-vertex
+        // graph, the resolved relative parameters accept exactly the same counts.
+        let n = 12usize;
+        let models = [
+            FairnessModel::Relative { k: 2, delta: 1 },
+            FairnessModel::Relative { k: 1, delta: 0 },
+            FairnessModel::Weak { k: 2 },
+            FairnessModel::Strong { k: 3 },
+        ];
+        for model in models {
+            let params = model.resolve(n).unwrap();
+            for a in 0..=n {
+                for b in 0..=(n - a) {
+                    let counts = AttributeCounts::from_counts(a, b);
+                    assert_eq!(
+                        model.is_fair(counts),
+                        params.is_fair(counts),
+                        "{model} with counts ({a}, {b})"
+                    );
+                }
+            }
+        }
+        // Resolution validates k.
+        assert!(FairnessModel::Strong { k: 0 }.resolve(5).is_err());
+        // The weak model resolves to a δ that can never bind, even on empty graphs.
+        assert_eq!(FairnessModel::Weak { k: 1 }.resolve(0).unwrap().delta, 1);
     }
 
     #[test]

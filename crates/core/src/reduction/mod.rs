@@ -27,7 +27,11 @@ use rfc_graph::AttributedGraph;
 use crate::problem::FairCliqueParams;
 
 /// Which reduction stages to run, in pipeline order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` because `(k, ReductionConfig)` keys the [`RfcSolver`](crate::solver::RfcSolver)
+/// reduced-graph cache: no reduction stage looks at `δ`, so queries that differ only in
+/// fairness model or `δ` share one preprocessing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReductionConfig {
     /// Run the enhanced colorful (k−1)-core vertex reduction (`EnColorfulCore`).
     pub en_colorful_core: bool,

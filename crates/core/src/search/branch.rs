@@ -13,6 +13,7 @@ use rfc_graph::{Attribute, AttributeCounts, VertexId};
 use crate::bounds::{instance_upper_bound, ExtraBound};
 use crate::problem::FairCliqueParams;
 
+use super::control::SearchControl;
 use super::ordering::{ordering_sequence, positions_of};
 use super::parallel::SharedIncumbent;
 use super::{SearchConfig, SearchStats};
@@ -30,6 +31,9 @@ pub(super) struct ComponentSearch<'a> {
     config: &'a SearchConfig,
     stats: &'a mut SearchStats,
     incumbent: &'a SharedIncumbent,
+    /// Budget/cancellation control; checked once per node so exhausted budgets unwind
+    /// the whole recursion promptly.
+    ctrl: &'a SearchControl,
     /// `order[rank]` is the component-local vertex with that branching rank.
     order: Vec<VertexId>,
     /// Adjacency over ranks: bit `r` of row `q` is set iff the vertices ranked `q` and
@@ -49,6 +53,7 @@ impl<'a> ComponentSearch<'a> {
         config: &'a SearchConfig,
         stats: &'a mut SearchStats,
         incumbent: &'a SharedIncumbent,
+        ctrl: &'a SearchControl,
     ) -> Self {
         let cg = &sub.graph;
         let n = cg.num_vertices();
@@ -70,6 +75,7 @@ impl<'a> ComponentSearch<'a> {
             config,
             stats,
             incumbent,
+            ctrl,
             order,
             adj,
             attr_a,
@@ -85,6 +91,9 @@ impl<'a> ComponentSearch<'a> {
     }
 
     fn branch(&mut self, counts: AttributeCounts, candidates: &Bitset, depth: usize) {
+        if self.ctrl.on_node() {
+            return;
+        }
         self.stats.branches += 1;
         let cg = &self.sub.graph;
         let params = self.params;
@@ -158,6 +167,9 @@ impl<'a> ComponentSearch<'a> {
         let mut rest = candidates.clone();
         let mut remaining = cand_total;
         while let Some(rank) = rest.first_set() {
+            if self.ctrl.stopped() {
+                break;
+            }
             // Even taking every remaining candidate cannot beat the incumbent.
             if self.r.len() + remaining <= self.incumbent.size()
                 || self.r.len() + remaining < params.min_size()
@@ -194,7 +206,8 @@ mod tests {
         let sub = induced_subgraph(g, &all);
         let mut stats = SearchStats::default();
         let incumbent = SharedIncumbent::with_floor(incumbent_size);
-        ComponentSearch::new(&sub, params, config, &mut stats, &incumbent).run();
+        let ctrl = SearchControl::unlimited();
+        ComponentSearch::new(&sub, params, config, &mut stats, &incumbent, &ctrl).run();
         (incumbent.into_best(), stats)
     }
 
@@ -248,8 +261,9 @@ mod tests {
         let config = SearchConfig::default();
         let mut stats = SearchStats::default();
         let incumbent = SharedIncumbent::new(None);
+        let ctrl = SearchControl::unlimited();
         let params = FairCliqueParams::new(2, 1).unwrap();
-        let search = ComponentSearch::new(&sub, params, &config, &mut stats, &incumbent);
+        let search = ComponentSearch::new(&sub, params, &config, &mut stats, &incumbent, &ctrl);
         let n = sub.graph.num_vertices();
         for qr in 0..n {
             for rr in 0..n {

@@ -1,0 +1,228 @@
+//! Cooperative stop control for the branch-and-bound: time/node budgets and
+//! cancellation.
+//!
+//! A [`SearchControl`] is shared by every component search of one query (and every
+//! worker thread in parallel mode). The branch recursion calls [`on_node`] once per
+//! node; when a budget is exhausted or the query's [`CancelToken`] fires, a sticky
+//! stop flag is set and every frame unwinds promptly. The incumbent found so far is
+//! untouched, so a stopped search still returns a valid (possibly suboptimal)
+//! best-so-far.
+//!
+//! An unlimited control (no deadline, no node limit, no token) compiles the per-node
+//! check down to a single predictable branch, so queries that don't use budgets pay
+//! essentially nothing.
+//!
+//! [`on_node`]: SearchControl::on_node
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::Instant;
+
+use crate::solver::{Budget, CancelToken};
+
+/// Why a search stopped before running to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StopReason {
+    /// The time or node budget was exhausted.
+    Budget,
+    /// The query's [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+/// Shared stop state for one query's branch-and-bound.
+#[derive(Debug)]
+pub(crate) struct SearchControl {
+    /// Fast path: `false` means no deadline, no node limit and no cancel token, so
+    /// [`on_node`](Self::on_node) returns immediately.
+    active: bool,
+    /// Wall-clock instant after which the search must stop.
+    deadline: Option<Instant>,
+    /// Maximum number of branch nodes across all components and workers
+    /// (`u64::MAX` when unlimited).
+    node_limit: u64,
+    /// Cooperative cancellation token, if the query carries one.
+    cancel: Option<CancelToken>,
+    /// Branch nodes counted so far (shared across workers).
+    nodes: AtomicU64,
+    /// Sticky stop flag: `0` running, otherwise a [`StopReason`] + 1.
+    stop: AtomicU8,
+}
+
+impl SearchControl {
+    /// A control that never stops the search.
+    #[cfg(test)]
+    pub(crate) fn unlimited() -> Self {
+        Self::new(&Budget::default(), None)
+    }
+
+    /// Builds the control for one query. The deadline is anchored at this call, so
+    /// construct it when the query's search phase starts.
+    pub(crate) fn new(budget: &Budget, cancel: Option<CancelToken>) -> Self {
+        // A time limit too large for the clock to represent can never fire: treat it
+        // as unlimited instead of panicking on `Instant` overflow.
+        let deadline = budget
+            .time_limit
+            .and_then(|limit| Instant::now().checked_add(limit));
+        let node_limit = budget.node_limit.unwrap_or(u64::MAX);
+        Self {
+            active: deadline.is_some() || node_limit != u64::MAX || cancel.is_some(),
+            deadline,
+            node_limit,
+            cancel,
+            nodes: AtomicU64::new(0),
+            stop: AtomicU8::new(0),
+        }
+    }
+
+    /// Whether the stop flag has been raised. Cheap enough for inner loops.
+    #[inline]
+    pub(crate) fn stopped(&self) -> bool {
+        self.active && self.stop.load(Ordering::Relaxed) != 0
+    }
+
+    /// Counts one branch node and returns `true` if the search must stop.
+    ///
+    /// The node counter is exact (one shared atomic increment per node); the clock is
+    /// only consulted on the first node and every 64th node thereafter, so a
+    /// `time_limit` of zero still trips deterministically on the very first node while
+    /// steady-state nodes stay syscall-free.
+    #[inline]
+    pub(crate) fn on_node(&self) -> bool {
+        if !self.active {
+            return false;
+        }
+        if self.stop.load(Ordering::Relaxed) != 0 {
+            return true;
+        }
+        let n = self.nodes.fetch_add(1, Ordering::Relaxed) + 1;
+        if n > self.node_limit {
+            self.trip(StopReason::Budget);
+            return true;
+        }
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                self.trip(StopReason::Cancelled);
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if n % 64 == 1 && Instant::now() >= deadline {
+                self.trip(StopReason::Budget);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Why the search stopped, or `None` if it ran to completion.
+    pub(crate) fn stop_reason(&self) -> Option<StopReason> {
+        match self.stop.load(Ordering::Relaxed) {
+            0 => None,
+            1 => Some(StopReason::Budget),
+            _ => Some(StopReason::Cancelled),
+        }
+    }
+
+    /// Total branch nodes counted (0 when the control is inactive — the stats'
+    /// `branches` counter is the authoritative number there).
+    #[cfg(test)]
+    pub(crate) fn nodes_visited(&self) -> u64 {
+        self.nodes.load(Ordering::Relaxed)
+    }
+
+    /// Raises the stop flag; the first reason to trip wins.
+    fn trip(&self, reason: StopReason) {
+        let value = match reason {
+            StopReason::Budget => 1,
+            StopReason::Cancelled => 2,
+        };
+        let _ = self
+            .stop
+            .compare_exchange(0, value, Ordering::Relaxed, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_control_never_stops() {
+        let ctrl = SearchControl::unlimited();
+        for _ in 0..10_000 {
+            assert!(!ctrl.on_node());
+        }
+        assert!(!ctrl.stopped());
+        assert_eq!(ctrl.stop_reason(), None);
+        // Inactive controls skip the node counter entirely.
+        assert_eq!(ctrl.nodes_visited(), 0);
+    }
+
+    #[test]
+    fn node_limit_trips_exactly_after_the_budget() {
+        let budget = Budget::default().with_node_limit(5);
+        let ctrl = SearchControl::new(&budget, None);
+        for _ in 0..5 {
+            assert!(!ctrl.on_node());
+        }
+        assert!(ctrl.on_node());
+        assert!(ctrl.stopped());
+        assert_eq!(ctrl.stop_reason(), Some(StopReason::Budget));
+        // The flag is sticky.
+        assert!(ctrl.on_node());
+    }
+
+    #[test]
+    fn zero_time_limit_trips_on_the_first_node() {
+        let budget = Budget::default().with_time_limit(Duration::ZERO);
+        let ctrl = SearchControl::new(&budget, None);
+        assert!(ctrl.on_node());
+        assert_eq!(ctrl.stop_reason(), Some(StopReason::Budget));
+    }
+
+    #[test]
+    fn absurdly_large_time_limit_behaves_as_unlimited() {
+        // `Instant + Duration` would panic on overflow; the control must degrade to
+        // "no deadline" instead (a limit centuries away can never fire anyway).
+        let budget = Budget::default().with_time_limit(Duration::from_secs(u64::MAX));
+        let ctrl = SearchControl::new(&budget, None);
+        for _ in 0..200 {
+            assert!(!ctrl.on_node());
+        }
+        assert_eq!(ctrl.stop_reason(), None);
+    }
+
+    #[test]
+    fn cancellation_wins_over_later_budget_trips() {
+        let token = CancelToken::new();
+        let budget = Budget::default().with_node_limit(100);
+        let ctrl = SearchControl::new(&budget, Some(token.clone()));
+        assert!(!ctrl.on_node());
+        token.cancel();
+        assert!(ctrl.on_node());
+        assert_eq!(ctrl.stop_reason(), Some(StopReason::Cancelled));
+        // Subsequent node-limit exhaustion cannot overwrite the sticky reason.
+        for _ in 0..200 {
+            ctrl.on_node();
+        }
+        assert_eq!(ctrl.stop_reason(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn node_counter_is_shared_and_exact() {
+        let budget = Budget::default().with_node_limit(u64::MAX - 1);
+        let ctrl = SearchControl::new(&budget, None);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let ctrl = &ctrl;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        ctrl.on_node();
+                    }
+                });
+            }
+        });
+        assert_eq!(ctrl.nodes_visited(), 4000);
+        assert!(!ctrl.stopped());
+    }
+}

@@ -1,6 +1,8 @@
 //! The `MaxRFC` branch-and-bound framework (Section IV, Algorithms 2–3).
 //!
-//! [`max_fair_clique`] is the crate's main entry point. It:
+//! The crate's primary entry point is the reusable [`RfcSolver`](crate::solver); this
+//! module houses the search engine below it plus the classic one-shot wrappers.
+//! A solve:
 //!
 //! 1. shrinks the input graph with the configured [reduction pipeline](crate::reduction)
 //!    (`EnColorfulCore` → `ColorfulSup` → `EnColorfulSup`, Algorithm 2 lines 1–3);
@@ -25,22 +27,22 @@
 //! rules are applied unchanged. See DESIGN.md §4 for the full discussion.
 
 mod branch;
+pub(crate) mod control;
 mod ordering;
-mod parallel;
+pub(crate) mod parallel;
 
 pub use ordering::{ordering_positions, ordering_sequence, BranchOrder};
 pub use parallel::ThreadCount;
-
-use std::time::Instant;
 
 use rfc_graph::components::components_of_subset;
 use rfc_graph::subgraph::induced_subgraph;
 use rfc_graph::{AttributedGraph, VertexId};
 
 use crate::bounds::BoundConfig;
-use crate::heuristic::{heur_rfc, HeuristicConfig};
-use crate::problem::{FairClique, FairCliqueParams};
-use crate::reduction::{apply_reductions, ReductionConfig, ReductionStats};
+use crate::heuristic::HeuristicConfig;
+use crate::problem::{FairClique, FairCliqueParams, FairnessModel};
+use crate::reduction::{ReductionConfig, ReductionStats};
+use crate::solver::{Query, RfcSolver};
 
 /// Full configuration of the `MaxRFC` search.
 ///
@@ -184,55 +186,94 @@ pub struct SearchOutcome {
 /// Finds a maximum **weak** fair clique: a largest clique with at least `k` vertices of
 /// each attribute, with no constraint on the imbalance (the weak fair clique model of
 /// Pan et al., which the relative model generalizes with `δ = ∞`).
+///
+/// Equivalent to solving [`FairnessModel::Weak`] through a throwaway [`RfcSolver`];
+/// build a solver directly to serve many queries off one preprocessing pass.
 pub fn max_weak_fair_clique(g: &AttributedGraph, k: usize, config: &SearchConfig) -> SearchOutcome {
-    // A δ of |V| can never bind, so the relative model degenerates to the weak one.
-    let params = FairCliqueParams::new(k, g.num_vertices().max(1))
-        .expect("k is validated by the caller-visible constructor below");
-    max_fair_clique(g, params, config)
+    solve_one_shot(g, FairnessModel::Weak { k }, config)
 }
 
 /// Finds a maximum **strong** fair clique: a largest clique with the *same* number of
 /// vertices of each attribute, both at least `k` (the strong fair clique model, i.e.
 /// the relative model with `δ = 0`).
+///
+/// Equivalent to solving [`FairnessModel::Strong`] through a throwaway [`RfcSolver`].
 pub fn max_strong_fair_clique(
     g: &AttributedGraph,
     k: usize,
     config: &SearchConfig,
 ) -> SearchOutcome {
-    let params = FairCliqueParams::new(k, 0).expect("k is validated by FairCliqueParams::new");
-    max_fair_clique(g, params, config)
+    solve_one_shot(g, FairnessModel::Strong { k }, config)
 }
 
 /// Finds a maximum relative fair clique of `g` under `params` — the `MaxRFC` algorithm.
+///
+/// This is the classic one-shot entry point, kept as a thin compatibility wrapper: it
+/// builds a throwaway [`RfcSolver`] (cloning `g` and redoing all preprocessing) and
+/// solves a single unbudgeted [`FairnessModel::Relative`] query. Callers issuing more
+/// than one query over the same graph should build an [`RfcSolver`] once and reuse it.
 pub fn max_fair_clique(
     g: &AttributedGraph,
     params: FairCliqueParams,
     config: &SearchConfig,
 ) -> SearchOutcome {
-    let start = Instant::now();
+    solve_one_shot(
+        g,
+        FairnessModel::Relative {
+            k: params.k,
+            delta: params.delta,
+        },
+        config,
+    )
+}
+
+/// Shared body of the one-shot compatibility wrappers.
+fn solve_one_shot(
+    g: &AttributedGraph,
+    model: FairnessModel,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    let solver = RfcSolver::new(g.clone());
+    let query = Query::new(model).with_config(config.clone());
+    match solver.solve(&query) {
+        Ok(solution) => {
+            let (cliques, stats) = solution.into_parts();
+            SearchOutcome {
+                best: cliques.into_iter().next(),
+                stats,
+            }
+        }
+        // Only reachable by bypassing the validated constructors (e.g. a literal
+        // `FairCliqueParams { k: 0, .. }`): report "no fair clique" instead of
+        // panicking inside a compatibility wrapper.
+        Err(_) => SearchOutcome {
+            best: None,
+            stats: SearchStats::default(),
+        },
+    }
+}
+
+/// Runs the branch-and-bound phase over every eligible connected component of
+/// `reduced`, publishing improvements into `incumbent` and honoring `ctrl`.
+///
+/// This is the engine below [`RfcSolver::solve`]: reduction and the heuristic warm
+/// start have already happened by the time it runs. Returns the search-phase counters
+/// (the caller owns reduction stats and wall-clock time).
+pub(crate) fn branch_and_bound(
+    reduced: &AttributedGraph,
+    params: FairCliqueParams,
+    config: &SearchConfig,
+    incumbent: &parallel::SharedIncumbent,
+    ctrl: &control::SearchControl,
+) -> SearchStats {
     let mut stats = SearchStats::default();
 
-    // Phase 1: graph reduction.
-    let (reduced, reduction_stats) = apply_reductions(g, params, &config.reductions);
-    stats.reduction = reduction_stats;
-
-    // Phase 2: heuristic warm start on the reduced graph; its clique seeds the shared
-    // incumbent so every component search starts with the warm bound.
-    let mut warm_start: Option<Vec<VertexId>> = None;
-    if config.use_heuristic {
-        let outcome = heur_rfc(&reduced, params, &config.heuristic);
-        stats.heuristic_size = outcome.best.as_ref().map(|c| c.size());
-        warm_start = outcome.best.map(|c| c.vertices);
-    }
-    let incumbent = parallel::SharedIncumbent::new(warm_start);
-
-    // Phase 3: branch-and-bound per connected component of the reduced graph. Only
-    // vertices that kept enough neighbors can be part of a fair clique.
+    // Only vertices that kept enough neighbors can be part of a fair clique.
     let active: Vec<VertexId> = reduced
         .vertices()
         .filter(|&v| reduced.degree(v) + 1 >= params.min_size())
         .collect();
-    let mut components: Vec<Vec<VertexId>> = components_of_subset(&reduced, &active)
+    let mut components: Vec<Vec<VertexId>> = components_of_subset(reduced, &active)
         .into_iter()
         .filter(|component| component.len() >= params.min_size())
         .collect();
@@ -242,9 +283,12 @@ pub fn max_fair_clique(
         // Deterministic serial path: components in discovery order, exactly the
         // classic sequential algorithm (improvements still flow through `incumbent`).
         for component in &components {
+            if ctrl.stopped() {
+                break;
+            }
             stats.components_searched += 1;
-            let sub = induced_subgraph(&reduced, component);
-            branch::ComponentSearch::new(&sub, params, config, &mut stats, &incumbent).run();
+            let sub = induced_subgraph(reduced, component);
+            branch::ComponentSearch::new(&sub, params, config, &mut stats, incumbent, ctrl).run();
         }
     } else {
         // Largest components first so the most expensive searches start immediately
@@ -252,22 +296,16 @@ pub fn max_fair_clique(
         // the dispatch order itself reproducible).
         components.sort_unstable_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
         stats += &parallel::search_components(
-            &reduced,
+            reduced,
             &components,
             params,
             config,
             workers,
-            &incumbent,
+            incumbent,
+            ctrl,
         );
     }
-
-    // The incumbent holds parent-graph vertex ids throughout (the component search
-    // maps back through the induced-subgraph vertex map before offering).
-    let best = incumbent
-        .into_best()
-        .map(|vertices| FairClique::from_vertices(g, vertices));
-    stats.elapsed_micros = start.elapsed().as_micros() as u64;
-    SearchOutcome { best, stats }
+    stats
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@ use rfc_graph::{AttributedGraph, VertexId};
 use crate::problem::FairCliqueParams;
 
 use super::branch::ComponentSearch;
+use super::control::SearchControl;
 use super::{SearchConfig, SearchStats};
 
 /// How many worker threads the component-level search uses.
@@ -67,32 +68,75 @@ impl ThreadCount {
     }
 }
 
-/// The best fair clique found so far, shared across component searches (and worker
+/// The best fair cliques found so far, shared across component searches (and worker
 /// threads in parallel mode).
 ///
-/// The size lives in an [`AtomicUsize`] so the branch-and-bound can read the current
-/// bound with a single relaxed load on every node; the clique itself sits behind a
-/// [`Mutex`] that is only touched on strict improvements. The size is monotonically
-/// non-decreasing and always equals the size of a clique that has actually been found
-/// (or the initial floor), so pruning against a possibly-stale read is always sound —
-/// staleness can only mean pruning *less*, never cutting the optimum.
+/// The pool holds up to `capacity` cliques (capacity 1 is the classic single
+/// incumbent; larger capacities implement the top-k objective). The *pruning bound* —
+/// the size a new clique must strictly beat to be worth recording — lives in an
+/// [`AtomicUsize`] so the branch-and-bound can read it with a single relaxed load on
+/// every node; the cliques themselves sit behind a [`Mutex`] that is only touched on
+/// improvements. While the pool has free slots the bound stays at the initial floor,
+/// so nothing that could belong to the top k is pruned; once full it is the size of
+/// the pool's smallest clique. The bound is monotonically non-decreasing, so pruning
+/// against a possibly-stale read is always sound — staleness can only mean pruning
+/// *less*, never cutting a clique that belongs in the pool.
 #[derive(Debug)]
 pub(crate) struct SharedIncumbent {
-    /// Cached size bound, readable without the lock.
-    size: AtomicUsize,
-    /// `(floor, best)`: the authoritative incumbent size and the best clique found so
-    /// far, in original (parent-graph) vertex ids. `best` is `None` while no clique
-    /// beating the initial floor has been found.
-    state: Mutex<(usize, Option<Vec<VertexId>>)>,
+    /// Cached pruning bound, readable without the lock.
+    bound: AtomicUsize,
+    state: Mutex<PoolState>,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    /// Initial size floor: only cliques strictly larger than it are recorded.
+    floor: usize,
+    /// Maximum number of cliques kept.
+    capacity: usize,
+    /// Recorded cliques in original (parent-graph) vertex ids, largest first; ties
+    /// keep insertion order (first found ranks first).
+    cliques: Vec<Vec<VertexId>>,
+}
+
+impl PoolState {
+    /// The size a new clique must strictly exceed to be recorded.
+    fn bound(&self) -> usize {
+        if self.cliques.len() < self.capacity {
+            self.floor
+        } else {
+            let smallest = self.cliques.last().map_or(0, Vec::len);
+            self.floor.max(smallest)
+        }
+    }
 }
 
 impl SharedIncumbent {
-    /// Starts from an initial clique (e.g. the heuristic warm start), or empty.
+    /// A single-incumbent pool starting from an initial clique (e.g. the heuristic
+    /// warm start), or empty.
+    #[cfg(test)]
     pub(crate) fn new(initial: Option<Vec<VertexId>>) -> Self {
-        let size = initial.as_ref().map_or(0, Vec::len);
+        Self::with_capacity(1, initial)
+    }
+
+    /// A pool keeping the `capacity` largest cliques, optionally seeded with an
+    /// initial clique. `capacity` must be at least 1.
+    pub(crate) fn with_capacity(capacity: usize, initial: Option<Vec<VertexId>>) -> Self {
+        debug_assert!(capacity >= 1, "the pool needs room for at least one clique");
+        let state = PoolState {
+            floor: 0,
+            capacity: capacity.max(1),
+            cliques: initial
+                .into_iter()
+                .map(|mut clique| {
+                    clique.sort_unstable();
+                    clique
+                })
+                .collect(),
+        };
         Self {
-            size: AtomicUsize::new(size),
-            state: Mutex::new((size, initial)),
+            bound: AtomicUsize::new(state.bound()),
+            state: Mutex::new(state),
         }
     }
 
@@ -102,41 +146,64 @@ impl SharedIncumbent {
     #[cfg(test)]
     pub(crate) fn with_floor(size: usize) -> Self {
         Self {
-            size: AtomicUsize::new(size),
-            state: Mutex::new((size, None)),
+            bound: AtomicUsize::new(size),
+            state: Mutex::new(PoolState {
+                floor: size,
+                capacity: 1,
+                cliques: Vec::new(),
+            }),
         }
     }
 
-    /// The current incumbent size (a lower bound on the optimum).
+    /// The current pruning bound: branches that cannot produce a clique strictly
+    /// larger than this are useless to this pool. With capacity 1 this is exactly the
+    /// incumbent size (a lower bound on the optimum).
     #[inline]
     pub(crate) fn size(&self) -> usize {
-        self.size.load(Ordering::Relaxed)
+        self.bound.load(Ordering::Relaxed)
     }
 
-    /// Installs `clique` if it is strictly larger than the current incumbent. Returns
-    /// whether it was installed. Ties never replace the incumbent, so the first maximum
-    /// clique to be offered wins.
-    pub(crate) fn offer(&self, clique: Vec<VertexId>) -> bool {
-        // Fast reject without the lock; `size` is monotone so this cannot discard an
-        // actual improvement.
+    /// Installs `clique` if it is strictly larger than the current pruning bound —
+    /// i.e. it improves the single incumbent, or the top-k pool has a free slot or a
+    /// smaller minimum. Returns whether it was installed. Ties at the bound never
+    /// displace a recorded clique, so the first maximum clique to be offered wins.
+    ///
+    /// Cliques are stored with sorted vertex ids, and a clique already in the pool is
+    /// never recorded twice (the branch-and-bound enumerates each clique of the graph
+    /// once, but the heuristic warm start may seed the pool with a clique the search
+    /// later re-discovers).
+    pub(crate) fn offer(&self, mut clique: Vec<VertexId>) -> bool {
+        // Fast reject without the lock; the bound is monotone so this cannot discard
+        // an actual improvement.
         if clique.len() <= self.size() {
             return false;
         }
+        clique.sort_unstable();
         let mut state = self.state.lock().expect("incumbent lock poisoned");
-        if clique.len() > state.0 {
-            state.0 = clique.len();
-            self.size.store(clique.len(), Ordering::Relaxed);
-            state.1 = Some(clique);
-            true
-        } else {
-            false
+        if clique.len() <= state.bound() || state.cliques.contains(&clique) {
+            return false;
         }
+        let at = state.cliques.partition_point(|c| c.len() >= clique.len());
+        state.cliques.insert(at, clique);
+        let capacity = state.capacity;
+        state.cliques.truncate(capacity);
+        self.bound.store(state.bound(), Ordering::Relaxed);
+        true
     }
 
-    /// Consumes the incumbent, returning the best clique found (in original vertex
-    /// ids), if any improved on the initial floor.
+    /// Consumes the pool, returning the best clique found (in original vertex ids),
+    /// if any improved on the initial floor.
+    #[cfg(test)]
     pub(crate) fn into_best(self) -> Option<Vec<VertexId>> {
-        self.state.into_inner().expect("incumbent lock poisoned").1
+        self.into_cliques().into_iter().next()
+    }
+
+    /// Consumes the pool, returning every recorded clique, largest first.
+    pub(crate) fn into_cliques(self) -> Vec<Vec<VertexId>> {
+        self.state
+            .into_inner()
+            .expect("incumbent lock poisoned")
+            .cliques
     }
 }
 
@@ -153,6 +220,7 @@ pub(super) fn search_components(
     config: &SearchConfig,
     workers: usize,
     incumbent: &SharedIncumbent,
+    ctrl: &SearchControl,
 ) -> SearchStats {
     let cursor = AtomicUsize::new(0);
     let mut merged = SearchStats::default();
@@ -162,13 +230,17 @@ pub(super) fn search_components(
                 scope.spawn(|| {
                     let mut local = SearchStats::default();
                     loop {
+                        if ctrl.stopped() {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(component) = components.get(i) else {
                             break;
                         };
                         local.components_searched += 1;
                         let sub = induced_subgraph(reduced, component);
-                        ComponentSearch::new(&sub, params, config, &mut local, incumbent).run();
+                        ComponentSearch::new(&sub, params, config, &mut local, incumbent, ctrl)
+                            .run();
                     }
                     local
                 })
@@ -215,6 +287,43 @@ mod tests {
         let inc2 = SharedIncumbent::with_floor(2);
         assert!(inc2.offer(vec![0, 1, 2]));
         assert_eq!(inc2.into_best(), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn top_k_pool_keeps_the_largest_cliques() {
+        let pool = SharedIncumbent::with_capacity(3, None);
+        // While slots are free the pruning bound stays at the floor…
+        assert_eq!(pool.size(), 0);
+        assert!(pool.offer(vec![0, 1, 2]));
+        assert!(pool.offer(vec![3, 4]));
+        assert_eq!(pool.size(), 0);
+        assert!(pool.offer(vec![5, 6, 7, 8]));
+        // …and once full it is the smallest recorded size.
+        assert_eq!(pool.size(), 2);
+        // A tie with the minimum is rejected; an improvement evicts it.
+        assert!(!pool.offer(vec![9, 10]));
+        assert!(pool.offer(vec![11, 12, 13]));
+        assert_eq!(pool.size(), 3);
+        let cliques = pool.into_cliques();
+        assert_eq!(
+            cliques.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        // Ties keep insertion order: the first size-3 clique found ranks first.
+        assert_eq!(cliques[1], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn top_k_pool_seeded_with_warm_start() {
+        let pool = SharedIncumbent::with_capacity(2, Some(vec![1, 2, 3]));
+        assert_eq!(pool.size(), 0); // one free slot left
+        assert!(pool.offer(vec![4]));
+        assert_eq!(pool.size(), 1); // full: bound is the smaller clique
+        assert!(pool.offer(vec![5, 6]));
+        assert_eq!(
+            pool.into_cliques(),
+            vec![vec![1, 2, 3], vec![5, 6]] // the size-1 clique was evicted
+        );
     }
 
     #[test]

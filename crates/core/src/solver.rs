@@ -1,0 +1,707 @@
+//! The reusable, budgeted, multi-query solver — the crate's primary API.
+//!
+//! [`RfcSolver`] separates the query-*independent* work of maximum fair clique search
+//! from the query-*dependent* work so one graph can serve many queries:
+//!
+//! * **Build once** — [`RfcSolver::new`] takes ownership of the graph and computes the
+//!   state every query shares: a greedy coloring whose color count upper-bounds every
+//!   clique, giving an O(1) infeasibility gate. Reduced graphs are computed lazily and
+//!   cached per `(k, ReductionConfig)`: no reduction stage looks at `δ`, so queries
+//!   that differ only in fairness model or `δ` reuse one reduction pass.
+//! * **Query many** — [`RfcSolver::solve`] answers a [`Query`]: a first-class
+//!   [`FairnessModel`] (relative / weak / strong — the δ-remapping lives in
+//!   [`FairnessModel::resolve`], not in callers), an [`Objective`] (the maximum clique
+//!   or the top-k largest), a [`Budget`] (wall-clock and/or node limits), an optional
+//!   [`CancelToken`], and the usual [`SearchConfig`] knobs.
+//! * **Structured outcomes** — every solve returns a [`Solution`] whose
+//!   [`Termination`] says what the result means: `Optimal` and `Infeasible` are exact
+//!   answers, `BudgetExhausted` and `Cancelled` carry the verified best-so-far.
+//! * **Batching** — [`RfcSolver::solve_batch`] fans independent queries across worker
+//!   threads (the same [`ThreadCount`] infrastructure the component search uses) while
+//!   all of them share the solver's cached preprocessing.
+//!
+//! The classic free functions ([`max_fair_clique`](crate::search::max_fair_clique) and
+//! friends) remain as thin compatibility wrappers over a throwaway solver.
+//!
+//! ```
+//! use rfc_core::prelude::*;
+//! use rfc_graph::fixtures;
+//!
+//! let solver = RfcSolver::new(fixtures::fig1_graph());
+//! let relative = solver
+//!     .solve(&Query::new(FairnessModel::Relative { k: 3, delta: 1 }))
+//!     .unwrap();
+//! let weak = solver.solve(&Query::new(FairnessModel::Weak { k: 3 })).unwrap();
+//! assert_eq!(relative.best().unwrap().size(), 7);
+//! assert_eq!(weak.best().unwrap().size(), 8);
+//! assert!(weak.reduction_cache_hit); // same k: one preprocessing pass served both
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use rfc_graph::coloring::greedy_coloring;
+use rfc_graph::cores::degeneracy;
+use rfc_graph::AttributedGraph;
+
+use crate::heuristic::{heur_rfc, HeuristicOutcome};
+use crate::problem::{FairClique, FairCliqueParams, FairnessModel, ParamError};
+use crate::reduction::{apply_reductions, ReductionConfig, ReductionStats};
+use crate::search::control::{SearchControl, StopReason};
+use crate::search::parallel::SharedIncumbent;
+use crate::search::{branch_and_bound, SearchConfig, SearchStats, ThreadCount};
+
+/// What a [`Query`] asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// A single maximum fair clique (the paper's problem; the [`Default`]).
+    #[default]
+    Maximum,
+    /// The `n` largest fair cliques, best first.
+    ///
+    /// "Fair clique" here is condition (i) of Definition 1 alone, so the result may
+    /// contain cliques nested inside larger ones (every fair subset of a bigger fair
+    /// clique is itself a fair clique). The sizes are exact: no fair clique strictly
+    /// larger than the returned minimum is missed. Ties at the cut-off size keep the
+    /// first clique found, which is deterministic under [`ThreadCount::Serial`].
+    TopK(usize),
+}
+
+/// Resource limits for one query's branch-and-bound phase.
+///
+/// Both limits apply to the exact search; the (linear-time) reduction pipeline and
+/// heuristic warm start always run to completion, which is what makes a budgeted
+/// solve still return a *verified* best-so-far clique rather than nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Wall-clock limit for the search phase. `None` is unlimited.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of branch-and-bound nodes visited (summed across components and
+    /// worker threads). `None` is unlimited.
+    pub node_limit: Option<u64>,
+}
+
+impl Budget {
+    /// No limits (the [`Default`]).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Returns this budget with a wall-clock limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Returns this budget with a branch-node limit.
+    pub fn with_node_limit(mut self, limit: u64) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Whether neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.time_limit.is_none() && self.node_limit.is_none()
+    }
+}
+
+/// A shareable, thread-safe cancellation handle.
+///
+/// Clone the token, hand one copy to the query (via [`Query::with_cancel`]) and keep
+/// the other; calling [`cancel`](CancelToken::cancel) from any thread makes the search
+/// stop at the next branch node and return [`Termination::Cancelled`] with the verified
+/// best-so-far. Cancellation is sticky and affects every query sharing the token.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One question to ask an [`RfcSolver`].
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    /// Which fairness model to solve.
+    pub fairness: FairnessModel,
+    /// What to return: the maximum clique or the top-k largest.
+    pub objective: Objective,
+    /// Time/node limits on the search phase.
+    pub budget: Budget,
+    /// Reductions, bounds, heuristic, branching order, and thread count.
+    pub config: SearchConfig,
+    /// Optional cooperative cancellation handle.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Query {
+    /// A maximum-objective, unlimited, default-config query for the given model.
+    pub fn new(fairness: FairnessModel) -> Self {
+        Self {
+            fairness,
+            ..Self::default()
+        }
+    }
+
+    /// Returns this query with a different objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Returns this query with a budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Returns this query with a search configuration.
+    pub fn with_config(mut self, config: SearchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Returns this query carrying (a clone of) the given cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// How a [`Solution`] came to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The search ran to completion: the result is exact (the maximum fair clique, or
+    /// the exact top-k sizes).
+    Optimal,
+    /// The search ran to completion and proved no fair clique exists.
+    Infeasible,
+    /// A time or node budget was exhausted: the result is the verified best-so-far and
+    /// may be suboptimal (or empty, if nothing was found before the budget ran out).
+    BudgetExhausted,
+    /// The query's [`CancelToken`] fired: the result is the verified best-so-far.
+    Cancelled,
+}
+
+impl Termination {
+    /// Whether the search ran to completion (`Optimal` or `Infeasible`), i.e. the
+    /// solution is exact rather than best-so-far.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Termination::Optimal | Termination::Infeasible)
+    }
+}
+
+/// The structured result of [`RfcSolver::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// The fair cliques found, largest first: at most one for
+    /// [`Objective::Maximum`], at most `n` for [`Objective::TopK`]. Every entry is a
+    /// verified fair clique of the input graph even when the search stopped early.
+    pub cliques: Vec<FairClique>,
+    /// What the result means (exact, infeasible, or best-so-far).
+    pub termination: Termination,
+    /// Counters for the run (reduction pipeline, heuristic, search).
+    pub stats: SearchStats,
+    /// Whether this query reused a reduced graph cached by an earlier query (same `k`
+    /// and reduction config). On a hit `stats.reduction` reports the cached pipeline's
+    /// numbers, including its original stage timings.
+    pub reduction_cache_hit: bool,
+}
+
+impl Solution {
+    /// The largest fair clique found, if any.
+    pub fn best(&self) -> Option<&FairClique> {
+        self.cliques.first()
+    }
+
+    /// Consumes the solution, returning the largest fair clique found.
+    pub fn into_best(self) -> Option<FairClique> {
+        self.cliques.into_iter().next()
+    }
+
+    /// Splits the solution into its cliques and stats (used by the one-shot
+    /// compatibility wrappers).
+    pub fn into_parts(self) -> (Vec<FairClique>, SearchStats) {
+        (self.cliques, self.stats)
+    }
+}
+
+/// Why a [`Query`] could not be solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The fairness model's parameters are invalid (`k = 0`).
+    InvalidParams(ParamError),
+    /// [`Objective::TopK`] with `n = 0` asks for nothing.
+    EmptyTopK,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::InvalidParams(e) => write!(f, "invalid query parameters: {e}"),
+            SolveError::EmptyTopK => write!(f, "top-k objective needs k >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::InvalidParams(e) => Some(e),
+            SolveError::EmptyTopK => None,
+        }
+    }
+}
+
+/// A reduced graph plus the pipeline stats that produced it, shared across queries.
+#[derive(Debug)]
+struct ReducedEntry {
+    graph: AttributedGraph,
+    stats: ReductionStats,
+}
+
+/// A build-once / query-many maximum fair clique solver (see the [module
+/// docs](self) for the full tour).
+///
+/// The solver is `Sync`: concurrent [`solve`](RfcSolver::solve) calls from multiple
+/// threads are safe and share the reduction cache. Two racing queries may both compute
+/// the same missing reduction; the first result is kept, so the cache stays consistent.
+#[derive(Debug)]
+pub struct RfcSolver {
+    graph: AttributedGraph,
+    /// Colors used by a greedy coloring of the graph — an upper bound on the size of
+    /// *any* clique, computed once and used as an O(1) infeasibility gate.
+    num_colors: usize,
+    /// Degeneracy of the graph, computed lazily on first request (no solve path needs
+    /// it, so throwaway solvers built by the one-shot wrappers never pay for it).
+    degeneracy: OnceLock<u32>,
+    /// Reduced graphs keyed by `(k, reduction config)` — everything the reduction
+    /// pipeline depends on. Computed lazily on first use.
+    reductions: Mutex<HashMap<(usize, ReductionConfig), Arc<ReducedEntry>>>,
+    /// Number of reduction pipeline executions (cache misses) so far.
+    preprocessing_runs: AtomicUsize,
+}
+
+impl RfcSolver {
+    /// Builds a solver, computing the query-independent preprocessing state.
+    pub fn new(graph: AttributedGraph) -> Self {
+        let num_colors = greedy_coloring(&graph).num_colors;
+        Self {
+            graph,
+            num_colors,
+            degeneracy: OnceLock::new(),
+            reductions: Mutex::new(HashMap::new()),
+            preprocessing_runs: AtomicUsize::new(0),
+        }
+    }
+
+    /// The graph this solver answers queries about.
+    pub fn graph(&self) -> &AttributedGraph {
+        &self.graph
+    }
+
+    /// Colors of the cached greedy coloring: an upper bound on any clique size, hence
+    /// on any fair clique size.
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// Degeneracy of the graph (computed and cached on first call).
+    pub fn degeneracy(&self) -> u32 {
+        *self.degeneracy.get_or_init(|| degeneracy(&self.graph))
+    }
+
+    /// How many distinct reduction pipelines this solver has executed so far (cache
+    /// misses; queries sharing `(k, reductions)` don't add to this).
+    pub fn preprocessing_runs(&self) -> usize {
+        self.preprocessing_runs.load(Ordering::Relaxed)
+    }
+
+    /// Answers one query. See [`Solution::termination`] for how to read the result.
+    ///
+    /// Errors only on malformed queries (`k = 0`, or an empty top-k objective);
+    /// budget exhaustion and cancellation are expressed through [`Termination`], not
+    /// through `Err`.
+    pub fn solve(&self, query: &Query) -> Result<Solution, SolveError> {
+        self.solve_with_threads(query, query.config.threads)
+    }
+
+    /// Runs the linear-time `HeurRFC` heuristic for a query's fairness model on the
+    /// original (unreduced) graph: a large fair clique plus a coloring-based upper
+    /// bound, without the exact search.
+    pub fn heuristic(&self, query: &Query) -> Result<HeuristicOutcome, SolveError> {
+        let params = self.resolve(query.fairness)?;
+        Ok(heur_rfc(&self.graph, params, &query.config.heuristic))
+    }
+
+    /// Answers many independent queries, fanning them across worker threads while all
+    /// of them share this solver's cached preprocessing.
+    ///
+    /// `threads` controls the *batch-level* fan-out; each query's own search is forced
+    /// to [`ThreadCount::Serial`] when the batch runs multi-threaded, so the machine
+    /// is never oversubscribed and every individual result is as deterministic as a
+    /// serial solve. With `threads` resolving to 1 the queries run sequentially with
+    /// their own `config.threads` untouched.
+    ///
+    /// Results come back in query order, one per query.
+    pub fn solve_batch(
+        &self,
+        queries: &[Query],
+        threads: ThreadCount,
+    ) -> Vec<Result<Solution, SolveError>> {
+        let workers = threads.resolve().min(queries.len());
+        if workers <= 1 {
+            return queries.iter().map(|q| self.solve(q)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<Option<Result<Solution, SolveError>>> = vec![None; queries.len()];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(query) = queries.get(i) else {
+                                break;
+                            };
+                            local.push((i, self.solve_with_threads(query, ThreadCount::Serial)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("batch worker panicked") {
+                    results[i] = Some(result);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every query is dispatched exactly once"))
+            .collect()
+    }
+
+    /// Validates and resolves a fairness model against this solver's graph.
+    fn resolve(&self, fairness: FairnessModel) -> Result<FairCliqueParams, SolveError> {
+        fairness
+            .resolve(self.graph.num_vertices())
+            .map_err(SolveError::InvalidParams)
+    }
+
+    /// The solve pipeline, with the search-phase thread count pinned by the caller
+    /// (batch workers force serial inner searches).
+    fn solve_with_threads(
+        &self,
+        query: &Query,
+        threads: ThreadCount,
+    ) -> Result<Solution, SolveError> {
+        let start = Instant::now();
+        let params = self.resolve(query.fairness)?;
+        let capacity = match query.objective {
+            Objective::Maximum => 1,
+            Objective::TopK(0) => return Err(SolveError::EmptyTopK),
+            Objective::TopK(n) => n,
+        };
+
+        let mut stats = SearchStats::default();
+
+        // O(1) infeasibility gate from the build-time coloring: every clique uses
+        // pairwise-distinct colors, so no clique — fair or not — can exceed the color
+        // count, and a fair clique needs at least 2k vertices.
+        if params.min_size() > self.num_colors {
+            stats.elapsed_micros = start.elapsed().as_micros() as u64;
+            return Ok(Solution {
+                cliques: Vec::new(),
+                termination: Termination::Infeasible,
+                stats,
+                reduction_cache_hit: false,
+            });
+        }
+
+        // Phase 1: reduced graph, shared across queries with the same (k, reductions).
+        let (reduced, reduction_cache_hit) = self.reduced(params.k, &query.config.reductions);
+        stats.reduction = reduced.stats.clone();
+
+        // Phase 2: heuristic warm start on the reduced graph; its clique seeds the
+        // shared pool so every component search starts with the warm bound.
+        let mut warm_start = None;
+        if query.config.use_heuristic {
+            let outcome = heur_rfc(&reduced.graph, params, &query.config.heuristic);
+            stats.heuristic_size = outcome.best.as_ref().map(|c| c.size());
+            warm_start = outcome.best.map(|c| c.vertices);
+        }
+
+        // Phase 3: budgeted, cancellable branch-and-bound.
+        let pool = SharedIncumbent::with_capacity(capacity, warm_start);
+        let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
+        let mut config = query.config.clone();
+        config.threads = threads;
+        stats += &branch_and_bound(&reduced.graph, params, &config, &pool, &ctrl);
+
+        let cliques: Vec<FairClique> = pool
+            .into_cliques()
+            .into_iter()
+            .map(|vertices| FairClique::from_vertices(&self.graph, vertices))
+            .collect();
+        let termination = match ctrl.stop_reason() {
+            Some(StopReason::Budget) => Termination::BudgetExhausted,
+            Some(StopReason::Cancelled) => Termination::Cancelled,
+            None if cliques.is_empty() => Termination::Infeasible,
+            None => Termination::Optimal,
+        };
+        stats.elapsed_micros = start.elapsed().as_micros() as u64;
+        Ok(Solution {
+            cliques,
+            termination,
+            stats,
+            reduction_cache_hit,
+        })
+    }
+
+    /// Fetches (or computes and caches) the reduced graph for `(k, config)`. The
+    /// second return value is `true` on a cache hit.
+    fn reduced(&self, k: usize, config: &ReductionConfig) -> (Arc<ReducedEntry>, bool) {
+        let key = (k, *config);
+        if let Some(entry) = self
+            .reductions
+            .lock()
+            .expect("reduction cache poisoned")
+            .get(&key)
+        {
+            return (Arc::clone(entry), true);
+        }
+        // Compute outside the lock so concurrent queries for *different* keys don't
+        // serialize; racing queries for the same key keep the first finished result.
+        let params = FairCliqueParams::new(k, 0).expect("k >= 1 was validated by the caller");
+        let (graph, stats) = apply_reductions(&self.graph, params, config);
+        let entry = Arc::new(ReducedEntry { graph, stats });
+        self.preprocessing_runs.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.reductions.lock().expect("reduction cache poisoned");
+        let entry = Arc::clone(cache.entry(key).or_insert(entry));
+        (entry, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use rfc_graph::fixtures;
+
+    #[test]
+    fn one_preprocessing_pass_serves_many_models() {
+        let solver = RfcSolver::new(fixtures::fig1_graph());
+        let relative = solver
+            .solve(&Query::new(FairnessModel::Relative { k: 3, delta: 1 }))
+            .unwrap();
+        let strong = solver
+            .solve(&Query::new(FairnessModel::Strong { k: 3 }))
+            .unwrap();
+        let weak = solver
+            .solve(&Query::new(FairnessModel::Weak { k: 3 }))
+            .unwrap();
+        assert_eq!(relative.best().unwrap().size(), 7);
+        assert_eq!(strong.best().unwrap().size(), 6);
+        assert_eq!(weak.best().unwrap().size(), 8);
+        // All three share k = 3, so the reduction pipeline ran exactly once.
+        assert!(!relative.reduction_cache_hit);
+        assert!(strong.reduction_cache_hit && weak.reduction_cache_hit);
+        assert_eq!(solver.preprocessing_runs(), 1);
+        // A different k needs its own pipeline.
+        let other = solver
+            .solve(&Query::new(FairnessModel::Relative { k: 2, delta: 1 }))
+            .unwrap();
+        assert!(!other.reduction_cache_hit);
+        assert_eq!(solver.preprocessing_runs(), 2);
+        for solution in [&relative, &strong, &weak, &other] {
+            assert_eq!(solution.termination, Termination::Optimal);
+            assert!(solution.termination.is_complete());
+        }
+    }
+
+    #[test]
+    fn solutions_verify_under_their_model() {
+        let solver = RfcSolver::new(fixtures::fig1_graph());
+        for fairness in [
+            FairnessModel::Relative { k: 3, delta: 1 },
+            FairnessModel::Weak { k: 3 },
+            FairnessModel::Strong { k: 3 },
+        ] {
+            let solution = solver.solve(&Query::new(fairness)).unwrap();
+            let best = solution.best().unwrap();
+            assert!(
+                verify::is_fair_clique_under(solver.graph(), &best.vertices, fairness),
+                "{fairness}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let solver = RfcSolver::new(fixtures::fig1_graph());
+        let err = solver
+            .solve(&Query::new(FairnessModel::Weak { k: 0 }))
+            .unwrap_err();
+        assert_eq!(err, SolveError::InvalidParams(ParamError::KMustBePositive));
+        assert!(err.to_string().contains("invalid query parameters"));
+        let err = solver
+            .solve(&Query::default().with_objective(Objective::TopK(0)))
+            .unwrap_err();
+        assert_eq!(err, SolveError::EmptyTopK);
+        assert!(std::error::Error::source(&SolveError::EmptyTopK).is_none());
+    }
+
+    #[test]
+    fn coloring_gate_short_circuits_hopeless_queries() {
+        let solver = RfcSolver::new(fixtures::fig1_graph());
+        // The greedy coloring bounds every clique; k beyond it can't be served.
+        let k = solver.num_colors(); // min_size = 2k > num_colors for any k >= 1
+        let solution = solver
+            .solve(&Query::new(FairnessModel::Weak { k }))
+            .unwrap();
+        assert_eq!(solution.termination, Termination::Infeasible);
+        assert!(solution.cliques.is_empty());
+        // The gate answers without touching the reduction pipeline.
+        assert_eq!(solver.preprocessing_runs(), 0);
+        assert!(solver.degeneracy() >= 1);
+    }
+
+    #[test]
+    fn infeasible_is_reported_after_a_full_search_too() {
+        let solver = RfcSolver::new(fixtures::path_graph(10));
+        let solution = solver
+            .solve(&Query::new(FairnessModel::Relative { k: 1, delta: 0 }))
+            .unwrap();
+        // A path has fair edges for k = 1 — feasible; now ask for something the path
+        // cannot host at all.
+        assert_eq!(solution.termination, Termination::Optimal);
+        let hard = solver
+            .solve(&Query::new(FairnessModel::Relative { k: 2, delta: 0 }))
+            .unwrap();
+        assert_eq!(hard.termination, Termination::Infeasible);
+        assert!(hard.best().is_none());
+    }
+
+    #[test]
+    fn budget_and_cancellation_report_their_termination() {
+        let solver = RfcSolver::new(fixtures::fig1_graph());
+        // Pre-cancelled token: the search stops on its first node.
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = solver
+            .solve(
+                &Query::new(FairnessModel::Relative { k: 3, delta: 1 }).with_cancel(token.clone()),
+            )
+            .unwrap();
+        assert_eq!(cancelled.termination, Termination::Cancelled);
+        assert!(token.is_cancelled());
+        // Exhausted node budget: best-so-far comes from the heuristic warm start and
+        // is still a verified fair clique.
+        let budgeted = solver
+            .solve(
+                &Query::new(FairnessModel::Relative { k: 3, delta: 1 })
+                    .with_budget(Budget::unlimited().with_node_limit(0)),
+            )
+            .unwrap();
+        assert_eq!(budgeted.termination, Termination::BudgetExhausted);
+        assert!(!budgeted.termination.is_complete());
+        let best = budgeted.best().expect("warm start seeds the pool");
+        assert!(verify::is_fair_and_clique(
+            solver.graph(),
+            &best.vertices,
+            FairCliqueParams::new(3, 1).unwrap()
+        ));
+        assert!(!Budget::unlimited().with_node_limit(0).is_unlimited());
+        assert!(Budget::unlimited().is_unlimited());
+    }
+
+    #[test]
+    fn top_k_returns_the_largest_fair_cliques() {
+        let solver = RfcSolver::new(fixtures::fig1_graph());
+        let query = Query::new(FairnessModel::Relative { k: 3, delta: 1 })
+            .with_objective(Objective::TopK(3))
+            .with_config(SearchConfig::default().with_threads(ThreadCount::Serial));
+        let solution = solver.solve(&query).unwrap();
+        assert_eq!(solution.termination, Termination::Optimal);
+        // The planted 8-clique has five a's and three b's: every 7-subset dropping one
+        // `a` is fair for (3, 1), so all top-3 cliques have size 7.
+        let sizes: Vec<usize> = solution.cliques.iter().map(|c| c.size()).collect();
+        assert_eq!(sizes, vec![7, 7, 7]);
+        let mut sets: Vec<_> = solution
+            .cliques
+            .iter()
+            .map(|c| c.vertices.clone())
+            .collect();
+        sets.dedup();
+        assert_eq!(sets.len(), 3, "top-k cliques must be distinct");
+        for clique in &solution.cliques {
+            assert!(verify::is_fair_and_clique(
+                solver.graph(),
+                &clique.vertices,
+                FairCliqueParams::new(3, 1).unwrap()
+            ));
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_solves() {
+        let solver = RfcSolver::new(fixtures::fig1_graph());
+        let queries: Vec<Query> = vec![
+            Query::new(FairnessModel::Relative { k: 3, delta: 1 }),
+            Query::new(FairnessModel::Weak { k: 3 }),
+            Query::new(FairnessModel::Strong { k: 3 }),
+            Query::new(FairnessModel::Relative { k: 2, delta: 0 }),
+            Query::new(FairnessModel::Weak { k: 0 }), // invalid on purpose
+        ];
+        let individual: Vec<_> = queries
+            .iter()
+            .map(|q| solver.solve(q).map(|s| s.best().map(|c| c.size())))
+            .collect();
+        for threads in [ThreadCount::Serial, ThreadCount::Fixed(3)] {
+            let batch = solver.solve_batch(&queries, threads);
+            assert_eq!(batch.len(), queries.len());
+            let batch_sizes: Vec<_> = batch
+                .into_iter()
+                .map(|r| r.map(|s| s.best().map(|c| c.size())))
+                .collect();
+            assert_eq!(batch_sizes, individual, "threads {threads:?}");
+        }
+    }
+
+    #[test]
+    fn query_builder_round_trip() {
+        let token = CancelToken::new();
+        let query = Query::new(FairnessModel::Strong { k: 2 })
+            .with_objective(Objective::TopK(5))
+            .with_budget(Budget::unlimited().with_time_limit(Duration::from_secs(1)))
+            .with_config(SearchConfig::basic())
+            .with_cancel(token);
+        assert_eq!(query.fairness, FairnessModel::Strong { k: 2 });
+        assert_eq!(query.objective, Objective::TopK(5));
+        assert_eq!(query.budget.time_limit, Some(Duration::from_secs(1)));
+        assert_eq!(query.config, SearchConfig::basic());
+        assert!(query.cancel.is_some());
+        assert_eq!(
+            Query::default().fairness,
+            FairnessModel::Relative { k: 2, delta: 1 }
+        );
+        assert_eq!(Query::default().objective, Objective::Maximum);
+    }
+}

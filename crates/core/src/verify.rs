@@ -3,15 +3,15 @@
 //! These checks are deliberately simple and independent of the search code so they can
 //! serve as trustworthy oracles in tests, benchmarks and downstream applications.
 
-use crate::problem::FairCliqueParams;
+use crate::problem::{FairCliqueParams, FairnessModel};
 use rfc_graph::{AttributeCounts, AttributedGraph, VertexId};
 
-/// Whether `vertices` is a clique in `g` whose attribute counts satisfy the fairness
-/// constraint of `params` (condition (i) of Definition 1).
-pub fn is_fair_and_clique(
+/// Whether `vertices` is a duplicate-free clique in `g` whose attribute counts satisfy
+/// the given fairness predicate.
+fn is_clique_satisfying(
     g: &AttributedGraph,
     vertices: &[VertexId],
-    params: FairCliqueParams,
+    is_fair: impl Fn(AttributeCounts) -> bool,
 ) -> bool {
     if !g.is_clique(vertices) {
         return false;
@@ -22,7 +22,29 @@ pub fn is_fair_and_clique(
     if unique.len() != vertices.len() {
         return false;
     }
-    params.is_fair(g.attribute_counts_of(vertices))
+    is_fair(g.attribute_counts_of(vertices))
+}
+
+/// Whether `vertices` is a clique in `g` whose attribute counts satisfy the fairness
+/// constraint of `params` (condition (i) of Definition 1).
+pub fn is_fair_and_clique(
+    g: &AttributedGraph,
+    vertices: &[VertexId],
+    params: FairCliqueParams,
+) -> bool {
+    is_clique_satisfying(g, vertices, |counts| params.is_fair(counts))
+}
+
+/// Whether `vertices` is a clique in `g` that is fair under the given
+/// [`FairnessModel`], checked against the model's *native* constraint
+/// ([`FairnessModel::is_fair`]) — not against any resolved `(k, δ)` parameters — so
+/// this can serve as an independent oracle for [`FairnessModel::resolve`].
+pub fn is_fair_clique_under(
+    g: &AttributedGraph,
+    vertices: &[VertexId],
+    model: FairnessModel,
+) -> bool {
+    is_clique_satisfying(g, vertices, |counts| model.is_fair(counts))
 }
 
 /// Whether `vertices` is a *relative fair clique* exactly as in Definition 1: it is a
@@ -39,9 +61,30 @@ pub fn is_relative_fair_clique(
     vertices: &[VertexId],
     params: FairCliqueParams,
 ) -> bool {
-    if !is_fair_and_clique(g, vertices, params) {
-        return false;
-    }
+    is_fair_and_clique(g, vertices, params)
+        && is_maximal_among_extensions(g, vertices, |counts| params.is_fair(counts))
+}
+
+/// Whether `vertices` is a *maximal* fair clique under the given [`FairnessModel`]:
+/// fair per the model's native constraint, and no proper superset is also a fair
+/// clique. The model-generic counterpart of [`is_relative_fair_clique`].
+pub fn is_maximal_fair_clique_under(
+    g: &AttributedGraph,
+    vertices: &[VertexId],
+    model: FairnessModel,
+) -> bool {
+    is_fair_clique_under(g, vertices, model)
+        && is_maximal_among_extensions(g, vertices, |counts| model.is_fair(counts))
+}
+
+/// Whether no non-empty clique drawn from the common neighbors of `vertices` extends
+/// it to a set satisfying `is_fair` (condition (ii) of Definition 1, generalized over
+/// the fairness predicate).
+fn is_maximal_among_extensions(
+    g: &AttributedGraph,
+    vertices: &[VertexId],
+    is_fair: impl Fn(AttributeCounts) -> bool,
+) -> bool {
     let member = {
         let mut m = vec![false; g.num_vertices()];
         for &v in vertices {
@@ -56,21 +99,21 @@ pub fn is_relative_fair_clique(
         .filter(|&u| !member[u as usize] && vertices.iter().all(|&v| g.has_edge(u, v)))
         .collect();
     let counts = g.attribute_counts_of(vertices);
-    !has_fair_extension(g, params, counts, &candidates)
+    !has_fair_extension(g, &is_fair, counts, &candidates)
 }
 
 /// Whether some non-empty clique within `candidates` (all assumed adjacent to the
 /// current set) extends counts `counts` to a fair total.
 fn has_fair_extension(
     g: &AttributedGraph,
-    params: FairCliqueParams,
+    is_fair: &impl Fn(AttributeCounts) -> bool,
     counts: AttributeCounts,
     candidates: &[VertexId],
 ) -> bool {
     for (i, &u) in candidates.iter().enumerate() {
         let mut extended = counts;
         extended.add(g.attribute(u));
-        if params.is_fair(extended) {
+        if is_fair(extended) {
             return true; // a strictly larger fair clique exists
         }
         let rest: Vec<VertexId> = candidates[i + 1..]
@@ -78,7 +121,7 @@ fn has_fair_extension(
             .copied()
             .filter(|&w| g.has_edge(u, w))
             .collect();
-        if has_fair_extension(g, params, extended, &rest) {
+        if has_fair_extension(g, is_fair, extended, &rest) {
             return true;
         }
     }
@@ -148,6 +191,91 @@ mod tests {
         assert!(is_fair_and_clique(&g, &[0, 1], params(1, 0)));
         assert!(!is_relative_fair_clique(&g, &[0, 1], params(1, 0)));
         assert!(is_relative_fair_clique(&g, &[0, 1, 2, 3], params(2, 0)));
+    }
+
+    #[test]
+    fn model_aware_fairness_checks() {
+        let g = fixtures::fig1_graph();
+        let all8 = vec![6, 7, 9, 10, 11, 12, 13, 14]; // 5 a's + 3 b's
+        let fair7 = vec![6, 7, 9, 10, 11, 12, 13]; // 4 a's + 3 b's
+        let fair6 = vec![6, 7, 9, 10, 11, 12]; // 3 a's + 3 b's
+                                               // Weak: counts >= k only.
+        assert!(is_fair_clique_under(
+            &g,
+            &all8,
+            FairnessModel::Weak { k: 3 }
+        ));
+        assert!(!is_fair_clique_under(
+            &g,
+            &all8,
+            FairnessModel::Weak { k: 4 }
+        ));
+        // Strong: exactly balanced.
+        assert!(is_fair_clique_under(
+            &g,
+            &fair6,
+            FairnessModel::Strong { k: 3 }
+        ));
+        assert!(!is_fair_clique_under(
+            &g,
+            &fair7,
+            FairnessModel::Strong { k: 3 }
+        ));
+        // Relative matches the params-based oracle.
+        assert_eq!(
+            is_fair_clique_under(&g, &fair7, FairnessModel::Relative { k: 3, delta: 1 }),
+            is_fair_and_clique(&g, &fair7, params(3, 1))
+        );
+        // Non-cliques and duplicates are rejected regardless of model.
+        assert!(!is_fair_clique_under(
+            &g,
+            &[0, 1, 14],
+            FairnessModel::Weak { k: 1 }
+        ));
+        assert!(!is_fair_clique_under(
+            &g,
+            &[6, 6, 7],
+            FairnessModel::Weak { k: 1 }
+        ));
+    }
+
+    #[test]
+    fn model_aware_maximality_checks() {
+        let g = fixtures::fig1_graph();
+        let all8 = vec![6, 7, 9, 10, 11, 12, 13, 14];
+        let fair7 = vec![6, 7, 9, 10, 11, 12, 13];
+        let fair6 = vec![6, 7, 9, 10, 11, 12];
+        // Weak: the full 8-clique is maximal, the 7-subset is not (the dropped `a`
+        // still extends it fairly).
+        assert!(is_maximal_fair_clique_under(
+            &g,
+            &all8,
+            FairnessModel::Weak { k: 3 }
+        ));
+        assert!(!is_maximal_fair_clique_under(
+            &g,
+            &fair7,
+            FairnessModel::Weak { k: 3 }
+        ));
+        // Strong: the balanced 6-subset is maximal (any single extension unbalances,
+        // and no balanced pair of common neighbors exists: only a's remain).
+        assert!(is_maximal_fair_clique_under(
+            &g,
+            &fair6,
+            FairnessModel::Strong { k: 3 }
+        ));
+        // Relative agrees with the specialized oracle.
+        assert_eq!(
+            is_maximal_fair_clique_under(&g, &fair7, FairnessModel::Relative { k: 3, delta: 1 }),
+            is_relative_fair_clique(&g, &fair7, params(3, 1))
+        );
+        // Strong-model maximality sees multi-vertex (pair) extensions.
+        let k4 = fixtures::balanced_clique(4);
+        assert!(!is_maximal_fair_clique_under(
+            &k4,
+            &[0, 1],
+            FairnessModel::Strong { k: 1 }
+        ));
     }
 
     #[test]

@@ -1,9 +1,9 @@
-//! Quickstart: build a small attributed graph, search for its maximum relative fair
-//! clique, and inspect the result.
+//! Quickstart: build a small attributed graph, construct a reusable [`RfcSolver`],
+//! and serve several fairness queries off one preprocessing pass.
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p rfc-core --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use rfc_core::prelude::*;
@@ -16,31 +16,34 @@ fn main() {
     let graph = fixtures::fig1_graph();
     println!("graph: {}", graph.stats());
 
-    // Find the maximum relative fair clique with k = 3 and δ = 1: at least three
-    // vertices of each attribute, and the two attribute counts may differ by at most 1.
-    let params = FairCliqueParams::new(3, 1).expect("k must be positive");
-    let outcome = max_fair_clique(&graph, params, &SearchConfig::default());
+    // Build the solver once: it owns the graph and caches the query-independent
+    // preprocessing (coloring, degeneracy, and — lazily — reduced graphs per k).
+    let solver = RfcSolver::new(graph);
 
-    match &outcome.best {
+    // Query 1 — the relative model with k = 3 and δ = 1: at least three vertices of
+    // each attribute, counts differing by at most 1.
+    let model = FairnessModel::Relative { k: 3, delta: 1 };
+    let solution = solver.solve(&Query::new(model)).expect("valid query");
+    match solution.best() {
         Some(clique) => {
             println!(
-                "maximum relative fair clique {} has {} vertices: {:?}",
-                params,
+                "maximum {model} fair clique has {} vertices: {:?}",
                 clique.size(),
                 clique.vertices
             );
             println!("attribute counts: {}", clique.counts);
-            assert!(verify::is_relative_fair_clique(
-                &graph,
+            assert_eq!(solution.termination, Termination::Optimal);
+            assert!(verify::is_fair_clique_under(
+                solver.graph(),
                 &clique.vertices,
-                params
+                model
             ));
         }
-        None => println!("no relative fair clique exists for {params}"),
+        None => println!("no fair clique exists under {model} fairness"),
     }
 
     // The search statistics show what the reductions and bounds did.
-    let stats = &outcome.stats;
+    let stats = &solution.stats;
     println!(
         "reduction: {} -> {} edges in {} stages",
         stats.reduction.original_edges,
@@ -52,11 +55,37 @@ fn main() {
         stats.branches, stats.bound_prunes, stats.feasibility_prunes, stats.elapsed_micros
     );
 
-    // Varying δ changes the answer: with δ = 2 the whole 8-clique becomes fair.
-    let relaxed = FairCliqueParams::new(3, 2).unwrap();
-    let bigger = max_fair_clique(&graph, relaxed, &SearchConfig::default());
+    // Queries 2–4 — other fairness models and a relaxed δ reuse the cached
+    // preprocessing (every query below shares k = 3 with the first one).
+    for fairness in [
+        FairnessModel::Weak { k: 3 },
+        FairnessModel::Strong { k: 3 },
+        FairnessModel::Relative { k: 3, delta: 2 },
+    ] {
+        let solution = solver.solve(&Query::new(fairness)).expect("valid query");
+        println!(
+            "maximum {fairness} fair clique has {} vertices (cache hit: {})",
+            solution.best().map(FairClique::size).unwrap_or(0),
+            solution.reduction_cache_hit
+        );
+    }
     println!(
-        "with {relaxed} the maximum fair clique has {} vertices",
-        bigger.best.map(|c| c.size()).unwrap_or(0)
+        "4 queries, {} preprocessing pass(es)",
+        solver.preprocessing_runs()
+    );
+
+    // Budgets make the solver service-friendly: a node-limited query returns the
+    // verified best-so-far instead of running to completion. (A zero budget stops the
+    // search before its first node, so the answer is the heuristic warm start.)
+    let budgeted = solver
+        .solve(
+            &Query::new(FairnessModel::Relative { k: 3, delta: 1 })
+                .with_budget(Budget::unlimited().with_node_limit(0)),
+        )
+        .expect("valid query");
+    println!(
+        "node-limited query: termination {:?}, best-so-far {} vertices",
+        budgeted.termination,
+        budgeted.best().map(FairClique::size).unwrap_or(0)
     );
 }

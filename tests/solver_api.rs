@@ -1,0 +1,267 @@
+//! Integration tests for the reusable, budgeted, multi-query [`RfcSolver`] API:
+//!
+//! * one preprocessing pass serving many queries across all three fairness models,
+//!   checked against a model-native brute-force oracle on the fixture graphs;
+//! * budgets (`time_limit` / `node_limit`) terminating early with
+//!   `Termination::BudgetExhausted` and a *verified* best-so-far clique;
+//! * cancellation, top-k objectives, batch solving, serial determinism, and the
+//!   `max_fair_clique` compatibility wrapper agreeing with the solver.
+
+use std::time::Duration;
+
+use rfc_core::baseline::brute_force_max_fair_clique_model;
+use rfc_core::prelude::*;
+use rfc_core::verify;
+use rfc_datasets::synthetic::erdos_renyi;
+use rfc_graph::fixtures;
+
+fn fixture_graphs() -> Vec<AttributedGraph> {
+    vec![
+        fixtures::fig1_graph(),
+        fixtures::fig2_graph(),
+        fixtures::balanced_clique(7),
+        fixtures::two_cliques_with_bridge(8, 6),
+    ]
+}
+
+fn serial(query: Query) -> Query {
+    let config = query.config.clone().with_threads(ThreadCount::Serial);
+    query.with_config(config)
+}
+
+#[test]
+fn weak_and_strong_fairness_match_the_brute_force_oracle() {
+    for graph in fixture_graphs() {
+        let solver = RfcSolver::new(graph);
+        for k in 1..=4usize {
+            for model in [FairnessModel::Weak { k }, FairnessModel::Strong { k }] {
+                let solution = solver.solve(&serial(Query::new(model))).unwrap();
+                let oracle = brute_force_max_fair_clique_model(solver.graph(), model);
+                assert_eq!(
+                    solution.best().map(|c| c.size()),
+                    oracle.map(|c| c.size()),
+                    "{model} on {:?}",
+                    solver.graph().stats()
+                );
+                match solution.best() {
+                    Some(best) => {
+                        assert_eq!(solution.termination, Termination::Optimal);
+                        assert!(verify::is_fair_clique_under(
+                            solver.graph(),
+                            &best.vertices,
+                            model
+                        ));
+                        // A maximum fair clique is in particular a maximal one.
+                        assert!(verify::is_maximal_fair_clique_under(
+                            solver.graph(),
+                            &best.vertices,
+                            model
+                        ));
+                    }
+                    None => assert_eq!(solution.termination, Termination::Infeasible),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn one_solver_serves_mixed_queries_off_shared_preprocessing() {
+    let solver = RfcSolver::new(fixtures::fig1_graph());
+    let queries = [
+        Query::new(FairnessModel::Relative { k: 3, delta: 1 }),
+        Query::new(FairnessModel::Strong { k: 3 }),
+        Query::new(FairnessModel::Weak { k: 3 }),
+        Query::new(FairnessModel::Relative { k: 3, delta: 2 }),
+    ];
+    let sizes: Vec<Option<usize>> = queries
+        .iter()
+        .map(|q| {
+            solver
+                .solve(q)
+                .unwrap()
+                .best()
+                .map(rfc_core::FairClique::size)
+        })
+        .collect();
+    assert_eq!(sizes, vec![Some(7), Some(6), Some(8), Some(8)]);
+    // All four queries share k = 3, so exactly one reduction pipeline ran.
+    assert_eq!(solver.preprocessing_runs(), 1);
+}
+
+#[test]
+fn node_budget_exhaustion_returns_a_verified_best_so_far() {
+    // Big enough that the exact search genuinely needs many nodes: without the
+    // heuristic warm start nothing can prune the tree down to a handful of branches.
+    let g = erdos_renyi(60, 0.5, 0.5, 11);
+    let solver = RfcSolver::new(g);
+    let model = FairnessModel::Relative { k: 2, delta: 1 };
+    let unbudgeted = solver.solve(&serial(Query::new(model))).unwrap();
+    assert_eq!(unbudgeted.termination, Termination::Optimal);
+    assert!(unbudgeted.stats.branches > 50, "workload too easy");
+
+    let budgeted = solver
+        .solve(&serial(
+            Query::new(model).with_budget(Budget::unlimited().with_node_limit(20)),
+        ))
+        .unwrap();
+    assert_eq!(budgeted.termination, Termination::BudgetExhausted);
+    assert!(!budgeted.termination.is_complete());
+    assert!(budgeted.stats.branches <= 20);
+    let best = budgeted.best().expect("warm start guarantees an incumbent");
+    assert!(verify::is_fair_clique_under(
+        solver.graph(),
+        &best.vertices,
+        model
+    ));
+    assert!(best.size() <= unbudgeted.best().unwrap().size());
+
+    // Budget-limited serial runs are still deterministic.
+    let again = solver
+        .solve(&serial(
+            Query::new(model).with_budget(Budget::unlimited().with_node_limit(20)),
+        ))
+        .unwrap();
+    assert_eq!(again.cliques, budgeted.cliques);
+    assert_eq!(again.stats.branches, budgeted.stats.branches);
+}
+
+#[test]
+fn zero_time_budget_trips_on_the_first_node() {
+    let solver = RfcSolver::new(erdos_renyi(60, 0.5, 0.5, 11));
+    let model = FairnessModel::Relative { k: 2, delta: 1 };
+    let solution = solver
+        .solve(&serial(Query::new(model).with_budget(
+            Budget::unlimited().with_time_limit(Duration::ZERO),
+        )))
+        .unwrap();
+    assert_eq!(solution.termination, Termination::BudgetExhausted);
+    if let Some(best) = solution.best() {
+        assert!(verify::is_fair_clique_under(
+            solver.graph(),
+            &best.vertices,
+            model
+        ));
+    }
+}
+
+#[test]
+fn cancellation_stops_the_search_and_is_reported() {
+    let solver = RfcSolver::new(erdos_renyi(60, 0.5, 0.5, 11));
+    let token = CancelToken::new();
+    token.cancel();
+    let solution = solver
+        .solve(&serial(Query::new(FairnessModel::Relative { k: 2, delta: 1 })).with_cancel(token))
+        .unwrap();
+    assert_eq!(solution.termination, Termination::Cancelled);
+}
+
+#[test]
+fn top_k_objective_returns_distinct_verified_cliques_best_first() {
+    let solver = RfcSolver::new(fixtures::fig1_graph());
+    let model = FairnessModel::Relative { k: 3, delta: 1 };
+    let solution = solver
+        .solve(&serial(
+            Query::new(model).with_objective(Objective::TopK(4)),
+        ))
+        .unwrap();
+    assert_eq!(solution.termination, Termination::Optimal);
+    let sizes: Vec<usize> = solution.cliques.iter().map(|c| c.size()).collect();
+    // The planted 8-clique (5 a's, 3 b's) has five fair 7-subsets; the top 4 are all
+    // of size 7.
+    assert_eq!(sizes, vec![7, 7, 7, 7]);
+    let mut sets: Vec<_> = solution
+        .cliques
+        .iter()
+        .map(|c| c.vertices.clone())
+        .collect();
+    sets.sort();
+    sets.dedup();
+    assert_eq!(sets.len(), 4, "top-k cliques must be distinct");
+    for clique in &solution.cliques {
+        assert!(verify::is_fair_clique_under(
+            solver.graph(),
+            &clique.vertices,
+            model
+        ));
+    }
+}
+
+#[test]
+fn batch_solving_matches_individual_queries() {
+    let solver = RfcSolver::new(fixtures::fig2_graph());
+    let mut queries = Vec::new();
+    for k in 1..=3usize {
+        queries.push(serial(Query::new(FairnessModel::Weak { k })));
+        queries.push(serial(Query::new(FairnessModel::Strong { k })));
+        queries.push(serial(Query::new(FairnessModel::Relative { k, delta: 1 })));
+    }
+    let individual: Vec<Option<usize>> = queries
+        .iter()
+        .map(|q| {
+            solver
+                .solve(q)
+                .unwrap()
+                .best()
+                .map(rfc_core::FairClique::size)
+        })
+        .collect();
+    for threads in [
+        ThreadCount::Fixed(2),
+        ThreadCount::Fixed(4),
+        ThreadCount::Auto,
+    ] {
+        let batch = solver.solve_batch(&queries, threads);
+        let batch_sizes: Vec<Option<usize>> = batch
+            .into_iter()
+            .map(|r| r.unwrap().best().map(rfc_core::FairClique::size))
+            .collect();
+        assert_eq!(batch_sizes, individual, "threads {threads:?}");
+    }
+    // One reduction pipeline per distinct k that survives the coloring gate (queries
+    // with 2k above the color count are answered infeasible without preprocessing),
+    // regardless of how many queries or batch repetitions were served.
+    let feasible_ks = (1..=3usize)
+        .filter(|k| 2 * k <= solver.num_colors())
+        .count();
+    assert_eq!(solver.preprocessing_runs(), feasible_ks);
+}
+
+#[test]
+fn compatibility_wrapper_agrees_with_the_solver() {
+    let g = fixtures::fig1_graph();
+    let solver = RfcSolver::new(g.clone());
+    for (k, delta) in [(1usize, 0usize), (2, 1), (3, 1), (3, 2), (4, 1)] {
+        let params = FairCliqueParams::new(k, delta).unwrap();
+        let config = SearchConfig::default().with_threads(ThreadCount::Serial);
+        let wrapper = max_fair_clique(&g, params, &config);
+        let solution = solver
+            .solve(&serial(Query::new(FairnessModel::Relative { k, delta })))
+            .unwrap();
+        assert_eq!(
+            wrapper.best.as_ref().map(|c| c.size()),
+            solution.best().map(|c| c.size()),
+            "(k={k}, δ={delta})"
+        );
+        // The serial wrapper returns the identical clique, not just the same size.
+        assert_eq!(
+            wrapper.best.map(|c| c.vertices),
+            solution.best().map(|c| c.vertices.clone())
+        );
+    }
+}
+
+#[test]
+fn serial_solver_runs_are_fully_reproducible() {
+    let solver = RfcSolver::new(fixtures::fig2_graph());
+    let query = serial(Query::new(FairnessModel::Relative { k: 2, delta: 1 }));
+    let first = solver.solve(&query).unwrap();
+    for _ in 0..2 {
+        let again = solver.solve(&query).unwrap();
+        assert_eq!(again.cliques, first.cliques);
+        assert_eq!(again.termination, first.termination);
+        assert_eq!(again.stats.branches, first.stats.branches);
+        assert_eq!(again.stats.bound_prunes, first.stats.bound_prunes);
+        assert_eq!(again.stats.incumbent_updates, first.stats.incumbent_updates);
+    }
+}
