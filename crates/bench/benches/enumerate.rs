@@ -1,0 +1,127 @@
+//! Benchmarks for the maximal-fair-clique enumeration subsystem:
+//!
+//! * `enumerate/datasets` — full serial enumeration (counting sink, constant memory)
+//!   across representative workloads: the multi-component parallel-scaling graph, a
+//!   denser single-blob ER graph, and the NBA / IMDB case studies at their paper
+//!   parameters.
+//! * `enumerate/threads` — the multi-component workload under a serial, 2-worker and
+//!   4-worker enumeration, exercising the channel-funneled parallel fan-out.
+//!
+//! Besides the human-readable criterion output, the dataset sweep writes
+//! machine-readable mean timings *and clique counts* to `BENCH_enumerate.json` at the
+//! repository root (via [`rfc_bench::report::write_json_counted_results`]) so the
+//! enumeration trajectory can be tracked across commits alongside
+//! `BENCH_parallel.json`.
+
+use std::path::Path;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rfc_bench::workloads::multi_component_graph;
+use rfc_core::enumerate::{CountSink, EnumQuery};
+use rfc_core::problem::FairnessModel;
+use rfc_core::search::ThreadCount;
+use rfc_core::solver::RfcSolver;
+use rfc_datasets::case_study::CaseStudy;
+use rfc_datasets::synthetic::erdos_renyi;
+use rfc_graph::AttributedGraph;
+
+/// The dataset sweep shared by the criterion group and the JSON emitter.
+fn dataset_cases() -> Vec<(&'static str, AttributedGraph, FairnessModel)> {
+    let mut cases: Vec<(&'static str, AttributedGraph, FairnessModel)> = vec![
+        (
+            "multi-component",
+            multi_component_graph(6, 200, 7),
+            FairnessModel::Relative { k: 3, delta: 1 },
+        ),
+        (
+            "er-150-dense",
+            erdos_renyi(150, 0.2, 0.5, 21),
+            FairnessModel::Relative { k: 2, delta: 1 },
+        ),
+    ];
+    for case in [CaseStudy::Nba, CaseStudy::Imdb] {
+        let cs = case.generate();
+        let model = FairnessModel::Relative {
+            k: cs.default_k,
+            delta: cs.default_delta,
+        };
+        let name = match case {
+            CaseStudy::Nba => "nba",
+            _ => "imdb",
+        };
+        cases.push((name, cs.graph, model));
+    }
+    cases
+}
+
+/// One full serial enumeration with a counting sink; returns the clique count.
+fn enumerate_count(solver: &RfcSolver, model: FairnessModel, threads: ThreadCount) -> u64 {
+    let mut sink = CountSink::new();
+    let outcome = solver
+        .enumerate(&EnumQuery::new(model).with_threads(threads), &mut sink)
+        .expect("valid query");
+    assert!(outcome.termination.is_complete());
+    sink.count()
+}
+
+fn bench_datasets(c: &mut Criterion) {
+    let cases = dataset_cases();
+    let mut group = c.benchmark_group("enumerate/datasets");
+    group.sample_size(10);
+    for (name, graph, model) in &cases {
+        let solver = RfcSolver::new(graph.clone());
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(enumerate_count(&solver, *model, ThreadCount::Serial)));
+        });
+    }
+    group.finish();
+
+    // Machine-readable mean timings + clique counts -> BENCH_enumerate.json at the
+    // repository root, so the enumeration trajectory is tracked without parsing
+    // stdout.
+    let mut entries = Vec::new();
+    for (name, graph, model) in &cases {
+        let solver = RfcSolver::new(graph.clone());
+        let count = enumerate_count(&solver, *model, ThreadCount::Serial); // warm-up
+        const RUNS: u32 = 10;
+        let started = Instant::now();
+        for _ in 0..RUNS {
+            black_box(enumerate_count(&solver, *model, ThreadCount::Serial));
+        }
+        let mean_us = started.elapsed().as_secs_f64() * 1e6 / f64::from(RUNS);
+        entries.push((name.to_string(), mean_us, count));
+    }
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_enumerate.json");
+    match rfc_bench::report::write_json_counted_results(&path, "enumerate/datasets", &entries) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let g = multi_component_graph(6, 200, 7);
+    let model = FairnessModel::Relative { k: 3, delta: 1 };
+    let solver = RfcSolver::new(g);
+    let serial_count = enumerate_count(&solver, model, ThreadCount::Serial);
+    let mut group = c.benchmark_group("enumerate/threads");
+    group.sample_size(10);
+    for (label, threads) in [
+        ("serial", ThreadCount::Serial),
+        ("2-threads", ThreadCount::Fixed(2)),
+        ("4-threads", ThreadCount::Fixed(4)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let count = enumerate_count(&solver, model, threads);
+                assert_eq!(count, serial_count, "thread count changed the set size");
+                black_box(count)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datasets, bench_thread_scaling);
+criterion_main!(benches);

@@ -117,24 +117,16 @@ impl Table {
 ///
 /// `entries` are `(case name, mean microseconds)` pairs, emitted in order.
 pub fn json_results(benchmark: &str, entries: &[(String, f64)]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!(
-        "  \"benchmark\": \"{}\",\n",
-        escape_json(benchmark)
-    ));
-    out.push_str("  \"unit\": \"us\",\n");
-    out.push_str("  \"results\": [\n");
-    for (i, (name, mean_us)) in entries.iter().enumerate() {
-        let comma = if i + 1 < entries.len() { "," } else { "" };
-        out.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"mean_us\": {:.3} }}{comma}\n",
-            escape_json(name),
-            mean_us
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    json_document(
+        benchmark,
+        entries.iter().map(|(name, mean_us)| {
+            format!(
+                "{{ \"name\": \"{}\", \"mean_us\": {:.3} }}",
+                escape_json(name),
+                mean_us
+            )
+        }),
+    )
 }
 
 /// Writes [`json_results`] to `path` (atomically enough for a benchmark artifact:
@@ -146,6 +138,62 @@ pub fn write_json_results(
 ) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
     file.write_all(json_results(benchmark, entries).as_bytes())
+}
+
+/// Like [`json_results`] but with an extra integer `count` per case — used by
+/// benchmarks whose workload size matters as much as the timing (e.g. the
+/// enumeration bench records how many maximal fair cliques each dataset yields):
+///
+/// ```json
+/// {
+///   "benchmark": "enumerate/serial",
+///   "unit": "us",
+///   "results": [
+///     { "name": "multi-component", "mean_us": 1234.500, "count": 42 }
+///   ]
+/// }
+/// ```
+pub fn json_counted_results(benchmark: &str, entries: &[(String, f64, u64)]) -> String {
+    json_document(
+        benchmark,
+        entries.iter().map(|(name, mean_us, count)| {
+            format!(
+                "{{ \"name\": \"{}\", \"mean_us\": {:.3}, \"count\": {} }}",
+                escape_json(name),
+                mean_us,
+                count
+            )
+        }),
+    )
+}
+
+/// The shared `BENCH_*.json` envelope: one pre-rendered result object per line.
+fn json_document(benchmark: &str, rows: impl Iterator<Item = String>) -> String {
+    let rows: Vec<String> = rows.collect();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"benchmark\": \"{}\",\n",
+        escape_json(benchmark)
+    ));
+    out.push_str("  \"unit\": \"us\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!("    {row}{comma}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`json_counted_results`] to `path`.
+pub fn write_json_counted_results(
+    path: &Path,
+    benchmark: &str,
+    entries: &[(String, f64, u64)],
+) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(json_counted_results(benchmark, entries).as_bytes())
 }
 
 /// Escapes the two characters that can break a JSON string in our identifiers.
@@ -209,6 +257,30 @@ mod tests {
         let tricky = json_results("a\"b", &[("c\\d".to_string(), 1.0)]);
         assert!(tricky.contains("a\\\"b"));
         assert!(tricky.contains("c\\\\d"));
+    }
+
+    #[test]
+    fn json_counted_results_are_well_formed() {
+        let entries = vec![
+            ("multi-component".to_string(), 1234.5, 42u64),
+            ("er-dense".to_string(), 99.0, 7),
+        ];
+        let json = json_counted_results("enumerate/serial", &entries);
+        assert!(json.contains("\"benchmark\": \"enumerate/serial\""));
+        assert!(json
+            .contains("{ \"name\": \"multi-component\", \"mean_us\": 1234.500, \"count\": 42 },"));
+        assert!(json.contains("{ \"name\": \"er-dense\", \"mean_us\": 99.000, \"count\": 7 }\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let dir = std::env::temp_dir().join("rfc_bench_report_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_counted_test.json");
+        write_json_counted_results(&path, "enumerate/serial", &entries).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            json_counted_results("enumerate/serial", &entries)
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

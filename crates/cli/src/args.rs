@@ -11,6 +11,11 @@ USAGE:
                           -k K -d DELTA [--bound cd|cp|d|h|ch|none] [--basic]
                           [--no-heuristic] [--weak] [--strong] [--threads N]
                           [--time-limit SECS] [--node-limit N] [--top N]
+                          [--format text|json]
+  maxfairclique enumerate --graph FILE | --edges FILE [--attributes FILE]
+                          -k K -d DELTA [--weak] [--strong] [--limit N]
+                          [--min-size S] [--format text|jsonl] [--threads N]
+                          [--time-limit SECS] [--node-limit N]
   maxfairclique heuristic --graph FILE | --edges FILE [--attributes FILE]
                           -k K -d DELTA [--seeds N] [--weak] [--strong]
   maxfairclique reduce    --graph FILE | --edges FILE [--attributes FILE]
@@ -36,6 +41,11 @@ OPTIONS:
                       on exhaustion the verified best-so-far clique is printed
   --node-limit N      branch-and-bound node budget for the search phase
   --top N             report the N largest fair cliques instead of just one
+  --format F          output format: solve takes text (default) or json (one
+                      machine-readable object); enumerate takes text (default)
+                      or jsonl (one JSON object per clique, pipe-safe)
+  --limit N           stop enumerating after N maximal fair cliques
+  --min-size S        only enumerate maximal fair cliques with >= S vertices
   --seeds N           number of greedy seeds for the heuristic (default 8)
   --dataset NAME      themarker | google | dblp | flixster | pokec | aminer
   --case-study NAME   aminer | dbai | nba | imdb
@@ -55,6 +65,18 @@ pub enum GraphInput {
         /// Optional path to the attribute-list file.
         attributes: Option<String>,
     },
+}
+
+/// Output format for the machine-readable subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable lines (the default everywhere).
+    #[default]
+    Text,
+    /// One machine-readable JSON object for the whole result (`solve`).
+    Json,
+    /// One JSON object per clique, newline-delimited (`enumerate`).
+    Jsonl,
 }
 
 /// The fairness model to solve for.
@@ -95,6 +117,31 @@ pub enum Command {
         node_limit: Option<u64>,
         /// Report the N largest fair cliques instead of a single maximum one.
         top: Option<usize>,
+        /// Output format (text or one JSON object).
+        format: OutputFormat,
+    },
+    /// Enumerate every maximal fair clique.
+    Enumerate {
+        /// Input graph.
+        input: GraphInput,
+        /// Parameter `k`.
+        k: usize,
+        /// Parameter `δ`.
+        delta: usize,
+        /// Fairness model.
+        fairness: Fairness,
+        /// Stop after this many cliques (`None`: all of them).
+        limit: Option<u64>,
+        /// Only emit cliques with at least this many vertices.
+        min_size: usize,
+        /// Output format (text or JSON lines).
+        format: OutputFormat,
+        /// Worker threads for the enumeration (`None`: default, i.e. all cores).
+        threads: Option<usize>,
+        /// Wall-clock budget for the enumeration, in seconds.
+        time_limit: Option<f64>,
+        /// Branch-node budget for the enumeration.
+        node_limit: Option<u64>,
     },
     /// Linear-time heuristic only.
     Heuristic {
@@ -167,6 +214,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 | "--time-limit"
                 | "--node-limit"
                 | "--top"
+                | "--format"
+                | "--limit"
+                | "--min-size"
                 | "--seeds"
                 | "--dataset"
                 | "--case-study"
@@ -219,6 +269,49 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             (false, false) => Ok(Fairness::Relative),
         }
     };
+    // `-d` and `--delta` are aliases; the long form must be looked up *before*
+    // defaulting (a `parse_usize("-d", 1)` fallback chain never reaches `--delta`
+    // because the default is an `Ok`).
+    let delta = || -> Result<usize, String> {
+        match get("-d").or_else(|| get("--delta")) {
+            None => Ok(1),
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| format!("invalid value for `-d`/`--delta`: `{v}`")),
+        }
+    };
+    let threads = || -> Result<Option<usize>, String> {
+        match get("--threads") {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| format!("invalid value for `--threads`: `{v}`")),
+        }
+    };
+    let time_limit = || -> Result<Option<f64>, String> {
+        match get("--time-limit") {
+            None => Ok(None),
+            Some(v) => {
+                let secs = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid value for `--time-limit`: `{v}`"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("invalid value for `--time-limit`: `{v}`"));
+                }
+                Ok(Some(secs))
+            }
+        }
+    };
+    let node_limit = || -> Result<Option<u64>, String> {
+        match get("--node-limit") {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("invalid value for `--node-limit`: `{v}`")),
+        }
+    };
 
     match sub.as_str() {
         "solve" => {
@@ -231,31 +324,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 Some("none") => ExtraBound::None,
                 Some(other) => return Err(format!("unknown bound `{other}`")),
             };
-            let threads = match get("--threads") {
-                None => None,
-                Some(v) => Some(
-                    v.parse::<usize>()
-                        .map_err(|_| format!("invalid value for `--threads`: `{v}`"))?,
-                ),
-            };
-            let time_limit = match get("--time-limit") {
-                None => None,
-                Some(v) => {
-                    let secs = v
-                        .parse::<f64>()
-                        .map_err(|_| format!("invalid value for `--time-limit`: `{v}`"))?;
-                    if !secs.is_finite() || secs < 0.0 {
-                        return Err(format!("invalid value for `--time-limit`: `{v}`"));
-                    }
-                    Some(secs)
+            let format = match get("--format").as_deref() {
+                None | Some("text") => OutputFormat::Text,
+                Some("json") => OutputFormat::Json,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown format `{other}` for `solve` (expected text or json)"
+                    ))
                 }
-            };
-            let node_limit = match get("--node-limit") {
-                None => None,
-                Some(v) => Some(
-                    v.parse::<u64>()
-                        .map_err(|_| format!("invalid value for `--node-limit`: `{v}`"))?,
-                ),
             };
             let top = match get("--top") {
                 None => None,
@@ -267,21 +343,52 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             Ok(Command::Solve {
                 input: input()?,
                 k: parse_usize("-k", 2)?,
-                delta: parse_usize("-d", 1).or_else(|_| parse_usize("--delta", 1))?,
+                delta: delta()?,
                 bound,
                 basic: has("--basic"),
                 no_heuristic: has("--no-heuristic"),
                 fairness: fairness()?,
-                threads,
-                time_limit,
-                node_limit,
+                threads: threads()?,
+                time_limit: time_limit()?,
+                node_limit: node_limit()?,
                 top,
+                format,
+            })
+        }
+        "enumerate" => {
+            let format = match get("--format").as_deref() {
+                None | Some("text") => OutputFormat::Text,
+                Some("jsonl") => OutputFormat::Jsonl,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown format `{other}` for `enumerate` (expected text or jsonl)"
+                    ))
+                }
+            };
+            let limit = match get("--limit") {
+                None => None,
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => return Err(format!("invalid value for `--limit`: `{v}` (need N >= 1)")),
+                },
+            };
+            Ok(Command::Enumerate {
+                input: input()?,
+                k: parse_usize("-k", 2)?,
+                delta: delta()?,
+                fairness: fairness()?,
+                limit,
+                min_size: parse_usize("--min-size", 0)?,
+                format,
+                threads: threads()?,
+                time_limit: time_limit()?,
+                node_limit: node_limit()?,
             })
         }
         "heuristic" => Ok(Command::Heuristic {
             input: input()?,
             k: parse_usize("-k", 2)?,
-            delta: parse_usize("-d", 1).or_else(|_| parse_usize("--delta", 1))?,
+            delta: delta()?,
             seeds: parse_usize("--seeds", 8)?,
             fairness: fairness()?,
         }),
@@ -334,6 +441,7 @@ mod tests {
                 time_limit,
                 node_limit,
                 top,
+                format,
             } => {
                 assert_eq!(input, GraphInput::Combined("g.graph".into()));
                 assert_eq!((k, delta), (2, 1));
@@ -342,6 +450,7 @@ mod tests {
                 assert_eq!(fairness, Fairness::Relative);
                 assert_eq!(threads, None);
                 assert_eq!((time_limit, node_limit, top), (None, None, None));
+                assert_eq!(format, OutputFormat::Text);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -350,7 +459,7 @@ mod tests {
     #[test]
     fn parses_solve_with_everything() {
         let cmd = parse(&argv(
-            "solve --edges e.txt --attributes a.txt -k 4 -d 2 --bound cp --basic --no-heuristic --strong --threads 4 --time-limit 2.5 --node-limit 1000 --top 3",
+            "solve --edges e.txt --attributes a.txt -k 4 -d 2 --bound cp --basic --no-heuristic --strong --threads 4 --time-limit 2.5 --node-limit 1000 --top 3 --format json",
         ))
         .unwrap();
         match cmd {
@@ -366,6 +475,7 @@ mod tests {
                 time_limit,
                 node_limit,
                 top,
+                format,
             } => {
                 assert_eq!(
                     input,
@@ -382,6 +492,81 @@ mod tests {
                 assert_eq!(time_limit, Some(2.5));
                 assert_eq!(node_limit, Some(1000));
                 assert_eq!(top, Some(3));
+                assert_eq!(format, OutputFormat::Json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn long_form_delta_is_honored() {
+        // Regression: `--delta D` used to be silently ignored (the `-d` lookup
+        // returned its default before the fallback could run).
+        for sub in ["solve", "enumerate", "heuristic"] {
+            let cmd = parse(&argv(&format!("{sub} --graph g.graph -k 2 --delta 3"))).unwrap();
+            let delta = match cmd {
+                Command::Solve { delta, .. }
+                | Command::Enumerate { delta, .. }
+                | Command::Heuristic { delta, .. } => delta,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(delta, 3, "{sub}");
+        }
+        // `-d` wins when both are given (it is listed first).
+        assert!(matches!(
+            parse(&argv("solve --graph g -d 2 --delta 9")).unwrap(),
+            Command::Solve { delta: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_enumerate_with_defaults_and_everything() {
+        match parse(&argv("enumerate --graph g.graph")).unwrap() {
+            Command::Enumerate {
+                input,
+                k,
+                delta,
+                fairness,
+                limit,
+                min_size,
+                format,
+                threads,
+                time_limit,
+                node_limit,
+            } => {
+                assert_eq!(input, GraphInput::Combined("g.graph".into()));
+                assert_eq!((k, delta), (2, 1));
+                assert_eq!(fairness, Fairness::Relative);
+                assert_eq!((limit, min_size), (None, 0));
+                assert_eq!(format, OutputFormat::Text);
+                assert_eq!((threads, time_limit, node_limit), (None, None, None));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(
+            "enumerate --edges e.txt -k 3 --weak --limit 10 --min-size 8 --format jsonl --threads 2 --time-limit 1.5 --node-limit 99",
+        ))
+        .unwrap()
+        {
+            Command::Enumerate {
+                k,
+                fairness,
+                limit,
+                min_size,
+                format,
+                threads,
+                time_limit,
+                node_limit,
+                ..
+            } => {
+                assert_eq!(k, 3);
+                assert_eq!(fairness, Fairness::Weak);
+                assert_eq!(limit, Some(10));
+                assert_eq!(min_size, 8);
+                assert_eq!(format, OutputFormat::Jsonl);
+                assert_eq!(threads, Some(2));
+                assert_eq!(time_limit, Some(1.5));
+                assert_eq!(node_limit, Some(99));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -446,6 +631,16 @@ mod tests {
         assert!(parse(&argv("solve --graph g --node-limit many")).is_err());
         assert!(parse(&argv("solve --graph g --top 0")).is_err());
         assert!(parse(&argv("solve --graph g --top three")).is_err());
+        assert!(parse(&argv("solve --graph g --delta nope")).is_err());
+        assert!(parse(&argv("solve --graph g --format jsonl")).is_err());
+        assert!(parse(&argv("solve --graph g --format bogus")).is_err());
+        assert!(parse(&argv("enumerate")).is_err()); // missing input
+        assert!(parse(&argv("enumerate --graph g --format json")).is_err());
+        assert!(parse(&argv("enumerate --graph g --limit 0")).is_err());
+        assert!(parse(&argv("enumerate --graph g --limit many")).is_err());
+        assert!(parse(&argv("enumerate --graph g --min-size tall")).is_err());
+        assert!(parse(&argv("enumerate --graph g --weak --strong")).is_err());
+        assert!(parse(&argv("enumerate --graph g --time-limit -2")).is_err());
         assert!(parse(&argv("generate")).is_err());
         assert!(parse(&argv("generate --dataset a --case-study b")).is_err());
         assert!(parse(&argv("solve positional")).is_err());

@@ -5,19 +5,22 @@ use std::fs::File;
 use std::time::Duration;
 
 use rfc_core::bounds::BoundConfig;
+use rfc_core::enumerate::{
+    clique_json, EnumQuery, EnumTermination, JsonlSink, LimitSink, SinkFlow,
+};
 use rfc_core::heuristic::HeuristicConfig;
-use rfc_core::problem::{FairCliqueParams, FairnessModel};
+use rfc_core::problem::{FairClique, FairCliqueParams, FairnessModel};
 use rfc_core::reduction::{apply_reductions, ReductionConfig};
 use rfc_core::search::{SearchConfig, ThreadCount};
-use rfc_core::solver::{Budget, Objective, Query, RfcSolver, Termination};
+use rfc_core::solver::{Budget, Objective, Query, RfcSolver, Solution, Termination};
 use rfc_core::verify;
 use rfc_datasets::case_study::CaseStudy;
 use rfc_datasets::PaperDataset;
 use rfc_graph::io;
 use rfc_graph::AttributedGraph;
 
-use crate::args::{Command, Fairness, GraphInput, USAGE};
-use crate::output::{outln, Output};
+use crate::args::{Command, Fairness, GraphInput, OutputFormat, USAGE};
+use crate::output::{errln, outln, Output};
 
 /// Maps the CLI `--threads N` value onto a search [`ThreadCount`]: absent or `0` means
 /// all cores, `1` means the deterministic serial path, anything else a fixed pool.
@@ -37,6 +40,81 @@ fn fairness_model(fairness: Fairness, k: usize, delta: usize) -> FairnessModel {
         Fairness::Weak => FairnessModel::Weak { k },
         Fairness::Strong => FairnessModel::Strong { k },
     }
+}
+
+/// Builds a search/enumeration [`Budget`] from the CLI's `--time-limit`/`--node-limit`
+/// values, rejecting time limits beyond what [`Duration`] can represent.
+fn build_budget(time_limit: Option<f64>, node_limit: Option<u64>) -> Result<Budget, String> {
+    let mut budget = Budget::unlimited();
+    if let Some(secs) = time_limit {
+        let limit = Duration::try_from_secs_f64(secs)
+            .map_err(|_| format!("`--time-limit {secs}` is out of range"))?;
+        budget = budget.with_time_limit(limit);
+    }
+    if let Some(nodes) = node_limit {
+        budget = budget.with_node_limit(nodes);
+    }
+    Ok(budget)
+}
+
+/// One-line human description of how an enumeration run ended. A sink-driven stop
+/// is only attributed to `--limit` when that limit was actually given and reached
+/// (the JSONL sink also stops on a consumer-closed pipe).
+fn enum_termination_desc(
+    termination: EnumTermination,
+    limit: Option<u64>,
+    emitted: u64,
+) -> &'static str {
+    match termination {
+        EnumTermination::Complete => "complete",
+        EnumTermination::SinkStopped if limit == Some(emitted) => "stopped at the requested limit",
+        EnumTermination::SinkStopped => "stopped by the sink",
+        EnumTermination::BudgetExhausted => "budget exhausted: partial",
+        EnumTermination::Cancelled => "cancelled: partial",
+    }
+}
+
+/// Renders a [`Solution`] as one machine-readable JSON object (the `solve
+/// --format json` output).
+fn solution_json(model: FairnessModel, solution: &Solution) -> String {
+    use std::fmt::Write as _;
+    let termination = match solution.termination {
+        Termination::Optimal => "optimal",
+        Termination::Infeasible => "infeasible",
+        Termination::BudgetExhausted => "budget_exhausted",
+        Termination::Cancelled => "cancelled",
+    };
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"model\":\"{model}\",\"termination\":\"{termination}\",\"cliques\":["
+    );
+    for (i, clique) in solution.cliques.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&clique_json(clique));
+    }
+    let stats = &solution.stats;
+    let heuristic = stats
+        .heuristic_size
+        .map_or_else(|| "null".to_string(), |n| n.to_string());
+    let _ = write!(
+        s,
+        "],\"stats\":{{\"branches\":{},\"bound_prunes\":{},\"feasibility_prunes\":{},\
+         \"components\":{},\"elapsed_us\":{},\"reduction\":{{\"original_edges\":{},\
+         \"final_edges\":{}}}}},\"heuristic_size\":{},\"reduction_cache_hit\":{}}}",
+        stats.branches,
+        stats.bound_prunes,
+        stats.feasibility_prunes,
+        stats.components_searched,
+        stats.elapsed_micros,
+        stats.reduction.original_edges,
+        stats.reduction.final_edges(),
+        heuristic,
+        solution.reduction_cache_hit,
+    );
+    s
 }
 
 /// Runs a parsed command, returning a human-readable error on failure.
@@ -72,6 +150,7 @@ pub fn run(command: Command) -> Result<(), String> {
             time_limit,
             node_limit,
             top,
+            format,
         } => {
             let graph = load_graph(&input)?;
             let model = fairness_model(fairness, k, delta);
@@ -85,15 +164,7 @@ pub fn run(command: Command) -> Result<(), String> {
                 }
             }
             .with_threads(thread_count(threads));
-            let mut budget = Budget::unlimited();
-            if let Some(secs) = time_limit {
-                let limit = Duration::try_from_secs_f64(secs)
-                    .map_err(|_| format!("`--time-limit {secs}` is out of range"))?;
-                budget = budget.with_time_limit(limit);
-            }
-            if let Some(nodes) = node_limit {
-                budget = budget.with_node_limit(nodes);
-            }
+            let budget = build_budget(time_limit, node_limit)?;
             let mut query = Query::new(model).with_config(config).with_budget(budget);
             if let Some(n) = top {
                 query = query.with_objective(Objective::TopK(n));
@@ -101,6 +172,10 @@ pub fn run(command: Command) -> Result<(), String> {
             let solver = RfcSolver::new(graph);
             let solution = solver.solve(&query).map_err(|e| e.to_string())?;
 
+            if format == OutputFormat::Json {
+                outln!(out, "{}", solution_json(model, &solution));
+                return Ok(());
+            }
             outln!(out, "model: {model} fairness");
             match solution.termination {
                 Termination::BudgetExhausted => outln!(
@@ -160,6 +235,100 @@ pub fn run(command: Command) -> Result<(), String> {
                 stats.bound_prunes,
                 stats.elapsed_micros
             );
+            Ok(())
+        }
+        Command::Enumerate {
+            input,
+            k,
+            delta,
+            fairness,
+            limit,
+            min_size,
+            format,
+            threads,
+            time_limit,
+            node_limit,
+        } => {
+            let graph = load_graph(&input)?;
+            let model = fairness_model(fairness, k, delta);
+            let query = EnumQuery::new(model)
+                .with_min_size(min_size)
+                .with_budget(build_budget(time_limit, node_limit)?)
+                .with_threads(thread_count(threads));
+            let solver = RfcSolver::new(graph);
+
+            match format {
+                OutputFormat::Jsonl => {
+                    // Pure JSONL on stdout (summary goes to stderr); the sink turns a
+                    // consumer-closed pipe into a clean early stop.
+                    let mut jsonl =
+                        JsonlSink::new(std::io::BufWriter::new(std::io::stdout().lock()));
+                    let outcome = match limit {
+                        Some(n) => {
+                            let mut limited = LimitSink::new(&mut jsonl, n);
+                            solver.enumerate(&query, &mut limited)
+                        }
+                        None => solver.enumerate(&query, &mut jsonl),
+                    }
+                    .map_err(|e| e.to_string())?;
+                    // Report what actually reached stdout: on a closed pipe the last
+                    // clique handed to the sink was never written.
+                    let written = jsonl.written();
+                    jsonl.finish().map_err(|e| e.to_string())?;
+                    errln!(
+                        "enumerated {} maximal fair cliques under {model} fairness ({}) \
+                         in {} µs; {} nodes",
+                        written,
+                        enum_termination_desc(outcome.termination, limit, outcome.emitted),
+                        outcome.stats.elapsed_micros,
+                        outcome.stats.branches
+                    );
+                }
+                // `solve`-only formats were rejected by the parser.
+                OutputFormat::Text | OutputFormat::Json => {
+                    outln!(out, "model: {model} fairness");
+                    let outcome = {
+                        let mut text = |clique: FairClique| {
+                            outln!(
+                                out,
+                                "clique: {} vertices (a: {}, b: {}): {:?}",
+                                clique.size(),
+                                clique.counts.a(),
+                                clique.counts.b(),
+                                clique.vertices
+                            );
+                            SinkFlow::Continue
+                        };
+                        match limit {
+                            Some(n) => {
+                                let mut limited = LimitSink::new(&mut text, n);
+                                solver.enumerate(&query, &mut limited)
+                            }
+                            None => solver.enumerate(&query, &mut text),
+                        }
+                        .map_err(|e| e.to_string())?
+                    };
+                    let stats = &outcome.stats;
+                    outln!(
+                        out,
+                        "enumerated {} maximal fair cliques ({}) in {} µs",
+                        outcome.emitted,
+                        enum_termination_desc(outcome.termination, limit, outcome.emitted),
+                        stats.elapsed_micros
+                    );
+                    outln!(
+                        out,
+                        "reduction: {} -> {} edges; enumeration: {} nodes, {} colorful prunes, \
+                         {} maximality rejections, {} components",
+                        stats.reduction.original_edges,
+                        stats.reduction.final_edges(),
+                        stats.branches,
+                        stats.colorful_prunes,
+                        stats.maximality_rejections,
+                        stats.components_searched
+                    );
+                }
+            }
             Ok(())
         }
         Command::Heuristic {
@@ -327,6 +496,27 @@ mod tests {
         .unwrap();
         run(parse(&argv(&format!("heuristic --graph {graph_arg} -k 5 -d 3"))).unwrap()).unwrap();
         run(parse(&argv(&format!("heuristic --graph {graph_arg} -k 5 --weak"))).unwrap()).unwrap();
+        // Machine-readable solve and (limited) enumeration on the same graph.
+        run(parse(&argv(&format!(
+            "solve --graph {graph_arg} -k 5 -d 3 --format json"
+        )))
+        .unwrap())
+        .unwrap();
+        run(parse(&argv(&format!(
+            "enumerate --graph {graph_arg} -k 5 -d 3 --limit 3 --threads 1"
+        )))
+        .unwrap())
+        .unwrap();
+        run(parse(&argv(&format!(
+            "enumerate --graph {graph_arg} -k 5 --weak --limit 2 --format jsonl"
+        )))
+        .unwrap())
+        .unwrap();
+        run(parse(&argv(&format!(
+            "enumerate --graph {graph_arg} -k 5 --strong --node-limit 500 --min-size 10"
+        )))
+        .unwrap())
+        .unwrap();
         let reduced_path = temp_path("nba_reduced.graph");
         run(parse(&argv(&format!(
             "reduce --graph {graph_arg} -k 5 --output {}",
@@ -353,6 +543,49 @@ mod tests {
         )))
         .unwrap())
         .unwrap();
+        std::fs::remove_file(&edges_path).ok();
+        std::fs::remove_file(&attrs_path).ok();
+    }
+
+    #[test]
+    fn solution_json_is_well_formed() {
+        let graph = rfc_graph::fixtures::fig1_graph();
+        let model = FairnessModel::Relative { k: 3, delta: 1 };
+        let solver = RfcSolver::new(graph);
+        let solution = solver.solve(&Query::new(model)).unwrap();
+        let json = solution_json(model, &solution);
+        assert!(json.starts_with("{\"model\":\"relative (k=3, δ=1)\""));
+        assert!(json.contains("\"termination\":\"optimal\""));
+        assert!(json.contains("\"size\":7"));
+        assert!(json.contains("\"reduction_cache_hit\":false}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Infeasible solves serialize with an empty clique list and a null heuristic.
+        let infeasible = solver
+            .solve(&Query::new(FairnessModel::Weak { k: 100 }))
+            .unwrap();
+        let json = solution_json(FairnessModel::Weak { k: 100 }, &infeasible);
+        assert!(json.contains("\"termination\":\"infeasible\""));
+        assert!(json.contains("\"cliques\":[]"));
+        assert!(json.contains("\"heuristic_size\":null"));
+    }
+
+    #[test]
+    fn enumerate_text_and_jsonl_run_end_to_end() {
+        let edges_path = temp_path("enum_edges.txt");
+        let attrs_path = temp_path("enum_attrs.txt");
+        // Balanced K4 plus a pendant vertex: one maximal fair clique for (2, 0).
+        std::fs::write(&edges_path, "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n3 4\n").unwrap();
+        std::fs::write(&attrs_path, "0 a\n1 b\n2 a\n3 b\n4 a\n").unwrap();
+        let base = format!(
+            "enumerate --edges {} --attributes {}",
+            edges_path.to_string_lossy(),
+            attrs_path.to_string_lossy()
+        );
+        run(parse(&argv(&format!("{base} -k 2 -d 0"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("{base} -k 2 -d 0 --format jsonl"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("{base} -k 1 -d 1 --limit 2 --min-size 2"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("{base} -k 1 --weak --threads 2"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("{base} -k 1 --strong --time-limit 30"))).unwrap()).unwrap();
         std::fs::remove_file(&edges_path).ok();
         std::fs::remove_file(&attrs_path).ok();
     }

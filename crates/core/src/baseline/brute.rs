@@ -27,6 +27,78 @@ pub fn brute_force_max_fair_clique_model(
     brute_force_satisfying(g, |counts| model.is_fair(counts))
 }
 
+/// Enumerates **all maximal fair cliques** of `g` under a [`FairnessModel`] by
+/// exhaustive clique enumeration — the trusted set oracle for the streaming
+/// [`enumerate`](crate::enumerate) engine.
+///
+/// A clique is kept when it is fair per the model's native constraint and no *other*
+/// fair clique strictly contains it (the definition of maximality the
+/// [`verify`](crate::verify) oracles use: any fair clique superset is itself a fair
+/// clique of the graph, so containment among the fair cliques decides maximality).
+/// Exponential; intended for graphs with at most a few dozen vertices. The result is
+/// duplicate-free and sorted by vertex list for deterministic comparisons.
+pub fn brute_force_all_maximal_fair_cliques(
+    g: &AttributedGraph,
+    model: FairnessModel,
+) -> Vec<FairClique> {
+    let mut fair: Vec<Vec<VertexId>> = Vec::new();
+    let mut current: Vec<VertexId> = Vec::new();
+    let candidates: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    collect_fair(
+        g,
+        &|counts| model.is_fair(counts),
+        &mut current,
+        &candidates,
+        &mut fair,
+    );
+    // `current` grows in ascending id order, so every collected clique is sorted and
+    // strict containment is a subsequence test.
+    let maximal: Vec<Vec<VertexId>> = fair
+        .iter()
+        .filter(|c| {
+            !fair
+                .iter()
+                .any(|d| d.len() > c.len() && is_sorted_subset(c, d))
+        })
+        .cloned()
+        .collect();
+    let mut out: Vec<FairClique> = maximal
+        .into_iter()
+        .map(|vs| FairClique::from_vertices(g, vs))
+        .collect();
+    out.sort_by(|x, y| x.vertices.cmp(&y.vertices));
+    out
+}
+
+/// Whether sorted `a` is a subset of sorted `b`.
+fn is_sorted_subset(a: &[VertexId], b: &[VertexId]) -> bool {
+    let mut it = b.iter();
+    a.iter().all(|x| it.any(|y| y == x))
+}
+
+/// Recursively enumerates every clique, collecting the fair ones.
+fn collect_fair(
+    g: &AttributedGraph,
+    is_fair: &impl Fn(AttributeCounts) -> bool,
+    current: &mut Vec<VertexId>,
+    candidates: &[VertexId],
+    out: &mut Vec<Vec<VertexId>>,
+) {
+    if !current.is_empty() && is_fair(g.attribute_counts_of(current)) {
+        out.push(current.clone());
+    }
+    for (i, &v) in candidates.iter().enumerate() {
+        let next: Vec<VertexId> = candidates[i + 1..]
+            .iter()
+            .copied()
+            .filter(|&u| g.has_edge(u, v))
+            .collect();
+        current.push(v);
+        collect_fair(g, is_fair, current, &next, out);
+        current.pop();
+    }
+}
+
 fn brute_force_satisfying(
     g: &AttributedGraph,
     is_fair: impl Fn(AttributeCounts) -> bool,
@@ -120,6 +192,45 @@ mod tests {
         assert_eq!(
             relative.size(),
             brute_force_max_fair_clique(&g, params).unwrap().size()
+        );
+    }
+
+    #[test]
+    fn all_maximal_oracle_matches_the_verify_oracle_on_fig1() {
+        let g = fixtures::fig1_graph();
+        for (model, expected) in [
+            (FairnessModel::Relative { k: 3, delta: 1 }, 5),
+            (FairnessModel::Weak { k: 3 }, 1),
+            (FairnessModel::Strong { k: 3 }, 10),
+        ] {
+            let all = brute_force_all_maximal_fair_cliques(&g, model);
+            assert_eq!(all.len(), expected, "{model}");
+            // Duplicate-free, sorted, and every member passes the independent
+            // verify-based maximality oracle.
+            assert!(all.windows(2).all(|w| w[0].vertices < w[1].vertices));
+            for clique in &all {
+                assert!(
+                    crate::verify::is_maximal_fair_clique_under(&g, &clique.vertices, model),
+                    "{model}: {clique}"
+                );
+            }
+            // The largest member is exactly the maximum fair clique.
+            let best = brute_force_max_fair_clique_model(&g, model).unwrap();
+            assert_eq!(
+                all.iter().map(FairClique::size).max().unwrap(),
+                best.size(),
+                "{model}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_maximal_oracle_handles_infeasible_and_empty_graphs() {
+        let g = fixtures::two_cliques_with_bridge(0, 5);
+        assert!(brute_force_all_maximal_fair_cliques(&g, FairnessModel::Weak { k: 1 }).is_empty());
+        let empty = rfc_graph::GraphBuilder::new(0).build().unwrap();
+        assert!(
+            brute_force_all_maximal_fair_cliques(&empty, FairnessModel::Weak { k: 1 }).is_empty()
         );
     }
 

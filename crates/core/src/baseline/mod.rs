@@ -17,7 +17,10 @@ mod bron_kerbosch;
 mod brute;
 
 pub use bron_kerbosch::{bron_kerbosch_max_fair_clique, enumerate_maximal_cliques};
-pub use brute::{brute_force_max_fair_clique, brute_force_max_fair_clique_model};
+pub use brute::{
+    brute_force_all_maximal_fair_cliques, brute_force_max_fair_clique,
+    brute_force_max_fair_clique_model,
+};
 
 use rfc_graph::{AttributedGraph, VertexId};
 

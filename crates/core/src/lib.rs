@@ -18,6 +18,11 @@
 //! * **Baselines** ([`baseline`]): a Bron–Kerbosch maximal-clique sweep and a
 //!   brute-force oracle, used both as experimental baselines and as correctness oracles
 //!   in the test suite.
+//! * **Maximal fair clique enumeration** ([`enumerate`]): a fairness-aware
+//!   pivot Bron–Kerbosch over the per-component bitset adjacency that streams every
+//!   *maximal* fair clique of the graph through a [`CliqueSink`] (collect, count,
+//!   top-N, JSONL, or any closure), with the same budgets, cancellation and parallel
+//!   component fan-out as the exact search.
 //! * **The multi-query solver** ([`solver`]): [`RfcSolver`] computes the
 //!   query-independent preprocessing once and then serves many queries — each with a
 //!   first-class [`FairnessModel`] (relative / weak / strong), an [`Objective`]
@@ -64,6 +69,7 @@
 
 pub mod baseline;
 pub mod bounds;
+pub mod enumerate;
 pub mod heuristic;
 pub mod problem;
 pub mod reduction;
@@ -71,6 +77,10 @@ pub mod search;
 pub mod solver;
 pub mod verify;
 
+pub use enumerate::{
+    CliqueSink, CollectSink, CountSink, EnumOutcome, EnumQuery, EnumStats, EnumTermination,
+    JsonlSink, LimitSink, SinkFlow, TopNSink,
+};
 pub use problem::{FairClique, FairCliqueParams, FairnessModel, ParamError};
 pub use search::{max_fair_clique, SearchConfig, SearchOutcome, SearchStats};
 pub use solver::{
@@ -80,6 +90,10 @@ pub use solver::{
 /// Commonly used items for glob import.
 pub mod prelude {
     pub use crate::bounds::{BoundConfig, ExtraBound};
+    pub use crate::enumerate::{
+        CliqueSink, CollectSink, CountSink, EnumOutcome, EnumQuery, EnumStats, EnumTermination,
+        JsonlSink, LimitSink, SinkFlow, TopNSink,
+    };
     pub use crate::heuristic::{heur_rfc, HeuristicConfig};
     pub use crate::problem::{FairClique, FairCliqueParams, FairnessModel};
     pub use crate::reduction::{ReductionConfig, ReductionStats};

@@ -46,6 +46,9 @@ use rfc_graph::coloring::greedy_coloring;
 use rfc_graph::cores::degeneracy;
 use rfc_graph::AttributedGraph;
 
+use crate::enumerate::{
+    run_enumeration, CliqueSink, EnumOutcome, EnumProblem, EnumQuery, EnumStats, EnumTermination,
+};
 use crate::heuristic::{heur_rfc, HeuristicOutcome};
 use crate::problem::{FairClique, FairCliqueParams, FairnessModel, ParamError};
 use crate::reduction::{apply_reductions, ReductionConfig, ReductionStats};
@@ -346,6 +349,90 @@ impl RfcSolver {
     pub fn heuristic(&self, query: &Query) -> Result<HeuristicOutcome, SolveError> {
         let params = self.resolve(query.fairness)?;
         Ok(heur_rfc(&self.graph, params, &query.config.heuristic))
+    }
+
+    /// Enumerates every **maximal fair clique** under the query's fairness model,
+    /// streaming each one into `sink` — the set-valued counterpart of
+    /// [`solve`](RfcSolver::solve). See [`enumerate`](crate::enumerate) for the
+    /// algorithm, the sink family, and the determinism contract.
+    ///
+    /// Shares this solver's cached reduced graph with `solve` queries of the same
+    /// `(k, reductions)`. Budget exhaustion, cancellation and sink-driven stops are
+    /// reported through [`EnumOutcome::termination`]; every clique emitted before a
+    /// stop is still a verified maximal fair clique. Errors only on malformed
+    /// queries (`k = 0`).
+    ///
+    /// ```
+    /// use rfc_core::prelude::*;
+    /// use rfc_graph::fixtures;
+    ///
+    /// let solver = RfcSolver::new(fixtures::fig1_graph());
+    /// let mut sink = CollectSink::new();
+    /// let outcome = solver
+    ///     .enumerate(
+    ///         &EnumQuery::new(FairnessModel::Relative { k: 3, delta: 1 })
+    ///             .with_threads(ThreadCount::Serial),
+    ///         &mut sink,
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(outcome.termination, EnumTermination::Complete);
+    /// assert_eq!(outcome.emitted, 5); // the five fair 7-subsets of the 8-clique
+    /// assert!(sink.cliques().iter().all(|c| c.size() == 7));
+    /// ```
+    pub fn enumerate(
+        &self,
+        query: &EnumQuery,
+        sink: &mut dyn CliqueSink,
+    ) -> Result<EnumOutcome, SolveError> {
+        let start = Instant::now();
+        let params = self.resolve(query.fairness)?;
+        let min_size = params.min_size().max(query.min_size);
+        let mut stats = EnumStats::default();
+
+        // O(1) infeasibility gate: no clique — fair or not — exceeds the color count,
+        // so nothing of size ≥ min_size can exist beyond it.
+        if min_size > self.num_colors {
+            stats.elapsed_micros = start.elapsed().as_micros() as u64;
+            return Ok(EnumOutcome {
+                emitted: 0,
+                termination: EnumTermination::Complete,
+                stats,
+                reduction_cache_hit: false,
+            });
+        }
+
+        let (reduced, reduction_cache_hit) = self.reduced(params.k, &query.reductions);
+        stats.reduction = reduced.stats.clone();
+
+        let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
+        let problem = EnumProblem {
+            model: query.fairness,
+            params,
+            min_size,
+        };
+        let (run_stats, emitted, sink_stopped) = run_enumeration(
+            &self.graph,
+            &reduced.graph,
+            problem,
+            query.threads,
+            &ctrl,
+            sink,
+        );
+        stats += &run_stats;
+
+        let termination = match ctrl.stop_reason() {
+            Some(StopReason::Budget) => EnumTermination::BudgetExhausted,
+            Some(StopReason::Cancelled) => EnumTermination::Cancelled,
+            None if sink_stopped => EnumTermination::SinkStopped,
+            None => EnumTermination::Complete,
+        };
+        stats.elapsed_micros = start.elapsed().as_micros() as u64;
+        Ok(EnumOutcome {
+            emitted,
+            termination,
+            stats,
+            reduction_cache_hit,
+        })
     }
 
     /// Answers many independent queries, fanning them across worker threads while all

@@ -3,7 +3,7 @@
 //! These checks are deliberately simple and independent of the search code so they can
 //! serve as trustworthy oracles in tests, benchmarks and downstream applications.
 
-use crate::problem::{FairCliqueParams, FairnessModel};
+use crate::problem::{FairClique, FairCliqueParams, FairnessModel};
 use rfc_graph::{AttributeCounts, AttributedGraph, VertexId};
 
 /// Whether `vertices` is a duplicate-free clique in `g` whose attribute counts satisfy
@@ -126,6 +126,41 @@ fn has_fair_extension(
         }
     }
     false
+}
+
+/// Whether `cliques` is a valid *set of maximal fair cliques* of `g` under the given
+/// [`FairnessModel`]: duplicate-free (as vertex sets), with every member passing
+/// [`is_maximal_fair_clique_under`] and carrying the attribute counts of its own
+/// vertex set.
+///
+/// This is the oracle the enumeration test suites run over a
+/// [`CliqueSink`](crate::enumerate::CliqueSink)'s output — deliberately independent of
+/// the enumeration engine (it only builds on the per-clique verifiers above), and
+/// valid for *partial* outputs too: a budget-stopped enumeration must still only have
+/// emitted maximal fair cliques.
+pub fn is_maximal_fair_clique_set(
+    g: &AttributedGraph,
+    cliques: &[FairClique],
+    model: FairnessModel,
+) -> bool {
+    let mut seen: Vec<Vec<VertexId>> = cliques
+        .iter()
+        .map(|c| {
+            let mut v = c.vertices.clone();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    seen.sort();
+    let before = seen.len();
+    seen.dedup();
+    if seen.len() != before {
+        return false;
+    }
+    cliques.iter().all(|clique| {
+        clique.counts == g.attribute_counts_of(&clique.vertices)
+            && is_maximal_fair_clique_under(g, &clique.vertices, model)
+    })
 }
 
 /// Whether a claimed *maximum* fair clique is plausible: it must be a fair clique and be
@@ -276,6 +311,38 @@ mod tests {
             &[0, 1],
             FairnessModel::Strong { k: 1 }
         ));
+    }
+
+    #[test]
+    fn maximal_fair_clique_set_checker() {
+        let g = fixtures::fig1_graph();
+        let model = FairnessModel::Relative { k: 3, delta: 1 };
+        let fair7 = FairClique::from_vertices(&g, vec![6, 7, 9, 10, 11, 12, 13]);
+        let other7 = FairClique::from_vertices(&g, vec![6, 7, 9, 10, 11, 12, 14]);
+        let fair6 = FairClique::from_vertices(&g, vec![6, 7, 9, 10, 11, 12]);
+        // A valid (partial) family; the empty family is trivially valid.
+        assert!(is_maximal_fair_clique_set(&g, &[], model));
+        assert!(is_maximal_fair_clique_set(
+            &g,
+            &[fair7.clone(), other7.clone()],
+            model
+        ));
+        // Duplicates are rejected even when each member is individually maximal.
+        assert!(!is_maximal_fair_clique_set(
+            &g,
+            &[fair7.clone(), fair7.clone()],
+            model
+        ));
+        // A non-maximal member invalidates the family.
+        assert!(!is_maximal_fair_clique_set(
+            &g,
+            &[fair7.clone(), fair6],
+            model
+        ));
+        // Tampered attribute counts are caught.
+        let mut forged = other7;
+        forged.counts = rfc_graph::AttributeCounts::from_counts(3, 4);
+        assert!(!is_maximal_fair_clique_set(&g, &[forged], model));
     }
 
     #[test]

@@ -137,6 +137,28 @@ impl Bitset {
         }
     }
 
+    /// Returns `self ∪ other` as a new bitset (`other` as in
+    /// [`intersection_count`](Self::intersection_count)).
+    #[inline]
+    pub fn union_with(&self, other: &[u64]) -> Bitset {
+        debug_assert_eq!(self.words.len(), other.len(), "capacity mismatch");
+        Bitset {
+            nbits: self.nbits,
+            words: self.words.iter().zip(other).map(|(a, b)| a | b).collect(),
+        }
+    }
+
+    /// Returns `self \ other` as a new bitset (`other` as in
+    /// [`intersection_count`](Self::intersection_count)).
+    #[inline]
+    pub fn difference_with(&self, other: &[u64]) -> Bitset {
+        debug_assert_eq!(self.words.len(), other.len(), "capacity mismatch");
+        Bitset {
+            nbits: self.nbits,
+            words: self.words.iter().zip(other).map(|(a, b)| a & !b).collect(),
+        }
+    }
+
     /// Iterates the elements of the set in increasing order.
     pub fn iter(&self) -> SetBits<'_> {
         SetBits {
@@ -302,6 +324,31 @@ mod tests {
         let mut d = a.clone();
         d.intersect_with(b.words());
         assert_eq!(d, c);
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let mut a = Bitset::new(100);
+        let mut b = Bitset::new(100);
+        for i in 0..100 {
+            if i % 2 == 0 {
+                a.insert(i);
+            }
+            if i % 3 == 0 {
+                b.insert(i);
+            }
+        }
+        // |evens ∪ multiples-of-3| = 50 + 34 - 17.
+        let u = a.union_with(b.words());
+        assert_eq!(u.count(), 67);
+        assert!(u.iter().all(|i| i % 2 == 0 || i % 3 == 0));
+        // evens \ multiples-of-3: 50 - 17.
+        let d = a.difference_with(b.words());
+        assert_eq!(d.count(), 33);
+        assert!(d.iter().all(|i| i % 2 == 0 && i % 3 != 0));
+        // Difference against self empties; union with self is identity.
+        assert!(a.difference_with(a.words()).is_empty());
+        assert_eq!(a.union_with(a.words()), a);
     }
 
     #[test]

@@ -1,0 +1,451 @@
+//! Integration tests for the streaming maximal-fair-clique enumeration subsystem
+//! (`rfc_core::enumerate` + [`RfcSolver::enumerate`]):
+//!
+//! * the enumerated set equals the brute-force maximal-fair-clique oracle on every
+//!   fixture (including the paper's Fig. 1 graph) for all three fairness models;
+//! * serial and parallel runs emit the same *set* (thread counts driven by
+//!   `RFC_TEST_THREADS`, mirroring the `parallel_consistency` sweep);
+//! * budget-exhausted and cancelled runs report a non-complete termination while
+//!   every clique they did emit verifies as a maximal fair clique;
+//! * `LimitSink` truncation, serial determinism, and cross-subsystem consistency
+//!   with the exact `solve` optimum;
+//! * a property-based comparison against the oracle on small random attributed
+//!   graphs.
+
+use proptest::prelude::*;
+
+use rfc_core::baseline::brute_force_all_maximal_fair_cliques;
+use rfc_core::prelude::*;
+use rfc_core::verify;
+use rfc_datasets::synthetic::{disjoint_union, erdos_renyi, plant_cliques, PlantedClique};
+use rfc_graph::fixtures;
+use rfc_graph::{Attribute, GraphBuilder};
+
+/// Thread counts to exercise, from `RFC_TEST_THREADS` (1 = the serial path; unset
+/// tests 2 and 4) — the same contract the `parallel_consistency` suite uses.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("RFC_TEST_THREADS") {
+        Ok(v) => vec![v
+            .parse()
+            .expect("RFC_TEST_THREADS must be a thread count such as 1 or 4")],
+        Err(_) => vec![2, 4],
+    }
+}
+
+fn fixture_graphs() -> Vec<(AttributedGraph, &'static str)> {
+    vec![
+        (fixtures::fig1_graph(), "fig1"),
+        (fixtures::fig2_graph(), "fig2"),
+        (fixtures::balanced_clique(7), "balanced-clique"),
+        (fixtures::two_cliques_with_bridge(6, 4), "bridge"),
+        (fixtures::path_graph(9), "path"),
+    ]
+}
+
+fn models() -> Vec<FairnessModel> {
+    vec![
+        FairnessModel::Relative { k: 1, delta: 0 },
+        FairnessModel::Relative { k: 1, delta: 2 },
+        FairnessModel::Relative { k: 2, delta: 1 },
+        FairnessModel::Relative { k: 3, delta: 1 },
+        FairnessModel::Weak { k: 1 },
+        FairnessModel::Weak { k: 2 },
+        FairnessModel::Weak { k: 3 },
+        FairnessModel::Strong { k: 1 },
+        FairnessModel::Strong { k: 2 },
+        FairnessModel::Strong { k: 3 },
+    ]
+}
+
+/// Enumerates serially and returns the emitted vertex sets sorted for comparison.
+fn enumerate_sorted(solver: &RfcSolver, model: FairnessModel) -> Vec<Vec<VertexId>> {
+    let mut sink = CollectSink::new();
+    let outcome = solver
+        .enumerate(
+            &EnumQuery::new(model).with_threads(ThreadCount::Serial),
+            &mut sink,
+        )
+        .expect("valid query");
+    assert_eq!(outcome.termination, EnumTermination::Complete);
+    assert_eq!(outcome.emitted as usize, sink.len());
+    let mut sets: Vec<Vec<VertexId>> = sink
+        .into_cliques()
+        .into_iter()
+        .map(|c| c.vertices)
+        .collect();
+    sets.sort();
+    sets
+}
+
+#[test]
+fn enumeration_matches_the_brute_force_oracle_on_fixtures() {
+    for (graph, label) in fixture_graphs() {
+        let solver = RfcSolver::new(graph);
+        for model in models() {
+            let got = enumerate_sorted(&solver, model);
+            let want: Vec<Vec<VertexId>> =
+                brute_force_all_maximal_fair_cliques(solver.graph(), model)
+                    .into_iter()
+                    .map(|c| c.vertices)
+                    .collect();
+            assert_eq!(got, want, "{label} under {model}");
+        }
+    }
+}
+
+#[test]
+fn every_emitted_clique_passes_the_verify_set_oracle() {
+    for (graph, label) in fixture_graphs() {
+        let solver = RfcSolver::new(graph);
+        for model in models() {
+            let mut sink = CollectSink::new();
+            solver
+                .enumerate(
+                    &EnumQuery::new(model).with_threads(ThreadCount::Serial),
+                    &mut sink,
+                )
+                .unwrap();
+            assert!(
+                verify::is_maximal_fair_clique_set(solver.graph(), sink.cliques(), model),
+                "{label} under {model}"
+            );
+        }
+    }
+}
+
+#[test]
+fn enumeration_maximum_agrees_with_the_exact_solver() {
+    // The largest enumerated maximal fair clique must be exactly the solve() optimum
+    // (every maximum fair clique is in particular a maximal one).
+    for (graph, label) in fixture_graphs() {
+        let solver = RfcSolver::new(graph);
+        for model in models() {
+            let enumerated_max = enumerate_sorted(&solver, model).iter().map(Vec::len).max();
+            let solved = solver
+                .solve(
+                    &Query::new(model)
+                        .with_config(SearchConfig::default().with_threads(ThreadCount::Serial)),
+                )
+                .unwrap();
+            assert_eq!(
+                enumerated_max,
+                solved.best().map(|c| c.size()),
+                "{label} under {model}"
+            );
+        }
+    }
+}
+
+/// A multi-component synthetic workload: several ER blobs with planted fair cliques,
+/// so parallel workers genuinely enumerate different components.
+fn multi_component_graph() -> AttributedGraph {
+    let blobs: Vec<AttributedGraph> = [(3usize, 71u64), (4, 72), (2, 73), (5, 74)]
+        .iter()
+        .map(|&(half, seed)| {
+            let background = erdos_renyi(80, 0.05, 0.5, seed);
+            let planted = PlantedClique {
+                count_a: half,
+                count_b: half,
+            };
+            plant_cliques(&background, &[planted], seed ^ 0xbeef).0
+        })
+        .collect();
+    disjoint_union(&blobs)
+}
+
+#[test]
+fn serial_and_parallel_enumeration_agree_on_the_set() {
+    let graphs = [
+        (fixtures::fig1_graph(), "fig1"),
+        (fixtures::two_cliques_with_bridge(8, 6), "bridge"),
+        (multi_component_graph(), "multi-component"),
+    ];
+    for (graph, label) in graphs {
+        let solver = RfcSolver::new(graph);
+        for model in [
+            FairnessModel::Relative { k: 2, delta: 1 },
+            FairnessModel::Weak { k: 2 },
+            FairnessModel::Strong { k: 2 },
+        ] {
+            let serial = enumerate_sorted(&solver, model);
+            for &n in &thread_counts() {
+                let threads = if n <= 1 {
+                    ThreadCount::Serial
+                } else {
+                    ThreadCount::Fixed(n)
+                };
+                let mut sink = CollectSink::new();
+                let outcome = solver
+                    .enumerate(&EnumQuery::new(model).with_threads(threads), &mut sink)
+                    .unwrap();
+                assert_eq!(
+                    outcome.termination,
+                    EnumTermination::Complete,
+                    "{label} under {model}, {n} threads"
+                );
+                let mut sets: Vec<Vec<VertexId>> = sink
+                    .into_cliques()
+                    .into_iter()
+                    .map(|c| c.vertices)
+                    .collect();
+                sets.sort();
+                assert_eq!(sets, serial, "{label} under {model}, {n} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn budget_exhausted_runs_emit_only_verified_cliques() {
+    let solver = RfcSolver::new(erdos_renyi(60, 0.5, 0.5, 11));
+    let model = FairnessModel::Relative { k: 2, delta: 1 };
+    // Unbudgeted count, to prove the budget genuinely truncated the run.
+    let mut full = CountSink::new();
+    let complete = solver
+        .enumerate(
+            &EnumQuery::new(model).with_threads(ThreadCount::Serial),
+            &mut full,
+        )
+        .unwrap();
+    assert_eq!(complete.termination, EnumTermination::Complete);
+    assert!(full.count() > 10, "workload too easy for a budget test");
+
+    for &threads in &[1usize, 4] {
+        let threads = if threads <= 1 {
+            ThreadCount::Serial
+        } else {
+            ThreadCount::Fixed(threads)
+        };
+        let mut sink = CollectSink::new();
+        let outcome = solver
+            .enumerate(
+                &EnumQuery::new(model)
+                    .with_threads(threads)
+                    .with_budget(Budget::unlimited().with_node_limit(300)),
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(outcome.termination, EnumTermination::BudgetExhausted);
+        assert!(!outcome.termination.is_complete());
+        assert!(outcome.emitted < full.count());
+        assert!(
+            verify::is_maximal_fair_clique_set(solver.graph(), sink.cliques(), model),
+            "partial output must verify ({threads:?})"
+        );
+    }
+}
+
+#[test]
+fn zero_time_budget_trips_immediately() {
+    let solver = RfcSolver::new(erdos_renyi(60, 0.5, 0.5, 11));
+    let mut sink = CollectSink::new();
+    let outcome = solver
+        .enumerate(
+            &EnumQuery::new(FairnessModel::Relative { k: 2, delta: 1 })
+                .with_threads(ThreadCount::Serial)
+                .with_budget(Budget::unlimited().with_time_limit(std::time::Duration::ZERO)),
+            &mut sink,
+        )
+        .unwrap();
+    assert_eq!(outcome.termination, EnumTermination::BudgetExhausted);
+    assert!(verify::is_maximal_fair_clique_set(
+        solver.graph(),
+        sink.cliques(),
+        FairnessModel::Relative { k: 2, delta: 1 }
+    ));
+}
+
+#[test]
+fn cancellation_stops_enumeration_and_is_reported() {
+    let solver = RfcSolver::new(erdos_renyi(60, 0.5, 0.5, 11));
+    let token = CancelToken::new();
+    token.cancel();
+    let mut sink = CountSink::new();
+    let outcome = solver
+        .enumerate(
+            &EnumQuery::new(FairnessModel::Relative { k: 2, delta: 1 })
+                .with_threads(ThreadCount::Serial)
+                .with_cancel(token),
+            &mut sink,
+        )
+        .unwrap();
+    assert_eq!(outcome.termination, EnumTermination::Cancelled);
+    assert_eq!(sink.count(), 0);
+}
+
+#[test]
+fn limit_sink_truncates_the_stream() {
+    let solver = RfcSolver::new(erdos_renyi(40, 0.4, 0.5, 7));
+    let model = FairnessModel::Relative { k: 1, delta: 1 };
+    let full = enumerate_sorted(&solver, model);
+    assert!(full.len() > 5, "workload too easy for a limit test");
+    let limit = 5u64;
+    let mut collect = CollectSink::new();
+    let outcome = {
+        let mut limited = LimitSink::new(&mut collect, limit);
+        solver
+            .enumerate(
+                &EnumQuery::new(model).with_threads(ThreadCount::Serial),
+                &mut limited,
+            )
+            .unwrap()
+    };
+    assert_eq!(outcome.termination, EnumTermination::SinkStopped);
+    assert_eq!(outcome.emitted, limit);
+    assert_eq!(collect.len(), limit as usize);
+    // The truncated prefix is exactly the first `limit` cliques of the (serial,
+    // deterministic) full emission order, and still a valid partial answer.
+    assert!(verify::is_maximal_fair_clique_set(
+        solver.graph(),
+        collect.cliques(),
+        model
+    ));
+    for clique in collect.cliques() {
+        assert!(full.contains(&clique.vertices));
+    }
+}
+
+#[test]
+fn serial_enumeration_is_reproducible_including_stats() {
+    let solver = RfcSolver::new(fixtures::fig1_graph());
+    let query = EnumQuery::new(FairnessModel::Strong { k: 3 }).with_threads(ThreadCount::Serial);
+    let mut first = CollectSink::new();
+    let first_outcome = solver.enumerate(&query, &mut first).unwrap();
+    for _ in 0..2 {
+        let mut again = CollectSink::new();
+        let outcome = solver.enumerate(&query, &mut again).unwrap();
+        assert_eq!(
+            again.cliques(),
+            first.cliques(),
+            "serial emission order must be deterministic"
+        );
+        assert_eq!(outcome.stats.branches, first_outcome.stats.branches);
+        assert_eq!(
+            outcome.stats.maximality_rejections,
+            first_outcome.stats.maximality_rejections
+        );
+        assert_eq!(outcome.emitted, first_outcome.emitted);
+    }
+}
+
+#[test]
+fn min_size_equals_post_filtering_the_full_enumeration() {
+    let solver = RfcSolver::new(fixtures::two_cliques_with_bridge(8, 6));
+    let model = FairnessModel::Relative { k: 2, delta: 2 };
+    let full = enumerate_sorted(&solver, model);
+    for min_size in [5usize, 6, 8] {
+        let mut sink = CollectSink::new();
+        solver
+            .enumerate(
+                &EnumQuery::new(model)
+                    .with_threads(ThreadCount::Serial)
+                    .with_min_size(min_size),
+                &mut sink,
+            )
+            .unwrap();
+        let mut got: Vec<Vec<VertexId>> = sink
+            .into_cliques()
+            .into_iter()
+            .map(|c| c.vertices)
+            .collect();
+        got.sort();
+        let want: Vec<Vec<VertexId>> = full
+            .iter()
+            .filter(|c| c.len() >= min_size)
+            .cloned()
+            .collect();
+        assert_eq!(got, want, "min_size = {min_size}");
+    }
+}
+
+/// A compact description of a random attributed graph: per-vertex attribute bits plus
+/// one bit per vertex pair (the same scheme `prop_invariants.rs` uses).
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    attrs: Vec<bool>,
+    edges: Vec<bool>,
+}
+
+impl RandomGraph {
+    fn build(&self) -> AttributedGraph {
+        let n = self.attrs.len();
+        let attrs = self
+            .attrs
+            .iter()
+            .map(|&a| if a { Attribute::A } else { Attribute::B })
+            .collect();
+        let mut b = GraphBuilder::with_attributes(attrs);
+        let mut idx = 0usize;
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if self.edges[idx] {
+                    b.add_edge(u, v);
+                }
+                idx += 1;
+            }
+        }
+        b.build().expect("generated graph is valid")
+    }
+}
+
+fn random_graph(max_n: usize) -> impl Strategy<Value = RandomGraph> {
+    (4..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        (
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec(proptest::bool::weighted(0.55), pairs),
+        )
+            .prop_map(|(attrs, edges)| RandomGraph { attrs, edges })
+    })
+}
+
+fn model_strategy() -> impl Strategy<Value = FairnessModel> {
+    (0usize..3, 1usize..=2, 0usize..=2).prop_map(|(kind, k, delta)| match kind {
+        0 => FairnessModel::Relative { k, delta },
+        1 => FairnessModel::Weak { k },
+        _ => FairnessModel::Strong { k },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        .. ProptestConfig::default()
+    })]
+
+    /// On random small attributed graphs, the streaming enumeration emits exactly the
+    /// brute-force set of maximal fair cliques for every fairness model, and the
+    /// emitted family passes the independent verify-based set oracle.
+    #[test]
+    fn enumeration_matches_oracle_on_random_graphs(
+        rg in random_graph(10),
+        model in model_strategy(),
+    ) {
+        let solver = RfcSolver::new(rg.build());
+        let mut sink = CollectSink::new();
+        let outcome = solver
+            .enumerate(
+                &EnumQuery::new(model).with_threads(ThreadCount::Serial),
+                &mut sink,
+            )
+            .unwrap();
+        prop_assert_eq!(outcome.termination, EnumTermination::Complete);
+        prop_assert!(verify::is_maximal_fair_clique_set(
+            solver.graph(),
+            sink.cliques(),
+            model
+        ));
+        let mut got: Vec<Vec<VertexId>> = sink
+            .into_cliques()
+            .into_iter()
+            .map(|c| c.vertices)
+            .collect();
+        got.sort();
+        let want: Vec<Vec<VertexId>> =
+            brute_force_all_maximal_fair_cliques(solver.graph(), model)
+                .into_iter()
+                .map(|c| c.vertices)
+                .collect();
+        prop_assert_eq!(got, want, "{}", model);
+    }
+}
