@@ -1,0 +1,164 @@
+//! Benchmarks for the dynamic-graph subsystem: incremental commit+solve via
+//! [`DynamicRfcSolver`] vs a full [`RfcSolver::new`] rebuild per batch, across churn
+//! rates:
+//!
+//! * `low-churn` — tiny batches confined to the smallest component of the
+//!   multi-component workload: the incremental solver re-reduces and re-searches
+//!   only that component and replays everything else from cache.
+//! * `high-churn` — large batches spread over the whole graph: close to the
+//!   worst case for incrementality (most components dirty most of the time).
+//!
+//! Each measured iteration replays the entire update stream, paying the initial
+//! full solve plus one commit+solve per batch, so the numbers compare end-to-end
+//! maintenance cost. Both replay strategies must return identical per-batch optima
+//! (asserted), and the dataset sweep writes machine-readable means to
+//! `BENCH_dynamic.json` at the repository root.
+
+use std::path::Path;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rfc_bench::workloads::multi_component_graph;
+use rfc_core::dynamic::DynamicRfcSolver;
+use rfc_core::problem::FairnessModel;
+use rfc_core::search::{SearchConfig, ThreadCount};
+use rfc_core::solver::{Query, RfcSolver};
+use rfc_datasets::updates::churn_stream;
+use rfc_graph::delta::{GraphDelta, UpdateOp};
+use rfc_graph::{AttributedGraph, VertexId};
+
+fn query() -> Query {
+    Query::new(FairnessModel::Relative { k: 3, delta: 1 })
+        .with_config(SearchConfig::default().with_threads(ThreadCount::Serial))
+}
+
+/// One named workload: a base graph plus an update stream with commit markers.
+struct Case {
+    name: &'static str,
+    graph: AttributedGraph,
+    stream: Vec<UpdateOp>,
+}
+
+fn cases() -> Vec<Case> {
+    let graph = multi_component_graph(6, 200, 7);
+    // Low churn: 2-op batches confined to the smallest component (vertices 0..200).
+    let small_component: Vec<VertexId> = (0..200).collect();
+    let low = churn_stream(&graph, &small_component, 20, 2, 42);
+    // High churn: 20-op batches across the whole graph.
+    let everything: Vec<VertexId> = graph.vertices().collect();
+    let high = churn_stream(&graph, &everything, 200, 20, 43);
+    vec![
+        Case {
+            name: "low-churn",
+            graph: graph.clone(),
+            stream: low,
+        },
+        Case {
+            name: "high-churn",
+            graph,
+            stream: high,
+        },
+    ]
+}
+
+/// Replays the stream through one [`DynamicRfcSolver`], solving after every
+/// commit. Returns the sum of per-batch optimum sizes (a checksum both replay
+/// strategies must agree on).
+fn replay_incremental(base: &AttributedGraph, stream: &[UpdateOp]) -> u64 {
+    let q = query();
+    let mut solver = DynamicRfcSolver::new(base.clone());
+    let mut checksum = solver
+        .solve(&q)
+        .expect("valid query")
+        .best()
+        .map_or(0, |c| c.size() as u64);
+    for op in stream {
+        if solver.apply_op(op).expect("stream is valid").is_some() {
+            let solution = solver.solve(&q).expect("valid query");
+            checksum += solution.best().map_or(0, |c| c.size() as u64);
+        }
+    }
+    checksum
+}
+
+/// The baseline: maintains the graph through a [`GraphDelta`] and rebuilds a fresh
+/// [`RfcSolver`] (full preprocessing + search) after every commit.
+fn replay_rebuild(base: &AttributedGraph, stream: &[UpdateOp]) -> u64 {
+    let q = query();
+    let mut graph = base.clone();
+    let mut delta = GraphDelta::new();
+    let mut checksum = RfcSolver::new(graph.clone())
+        .solve(&q)
+        .expect("valid query")
+        .best()
+        .map_or(0, |c| c.size() as u64);
+    for op in stream {
+        if *op == UpdateOp::Commit {
+            let tombstones = delta.tombstones();
+            graph = delta.apply(&graph);
+            delta = GraphDelta::with_tombstones(tombstones);
+            let solution = RfcSolver::new(graph.clone())
+                .solve(&q)
+                .expect("valid query");
+            checksum += solution.best().map_or(0, |c| c.size() as u64);
+        } else {
+            delta.apply_op(&graph, op).expect("stream is valid");
+        }
+    }
+    checksum
+}
+
+fn bench_dynamic(c: &mut Criterion) {
+    let cases = cases();
+    let mut group = c.benchmark_group("dynamic/commit-solve");
+    group.sample_size(10);
+    for case in &cases {
+        let expected = replay_rebuild(&case.graph, &case.stream);
+        assert_eq!(
+            replay_incremental(&case.graph, &case.stream),
+            expected,
+            "{}: incremental and rebuild optima diverged",
+            case.name
+        );
+        group.bench_function(BenchmarkId::new("incremental", case.name), |b| {
+            b.iter(|| black_box(replay_incremental(&case.graph, &case.stream)));
+        });
+        group.bench_function(BenchmarkId::new("rebuild", case.name), |b| {
+            b.iter(|| black_box(replay_rebuild(&case.graph, &case.stream)));
+        });
+    }
+    group.finish();
+
+    // Machine-readable means -> BENCH_dynamic.json at the repository root.
+    let mut entries = Vec::new();
+    for case in &cases {
+        for (label, replay) in [
+            (
+                "incremental",
+                replay_incremental as fn(&AttributedGraph, &[UpdateOp]) -> u64,
+            ),
+            (
+                "rebuild",
+                replay_rebuild as fn(&AttributedGraph, &[UpdateOp]) -> u64,
+            ),
+        ] {
+            let _warmup = replay(&case.graph, &case.stream);
+            const RUNS: u32 = 5;
+            let started = Instant::now();
+            for _ in 0..RUNS {
+                black_box(replay(&case.graph, &case.stream));
+            }
+            let mean_us = started.elapsed().as_secs_f64() * 1e6 / f64::from(RUNS);
+            entries.push((format!("{}/{label}", case.name), mean_us));
+        }
+    }
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dynamic.json");
+    match rfc_bench::report::write_json_results(&path, "dynamic/commit-solve", &entries) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

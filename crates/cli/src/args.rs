@@ -16,6 +16,9 @@ USAGE:
                           -k K -d DELTA [--weak] [--strong] [--limit N]
                           [--min-size S] [--format text|jsonl] [--threads N]
                           [--time-limit SECS] [--node-limit N]
+  maxfairclique update    --graph FILE | --edges FILE [--attributes FILE]
+                          --stream FILE -k K -d DELTA [--weak] [--strong]
+                          [--enumerate] [--threads N]
   maxfairclique heuristic --graph FILE | --edges FILE [--attributes FILE]
                           -k K -d DELTA [--seeds N] [--weak] [--strong]
   maxfairclique reduce    --graph FILE | --edges FILE [--attributes FILE]
@@ -44,6 +47,11 @@ OPTIONS:
   --format F          output format: solve takes text (default) or json (one
                       machine-readable object); enumerate takes text (default)
                       or jsonl (one JSON object per clique, pipe-safe)
+  --stream FILE       JSONL update stream for `update` (one op per line:
+                      insert_edge, remove_edge, insert_vertex, restore_vertex,
+                      remove_vertex, commit; see the README \"Dynamic graphs\"
+                      section); each commit line re-solves incrementally
+  --enumerate         after each commit also count the maximal fair cliques
   --limit N           stop enumerating after N maximal fair cliques
   --min-size S        only enumerate maximal fair cliques with >= S vertices
   --seeds N           number of greedy seeds for the heuristic (default 8)
@@ -143,6 +151,23 @@ pub enum Command {
         /// Branch-node budget for the enumeration.
         node_limit: Option<u64>,
     },
+    /// Replay a JSONL update stream, re-solving incrementally at every commit.
+    Update {
+        /// Input graph.
+        input: GraphInput,
+        /// Path to the JSONL update-stream file.
+        stream: String,
+        /// Parameter `k`.
+        k: usize,
+        /// Parameter `δ`.
+        delta: usize,
+        /// Fairness model.
+        fairness: Fairness,
+        /// Also enumerate (count) the maximal fair cliques after each commit.
+        enumerate: bool,
+        /// Worker threads for the per-commit re-solves (`None`: default, all cores).
+        threads: Option<usize>,
+    },
     /// Linear-time heuristic only.
     Heuristic {
         /// Input graph.
@@ -218,6 +243,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 | "--limit"
                 | "--min-size"
                 | "--seeds"
+                | "--stream"
                 | "--dataset"
                 | "--case-study"
                 | "--output"
@@ -385,6 +411,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 node_limit: node_limit()?,
             })
         }
+        "update" => Ok(Command::Update {
+            input: input()?,
+            stream: get("--stream")
+                .ok_or_else(|| "`update` needs `--stream FILE` (a JSONL op stream)".to_string())?,
+            k: parse_usize("-k", 2)?,
+            delta: delta()?,
+            fairness: fairness()?,
+            enumerate: has("--enumerate"),
+            threads: threads()?,
+        }),
         "heuristic" => Ok(Command::Heuristic {
             input: input()?,
             k: parse_usize("-k", 2)?,
@@ -613,6 +649,47 @@ mod tests {
         ));
         assert!(matches!(parse(&argv("--help")).unwrap(), Command::Help));
         assert!(matches!(parse(&[]).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn parses_update() {
+        match parse(&argv(
+            "update --graph g.graph --stream s.jsonl -k 3 --delta 2 --strong --enumerate --threads 2",
+        ))
+        .unwrap()
+        {
+            Command::Update {
+                input,
+                stream,
+                k,
+                delta,
+                fairness,
+                enumerate,
+                threads,
+            } => {
+                assert_eq!(input, GraphInput::Combined("g.graph".into()));
+                assert_eq!(stream, "s.jsonl");
+                assert_eq!((k, delta), (3, 2));
+                assert_eq!(fairness, Fairness::Strong);
+                assert!(enumerate);
+                assert_eq!(threads, Some(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("update --edges e.txt --stream s.jsonl")).unwrap(),
+            Command::Update {
+                k: 2,
+                delta: 1,
+                fairness: Fairness::Relative,
+                enumerate: false,
+                threads: None,
+                ..
+            }
+        ));
+        assert!(parse(&argv("update --graph g.graph")).is_err()); // missing stream
+        assert!(parse(&argv("update --stream s.jsonl")).is_err()); // missing input
+        assert!(parse(&argv("update --graph g --stream s --weak --strong")).is_err());
     }
 
     #[test]

@@ -5,8 +5,9 @@ use std::fs::File;
 use std::time::Duration;
 
 use rfc_core::bounds::BoundConfig;
+use rfc_core::dynamic::DynamicRfcSolver;
 use rfc_core::enumerate::{
-    clique_json, EnumQuery, EnumTermination, JsonlSink, LimitSink, SinkFlow,
+    clique_json, CountSink, EnumQuery, EnumTermination, JsonlSink, LimitSink, SinkFlow,
 };
 use rfc_core::heuristic::HeuristicConfig;
 use rfc_core::problem::{FairClique, FairCliqueParams, FairnessModel};
@@ -16,6 +17,7 @@ use rfc_core::solver::{Budget, Objective, Query, RfcSolver, Solution, Terminatio
 use rfc_core::verify;
 use rfc_datasets::case_study::CaseStudy;
 use rfc_datasets::PaperDataset;
+use rfc_graph::delta::UpdateOp;
 use rfc_graph::io;
 use rfc_graph::AttributedGraph;
 
@@ -331,6 +333,93 @@ pub fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Update {
+            input,
+            stream,
+            k,
+            delta,
+            fairness,
+            enumerate,
+            threads,
+        } => {
+            let graph = load_graph(&input)?;
+            let model = fairness_model(fairness, k, delta);
+            let ops = load_update_stream(&stream)?;
+            let config = SearchConfig::default().with_threads(thread_count(threads));
+            let query = Query::new(model).with_config(config);
+            let enum_query = EnumQuery::new(model).with_threads(thread_count(threads));
+            let mut solver = DynamicRfcSolver::new(graph);
+            outln!(
+                out,
+                "model: {model} fairness; initial graph: {}",
+                solver.graph().stats()
+            );
+            let mut batch = 0usize;
+            let mut report = |solver: &mut DynamicRfcSolver,
+                              outcome: Option<rfc_core::dynamic::CommitOutcome>,
+                              out: &mut Output|
+             -> Result<(), String> {
+                batch += 1;
+                let solution = solver.solve(&query).map_err(|e| e.to_string())?;
+                let summary = match solution.best() {
+                    Some(best) => format!(
+                        "max fair clique {} (a: {}, b: {})",
+                        best.size(),
+                        best.counts.a(),
+                        best.counts.b()
+                    ),
+                    None => "no fair clique".to_string(),
+                };
+                let commit_desc = match outcome {
+                    Some(c) => format!(
+                        "{} ops, {} changed vertices, reductions kept {}/{}",
+                        c.ops,
+                        c.changed_vertices,
+                        c.reductions_kept,
+                        c.reductions_kept + c.reductions_invalidated
+                    ),
+                    None => "initial state".to_string(),
+                };
+                outln!(
+                    out,
+                    "batch {batch}: {commit_desc}; n={} m={}; {summary} \
+                     (reduction cache hit: {}, {} µs)",
+                    solver.graph().num_vertices(),
+                    solver.graph().num_edges(),
+                    solution.reduction_cache_hit,
+                    solution.stats.elapsed_micros
+                );
+                if enumerate {
+                    let mut count = CountSink::new();
+                    let outcome = solver
+                        .enumerate(&enum_query, &mut count)
+                        .map_err(|e| e.to_string())?;
+                    outln!(
+                        out,
+                        "batch {batch}: {} maximal fair cliques (largest {}, \
+                         {} re-enumerated components, {} µs)",
+                        outcome.emitted,
+                        count.largest(),
+                        outcome.stats.components_searched,
+                        outcome.stats.elapsed_micros
+                    );
+                }
+                Ok(())
+            };
+            report(&mut solver, None, &mut out)?;
+            for (line_no, op) in ops {
+                match solver.apply_op(&op) {
+                    Ok(Some(commit)) => report(&mut solver, Some(commit), &mut out)?,
+                    Ok(None) => {}
+                    Err(e) => return Err(format!("{stream}:{line_no}: invalid op: {e}")),
+                }
+            }
+            if solver.pending_ops() > 0 {
+                let commit = solver.commit();
+                report(&mut solver, Some(commit), &mut out)?;
+            }
+            Ok(())
+        }
         Command::Heuristic {
             input,
             k,
@@ -411,6 +500,22 @@ pub fn run(command: Command) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// Reads a JSONL update stream: one op per line, blank lines and `#` comments
+/// skipped. Returns each op with its 1-based line number for error reporting.
+fn load_update_stream(path: &str) -> Result<Vec<(usize, UpdateOp)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut ops = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let op = UpdateOp::parse_jsonl(trimmed).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        ops.push((i + 1, op));
+    }
+    Ok(ops)
 }
 
 fn load_graph(input: &GraphInput) -> Result<AttributedGraph, String> {
@@ -609,6 +714,68 @@ mod tests {
         .unwrap())
         .unwrap();
         std::fs::remove_file(&edges_path).ok();
+    }
+
+    #[test]
+    fn update_replays_a_jsonl_stream() {
+        let graph_path = temp_path("update_base.graph");
+        let stream_path = temp_path("update_stream.jsonl");
+        let graph_arg = graph_path.to_string_lossy().to_string();
+        let stream_arg = stream_path.to_string_lossy().to_string();
+        run(parse(&argv(&format!(
+            "generate --case-study nba --output {graph_arg}"
+        )))
+        .unwrap())
+        .unwrap();
+        std::fs::write(
+            &stream_path,
+            "# comment lines and blanks are skipped\n\
+             {\"op\":\"remove_vertex\",\"v\":0}\n\
+             {\"op\":\"commit\"}\n\
+             {\"op\":\"restore_vertex\",\"v\":0,\"attr\":\"a\"}\n\
+             {\"op\":\"insert_vertex\",\"attr\":\"b\"}\n\
+             \n\
+             {\"op\":\"commit\"}\n\
+             {\"op\":\"remove_edge\",\"u\":1,\"v\":2}\n",
+        )
+        .unwrap();
+        // Trailing ops without a commit marker get a final implicit commit.
+        run(parse(&argv(&format!(
+            "update --graph {graph_arg} --stream {stream_arg} -k 5 -d 3 --enumerate --threads 1"
+        )))
+        .unwrap())
+        .unwrap();
+        run(parse(&argv(&format!(
+            "update --graph {graph_arg} --stream {stream_arg} -k 5 --weak"
+        )))
+        .unwrap())
+        .unwrap();
+
+        // Invalid ops are reported with their line number.
+        let bad_path = temp_path("update_bad.jsonl");
+        std::fs::write(&bad_path, "{\"op\":\"remove_edge\",\"u\":0,\"v\":0}\n").unwrap();
+        let err = run(parse(&argv(&format!(
+            "update --graph {graph_arg} --stream {} -k 5 -d 3",
+            bad_path.to_string_lossy()
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains(":1"), "{err}");
+        // Malformed JSONL is rejected at load time.
+        let ugly_path = temp_path("update_ugly.jsonl");
+        std::fs::write(&ugly_path, "{\"op\":\"warp\"}\n").unwrap();
+        assert!(run(parse(&argv(&format!(
+            "update --graph {graph_arg} --stream {} -k 5 -d 3",
+            ugly_path.to_string_lossy()
+        )))
+        .unwrap())
+        .is_err());
+        assert!(load_update_stream("/definitely/missing.jsonl").is_err());
+
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&stream_path).ok();
+        std::fs::remove_file(&bad_path).ok();
+        std::fs::remove_file(&ugly_path).ok();
     }
 
     #[test]

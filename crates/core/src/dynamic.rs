@@ -1,0 +1,1270 @@
+//! Incremental re-solve and re-enumeration over a changing graph.
+//!
+//! [`DynamicRfcSolver`] wraps the build-once/query-many [`RfcSolver`](crate::solver::RfcSolver) pipeline for
+//! graphs that *churn*: edges and vertices arrive and leave between queries. Updates
+//! are buffered in an [`rfc_graph::delta::GraphDelta`] and folded into the committed
+//! graph by [`commit`](DynamicRfcSolver::commit); queries
+//! ([`solve`](DynamicRfcSolver::solve) / [`enumerate`](DynamicRfcSolver::enumerate))
+//! always answer against the committed graph and reuse everything an update provably
+//! could not have changed:
+//!
+//! 1. **Reduced graphs** are cached per `(k, ReductionConfig)` like in [`RfcSolver`](crate::solver::RfcSolver).
+//!    On commit each cached entry is *kept* when the batch contains no edge
+//!    insertions and none of its removed edges is present in the reduced graph, and
+//!    marked stale otherwise. Stale entries are **spliced**, not recomputed: the
+//!    reduction pipeline re-runs only on the connected components of the new graph
+//!    that contain a touched vertex, and the untouched components keep their slice of
+//!    the old reduced graph.
+//! 2. **Per-component solve and enumeration results** are cached under the
+//!    component's *canonical content* (attributes and edges relabeled by the
+//!    component's sorted vertex list). After any update, components whose content is
+//!    unchanged hit the cache and are never re-searched; only dirty components run
+//!    the branch-and-bound / re-enumeration. Because the key is the content itself,
+//!    component merges, splits and vertex-id-preserving churn all invalidate exactly
+//!    the components they touch — there is no separate dirty-tracking protocol to
+//!    get out of sync.
+//!
+//! ## Soundness of the cache invalidation
+//!
+//! *Kept reduced graphs.* Every reduction stage is δ-independent and only deletes
+//! vertices/edges contained in **no** fair clique of size ≥ 2k, so a reduced graph
+//! `R` of `G` preserves every fair clique of every subgraph of `G` as long as
+//! `R` stays a subgraph of it. A batch with no edge insertions whose removed edges
+//! all lie outside `R` yields a new graph `G′` with `R ⊆ G′ ⊆ G`; every fair clique
+//! of `G′` is a fair clique of `G` and hence preserved in `R`, so `R` is still a
+//! sound (and, because peeling is monotone under edge deletion, exact) reduction of
+//! `G′`. Edge *insertions* can revive reduced-away vertices — their colorful degrees
+//! and supports only grow — so they always invalidate, even between two vertices the
+//! pipeline had peeled.
+//!
+//! *Spliced reduced graphs.* Reductions are componentwise: a vertex's peel status
+//! depends only on its connected component. A component of `G′` without any touched
+//! vertex is byte-identical to a component of the pre-update graph, so its slice of
+//! the old reduced graph is exactly what a from-scratch pipeline would produce for
+//! it; the dirty components get a genuine pipeline re-run. (The spliced graph may
+//! color dirty components differently than a global run would, so it need not be
+//! *edge-identical* to a from-scratch reduction — but both are sound reductions, and
+//! the differential harness in `tests/dynamic_consistency.rs` pins the final
+//! solve/enumerate answers, not the intermediate graphs.)
+//!
+//! *Per-component result caches.* The cache key **is** the component's content, so a
+//! hit replays the exact answer of an identical subproblem; maximum fair cliques and
+//! maximal-fair-clique sets of a component depend on nothing else. (For the weak
+//! model the resolved δ grows with the global vertex count, but any δ at least the
+//! component size is equivalent, so cached weak results survive vertex-space growth.)
+//!
+//! ## What incremental buys
+//!
+//! A commit touching one component re-reduces and re-searches only that component;
+//! everything else is spliced and replayed from cache. A commit whose removals land
+//! entirely outside the reduced graph keeps the reduction wholesale —
+//! [`Solution::reduction_cache_hit`] stays `true` across such commits, and the
+//! cache-accounting unit tests below pin exactly that. `cargo bench -p rfc-bench
+//! --bench dynamic` measures commit+solve against a full [`RfcSolver::new`](crate::solver::RfcSolver::new) rebuild
+//! across churn rates (`BENCH_dynamic.json`).
+//!
+//! Unlike [`RfcSolver`](crate::solver::RfcSolver), the dynamic solver takes `&mut self` on queries (its caches
+//! are plain maps, not lock-protected): shard one solver per thread, or wrap it in a
+//! mutex, for concurrent serving.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rfc_graph::coloring::greedy_coloring;
+use rfc_graph::components::{components_of_subset, connected_components};
+use rfc_graph::delta::{DeltaError, GraphDelta, UpdateOp};
+use rfc_graph::subgraph::{induced_subgraph, vertex_filtered_subgraph};
+use rfc_graph::{Attribute, AttributedGraph, GraphBuilder, VertexId};
+
+use crate::enumerate::{
+    enumerate_one_component, CliqueSink, EnumOutcome, EnumProblem, EnumQuery, EnumStats,
+    EnumTermination, SinkFlow,
+};
+use crate::heuristic::heur_rfc;
+use crate::problem::{FairClique, FairCliqueParams, FairnessModel};
+use crate::reduction::{apply_reductions, ReductionConfig};
+use crate::search::control::{SearchControl, StopReason};
+use crate::search::parallel::SharedIncumbent;
+use crate::search::{branch_and_bound, SearchConfig, SearchStats, ThreadCount};
+use crate::solver::{Objective, Query, ReducedEntry, Solution, SolveError, Termination};
+
+/// What one [`DynamicRfcSolver::commit`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// Number of update operations folded into this commit.
+    pub ops: usize,
+    /// Number of distinct vertices the batch touched (the invalidation frontier).
+    pub changed_vertices: usize,
+    /// Cached reduced graphs kept wholesale (the batch provably could not change
+    /// them; their next query still reports `reduction_cache_hit = true`).
+    pub reductions_kept: usize,
+    /// Cached reduced graphs marked stale (they will be spliced — dirty components
+    /// re-reduced, clean components reused — on their next query).
+    pub reductions_invalidated: usize,
+    /// Vertices of the committed graph.
+    pub num_vertices: usize,
+    /// Edges of the committed graph.
+    pub num_edges: usize,
+}
+
+/// The canonical content of one connected component of a reduced graph: attributes
+/// and edges relabeled by rank in the component's sorted vertex list. Two components
+/// with equal canonical content are the same subproblem, so this is the key of the
+/// per-component result caches.
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct CanonicalComponent {
+    /// Attribute of each rank.
+    attrs: Vec<Attribute>,
+    /// Edges as rank pairs (`u < v`), sorted.
+    edges: Vec<(u32, u32)>,
+}
+
+/// One eligible component of the current reduced graph.
+#[derive(Debug, Clone)]
+struct DynComponent {
+    /// The component's vertices, sorted by id; `vertices[rank]` maps a canonical
+    /// rank back to a graph vertex.
+    vertices: Vec<VertexId>,
+    /// The content key shared with the result caches.
+    canon: Arc<CanonicalComponent>,
+}
+
+/// Cache key of a per-component solve result: fairness model, pool capacity
+/// (1 = maximum objective, n = top-n), component content.
+type SolveKey = (FairnessModel, usize, Arc<CanonicalComponent>);
+/// Cache key of a per-component enumeration result: model, effective minimum size,
+/// component content.
+type EnumKey = (FairnessModel, usize, Arc<CanonicalComponent>);
+/// Reduced-graph cache key, identical to [`RfcSolver`](crate::solver::RfcSolver)'s.
+type EntryKey = (usize, ReductionConfig);
+
+/// Where a reduced-graph cache entry stands relative to the committed graph.
+#[derive(Debug)]
+enum EntryState {
+    /// `reduced` is a sound reduction of the committed graph and `components` are
+    /// its eligible connected components.
+    Current {
+        reduced: Arc<ReducedEntry>,
+        components: Arc<Vec<DynComponent>>,
+    },
+    /// One or more commits landed inside the reduced graph; `old` is the last sound
+    /// reduction and `changed` accumulates every vertex touched since. The entry is
+    /// spliced lazily on its next use.
+    Stale {
+        old: Arc<ReducedEntry>,
+        changed: BTreeSet<VertexId>,
+    },
+}
+
+/// A reduced graph plus the per-component result caches that live and die with it.
+#[derive(Debug)]
+struct DynEntry {
+    state: EntryState,
+    /// Per-component top-`capacity` fair cliques (canonical ranks, largest first;
+    /// empty = no fair clique in the component).
+    solve_cache: HashMap<SolveKey, Arc<Vec<Vec<u32>>>>,
+    /// Per-component maximal fair cliques (canonical ranks, deterministic
+    /// enumeration order).
+    enum_cache: HashMap<EnumKey, Arc<Vec<Vec<u32>>>>,
+}
+
+/// An incremental maximum-fair-clique solver over a mutable graph (see the [module
+/// docs](self) for the cache architecture and its soundness argument).
+///
+/// ```
+/// use rfc_core::dynamic::DynamicRfcSolver;
+/// use rfc_core::prelude::*;
+/// use rfc_graph::fixtures;
+///
+/// let mut solver = DynamicRfcSolver::new(fixtures::fig1_graph());
+/// let query = Query::new(FairnessModel::Relative { k: 3, delta: 1 });
+/// assert_eq!(solver.solve(&query).unwrap().best().unwrap().size(), 7);
+///
+/// // Delete a vertex of the planted clique and re-solve incrementally; the answer
+/// // always equals a from-scratch solve of the updated graph.
+/// solver.remove_vertex(14).unwrap();
+/// let outcome = solver.commit();
+/// assert_eq!(outcome.ops, 1);
+/// let incremental = solver.solve(&query).unwrap();
+/// let scratch = RfcSolver::new(solver.graph().clone()).solve(&query).unwrap();
+/// assert_eq!(
+///     incremental.best().map(|c| c.size()),
+///     scratch.best().map(|c| c.size()),
+/// );
+/// ```
+#[derive(Debug)]
+pub struct DynamicRfcSolver {
+    /// The committed graph every query answers against.
+    graph: AttributedGraph,
+    /// Colors of a greedy coloring of the committed graph (O(1) infeasibility gate).
+    num_colors: usize,
+    /// Updates buffered since the last commit (seeded with the persistent
+    /// tombstones, so removed vertex ids stay reserved across commits until
+    /// restored).
+    delta: GraphDelta,
+    /// Operations buffered since the last commit.
+    pending_ops: usize,
+    /// Ids removed in some committed batch and not (yet) restored.
+    removed_vertices: BTreeSet<VertexId>,
+    /// Reduced graphs + result caches per `(k, reduction config)`.
+    entries: HashMap<EntryKey, DynEntry>,
+    /// Completed commits.
+    commits: u64,
+    /// Reduction pipeline executions (full builds and dirty-component splices).
+    preprocessing_runs: usize,
+}
+
+impl DynamicRfcSolver {
+    /// Builds a dynamic solver over an initial graph.
+    pub fn new(graph: AttributedGraph) -> Self {
+        let num_colors = greedy_coloring(&graph).num_colors;
+        Self {
+            graph,
+            num_colors,
+            delta: GraphDelta::new(),
+            pending_ops: 0,
+            removed_vertices: BTreeSet::new(),
+            entries: HashMap::new(),
+            commits: 0,
+            preprocessing_runs: 0,
+        }
+    }
+
+    /// The committed graph. Buffered (uncommitted) updates are not visible here or
+    /// to any query until [`commit`](DynamicRfcSolver::commit).
+    pub fn graph(&self) -> &AttributedGraph {
+        &self.graph
+    }
+
+    /// Colors of the committed graph's greedy coloring (an upper bound on any clique).
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// Updates buffered since the last commit.
+    pub fn pending_ops(&self) -> usize {
+        self.pending_ops
+    }
+
+    /// Completed commits so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Reduction pipeline executions so far — full builds plus dirty-component
+    /// splices; commits that keep a reduction wholesale don't add to this.
+    pub fn preprocessing_runs(&self) -> usize {
+        self.preprocessing_runs
+    }
+
+    /// Buffers the insertion of edge `(u, v)`.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), DeltaError> {
+        self.delta.insert_edge(&self.graph, u, v)?;
+        self.pending_ops += 1;
+        Ok(())
+    }
+
+    /// Buffers the removal of edge `(u, v)`.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), DeltaError> {
+        self.delta.remove_edge(&self.graph, u, v)?;
+        self.pending_ops += 1;
+        Ok(())
+    }
+
+    /// Buffers the insertion of a new vertex and returns its id.
+    pub fn insert_vertex(&mut self, attr: Attribute) -> VertexId {
+        let id = self.delta.insert_vertex(&self.graph, attr);
+        self.pending_ops += 1;
+        id
+    }
+
+    /// Buffers the re-insertion of a previously removed vertex id.
+    pub fn restore_vertex(&mut self, v: VertexId, attr: Attribute) -> Result<(), DeltaError> {
+        self.delta.restore_vertex(&self.graph, v, attr)?;
+        self.pending_ops += 1;
+        Ok(())
+    }
+
+    /// Buffers the removal of a vertex (and all its incident edges).
+    pub fn remove_vertex(&mut self, v: VertexId) -> Result<(), DeltaError> {
+        self.delta.remove_vertex(&self.graph, v)?;
+        self.pending_ops += 1;
+        Ok(())
+    }
+
+    /// Applies one [`UpdateOp`] from an update stream. [`UpdateOp::Commit`] commits
+    /// the buffered batch and returns its [`CommitOutcome`]; graph ops buffer and
+    /// return `None`.
+    pub fn apply_op(&mut self, op: &UpdateOp) -> Result<Option<CommitOutcome>, DeltaError> {
+        if *op == UpdateOp::Commit {
+            return Ok(Some(self.commit()));
+        }
+        self.delta.apply_op(&self.graph, op)?;
+        self.pending_ops += 1;
+        Ok(None)
+    }
+
+    /// Folds the buffered updates into the committed graph and invalidates only what
+    /// the batch can affect (see the [module docs](self) for the rules). Cheap when
+    /// the batch is empty or cancels out.
+    pub fn commit(&mut self) -> CommitOutcome {
+        let ops = self.pending_ops;
+        self.pending_ops = 0;
+        self.removed_vertices = self.delta.tombstones();
+        let delta = std::mem::replace(
+            &mut self.delta,
+            GraphDelta::with_tombstones(self.removed_vertices.clone()),
+        );
+        self.commits += 1;
+        let changed = delta.changed_vertices();
+        if delta.is_empty() {
+            // No net structural change: every entry keeps its current standing —
+            // entries left stale by an earlier commit stay stale (and still count
+            // as invalidated, since their next query will splice).
+            let kept = self
+                .entries
+                .values()
+                .filter(|e| matches!(e.state, EntryState::Current { .. }))
+                .count();
+            return CommitOutcome {
+                ops,
+                changed_vertices: changed.len(),
+                reductions_kept: kept,
+                reductions_invalidated: self.entries.len() - kept,
+                num_vertices: self.graph.num_vertices(),
+                num_edges: self.graph.num_edges(),
+            };
+        }
+        let new_graph = delta.apply(&self.graph);
+        let refresh_vertex_space = delta.changes_vertex_space();
+        let mut kept = 0usize;
+        let mut invalidated = 0usize;
+        for entry in self.entries.values_mut() {
+            match &mut entry.state {
+                EntryState::Current {
+                    reduced,
+                    components: _,
+                } => {
+                    // Kept iff the batch inserts nothing and removes nothing that
+                    // survives in R: then R ⊆ G′ ⊆ G and R stays a sound reduction.
+                    let keepable = !delta.has_edge_insertions()
+                        && delta
+                            .dropped_edges()
+                            .all(|(u, v)| !reduced.graph.has_edge(u, v));
+                    if keepable {
+                        kept += 1;
+                        if refresh_vertex_space {
+                            // Same edges, but the vertex space grew or attributes
+                            // changed (all on R-isolated vertices): re-host them.
+                            let mut b =
+                                GraphBuilder::with_attributes(new_graph.attributes().to_vec());
+                            b.add_edges(reduced.graph.edge_list().iter().copied());
+                            let graph = b.build().expect("kept reduced edges stay in range");
+                            *reduced = Arc::new(ReducedEntry {
+                                graph,
+                                stats: reduced.stats.clone(),
+                            });
+                        }
+                    } else {
+                        invalidated += 1;
+                        let old = Arc::clone(reduced);
+                        entry.state = EntryState::Stale {
+                            old,
+                            changed: changed.iter().copied().collect(),
+                        };
+                    }
+                }
+                EntryState::Stale { changed: acc, .. } => {
+                    invalidated += 1;
+                    acc.extend(changed.iter().copied());
+                }
+            }
+        }
+        self.graph = new_graph;
+        self.num_colors = greedy_coloring(&self.graph).num_colors;
+        CommitOutcome {
+            ops,
+            changed_vertices: changed.len(),
+            reductions_kept: kept,
+            reductions_invalidated: invalidated,
+            num_vertices: self.graph.num_vertices(),
+            num_edges: self.graph.num_edges(),
+        }
+    }
+
+    /// Answers one query against the committed graph, re-searching only components
+    /// whose content changed since they were last solved. Accepts exactly the same
+    /// [`Query`] shapes as [`RfcSolver::solve`](crate::solver::RfcSolver::solve)
+    /// (all fairness models, maximum and top-k objectives, budgets, cancellation);
+    /// [`Solution::reduction_cache_hit`] is `true` iff the reduced graph was reused
+    /// without any recomputation or splicing.
+    ///
+    /// Budgets and cancellation only gate *fresh* search work: a query whose
+    /// components are all answered from cache reports [`Termination::Optimal`] even
+    /// under an exhausted budget or a pre-cancelled token, because the cached result
+    /// is exact and no budgeted work ran. Components whose search was cut short are
+    /// never cached.
+    pub fn solve(&mut self, query: &Query) -> Result<Solution, SolveError> {
+        let start = Instant::now();
+        let params = self.resolve(query.fairness)?;
+        let capacity = match query.objective {
+            Objective::Maximum => 1,
+            Objective::TopK(0) => return Err(SolveError::EmptyTopK),
+            Objective::TopK(n) => n,
+        };
+        let mut stats = SearchStats::default();
+        if params.min_size() > self.num_colors {
+            stats.elapsed_micros = start.elapsed().as_micros() as u64;
+            return Ok(Solution {
+                cliques: Vec::new(),
+                termination: Termination::Infeasible,
+                stats,
+                reduction_cache_hit: false,
+            });
+        }
+
+        let key = (params.k, query.config.reductions);
+        let hit = self.ensure_entry(&key);
+        let (reduced, components) = self.entry_snapshot(&key);
+        stats.reduction = reduced.stats.clone();
+
+        let cache_key =
+            |canon: &Arc<CanonicalComponent>| (query.fairness, capacity, Arc::clone(canon));
+        let mut per_comp: Vec<Option<Arc<Vec<Vec<u32>>>>> = {
+            let entry = self.entries.get(&key).expect("entry was just ensured");
+            components
+                .iter()
+                .map(|c| entry.solve_cache.get(&cache_key(&c.canon)).cloned())
+                .collect()
+        };
+        let misses: Vec<usize> = (0..components.len())
+            .filter(|&i| per_comp[i].is_none())
+            .collect();
+
+        let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
+        let results = run_misses(
+            &misses,
+            query.config.threads,
+            &ctrl,
+            |i| components[i].vertices.len(),
+            |i, ctrl| {
+                solve_component(
+                    &reduced.graph,
+                    &components[i].vertices,
+                    params,
+                    &query.config,
+                    capacity,
+                    ctrl,
+                )
+            },
+        );
+        {
+            let entry = self.entries.get_mut(&key).expect("entry was just ensured");
+            for (i, (cliques, completed, component_stats)) in results {
+                stats += &component_stats;
+                let cliques = Arc::new(cliques);
+                if completed {
+                    entry
+                        .solve_cache
+                        .insert(cache_key(&components[i].canon), Arc::clone(&cliques));
+                }
+                per_comp[i] = Some(cliques);
+            }
+        }
+
+        // Merge the per-component pools: all cliques, largest first, ties broken by
+        // component order then pool order (deterministic for a deterministic cache).
+        let mut ranked: Vec<(usize, usize, usize)> = Vec::new();
+        for (ci, cell) in per_comp.iter().enumerate() {
+            if let Some(cliques) = cell {
+                for (qi, clique) in cliques.iter().enumerate() {
+                    ranked.push((ci, qi, clique.len()));
+                }
+            }
+        }
+        ranked.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        ranked.truncate(capacity);
+        let cliques: Vec<FairClique> = ranked
+            .into_iter()
+            .map(|(ci, qi, _)| {
+                let ranks = &per_comp[ci].as_ref().expect("ranked entries exist")[qi];
+                let ids: Vec<VertexId> = ranks
+                    .iter()
+                    .map(|&r| components[ci].vertices[r as usize])
+                    .collect();
+                FairClique::from_vertices(&self.graph, ids)
+            })
+            .collect();
+
+        let termination = match ctrl.stop_reason() {
+            Some(StopReason::Budget) => Termination::BudgetExhausted,
+            Some(StopReason::Cancelled) => Termination::Cancelled,
+            None if cliques.is_empty() => Termination::Infeasible,
+            None => Termination::Optimal,
+        };
+        stats.elapsed_micros = start.elapsed().as_micros() as u64;
+        Ok(Solution {
+            cliques,
+            termination,
+            stats,
+            reduction_cache_hit: hit,
+        })
+    }
+
+    /// Streams every maximal fair clique of the committed graph into `sink`,
+    /// re-enumerating only components whose content changed — everything else is
+    /// replayed from the per-component cache, so after an update only the cliques
+    /// intersecting the changed neighborhood cost fresh search work. Same contract
+    /// as [`RfcSolver::enumerate`](crate::solver::RfcSolver::enumerate); emission
+    /// order is components in discovery order with each component's deterministic
+    /// enumeration order, and [`EnumStats::components_searched`] counts only the
+    /// freshly enumerated components.
+    pub fn enumerate(
+        &mut self,
+        query: &EnumQuery,
+        sink: &mut dyn CliqueSink,
+    ) -> Result<EnumOutcome, SolveError> {
+        let start = Instant::now();
+        let params = self.resolve(query.fairness)?;
+        let min_size = params.min_size().max(query.min_size);
+        let mut stats = EnumStats::default();
+        if min_size > self.num_colors {
+            stats.elapsed_micros = start.elapsed().as_micros() as u64;
+            return Ok(EnumOutcome {
+                emitted: 0,
+                termination: EnumTermination::Complete,
+                stats,
+                reduction_cache_hit: false,
+            });
+        }
+
+        let key = (params.k, query.reductions);
+        let hit = self.ensure_entry(&key);
+        let (reduced, components) = self.entry_snapshot(&key);
+        stats.reduction = reduced.stats.clone();
+
+        let eligible: Vec<usize> = (0..components.len())
+            .filter(|&i| components[i].vertices.len() >= min_size)
+            .collect();
+        let cache_key =
+            |canon: &Arc<CanonicalComponent>| (query.fairness, min_size, Arc::clone(canon));
+        let mut per_comp: Vec<Option<Arc<Vec<Vec<u32>>>>> = {
+            let entry = self.entries.get(&key).expect("entry was just ensured");
+            eligible
+                .iter()
+                .map(|&i| {
+                    entry
+                        .enum_cache
+                        .get(&cache_key(&components[i].canon))
+                        .cloned()
+                })
+                .collect()
+        };
+        let misses: Vec<usize> = (0..eligible.len())
+            .filter(|&slot| per_comp[slot].is_none())
+            .collect();
+
+        let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
+        let problem = EnumProblem {
+            model: query.fairness,
+            params,
+            min_size,
+        };
+        let results = run_misses(
+            &misses,
+            query.threads,
+            &ctrl,
+            |slot| components[eligible[slot]].vertices.len(),
+            |slot, ctrl| {
+                enumerate_component(
+                    &reduced.graph,
+                    &components[eligible[slot]].vertices,
+                    problem,
+                    ctrl,
+                )
+            },
+        );
+        {
+            let entry = self.entries.get_mut(&key).expect("entry was just ensured");
+            for (slot, (cliques, completed, component_stats)) in results {
+                stats += &component_stats;
+                let cliques = Arc::new(cliques);
+                if completed {
+                    entry.enum_cache.insert(
+                        cache_key(&components[eligible[slot]].canon),
+                        Arc::clone(&cliques),
+                    );
+                }
+                per_comp[slot] = Some(cliques);
+            }
+        }
+
+        // Emission: components in discovery order; cached components replay their
+        // stored order, fresh ones their deterministic enumeration order.
+        let mut emitted = 0u64;
+        let mut sink_stopped = false;
+        'emission: for (slot, &ci) in eligible.iter().enumerate() {
+            let Some(cliques) = &per_comp[slot] else {
+                continue; // never reached before a budget/cancel stop
+            };
+            for ranks in cliques.iter() {
+                let ids: Vec<VertexId> = ranks
+                    .iter()
+                    .map(|&r| components[ci].vertices[r as usize])
+                    .collect();
+                emitted += 1;
+                if sink.emit(FairClique::from_vertices(&self.graph, ids)) == SinkFlow::Stop {
+                    sink_stopped = true;
+                    break 'emission;
+                }
+            }
+        }
+
+        let termination = match ctrl.stop_reason() {
+            Some(StopReason::Budget) => EnumTermination::BudgetExhausted,
+            Some(StopReason::Cancelled) => EnumTermination::Cancelled,
+            None if sink_stopped => EnumTermination::SinkStopped,
+            None => EnumTermination::Complete,
+        };
+        stats.elapsed_micros = start.elapsed().as_micros() as u64;
+        Ok(EnumOutcome {
+            emitted,
+            termination,
+            stats,
+            reduction_cache_hit: hit,
+        })
+    }
+
+    /// Validates and resolves a fairness model against the committed graph.
+    fn resolve(&self, fairness: FairnessModel) -> Result<FairCliqueParams, SolveError> {
+        fairness
+            .resolve(self.graph.num_vertices())
+            .map_err(SolveError::InvalidParams)
+    }
+
+    /// Makes the entry for `key` current (computing or splicing its reduced graph as
+    /// needed) and returns whether it was already current — the
+    /// [`reduction_cache_hit`](Solution::reduction_cache_hit) the query reports.
+    fn ensure_entry(&mut self, key: &EntryKey) -> bool {
+        if matches!(
+            self.entries.get(key).map(|e| &e.state),
+            Some(EntryState::Current { .. })
+        ) {
+            return true;
+        }
+        let params = FairCliqueParams::new(key.0, 0).expect("k >= 1 was validated by the caller");
+        match self.entries.remove(key) {
+            None => {
+                let (graph, stats) = apply_reductions(&self.graph, params, &key.1);
+                self.preprocessing_runs += 1;
+                let reduced = Arc::new(ReducedEntry { graph, stats });
+                let components = Arc::new(build_components(&reduced.graph, params.min_size()));
+                self.entries.insert(
+                    *key,
+                    DynEntry {
+                        state: EntryState::Current {
+                            reduced,
+                            components,
+                        },
+                        solve_cache: HashMap::new(),
+                        enum_cache: HashMap::new(),
+                    },
+                );
+            }
+            Some(DynEntry {
+                state: EntryState::Stale { old, changed },
+                mut solve_cache,
+                mut enum_cache,
+            }) => {
+                let reduced = Arc::new(self.splice(&old, &changed, params, &key.1));
+                self.preprocessing_runs += 1;
+                let components = Arc::new(build_components(&reduced.graph, params.min_size()));
+                // Drop results for components that no longer exist; identical
+                // components (the clean majority) keep their entries and will hit.
+                let live: std::collections::HashSet<&CanonicalComponent> =
+                    components.iter().map(|c| c.canon.as_ref()).collect();
+                solve_cache.retain(|k, _| live.contains(k.2.as_ref()));
+                enum_cache.retain(|k, _| live.contains(k.2.as_ref()));
+                self.entries.insert(
+                    *key,
+                    DynEntry {
+                        state: EntryState::Current {
+                            reduced,
+                            components,
+                        },
+                        solve_cache,
+                        enum_cache,
+                    },
+                );
+            }
+            Some(current) => {
+                // Unreachable through the fast path above, but stay total.
+                self.entries.insert(*key, current);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Splices a stale reduced graph: re-runs the pipeline on the components of the
+    /// committed graph containing a changed vertex and keeps the old reduction's
+    /// slice of every clean component (sound — see the [module docs](self)).
+    fn splice(
+        &self,
+        old: &ReducedEntry,
+        changed: &BTreeSet<VertexId>,
+        params: FairCliqueParams,
+        config: &ReductionConfig,
+    ) -> ReducedEntry {
+        let comps = connected_components(&self.graph);
+        let mut dirty_comp = vec![false; comps.num_components];
+        for &v in changed {
+            if let Some(&label) = comps.labels.get(v as usize) {
+                dirty_comp[label as usize] = true;
+            }
+        }
+        let dirty: Vec<bool> = comps
+            .labels
+            .iter()
+            .map(|&label| dirty_comp[label as usize])
+            .collect();
+
+        let dirty_sub = vertex_filtered_subgraph(&self.graph, &dirty);
+        let (reduced_dirty, dirty_stats) = apply_reductions(&dirty_sub, params, config);
+
+        let mut edges: Vec<(VertexId, VertexId)> = old
+            .graph
+            .edge_list()
+            .iter()
+            .copied()
+            .filter(|&(u, _)| !dirty[u as usize])
+            .collect();
+        let clean_edges = edges.len();
+        let clean_vertices = (0..old.graph.num_vertices() as VertexId)
+            .filter(|&v| old.graph.degree(v) > 0 && !dirty[v as usize])
+            .count();
+        edges.extend(reduced_dirty.edge_list().iter().copied());
+
+        let mut builder = GraphBuilder::with_attributes(self.graph.attributes().to_vec());
+        builder.add_edges(edges);
+        let graph = builder.build().expect("spliced edges stay in range");
+
+        let mut stats = dirty_stats;
+        stats.original_vertices = self.graph.num_vertices();
+        stats.original_edges = self.graph.num_edges();
+        for stage in &mut stats.stages {
+            stage.vertices += clean_vertices;
+            stage.edges += clean_edges;
+        }
+        ReducedEntry { graph, stats }
+    }
+
+    /// Snapshots the current reduced graph and component list for `key` (refcount
+    /// bumps, no copying).
+    fn entry_snapshot(&self, key: &EntryKey) -> (Arc<ReducedEntry>, Arc<Vec<DynComponent>>) {
+        match &self.entries.get(key).expect("entry was just ensured").state {
+            EntryState::Current {
+                reduced,
+                components,
+            } => (Arc::clone(reduced), Arc::clone(components)),
+            EntryState::Stale { .. } => unreachable!("ensure_entry left a stale entry"),
+        }
+    }
+}
+
+/// The eligible components of a reduced graph with their canonical content keys.
+fn build_components(reduced: &AttributedGraph, min_size: usize) -> Vec<DynComponent> {
+    let active: Vec<VertexId> = reduced
+        .vertices()
+        .filter(|&v| reduced.degree(v) + 1 >= min_size)
+        .collect();
+    let mut rank = vec![u32::MAX; reduced.num_vertices()];
+    components_of_subset(reduced, &active)
+        .into_iter()
+        .filter(|component| component.len() >= min_size)
+        .map(|vertices| {
+            for (i, &v) in vertices.iter().enumerate() {
+                rank[v as usize] = i as u32;
+            }
+            let attrs: Vec<Attribute> = vertices.iter().map(|&v| reduced.attribute(v)).collect();
+            let mut edges: Vec<(u32, u32)> = Vec::new();
+            for &v in &vertices {
+                for &w in reduced.neighbors(v) {
+                    // Neighbors outside the active set keep rank MAX; active
+                    // neighbors are in this component (components are closed).
+                    if w > v && rank[w as usize] != u32::MAX {
+                        edges.push((rank[v as usize], rank[w as usize]));
+                    }
+                }
+            }
+            edges.sort_unstable();
+            DynComponent {
+                vertices,
+                canon: Arc::new(CanonicalComponent { attrs, edges }),
+            }
+        })
+        .collect()
+}
+
+/// Runs `work` on every index in `misses`, sequentially or across scoped worker
+/// threads, honoring the shared [`SearchControl`]. Serial runs process misses in
+/// order (deterministic); parallel runs dispatch the largest component first.
+fn run_misses<R: Send>(
+    misses: &[usize],
+    threads: ThreadCount,
+    ctrl: &SearchControl,
+    size_of: impl Fn(usize) -> usize,
+    work: impl Fn(usize, &SearchControl) -> R + Sync,
+) -> Vec<(usize, R)> {
+    let workers = threads.resolve().min(misses.len());
+    if workers <= 1 {
+        return misses
+            .iter()
+            .take_while(|_| !ctrl.stopped())
+            .map(|&i| (i, work(i, ctrl)))
+            .collect();
+    }
+    let mut order: Vec<usize> = misses.to_vec();
+    order.sort_by(|&a, &b| size_of(b).cmp(&size_of(a)).then(a.cmp(&b)));
+    let cursor = AtomicUsize::new(0);
+    let work = &work;
+    let order = &order;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        if ctrl.stopped() {
+                            break;
+                        }
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = order.get(slot) else {
+                            break;
+                        };
+                        local.push((i, work(i, ctrl)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("dynamic worker panicked"))
+            .collect()
+    })
+}
+
+/// Exact search of one component: heuristic warm start plus branch-and-bound over
+/// the component's induced subgraph. Returns the pool's cliques in canonical ranks
+/// (the induced subgraph of a sorted component *is* the canonical relabeling),
+/// whether the search ran to completion, and its counters.
+fn solve_component(
+    reduced: &AttributedGraph,
+    component: &[VertexId],
+    params: FairCliqueParams,
+    config: &SearchConfig,
+    capacity: usize,
+    ctrl: &SearchControl,
+) -> (Vec<Vec<u32>>, bool, SearchStats) {
+    let sub = induced_subgraph(reduced, component);
+    let mut stats = SearchStats::default();
+    let mut warm = None;
+    if config.use_heuristic {
+        let outcome = heur_rfc(&sub.graph, params, &config.heuristic);
+        stats.heuristic_size = outcome.best.as_ref().map(|c| c.size());
+        warm = outcome.best.map(|c| c.vertices);
+    }
+    let pool = SharedIncumbent::with_capacity(capacity, warm);
+    let mut component_config = config.clone();
+    component_config.threads = ThreadCount::Serial;
+    stats += &branch_and_bound(&sub.graph, params, &component_config, &pool, ctrl);
+    let completed = !ctrl.stopped();
+    (pool.into_cliques(), completed, stats)
+}
+
+/// Full maximal-fair-clique enumeration of one component, collected as canonical
+/// rank cliques (deterministic order), plus whether it ran to completion.
+fn enumerate_component(
+    reduced: &AttributedGraph,
+    component: &[VertexId],
+    problem: EnumProblem,
+    ctrl: &SearchControl,
+) -> (Vec<Vec<u32>>, bool, EnumStats) {
+    let mut collected: Vec<Vec<u32>> = Vec::new();
+    let mut emit = |vertices: Vec<VertexId>| {
+        let ranks: Vec<u32> = vertices
+            .iter()
+            .map(|v| {
+                component
+                    .binary_search(v)
+                    .expect("emitted vertices lie in the component") as u32
+            })
+            .collect();
+        collected.push(ranks);
+        SinkFlow::Continue
+    };
+    let (stats, _sink_stopped) =
+        enumerate_one_component(reduced, component, problem, ctrl, &mut emit);
+    let completed = !ctrl.stopped();
+    (collected, completed, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::CollectSink;
+    use crate::solver::{Budget, CancelToken, RfcSolver};
+    use crate::verify;
+    use rfc_graph::fixtures;
+
+    fn serial_query(fairness: FairnessModel) -> Query {
+        Query::new(fairness).with_config(SearchConfig::default().with_threads(ThreadCount::Serial))
+    }
+
+    /// Sorted vertex sets of everything a solver enumerates.
+    fn enumerate_sets_scratch(graph: &AttributedGraph, model: FairnessModel) -> Vec<Vec<VertexId>> {
+        let solver = RfcSolver::new(graph.clone());
+        let mut sink = CollectSink::new();
+        solver
+            .enumerate(
+                &EnumQuery::new(model).with_threads(ThreadCount::Serial),
+                &mut sink,
+            )
+            .unwrap();
+        let mut sets: Vec<Vec<VertexId>> = sink
+            .into_cliques()
+            .into_iter()
+            .map(|c| c.vertices)
+            .collect();
+        sets.sort();
+        sets
+    }
+
+    fn enumerate_sets_dynamic(
+        solver: &mut DynamicRfcSolver,
+        model: FairnessModel,
+    ) -> Vec<Vec<VertexId>> {
+        let mut sink = CollectSink::new();
+        solver
+            .enumerate(
+                &EnumQuery::new(model).with_threads(ThreadCount::Serial),
+                &mut sink,
+            )
+            .unwrap();
+        let mut sets: Vec<Vec<VertexId>> = sink
+            .into_cliques()
+            .into_iter()
+            .map(|c| c.vertices)
+            .collect();
+        sets.sort();
+        sets
+    }
+
+    /// Two disjoint balanced cliques (sizes 6 and 8), for component-cache tests.
+    fn two_balanced_cliques() -> AttributedGraph {
+        let mut b = GraphBuilder::new(14);
+        for v in 0..14u32 {
+            b.set_attribute(
+                v,
+                if v % 2 == 0 {
+                    Attribute::A
+                } else {
+                    Attribute::B
+                },
+            );
+        }
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                b.add_edge(u, v);
+            }
+        }
+        for u in 6..14u32 {
+            for v in (u + 1)..14 {
+                b.add_edge(u, v);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reduction_kept_across_commits_that_miss_the_reduced_graph() {
+        // Satellite: cache-invalidation accounting. For k = 3 the pipeline strips
+        // the sparse left side of the Fig. 1 graph — edge (0, 1) is not in R —
+        // while the planted clique (edge (6, 7)) survives.
+        let mut solver = DynamicRfcSolver::new(fixtures::fig1_graph());
+        let query = serial_query(FairnessModel::Relative { k: 3, delta: 1 });
+        let first = solver.solve(&query).unwrap();
+        assert!(!first.reduction_cache_hit);
+        assert_eq!(first.best().unwrap().size(), 7);
+        assert!(solver.solve(&query).unwrap().reduction_cache_hit);
+        assert_eq!(solver.preprocessing_runs(), 1);
+
+        // Removals that only touch already-reduced vertices keep the reduction.
+        solver.remove_edge(0, 1).unwrap();
+        let outcome = solver.commit();
+        assert_eq!(
+            (outcome.reductions_kept, outcome.reductions_invalidated),
+            (1, 0)
+        );
+        let kept = solver.solve(&query).unwrap();
+        assert!(
+            kept.reduction_cache_hit,
+            "removal outside R must not invalidate"
+        );
+        assert_eq!(kept.best().unwrap().size(), 7);
+        assert_eq!(solver.preprocessing_runs(), 1);
+
+        // A removal inside a surviving component flips the flag…
+        solver.remove_edge(6, 7).unwrap();
+        let outcome = solver.commit();
+        assert_eq!(
+            (outcome.reductions_kept, outcome.reductions_invalidated),
+            (0, 1)
+        );
+        let invalidated = solver.solve(&query).unwrap();
+        assert!(
+            !invalidated.reduction_cache_hit,
+            "removal inside R must invalidate"
+        );
+        assert_eq!(solver.preprocessing_runs(), 2);
+        assert!(solver.solve(&query).unwrap().reduction_cache_hit);
+
+        // …and any insertion invalidates, even between reduced-away vertices
+        // (insertions can revive peeled vertices).
+        solver.insert_edge(0, 1).unwrap();
+        solver.commit();
+        assert!(!solver.solve(&query).unwrap().reduction_cache_hit);
+
+        // A net-empty (cancelling) commit must not promote a stale entry to
+        // "kept": leave the entry stale first (insertions always invalidate),
+        // then cancel a batch out.
+        solver.insert_edge(6, 7).unwrap();
+        let staled = solver.commit();
+        assert_eq!(
+            (staled.reductions_kept, staled.reductions_invalidated),
+            (0, 1)
+        );
+        solver.remove_edge(6, 7).unwrap();
+        solver.insert_edge(6, 7).unwrap(); // cancels out: no net change
+        let cancelled = solver.commit();
+        assert_eq!(cancelled.ops, 2);
+        assert_eq!(
+            (cancelled.reductions_kept, cancelled.reductions_invalidated),
+            (0, 1),
+            "a no-op commit must keep reporting the entry as stale"
+        );
+        assert!(!solver.solve(&query).unwrap().reduction_cache_hit);
+    }
+
+    #[test]
+    fn solve_and_enumerate_reuse_clean_components() {
+        let graph = two_balanced_cliques();
+        let model = FairnessModel::Relative { k: 2, delta: 1 };
+        let mut solver = DynamicRfcSolver::new(graph.clone());
+        let query = serial_query(model);
+        let first = solver.solve(&query).unwrap();
+        assert_eq!(first.stats.components_searched, 2);
+        assert_eq!(first.best().unwrap().size(), 8); // the balanced 8-clique (4 a, 4 b)
+
+        // Both components already cached: a repeat search touches none of them.
+        let repeat = solver.solve(&query).unwrap();
+        assert_eq!(repeat.stats.components_searched, 0);
+        assert_eq!(repeat.best().unwrap().size(), first.best().unwrap().size());
+
+        let before = enumerate_sets_dynamic(&mut solver, model);
+        assert_eq!(before, enumerate_sets_scratch(&graph, model));
+
+        // Touch only the small clique: the big component must come from cache.
+        solver.remove_edge(0, 1).unwrap();
+        let _ = solver.commit();
+        let after = solver.solve(&query).unwrap();
+        assert_eq!(
+            after.stats.components_searched, 1,
+            "only the dirty component may be re-searched"
+        );
+        let scratch = RfcSolver::new(solver.graph().clone());
+        assert_eq!(
+            after.best().map(|c| c.size()),
+            scratch.solve(&query).unwrap().best().map(|c| c.size())
+        );
+        let sets = enumerate_sets_dynamic(&mut solver, model);
+        assert_eq!(sets, enumerate_sets_scratch(solver.graph(), model));
+    }
+
+    #[test]
+    fn dynamic_matches_scratch_for_all_models_after_updates() {
+        let mut solver = DynamicRfcSolver::new(fixtures::fig1_graph());
+        solver.remove_vertex(14).unwrap();
+        solver
+            .insert_edge(0, 14)
+            .expect_err("removed vertex rejects edges");
+        let fresh = solver.insert_vertex(Attribute::B);
+        solver.insert_edge(fresh, 6).unwrap();
+        solver.insert_edge(fresh, 7).unwrap();
+        solver.insert_edge(fresh, 9).unwrap();
+        let _ = solver.commit();
+        solver.restore_vertex(14, Attribute::A).unwrap();
+        solver.insert_edge(14, fresh).unwrap();
+        let _ = solver.commit();
+        for model in [
+            FairnessModel::Relative { k: 2, delta: 1 },
+            FairnessModel::Weak { k: 2 },
+            FairnessModel::Strong { k: 2 },
+        ] {
+            let query = serial_query(model);
+            let dynamic = solver.solve(&query).unwrap();
+            let scratch = RfcSolver::new(solver.graph().clone())
+                .solve(&query)
+                .unwrap();
+            assert_eq!(
+                dynamic.best().map(|c| c.size()),
+                scratch.best().map(|c| c.size()),
+                "{model}"
+            );
+            if let Some(best) = dynamic.best() {
+                assert!(verify::is_fair_clique_under(
+                    solver.graph(),
+                    &best.vertices,
+                    model
+                ));
+            }
+            assert_eq!(
+                enumerate_sets_dynamic(&mut solver, model),
+                enumerate_sets_scratch(solver.graph(), model),
+                "{model}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_objective_is_served_incrementally() {
+        let mut solver = DynamicRfcSolver::new(fixtures::fig1_graph());
+        let query = serial_query(FairnessModel::Relative { k: 3, delta: 1 })
+            .with_objective(Objective::TopK(3));
+        let dynamic = solver.solve(&query).unwrap();
+        let scratch = RfcSolver::new(fixtures::fig1_graph())
+            .solve(&query)
+            .unwrap();
+        let sizes = |s: &Solution| s.cliques.iter().map(|c| c.size()).collect::<Vec<_>>();
+        assert_eq!(sizes(&dynamic), sizes(&scratch));
+        assert_eq!(sizes(&dynamic), vec![7, 7, 7]);
+        let mut sets: Vec<_> = dynamic.cliques.iter().map(|c| c.vertices.clone()).collect();
+        sets.dedup();
+        assert_eq!(sets.len(), 3, "top-k cliques must be distinct");
+        assert!(matches!(
+            solver.solve(&query.clone().with_objective(Objective::TopK(0))),
+            Err(SolveError::EmptyTopK)
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_not_cached_and_does_not_leak() {
+        let mut solver = DynamicRfcSolver::new(fixtures::fig1_graph());
+        let model = FairnessModel::Relative { k: 3, delta: 1 };
+        let starved = serial_query(model).with_budget(Budget::unlimited().with_node_limit(0));
+        let partial = solver.solve(&starved).unwrap();
+        assert_eq!(partial.termination, Termination::BudgetExhausted);
+        // The partial component result must not have been cached: a later
+        // unlimited solve re-searches and finds the exact optimum.
+        let full = solver.solve(&serial_query(model)).unwrap();
+        assert_eq!(full.termination, Termination::Optimal);
+        assert_eq!(full.best().unwrap().size(), 7);
+        assert!(full.stats.components_searched >= 1);
+
+        // A query whose components are all cached is answered exactly even under a
+        // pre-cancelled token: no budgeted work ran, so the result is Optimal.
+        let token = CancelToken::new();
+        token.cancel();
+        let cached = solver
+            .solve(&serial_query(model).with_cancel(token.clone()))
+            .unwrap();
+        assert_eq!(cached.termination, Termination::Optimal);
+        assert_eq!(cached.best().unwrap().size(), 7);
+        // On a fresh solver the same token stops the search before any component
+        // completes, and nothing poisons the follow-up query.
+        let mut fresh = DynamicRfcSolver::new(fixtures::fig1_graph());
+        let cancelled = fresh
+            .solve(&serial_query(model).with_cancel(token))
+            .unwrap();
+        assert_eq!(cancelled.termination, Termination::Cancelled);
+        let again = fresh.solve(&serial_query(model)).unwrap();
+        assert_eq!(again.termination, Termination::Optimal);
+        assert_eq!(again.best().unwrap().size(), 7);
+    }
+
+    #[test]
+    fn commit_outcome_reports_the_batch() {
+        let mut solver = DynamicRfcSolver::new(fixtures::fig1_graph());
+        assert_eq!(solver.pending_ops(), 0);
+        let noop = solver.commit();
+        assert_eq!((noop.ops, noop.changed_vertices), (0, 0));
+        solver.insert_edge(0, 14).unwrap();
+        solver.remove_edge(0, 14).unwrap(); // cancels out
+        solver.remove_vertex(5).unwrap();
+        assert_eq!(solver.pending_ops(), 3);
+        let outcome = solver.commit();
+        assert_eq!(outcome.ops, 3);
+        assert!(outcome.changed_vertices >= 2);
+        assert_eq!(outcome.num_vertices, 15);
+        assert_eq!(solver.pending_ops(), 0);
+        assert_eq!(solver.commits(), 2);
+        // Pending ops are invisible before commit.
+        let mut other = DynamicRfcSolver::new(fixtures::fig1_graph());
+        other.remove_vertex(14).unwrap();
+        assert_eq!(other.graph().degree(14), 7);
+        let _ = other.commit();
+        assert_eq!(other.graph().degree(14), 0);
+    }
+
+    #[test]
+    fn apply_op_streams_through_the_delta_and_commits() {
+        let mut solver = DynamicRfcSolver::new(fixtures::fig1_graph());
+        assert_eq!(
+            solver.apply_op(&UpdateOp::RemoveVertex { v: 14 }).unwrap(),
+            None
+        );
+        let outcome = solver.apply_op(&UpdateOp::Commit).unwrap().unwrap();
+        assert_eq!(outcome.ops, 1);
+        assert!(solver.apply_op(&UpdateOp::RemoveVertex { v: 14 }).is_err());
+    }
+
+    #[test]
+    fn emptied_graph_is_infeasible_everywhere() {
+        let mut solver = DynamicRfcSolver::new(fixtures::balanced_clique(6));
+        for v in 0..6 {
+            solver.remove_vertex(v).unwrap();
+        }
+        let _ = solver.commit();
+        assert_eq!(solver.graph().num_edges(), 0);
+        let solution = solver
+            .solve(&serial_query(FairnessModel::Relative { k: 1, delta: 1 }))
+            .unwrap();
+        assert_eq!(solution.termination, Termination::Infeasible);
+        let mut sink = CollectSink::new();
+        let outcome = solver
+            .enumerate(
+                &EnumQuery::new(FairnessModel::Relative { k: 1, delta: 1 }),
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(outcome.emitted, 0);
+        assert_eq!(outcome.termination, EnumTermination::Complete);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let mut solver = DynamicRfcSolver::new(fixtures::fig1_graph());
+        assert!(matches!(
+            solver.solve(&Query::new(FairnessModel::Weak { k: 0 })),
+            Err(SolveError::InvalidParams(_))
+        ));
+        let mut sink = CollectSink::new();
+        assert!(solver
+            .enumerate(&EnumQuery::new(FairnessModel::Weak { k: 0 }), &mut sink)
+            .is_err());
+    }
+}

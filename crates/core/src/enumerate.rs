@@ -799,6 +799,30 @@ impl<'a> ComponentEnum<'a> {
     }
 }
 
+/// Enumerates the maximal fair cliques of **one** connected component of `reduced`,
+/// handing each one (as reduced-graph vertex ids) to `emit`. Returns the component's
+/// stats (with `components_searched = 1`) and whether `emit` stopped the run.
+///
+/// This is the single-component engine shared by [`run_enumeration`]'s serial path
+/// and the dynamic solver's per-component re-enumeration
+/// ([`DynamicRfcSolver::enumerate`](crate::dynamic::DynamicRfcSolver::enumerate)),
+/// which caches completed component results and only re-runs this on components an
+/// update actually changed.
+pub(crate) fn enumerate_one_component(
+    reduced: &AttributedGraph,
+    component: &[VertexId],
+    problem: EnumProblem,
+    ctrl: &SearchControl,
+    emit: &mut dyn FnMut(Vec<VertexId>) -> SinkFlow,
+) -> (EnumStats, bool) {
+    let sink_stop = AtomicBool::new(false);
+    let mut ce = ComponentEnum::new(reduced, component, problem, ctrl, &sink_stop);
+    ce.run(emit);
+    let mut stats = ce.stats;
+    stats.components_searched = 1;
+    (stats, sink_stop.load(Ordering::Relaxed))
+}
+
 /// Runs the enumeration over every eligible component of `reduced`, streaming into
 /// `sink`. Returns the merged stats, the number of cliques delivered to the sink, and
 /// whether the sink stopped the run.
@@ -840,14 +864,16 @@ pub(crate) fn run_enumeration(
             if ctrl.stopped() || sink_stop.load(Ordering::Relaxed) {
                 break;
             }
-            stats.components_searched += 1;
-            let mut ce = ComponentEnum::new(reduced, component, problem, ctrl, &sink_stop);
             let mut emit = |vertices: Vec<VertexId>| {
                 emitted += 1;
                 sink.emit(FairClique::from_vertices(original, vertices))
             };
-            ce.run(&mut emit);
-            stats += &ce.stats;
+            let (component_stats, stopped) =
+                enumerate_one_component(reduced, component, problem, ctrl, &mut emit);
+            stats += &component_stats;
+            if stopped {
+                sink_stop.store(true, Ordering::Relaxed);
+            }
         }
     } else {
         // Largest components first so the most expensive enumerations start

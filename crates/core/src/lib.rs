@@ -69,6 +69,7 @@
 
 pub mod baseline;
 pub mod bounds;
+pub mod dynamic;
 pub mod enumerate;
 pub mod heuristic;
 pub mod problem;
@@ -76,6 +77,8 @@ pub mod reduction;
 pub mod search;
 pub mod solver;
 pub mod verify;
+
+pub use dynamic::{CommitOutcome, DynamicRfcSolver};
 
 pub use enumerate::{
     CliqueSink, CollectSink, CountSink, EnumOutcome, EnumQuery, EnumStats, EnumTermination,
@@ -90,6 +93,7 @@ pub use solver::{
 /// Commonly used items for glob import.
 pub mod prelude {
     pub use crate::bounds::{BoundConfig, ExtraBound};
+    pub use crate::dynamic::{CommitOutcome, DynamicRfcSolver};
     pub use crate::enumerate::{
         CliqueSink, CollectSink, CountSink, EnumOutcome, EnumQuery, EnumStats, EnumTermination,
         JsonlSink, LimitSink, SinkFlow, TopNSink,

@@ -270,11 +270,13 @@ impl std::error::Error for SolveError {
     }
 }
 
-/// A reduced graph plus the pipeline stats that produced it, shared across queries.
+/// A reduced graph plus the pipeline stats that produced it, shared across queries
+/// (and reused by [`DynamicRfcSolver`](crate::dynamic::DynamicRfcSolver), which keeps
+/// or splices these entries across graph updates).
 #[derive(Debug)]
-struct ReducedEntry {
-    graph: AttributedGraph,
-    stats: ReductionStats,
+pub(crate) struct ReducedEntry {
+    pub(crate) graph: AttributedGraph,
+    pub(crate) stats: ReductionStats,
 }
 
 /// A build-once / query-many maximum fair clique solver (see the [module

@@ -17,6 +17,9 @@
 //!   maximum fair clique search should recover.
 //! * [`scaling`] — the 20%–100% vertex/edge subsampling used by the scalability test
 //!   (Fig. 9).
+//! * [`updates`] — deterministic update streams (grow-only, churn, adversarial
+//!   delete-the-incumbent) for the dynamic-graph subsystem and the `maxfairclique
+//!   update` subcommand.
 //!
 //! Every generator takes an explicit seed, so workloads are fully reproducible.
 
@@ -27,5 +30,6 @@ pub mod case_study;
 pub mod paper;
 pub mod scaling;
 pub mod synthetic;
+pub mod updates;
 
 pub use paper::{DatasetSpec, PaperDataset};

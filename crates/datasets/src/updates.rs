@@ -1,0 +1,454 @@
+//! Deterministic update-stream generators for the dynamic-graph subsystem.
+//!
+//! An *update stream* is a sequence of [`UpdateOp`]s with [`UpdateOp::Commit`]
+//! markers as batch boundaries, replayable against a base graph by
+//! `rfc_core::dynamic::DynamicRfcSolver` (or any [`rfc_graph::delta::GraphDelta`]
+//! loop) and
+//! serializable line-by-line with [`UpdateOp::to_jsonl`] for the `maxfairclique
+//! update` subcommand. Three workload shapes cover the incremental solver's design
+//! space:
+//!
+//! * [`grow_only_stream`] — vertices and edges only arrive (the append-heavy
+//!   ingestion pattern); nothing is ever removed.
+//! * [`churn_stream`] — a seeded mix of edge insertions/removals plus occasional
+//!   vertex removals and restores, confined to a caller-chosen vertex pool so churn
+//!   can be aimed at (or away from) specific components.
+//! * [`delete_incumbent_stream`] — the adversarial pattern for incremental solvers:
+//!   delete the vertices of a known best clique one batch at a time (each commit
+//!   invalidates the current incumbent), then restore them and stitch the clique
+//!   back together.
+//!
+//! Every generator is a pure function of its inputs and seed: identical calls
+//! produce identical streams, and every op in a stream is valid when the stream is
+//! replayed in order against the base graph.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rfc_graph::delta::UpdateOp;
+use rfc_graph::{Attribute, AttributedGraph, VertexId};
+
+/// Pushes a commit marker every `batch_size` graph ops (and once more at the end if
+/// ops are pending).
+struct BatchWriter {
+    ops: Vec<UpdateOp>,
+    batch_size: usize,
+    in_batch: usize,
+}
+
+impl BatchWriter {
+    fn new(batch_size: usize) -> Self {
+        Self {
+            ops: Vec::new(),
+            batch_size: batch_size.max(1),
+            in_batch: 0,
+        }
+    }
+
+    fn push(&mut self, op: UpdateOp) {
+        self.ops.push(op);
+        self.in_batch += 1;
+        if self.in_batch == self.batch_size {
+            self.ops.push(UpdateOp::Commit);
+            self.in_batch = 0;
+        }
+    }
+
+    fn finish(mut self) -> Vec<UpdateOp> {
+        if self.in_batch > 0 {
+            self.ops.push(UpdateOp::Commit);
+        }
+        self.ops
+    }
+}
+
+fn random_attr(rng: &mut StdRng) -> Attribute {
+    if rng.gen_bool(0.5) {
+        Attribute::A
+    } else {
+        Attribute::B
+    }
+}
+
+/// A grow-only stream: `ops` insertions (≈ 15% new vertices, the rest new edges
+/// between random existing vertices), a [`UpdateOp::Commit`] every `batch_size` ops.
+/// Every inserted edge is absent at insertion time, so the stream replays cleanly.
+pub fn grow_only_stream(
+    base: &AttributedGraph,
+    ops: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<UpdateOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut writer = BatchWriter::new(batch_size);
+    let mut num_vertices = base.num_vertices();
+    // Shadow edge set: base edges plus everything inserted so far.
+    let mut edges: std::collections::BTreeSet<(VertexId, VertexId)> =
+        base.edge_list().iter().copied().collect();
+    for _ in 0..ops {
+        let grow_vertex = num_vertices < 2 || rng.gen_bool(0.15);
+        if grow_vertex {
+            writer.push(UpdateOp::InsertVertex {
+                attr: random_attr(&mut rng),
+            });
+            num_vertices += 1;
+            continue;
+        }
+        // Rejection-sample an absent pair; dense corners fall back to a new vertex.
+        let mut inserted = false;
+        for _ in 0..64 {
+            let u = rng.gen_range(0..num_vertices as VertexId);
+            let v = rng.gen_range(0..num_vertices as VertexId);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if edges.insert(key) {
+                writer.push(UpdateOp::InsertEdge { u: key.0, v: key.1 });
+                inserted = true;
+                break;
+            }
+        }
+        if !inserted {
+            writer.push(UpdateOp::InsertVertex {
+                attr: random_attr(&mut rng),
+            });
+            num_vertices += 1;
+        }
+    }
+    writer.finish()
+}
+
+/// Pool-internal live edges of the churn shadow, supporting O(1) sampling and
+/// removal.
+struct EdgePool {
+    list: Vec<(VertexId, VertexId)>,
+    index: HashMap<(VertexId, VertexId), usize>,
+}
+
+impl EdgePool {
+    fn new() -> Self {
+        Self {
+            list: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn contains(&self, key: (VertexId, VertexId)) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    fn insert(&mut self, key: (VertexId, VertexId)) {
+        if self.index.insert(key, self.list.len()).is_none() {
+            self.list.push(key);
+        }
+    }
+
+    fn remove(&mut self, key: (VertexId, VertexId)) {
+        if let Some(at) = self.index.remove(&key) {
+            self.list.swap_remove(at);
+            if let Some(&moved) = self.list.get(at) {
+                self.index.insert(moved, at);
+            }
+        }
+    }
+
+    fn remove_incident(&mut self, v: VertexId) {
+        let incident: Vec<(VertexId, VertexId)> = self
+            .list
+            .iter()
+            .copied()
+            .filter(|&(a, b)| a == v || b == v)
+            .collect();
+        for key in incident {
+            self.remove(key);
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> Option<(VertexId, VertexId)> {
+        if self.list.is_empty() {
+            None
+        } else {
+            Some(self.list[rng.gen_range(0..self.list.len())])
+        }
+    }
+}
+
+/// A churn stream confined to `pool`: ≈ 40% edge insertions, 40% edge removals,
+/// 10% vertex removals and 10% restores of previously removed vertices, with a
+/// [`UpdateOp::Commit`] every `batch_size` ops. Aiming the pool at one component of
+/// a multi-component graph produces the "low-churn" workload where an incremental
+/// solver shines; a pool spanning the whole graph produces uniform churn.
+///
+/// `pool` must name distinct, existing vertices (duplicates are ignored).
+pub fn churn_stream(
+    base: &AttributedGraph,
+    pool: &[VertexId],
+    ops: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<UpdateOp> {
+    let mut pool: Vec<VertexId> = pool
+        .iter()
+        .copied()
+        .filter(|&v| (v as usize) < base.num_vertices())
+        .collect();
+    pool.sort_unstable();
+    pool.dedup();
+    assert!(
+        pool.len() >= 2,
+        "churn needs a pool of at least two vertices"
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut writer = BatchWriter::new(batch_size);
+    let in_pool: std::collections::BTreeSet<VertexId> = pool.iter().copied().collect();
+    let mut alive: HashMap<VertexId, bool> = pool.iter().map(|&v| (v, true)).collect();
+    let mut removed: Vec<VertexId> = Vec::new();
+    let mut edges = EdgePool::new();
+    for &(u, v) in base.edge_list() {
+        if in_pool.contains(&u) && in_pool.contains(&v) {
+            edges.insert((u, v));
+        }
+    }
+
+    for _ in 0..ops {
+        let roll = rng.gen_range(0..100u32);
+        if roll < 40 {
+            // Insert an absent pool-internal edge between live vertices.
+            let mut done = false;
+            for _ in 0..64 {
+                let u = pool[rng.gen_range(0..pool.len())];
+                let v = pool[rng.gen_range(0..pool.len())];
+                if u == v || !alive[&u] || !alive[&v] {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if !edges.contains(key) {
+                    edges.insert(key);
+                    writer.push(UpdateOp::InsertEdge { u: key.0, v: key.1 });
+                    done = true;
+                    break;
+                }
+            }
+            if done {
+                continue;
+            }
+        }
+        if roll < 80 {
+            // Remove a present pool-internal edge.
+            if let Some(key) = edges.sample(&mut rng) {
+                edges.remove(key);
+                writer.push(UpdateOp::RemoveEdge { u: key.0, v: key.1 });
+                continue;
+            }
+        }
+        if roll < 90 {
+            // Remove a live pool vertex (keep at least two alive).
+            let live: Vec<VertexId> = pool.iter().copied().filter(|v| alive[v]).collect();
+            if live.len() > 2 {
+                let v = live[rng.gen_range(0..live.len())];
+                alive.insert(v, false);
+                removed.push(v);
+                edges.remove_incident(v);
+                writer.push(UpdateOp::RemoveVertex { v });
+                continue;
+            }
+        }
+        // Restore a removed vertex (it comes back isolated).
+        if let Some(at) = (!removed.is_empty()).then(|| rng.gen_range(0..removed.len())) {
+            let v = removed.swap_remove(at);
+            alive.insert(v, true);
+            writer.push(UpdateOp::RestoreVertex {
+                v,
+                attr: random_attr(&mut rng),
+            });
+        } else if let Some(key) = edges.sample(&mut rng) {
+            edges.remove(key);
+            writer.push(UpdateOp::RemoveEdge { u: key.0, v: key.1 });
+        }
+    }
+    writer.finish()
+}
+
+/// The adversarial delete-the-incumbent stream: removes the vertices of `incumbent`
+/// (a known clique — typically the planted maximum fair clique) one
+/// [`UpdateOp::RemoveVertex`] at a time, then restores each id with its original
+/// attribute and re-inserts every clique edge, committing every `batch_size` ops.
+/// Every prefix of commits leaves a valid graph, and after the final commit the
+/// clique is fully stitched back together (edges from the clique to the rest of the
+/// graph stay removed).
+pub fn delete_incumbent_stream(
+    base: &AttributedGraph,
+    incumbent: &[VertexId],
+    batch_size: usize,
+) -> Vec<UpdateOp> {
+    assert!(
+        base.is_clique(incumbent),
+        "the incumbent to delete must be a clique of the base graph"
+    );
+    let mut writer = BatchWriter::new(batch_size);
+    for &v in incumbent {
+        writer.push(UpdateOp::RemoveVertex { v });
+    }
+    for &v in incumbent {
+        writer.push(UpdateOp::RestoreVertex {
+            v,
+            attr: base.attribute(v),
+        });
+    }
+    for (i, &u) in incumbent.iter().enumerate() {
+        for &v in &incumbent[i + 1..] {
+            writer.push(UpdateOp::InsertEdge {
+                u: u.min(v),
+                v: u.max(v),
+            });
+        }
+    }
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfc_graph::delta::GraphDelta;
+    use rfc_graph::GraphBuilder;
+    use std::collections::BTreeSet;
+
+    /// Replays a stream through [`GraphDelta`] (panicking on any invalid op) and
+    /// returns the final committed graph plus the number of commits.
+    fn replay(base: &AttributedGraph, ops: &[UpdateOp]) -> (AttributedGraph, usize) {
+        let mut graph = base.clone();
+        let mut delta = GraphDelta::new();
+        let mut commits = 0usize;
+        for op in ops {
+            if *op == UpdateOp::Commit {
+                let tombstones = delta.tombstones();
+                graph = delta.apply(&graph);
+                delta = GraphDelta::with_tombstones(tombstones);
+                commits += 1;
+            } else {
+                delta
+                    .apply_op(&graph, op)
+                    .unwrap_or_else(|e| panic!("invalid op {op:?}: {e}"));
+            }
+        }
+        assert!(delta.is_empty(), "streams must end on a commit boundary");
+        (graph, commits)
+    }
+
+    fn base_graph() -> AttributedGraph {
+        let mut b = GraphBuilder::new(12);
+        for v in 0..12u32 {
+            b.set_attribute(
+                v,
+                if v % 2 == 0 {
+                    Attribute::A
+                } else {
+                    Attribute::B
+                },
+            );
+        }
+        // Two squares plus a bridge and some chords.
+        b.add_edges([
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (0, 2),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (7, 4),
+            (3, 4),
+            (8, 9),
+            (10, 11),
+        ]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn grow_only_streams_are_valid_deterministic_and_insert_only() {
+        let base = base_graph();
+        let ops = grow_only_stream(&base, 120, 25, 7);
+        assert_eq!(ops, grow_only_stream(&base, 120, 25, 7));
+        assert_ne!(ops, grow_only_stream(&base, 120, 25, 8));
+        assert!(ops.iter().all(|op| matches!(
+            op,
+            UpdateOp::InsertEdge { .. } | UpdateOp::InsertVertex { .. } | UpdateOp::Commit
+        )));
+        assert_eq!(
+            ops.iter().filter(|op| **op != UpdateOp::Commit).count(),
+            120
+        );
+        let (graph, commits) = replay(&base, &ops);
+        assert_eq!(commits, 120usize.div_ceil(25));
+        assert!(graph.num_edges() > base.num_edges());
+        assert!(graph.num_vertices() >= base.num_vertices());
+    }
+
+    #[test]
+    fn churn_streams_replay_cleanly_within_their_pool() {
+        let base = base_graph();
+        let pool: Vec<VertexId> = (0..8).collect();
+        let ops = churn_stream(&base, &pool, 200, 40, 11);
+        assert_eq!(ops, churn_stream(&base, &pool, 200, 40, 11));
+        let (graph, commits) = replay(&base, &ops);
+        assert_eq!(commits, 5);
+        assert_eq!(graph.num_vertices(), base.num_vertices());
+        // Ops never touch vertices outside the pool (both untouched components and
+        // their edges survive verbatim).
+        for op in &ops {
+            let touched: Vec<VertexId> = match *op {
+                UpdateOp::InsertEdge { u, v } | UpdateOp::RemoveEdge { u, v } => vec![u, v],
+                UpdateOp::RemoveVertex { v } | UpdateOp::RestoreVertex { v, .. } => vec![v],
+                UpdateOp::InsertVertex { .. } | UpdateOp::Commit => vec![],
+            };
+            assert!(touched.iter().all(|&v| pool.contains(&v)), "{op:?}");
+        }
+        assert!(graph.has_edge(8, 9));
+        assert!(graph.has_edge(10, 11));
+        // The mix actually exercises removals and restores.
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, UpdateOp::RemoveEdge { .. })));
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, UpdateOp::RemoveVertex { .. })));
+    }
+
+    #[test]
+    fn delete_incumbent_stream_kills_and_rebuilds_the_clique() {
+        let base = base_graph();
+        let clique: Vec<VertexId> = vec![0, 1, 2];
+        let ops = delete_incumbent_stream(&base, &clique, 2);
+        // First batch: removals only.
+        let first_commit = ops.iter().position(|op| *op == UpdateOp::Commit).unwrap();
+        assert!(ops[..first_commit]
+            .iter()
+            .all(|op| matches!(op, UpdateOp::RemoveVertex { .. })));
+        // Mid-stream prefixes replay cleanly too.
+        let mid = ops
+            .iter()
+            .take(first_commit + 1)
+            .copied()
+            .collect::<Vec<_>>();
+        let (after_first, _) = replay(&base, &mid);
+        assert_eq!(after_first.degree(0), 0);
+        // The full stream restores the clique with its original attributes.
+        let (graph, _) = replay(&base, &ops);
+        assert!(graph.is_clique(&clique));
+        let attrs: BTreeSet<_> = clique.iter().map(|&v| graph.attribute(v)).collect();
+        let original: BTreeSet<_> = clique.iter().map(|&v| base.attribute(v)).collect();
+        assert_eq!(attrs, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a clique")]
+    fn delete_incumbent_rejects_non_cliques() {
+        let base = base_graph();
+        let _ = delete_incumbent_stream(&base, &[0, 1, 7], 4);
+    }
+}

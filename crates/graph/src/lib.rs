@@ -13,6 +13,8 @@
 //!   degeneracy, the colorful h-index, and the *enhanced* colorful degree / k-core
 //!   (Definitions 2–5 and 8–10 of the paper).
 //! * [`components`] — connected components.
+//! * [`delta`] — dynamic-graph support: [`GraphDelta`] records batches of edge/vertex
+//!   insertions and deletions over the immutable CSR and applies them in one pass.
 //! * [`bitset`] — `u64`-word bitsets and dense bit-matrix adjacency for the
 //!   branch-and-bound hot loop.
 //! * [`subgraph`] — induced subgraphs and edge-mask subgraphs with vertex-id mappings.
@@ -59,6 +61,7 @@ pub mod colorful;
 pub mod coloring;
 pub mod components;
 pub mod cores;
+pub mod delta;
 pub mod fixtures;
 pub mod graph;
 pub mod io;
@@ -68,6 +71,7 @@ pub use attr::{Attribute, AttributeCounts};
 pub use bitset::{BitMatrix, Bitset};
 pub use builder::{BuildError, GraphBuilder};
 pub use coloring::Coloring;
+pub use delta::{DeltaError, GraphDelta, UpdateOp};
 pub use graph::{AttributedGraph, EdgeId, GraphStats, VertexId};
 pub use subgraph::InducedSubgraph;
 
