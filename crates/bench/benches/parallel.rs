@@ -18,20 +18,30 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use rfc_bench::workloads::multi_component_graph;
+use rfc_bench::workloads::{big_component_graph, multi_component_graph};
 use rfc_core::bounds::ExtraBound;
 use rfc_core::problem::FairCliqueParams;
 use rfc_core::reduction::ReductionConfig;
 use rfc_core::search::{max_fair_clique, SearchConfig, ThreadCount};
 use rfc_datasets::synthetic::erdos_renyi;
 use rfc_graph::bitset::{BitMatrix, Bitset};
-use rfc_graph::VertexId;
+use rfc_graph::{AttributedGraph, VertexId};
 
-/// The thread-count sweep shared by the criterion group and the JSON emitter.
+/// The thread-count sweep shared by the criterion group and the JSON emitter, run on
+/// the multi-component workload (component-level dispatch dominates).
 const THREAD_CASES: [(&str, ThreadCount); 3] = [
     ("serial", ThreadCount::Serial),
     ("2-threads", ThreadCount::Fixed(2)),
     ("4-threads", ThreadCount::Fixed(4)),
+];
+
+/// The same sweep on the one-big-component workload, where the graph is a single
+/// connected component and every speedup has to come from the intra-component
+/// work-stealing split (root subtrees as stealable tasks + the shared incumbent).
+const BIG_THREAD_CASES: [(&str, ThreadCount); 3] = [
+    ("big-serial", ThreadCount::Serial),
+    ("big-2-threads", ThreadCount::Fixed(2)),
+    ("big-4-threads", ThreadCount::Fixed(4)),
 ];
 
 /// The measured configuration: no heuristic warm start (the incumbent must actually
@@ -46,32 +56,64 @@ fn scaling_config(threads: ThreadCount) -> SearchConfig {
     }
 }
 
+/// The one-big-component cases additionally drop the extra upper bound. The colorful
+/// bounds are recomputed at every spawned subtree root, which would dominate the
+/// measurement, and with them pruning is bound-driven almost regardless of incumbent
+/// quality. Under the plain size/attribute bounds the tree size is governed by *how
+/// early the strong incumbent lands* — exactly what intra-component work distribution
+/// changes, and therefore what this workload is meant to measure.
+fn big_scaling_config(threads: ThreadCount) -> SearchConfig {
+    SearchConfig {
+        reductions: ReductionConfig::core_only(),
+        threads,
+        ..SearchConfig::basic()
+    }
+}
+
+/// One measured workload: the graph, its labeled thread-count cases, and the function
+/// building the `SearchConfig` for each case.
+type Workload<'a> = (
+    &'a AttributedGraph,
+    &'a [(&'a str, ThreadCount); 3],
+    fn(ThreadCount) -> SearchConfig,
+);
+
 fn bench_thread_scaling(c: &mut Criterion) {
-    let g = multi_component_graph(6, 200, 7);
+    let multi = multi_component_graph(6, 200, 7);
+    let big = big_component_graph(800, 17);
     let params = FairCliqueParams::new(3, 1).unwrap();
+    let workloads: [Workload<'_>; 2] = [
+        (&multi, &THREAD_CASES, scaling_config),
+        (&big, &BIG_THREAD_CASES, big_scaling_config),
+    ];
+
     let mut group = c.benchmark_group("parallel/threads");
     group.sample_size(10);
-    for (label, threads) in THREAD_CASES {
-        let config = scaling_config(threads);
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| max_fair_clique(&g, params, &config));
-        });
+    for (g, cases, make_config) in workloads {
+        for &(label, threads) in cases {
+            let config = make_config(threads);
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| max_fair_clique(g, params, &config));
+            });
+        }
     }
     group.finish();
 
     // Machine-readable mean timings per thread count -> BENCH_parallel.json at the
     // repository root, so the perf trajectory is tracked without parsing stdout.
     let mut entries = Vec::new();
-    for (label, threads) in THREAD_CASES {
-        let config = scaling_config(threads);
-        black_box(max_fair_clique(&g, params, &config)); // warm-up
-        const RUNS: u32 = 10;
-        let started = Instant::now();
-        for _ in 0..RUNS {
-            black_box(max_fair_clique(&g, params, &config));
+    for (g, cases, make_config) in workloads {
+        for &(label, threads) in cases {
+            let config = make_config(threads);
+            black_box(max_fair_clique(g, params, &config)); // warm-up
+            const RUNS: u32 = 10;
+            let started = Instant::now();
+            for _ in 0..RUNS {
+                black_box(max_fair_clique(g, params, &config));
+            }
+            let mean_us = started.elapsed().as_secs_f64() * 1e6 / f64::from(RUNS);
+            entries.push((label.to_string(), mean_us));
         }
-        let mean_us = started.elapsed().as_secs_f64() * 1e6 / f64::from(RUNS);
-        entries.push((label.to_string(), mean_us));
     }
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
     match rfc_bench::report::write_json_results(&path, "parallel/threads", &entries) {

@@ -7,8 +7,8 @@ use rfc_core::bounds::ExtraBound;
 use rfc_core::problem::FairCliqueParams;
 use rfc_core::search::SearchConfig;
 use rfc_datasets::synthetic::{
-    add_dense_community, disjoint_union, erdos_renyi, plant_cliques_in_pool, DenseCommunity,
-    PlantedClique,
+    add_dense_community, disjoint_union, erdos_renyi, one_big_component, plant_cliques_in_pool,
+    BigComponentConfig, DenseCommunity, PlantedClique,
 };
 use rfc_datasets::{DatasetSpec, PaperDataset};
 use rfc_graph::AttributedGraph;
@@ -115,6 +115,28 @@ pub fn multi_component_graph(blobs: usize, base_n: usize, seed: u64) -> Attribut
     disjoint_union(&parts)
 }
 
+/// A *single connected component* stress workload for the intra-component
+/// work-stealing search: an Erdős–Rényi background at constant average degree, a dense
+/// community on the tail vertex ids and a planted fair clique on the very highest ids.
+///
+/// With exactly one component, component-level dispatch cannot help at all — every
+/// speedup has to come from splitting the branch-and-bound *inside* the component.
+/// Because workers pop their own deque LIFO, a parallel worker descends into the
+/// *last* root subtree (where the colorful-core order puts the planted clique) almost
+/// immediately and shares the strong incumbent, while the serial search grinds through
+/// the background subtrees first with a weak incumbent.
+pub fn big_component_graph(n: usize, seed: u64) -> AttributedGraph {
+    let config = BigComponentConfig {
+        n,
+        edge_prob: 16.0 / n as f64,
+        community: 240,
+        community_prob: 0.55,
+        planted_half: 18,
+        prob_a: 0.5,
+    };
+    one_big_component(&config, seed).0
+}
+
 /// Runs a closure and returns its result together with the elapsed wall-clock time in
 /// microseconds.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
@@ -150,6 +172,18 @@ mod tests {
             g,
             "deterministic per seed"
         );
+    }
+
+    #[test]
+    fn big_component_graph_is_one_component() {
+        let g = big_component_graph(300, 17);
+        assert_eq!(g.num_vertices(), 300);
+        let comps = rfc_graph::components::connected_components(&g);
+        assert_eq!(
+            comps.num_components, 1,
+            "the path edges guarantee connectivity"
+        );
+        assert_eq!(big_component_graph(300, 17), g, "deterministic per seed");
     }
 
     #[test]

@@ -104,13 +104,14 @@ fn solution_json(model: FairnessModel, solution: &Solution) -> String {
     let _ = write!(
         s,
         "],\"stats\":{{\"branches\":{},\"bound_prunes\":{},\"feasibility_prunes\":{},\
-         \"components\":{},\"elapsed_us\":{},\"reduction\":{{\"original_edges\":{},\
+         \"components\":{},\"elapsed_us\":{},\"cpu_us\":{},\"reduction\":{{\"original_edges\":{},\
          \"final_edges\":{}}}}},\"heuristic_size\":{},\"reduction_cache_hit\":{}}}",
         stats.branches,
         stats.bound_prunes,
         stats.feasibility_prunes,
         stats.components_searched,
         stats.elapsed_micros,
+        stats.cpu_micros,
         stats.reduction.original_edges,
         stats.reduction.final_edges(),
         heuristic,
@@ -230,12 +231,14 @@ pub fn run(command: Command) -> Result<(), String> {
             let stats = &solution.stats;
             outln!(
                 out,
-                "reduction: {} -> {} edges; search: {} branches, {} bound prunes, {} µs total",
+                "reduction: {} -> {} edges; search: {} branches, {} bound prunes, \
+                 {} µs wall ({} µs cpu)",
                 stats.reduction.original_edges,
                 stats.reduction.final_edges(),
                 stats.branches,
                 stats.bound_prunes,
-                stats.elapsed_micros
+                stats.elapsed_micros,
+                stats.cpu_micros
             );
             Ok(())
         }

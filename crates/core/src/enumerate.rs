@@ -56,8 +56,9 @@
 //! sink itself never needs locking; the emitted *set* is identical, the order is not.
 
 use std::io::{self, Write};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 use rfc_graph::bitset::{BitMatrix, Bitset};
 use rfc_graph::coloring::greedy_coloring;
@@ -68,6 +69,7 @@ use rfc_graph::{Attribute, AttributeCounts, AttributedGraph, VertexId};
 use crate::problem::{FairClique, FairCliqueParams, FairnessModel};
 use crate::reduction::{ReductionConfig, ReductionStats};
 use crate::search::control::SearchControl;
+use crate::search::steal;
 use crate::search::{BranchOrder, ThreadCount};
 use crate::solver::{Budget, CancelToken};
 
@@ -475,12 +477,18 @@ pub struct EnumStats {
     pub maximality_rejections: u64,
     /// Number of connected components enumerated.
     pub components_searched: usize,
-    /// Total wall-clock time of the call, in microseconds.
+    /// Wall-clock time of the call, in microseconds. Merging takes the larger of the
+    /// two sides, so a parallel run reports real elapsed time — never the sum of its
+    /// workers' clocks.
     pub elapsed_micros: u64,
+    /// Total CPU busy time across all workers, in microseconds; may legitimately
+    /// exceed [`elapsed_micros`](Self::elapsed_micros) on a parallel run.
+    pub cpu_micros: u64,
 }
 
 impl std::ops::AddAssign<&EnumStats> for EnumStats {
-    /// Merges another worker's counters into `self` (sums everything; the reduction
+    /// Merges another worker's counters into `self` (sums the branch/prune counters
+    /// and the CPU busy time, takes the max of the wall-clock fields; the reduction
     /// stats keep whichever side ran a pipeline, `self`'s winning if both did).
     fn add_assign(&mut self, rhs: &EnumStats) {
         self.branches += rhs.branches;
@@ -489,7 +497,8 @@ impl std::ops::AddAssign<&EnumStats> for EnumStats {
         self.colorful_prunes += rhs.colorful_prunes;
         self.maximality_rejections += rhs.maximality_rejections;
         self.components_searched += rhs.components_searched;
-        self.elapsed_micros += rhs.elapsed_micros;
+        self.elapsed_micros = self.elapsed_micros.max(rhs.elapsed_micros);
+        self.cpu_micros += rhs.cpu_micros;
         if self.reduction == ReductionStats::default() {
             self.reduction = rhs.reduction.clone();
         }
@@ -860,6 +869,7 @@ pub(crate) fn run_enumeration(
 
     if workers <= 1 {
         // Deterministic serial path: components in discovery order, direct emission.
+        let busy = Instant::now();
         for component in &components {
             if ctrl.stopped() || sink_stop.load(Ordering::Relaxed) {
                 break;
@@ -875,53 +885,55 @@ pub(crate) fn run_enumeration(
                 sink_stop.store(true, Ordering::Relaxed);
             }
         }
+        stats.cpu_micros += busy.elapsed().as_micros() as u64;
     } else {
         // Largest components first so the most expensive enumerations start
         // immediately (ties broken by vertex ids to keep dispatch reproducible).
         components.sort_unstable_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
-        let cursor = AtomicUsize::new(0);
         // Bounded channel: a sink slower than the workers applies backpressure
         // (workers block in `send`) instead of buffering an unbounded backlog —
         // million-clique runs stay constant-memory end to end.
         let (tx, rx) = mpsc::sync_channel::<Vec<VertexId>>(256);
+        let n_components = components.len();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let tx = tx.clone();
-                    let cursor = &cursor;
-                    let sink_stop = &sink_stop;
-                    let components = &components;
-                    scope.spawn(move || {
-                        let mut local = EnumStats::default();
-                        loop {
-                            if ctrl.stopped() || sink_stop.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(component) = components.get(i) else {
-                                break;
-                            };
-                            local.components_searched += 1;
-                            let mut ce =
-                                ComponentEnum::new(reduced, component, problem, ctrl, sink_stop);
-                            let mut emit = |vertices: Vec<VertexId>| {
-                                // A dropped receiver means the run is over.
-                                if tx.send(vertices).is_ok() {
-                                    SinkFlow::Continue
-                                } else {
-                                    SinkFlow::Stop
-                                }
-                            };
-                            ce.run(&mut emit);
-                            local += &ce.stats;
+            let sink_stop = &sink_stop;
+            let components = &components;
+            // The work-stealing pool blocks until every component is done, so it runs
+            // on a coordinator thread while this thread (the sink's owner) drains the
+            // channel; no sink synchronization is ever needed.
+            let coordinator = scope.spawn(move || {
+                let initial: Vec<usize> = (0..n_components).collect();
+                let states: Vec<(EnumStats, mpsc::SyncSender<Vec<VertexId>>)> = (0..workers)
+                    .map(|_| (EnumStats::default(), tx.clone()))
+                    .collect();
+                drop(tx);
+                let states = steal::run_pool(workers, initial, states, |state, _spawner, i| {
+                    if ctrl.stopped() || sink_stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let busy = Instant::now();
+                    let (local, tx) = state;
+                    local.components_searched += 1;
+                    let mut ce =
+                        ComponentEnum::new(reduced, &components[i], problem, ctrl, sink_stop);
+                    let mut emit = |vertices: Vec<VertexId>| {
+                        // A dropped receiver means the run is over.
+                        if tx.send(vertices).is_ok() {
+                            SinkFlow::Continue
+                        } else {
+                            SinkFlow::Stop
                         }
-                        local
-                    })
-                })
-                .collect();
-            drop(tx);
-            // The calling thread owns the sink, so it needs no synchronization; the
-            // workers' emissions funnel through the channel.
+                    };
+                    ce.run(&mut emit);
+                    *local += &ce.stats;
+                    local.cpu_micros += busy.elapsed().as_micros() as u64;
+                });
+                let mut merged = EnumStats::default();
+                for (local, _) in states {
+                    merged += &local;
+                }
+                merged
+            });
             for vertices in rx {
                 if sink_stop.load(Ordering::Relaxed) {
                     continue; // drain in-flight cliques without delivering them
@@ -931,10 +943,9 @@ pub(crate) fn run_enumeration(
                     sink_stop.store(true, Ordering::Relaxed);
                 }
             }
-            for handle in handles {
-                let local = handle.join().expect("enumeration worker panicked");
-                stats += &local;
-            }
+            stats += &coordinator
+                .join()
+                .expect("enumeration coordinator panicked");
         });
     }
 
@@ -1321,6 +1332,7 @@ mod tests {
             maximality_rejections: 4,
             components_searched: 1,
             elapsed_micros: 100,
+            cpu_micros: 90,
         };
         let worker = EnumStats {
             reduction: ReductionStats::default(),
@@ -1331,6 +1343,7 @@ mod tests {
             maximality_rejections: 8,
             components_searched: 2,
             elapsed_micros: 50,
+            cpu_micros: 45,
         };
         total += &worker;
         assert_eq!(total.branches, 30);
@@ -1339,7 +1352,9 @@ mod tests {
         assert_eq!(total.colorful_prunes, 10);
         assert_eq!(total.maximality_rejections, 12);
         assert_eq!(total.components_searched, 3);
-        assert_eq!(total.elapsed_micros, 150);
+        // Wall-clock takes the max (workers overlap in time); CPU busy time sums.
+        assert_eq!(total.elapsed_micros, 100);
+        assert_eq!(total.cpu_micros, 135);
         assert_eq!(total.reduction.original_vertices, 5);
         let mut fresh = EnumStats::default();
         fresh += &total;

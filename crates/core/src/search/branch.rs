@@ -3,12 +3,32 @@
 //! Vertices of the component are re-labeled by their rank in the configured
 //! [`BranchOrder`](super::BranchOrder), and all candidate sets are [`Bitset`]s over
 //! ranks backed by a dense [`BitMatrix`] adjacency built once per component. The hot
-//! `candidates ∩ N(v)` step of every branch is then a word-wise AND, and iterating a
-//! candidate set's bits in ascending order *is* iterating it in branching order.
+//! `candidates ∩ N(v)` step of every branch is then a fused AND+popcount into a
+//! pooled scratch bitset ([`BitsetPool`]), so steady-state branching allocates
+//! nothing, and iterating a candidate set's bits in ascending order *is* iterating it
+//! in branching order.
+//!
+//! The per-component state is split in two so one component can be searched by many
+//! workers:
+//!
+//! * [`ComponentContext`] — the immutable, shareable part (induced subgraph, branching
+//!   order, bitset adjacency, attribute mask). Built once per component, read by every
+//!   worker that runs one of its subtrees.
+//! * [`ComponentSearch`] — one worker's view of a search in progress: its stats,
+//!   scratch pool, current partial clique and the subtree tasks it has split off.
+//!
+//! When `split_depth > 0` the search does not recurse through the top levels of the
+//! tree: each branch node shallower than `split_depth` is packaged as a
+//! [`SubtreeTask`] — an owned `(clique, counts, candidates)` snapshot — and collected
+//! for the caller to scatter across the work-stealing pool. A subtree task re-enters
+//! [`branch`](ComponentSearch::run_task) at its recorded depth and from there on runs
+//! the ordinary recursion, re-checking every bound against the *current* shared
+//! incumbent first, so work that was already pruned-out by the time it is stolen costs
+//! one node visit.
 
-use rfc_graph::bitset::{BitMatrix, Bitset};
-use rfc_graph::subgraph::InducedSubgraph;
-use rfc_graph::{Attribute, AttributeCounts, VertexId};
+use rfc_graph::bitset::{BitMatrix, Bitset, BitsetPool};
+use rfc_graph::subgraph::{induced_subgraph, InducedSubgraph};
+use rfc_graph::{Attribute, AttributeCounts, AttributedGraph, VertexId};
 
 use crate::bounds::{instance_upper_bound, ExtraBound};
 use crate::problem::FairCliqueParams;
@@ -18,43 +38,32 @@ use super::ordering::{ordering_sequence, positions_of};
 use super::parallel::SharedIncumbent;
 use super::{SearchConfig, SearchStats};
 
-/// Branch-and-bound search over a single connected component (given as an induced
-/// subgraph with compact vertex ids).
-///
-/// The incumbent is shared: improvements are published through the [`SharedIncumbent`]
-/// as soon as they are found, and the size/bound prunes always test against the current
-/// global incumbent — whether it came from this component, the heuristic warm start, or
-/// (in parallel mode) another worker.
-pub(super) struct ComponentSearch<'a> {
-    sub: &'a InducedSubgraph,
-    params: FairCliqueParams,
-    config: &'a SearchConfig,
-    stats: &'a mut SearchStats,
-    incumbent: &'a SharedIncumbent,
-    /// Budget/cancellation control; checked once per node so exhausted budgets unwind
-    /// the whole recursion promptly.
-    ctrl: &'a SearchControl,
+/// The immutable per-component search state, shareable across workers.
+pub(super) struct ComponentContext {
+    /// The component as an induced subgraph with compact vertex ids.
+    pub(super) sub: InducedSubgraph,
     /// `order[rank]` is the component-local vertex with that branching rank.
-    order: Vec<VertexId>,
+    pub(super) order: Vec<VertexId>,
     /// Adjacency over ranks: bit `r` of row `q` is set iff the vertices ranked `q` and
     /// `r` are adjacent.
-    adj: BitMatrix,
+    pub(super) adj: BitMatrix,
     /// Ranks whose vertex has attribute `a` (candidate attribute counts come from one
     /// AND + popcount against this mask).
-    attr_a: Bitset,
-    /// Current partial clique, in component-local ids.
-    r: Vec<VertexId>,
+    pub(super) attr_a: Bitset,
+    /// Branch nodes strictly shallower than this depth are split off as
+    /// [`SubtreeTask`]s instead of being recursed into. `0` (the serial setting)
+    /// disables splitting entirely.
+    pub(super) split_depth: usize,
 }
 
-impl<'a> ComponentSearch<'a> {
+impl ComponentContext {
+    /// Builds the context for one connected `component` of `parent`.
     pub(super) fn new(
-        sub: &'a InducedSubgraph,
-        params: FairCliqueParams,
-        config: &'a SearchConfig,
-        stats: &'a mut SearchStats,
-        incumbent: &'a SharedIncumbent,
-        ctrl: &'a SearchControl,
+        parent: &AttributedGraph,
+        component: &[VertexId],
+        config: &SearchConfig,
     ) -> Self {
+        let sub = induced_subgraph(parent, component);
         let cg = &sub.graph;
         let n = cg.num_vertices();
         let order = ordering_sequence(cg, config.branch_order);
@@ -71,47 +80,149 @@ impl<'a> ComponentSearch<'a> {
         }
         Self {
             sub,
+            order,
+            adj,
+            attr_a,
+            split_depth: 0,
+        }
+    }
+
+    /// Returns the context with the given split depth (see
+    /// [`split_depth`](Self::split_depth)).
+    pub(super) fn with_split_depth(mut self, depth: usize) -> Self {
+        self.split_depth = depth;
+        self
+    }
+
+    /// Number of vertices of the component (the capacity of all its bitsets).
+    pub(super) fn num_vertices(&self) -> usize {
+        self.sub.graph.num_vertices()
+    }
+}
+
+/// A stealable piece of one component's search tree: a branch node snapshot that any
+/// worker can resume given the component's [`ComponentContext`].
+pub(super) struct SubtreeTask {
+    /// Index of the owning component (into the caller's context table).
+    pub(super) comp: usize,
+    /// The partial clique at the subtree root, in component-local ids.
+    pub(super) r: Vec<VertexId>,
+    /// Attribute counts of `r`.
+    pub(super) counts: AttributeCounts,
+    /// The candidate set at the subtree root.
+    pub(super) candidates: Bitset,
+    /// Depth of the subtree root in the component's tree.
+    pub(super) depth: usize,
+}
+
+/// Branch-and-bound search over (part of) a single connected component.
+///
+/// The incumbent is shared: improvements are published through the [`SharedIncumbent`]
+/// as soon as they are found, and the size/bound prunes always test against the current
+/// global [`useful_size`](SharedIncumbent::useful_size) — whether it came from this
+/// component, the heuristic warm start, or (in parallel mode) another worker.
+pub(super) struct ComponentSearch<'a> {
+    ctx: &'a ComponentContext,
+    /// Index of `ctx`'s component in the caller's table, stamped onto spawned tasks.
+    comp: usize,
+    params: FairCliqueParams,
+    config: &'a SearchConfig,
+    stats: &'a mut SearchStats,
+    incumbent: &'a SharedIncumbent,
+    /// Budget/cancellation control; checked once per node so exhausted budgets unwind
+    /// the whole recursion promptly.
+    ctrl: &'a SearchControl,
+    /// This worker's scratch bitsets, reused across every node of the run.
+    scratch: &'a mut BitsetPool,
+    /// Current partial clique, in component-local ids.
+    r: Vec<VertexId>,
+    /// Subtree tasks split off at shallow depths, for the caller to scatter.
+    spawned: Vec<SubtreeTask>,
+}
+
+impl<'a> ComponentSearch<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn new(
+        ctx: &'a ComponentContext,
+        comp: usize,
+        params: FairCliqueParams,
+        config: &'a SearchConfig,
+        stats: &'a mut SearchStats,
+        incumbent: &'a SharedIncumbent,
+        ctrl: &'a SearchControl,
+        scratch: &'a mut BitsetPool,
+    ) -> Self {
+        debug_assert_eq!(
+            scratch.nbits(),
+            ctx.num_vertices(),
+            "scratch pool must be reset to the component size"
+        );
+        Self {
+            ctx,
+            comp,
             params,
             config,
             stats,
             incumbent,
             ctrl,
-            order,
-            adj,
-            attr_a,
+            scratch,
             r: Vec::new(),
+            spawned: Vec::new(),
         }
     }
 
-    /// Runs the search. Any fair clique strictly improving the shared incumbent is
-    /// published to it (in parent-graph vertex ids) the moment it is found.
+    /// Runs the search from the component root. Any fair clique reaching the shared
+    /// pool's useful size is published (in parent-graph vertex ids) the moment it is
+    /// found.
     pub(super) fn run(&mut self) {
-        let root = Bitset::full(self.sub.graph.num_vertices());
-        self.branch(AttributeCounts::new(), &root, 0);
+        let n = self.ctx.num_vertices();
+        let root = Bitset::full(n);
+        self.branch(AttributeCounts::new(), &root, n, 0);
     }
 
-    fn branch(&mut self, counts: AttributeCounts, candidates: &Bitset, depth: usize) {
+    /// Resumes the search at a [`SubtreeTask`]'s recorded branch node.
+    pub(super) fn run_task(&mut self, task: SubtreeTask) {
+        debug_assert_eq!(task.comp, self.comp, "task routed to the wrong component");
+        self.r = task.r;
+        let total = task.candidates.count();
+        self.branch(task.counts, &task.candidates, total, task.depth);
+    }
+
+    /// Takes the subtree tasks split off so far (empty unless
+    /// [`split_depth`](ComponentContext::split_depth) is positive).
+    pub(super) fn take_spawned(&mut self) -> Vec<SubtreeTask> {
+        std::mem::take(&mut self.spawned)
+    }
+
+    fn branch(
+        &mut self,
+        counts: AttributeCounts,
+        candidates: &Bitset,
+        cand_total: usize,
+        depth: usize,
+    ) {
         if self.ctrl.on_node() {
             return;
         }
         self.stats.branches += 1;
-        let cg = &self.sub.graph;
+        let cg = &self.ctx.sub.graph;
         let params = self.params;
 
-        // Record the current clique if it is fair and improves the incumbent.
-        if self.r.len() > self.incumbent.size()
+        // Record the current clique if it is fair and useful to the shared pool
+        // (strictly better than a single incumbent; at least tying the cut-off of a
+        // top-k pool, where the canonical tie-break decides membership).
+        if self.r.len() >= self.incumbent.useful_size()
             && params.is_fair(counts)
-            && self.incumbent.offer(self.sub.to_original_set(&self.r))
+            && self.incumbent.offer(self.ctx.sub.to_original_set(&self.r))
         {
             self.stats.incumbent_updates += 1;
         }
-        let cand_total = candidates.count();
         if cand_total == 0 {
             return;
         }
 
         // --- Cheap feasibility pruning (every node) ---------------------------------
-        let cand_a = candidates.intersection_count(self.attr_a.words());
+        let cand_a = candidates.intersection_count(self.ctx.attr_a.words());
         let cand_b = cand_total - cand_a;
         let reach_a = counts.a() + cand_a;
         let reach_b = counts.b() + cand_b;
@@ -124,10 +235,13 @@ impl<'a> ComponentSearch<'a> {
             self.stats.feasibility_prunes += 1;
             return;
         }
-        // Trivial size bound (ubs) and minimum-size gate.
-        let best_size = self.incumbent.size();
+        // Trivial size bound (ubs) and minimum-size gate. `useful` is the smallest
+        // completed-clique size still worth reporting to the pool; with a single
+        // incumbent it is `incumbent size + 1`, i.e. this is the classic strict
+        // improvement prune.
+        let useful = self.incumbent.useful_size();
         let ubs = self.r.len() + cand_total;
-        if ubs <= best_size || ubs < params.min_size() {
+        if ubs < useful || ubs < params.min_size() {
             self.stats.bound_prunes += 1;
             return;
         }
@@ -138,7 +252,7 @@ impl<'a> ComponentSearch<'a> {
                 return;
             }
             Some(uba) => {
-                if uba <= best_size || uba < params.min_size() {
+                if uba < useful || uba < params.min_size() {
                     self.stats.bound_prunes += 1;
                     return;
                 }
@@ -152,9 +266,9 @@ impl<'a> ComponentSearch<'a> {
         if use_expensive {
             let mut instance: Vec<VertexId> = Vec::with_capacity(self.r.len() + cand_total);
             instance.extend_from_slice(&self.r);
-            instance.extend(candidates.iter().map(|rank| self.order[rank]));
+            instance.extend(candidates.iter().map(|rank| self.ctx.order[rank]));
             let ub = instance_upper_bound(cg, &instance, params, bounds);
-            if ub <= best_size || ub < params.min_size() {
+            if ub < useful || ub < params.min_size() {
                 self.stats.bound_prunes += 1;
                 return;
             }
@@ -164,36 +278,54 @@ impl<'a> ComponentSearch<'a> {
         // `rest` always holds the candidates not yet branched on; taking the lowest set
         // bit walks them in branching order, and removing the branch vertex before the
         // AND keeps only *later-ordered* neighbors, so every clique is visited once.
-        let mut rest = candidates.clone();
+        // Nodes shallower than the split depth spawn their children as stealable
+        // subtree tasks instead of recursing.
+        let mut rest = self.scratch.acquire_copy(candidates);
         let mut remaining = cand_total;
         while let Some(rank) = rest.first_set() {
             if self.ctrl.stopped() {
                 break;
             }
-            // Even taking every remaining candidate cannot beat the incumbent.
-            if self.r.len() + remaining <= self.incumbent.size()
-                || self.r.len() + remaining < params.min_size()
-            {
+            // Even taking every remaining candidate cannot produce a useful clique.
+            let goal = self.incumbent.useful_size().max(params.min_size());
+            if self.r.len() + remaining < goal {
                 self.stats.bound_prunes += 1;
                 break;
             }
             rest.remove(rank);
-            let v = self.order[rank];
+            let v = self.ctx.order[rank];
             let mut next_counts = counts;
             next_counts.add(cg.attribute(v));
-            let next_candidates = rest.intersection_with(self.adj.row(rank));
-            self.r.push(v);
-            self.branch(next_counts, &next_candidates, depth + 1);
-            self.r.pop();
+            let (next_candidates, next_total) = self
+                .scratch
+                .acquire_intersection(&rest, self.ctx.adj.row(rank));
+            if depth < self.ctx.split_depth {
+                let mut r = self.r.clone();
+                r.push(v);
+                // The bitset moves into the task (it crosses workers); the pool mints
+                // a replacement on the next iteration.
+                self.spawned.push(SubtreeTask {
+                    comp: self.comp,
+                    r,
+                    counts: next_counts,
+                    candidates: next_candidates,
+                    depth: depth + 1,
+                });
+            } else {
+                self.r.push(v);
+                self.branch(next_counts, &next_candidates, next_total, depth + 1);
+                self.r.pop();
+                self.scratch.release(next_candidates);
+            }
             remaining -= 1;
         }
+        self.scratch.release(rest);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfc_graph::subgraph::induced_subgraph;
     use rfc_graph::{fixtures, AttributedGraph};
 
     fn search_component(
@@ -203,11 +335,22 @@ mod tests {
         incumbent_size: usize,
     ) -> (Option<Vec<VertexId>>, SearchStats) {
         let all: Vec<VertexId> = g.vertices().collect();
-        let sub = induced_subgraph(g, &all);
+        let ctx = ComponentContext::new(g, &all, config);
         let mut stats = SearchStats::default();
         let incumbent = SharedIncumbent::with_floor(incumbent_size);
         let ctrl = SearchControl::unlimited();
-        ComponentSearch::new(&sub, params, config, &mut stats, &incumbent, &ctrl).run();
+        let mut scratch = BitsetPool::new(ctx.num_vertices());
+        ComponentSearch::new(
+            &ctx,
+            0,
+            params,
+            config,
+            &mut stats,
+            &incumbent,
+            &ctrl,
+            &mut scratch,
+        )
+        .run();
         (incumbent.into_best(), stats)
     }
 
@@ -257,23 +400,67 @@ mod tests {
     fn bitset_adjacency_matches_graph_adjacency() {
         let g = fixtures::fig1_graph();
         let all: Vec<VertexId> = g.vertices().collect();
-        let sub = induced_subgraph(&g, &all);
         let config = SearchConfig::default();
-        let mut stats = SearchStats::default();
-        let incumbent = SharedIncumbent::new(None);
-        let ctrl = SearchControl::unlimited();
-        let params = FairCliqueParams::new(2, 1).unwrap();
-        let search = ComponentSearch::new(&sub, params, &config, &mut stats, &incumbent, &ctrl);
-        let n = sub.graph.num_vertices();
+        let ctx = ComponentContext::new(&g, &all, &config);
+        let n = ctx.num_vertices();
         for qr in 0..n {
             for rr in 0..n {
-                let (u, v) = (search.order[qr], search.order[rr]);
+                let (u, v) = (ctx.order[qr], ctx.order[rr]);
                 assert_eq!(
-                    search.adj.contains(qr, rr),
-                    sub.graph.has_edge(u, v),
+                    ctx.adj.contains(qr, rr),
+                    ctx.sub.graph.has_edge(u, v),
                     "ranks ({qr}, {rr}) ↔ vertices ({u}, {v})"
                 );
             }
         }
+    }
+
+    #[test]
+    fn split_depth_spawns_every_root_subtree_and_loses_no_cliques() {
+        // With split_depth = 1 the component run must produce one subtree task per
+        // root branch it did not prune; running all of them must find the optimum the
+        // plain recursion finds.
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        let config = SearchConfig::basic();
+        let all: Vec<VertexId> = g.vertices().collect();
+        let ctx = ComponentContext::new(&g, &all, &config).with_split_depth(1);
+        let incumbent = SharedIncumbent::new(None);
+        let ctrl = SearchControl::unlimited();
+        let mut stats = SearchStats::default();
+        let mut scratch = BitsetPool::new(ctx.num_vertices());
+        let tasks = {
+            let mut search = ComponentSearch::new(
+                &ctx,
+                0,
+                params,
+                &config,
+                &mut stats,
+                &incumbent,
+                &ctrl,
+                &mut scratch,
+            );
+            search.run();
+            search.take_spawned()
+        };
+        // The root is not pruned under the basic config, so every vertex spawns a
+        // subtree — except the last `min_size - 1` roots, whose subtrees cannot reach
+        // the minimum fair-clique size and are cut by the tail early-exit.
+        assert_eq!(tasks.len(), g.num_vertices() - params.min_size() + 1);
+        for task in tasks {
+            let mut search = ComponentSearch::new(
+                &ctx,
+                0,
+                params,
+                &config,
+                &mut stats,
+                &incumbent,
+                &ctrl,
+                &mut scratch,
+            );
+            search.run_task(task);
+            assert!(search.take_spawned().is_empty(), "split depth 1 re-splits");
+        }
+        assert_eq!(incumbent.into_best().map(|c| c.len()), Some(7));
     }
 }

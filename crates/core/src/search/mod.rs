@@ -30,12 +30,12 @@ mod branch;
 pub(crate) mod control;
 mod ordering;
 pub(crate) mod parallel;
+pub(crate) mod steal;
 
 pub use ordering::{ordering_positions, ordering_sequence, BranchOrder};
 pub use parallel::ThreadCount;
 
 use rfc_graph::components::components_of_subset;
-use rfc_graph::subgraph::induced_subgraph;
 use rfc_graph::{AttributedGraph, VertexId};
 
 use crate::bounds::BoundConfig;
@@ -147,26 +147,33 @@ pub struct SearchStats {
     pub incumbent_updates: u64,
     /// Number of connected components searched.
     pub components_searched: usize,
-    /// Total wall-clock time of the call, in microseconds (same unit and width as the
-    /// per-stage reduction timings in [`ReductionStats`]).
+    /// Wall-clock time of the call, in microseconds (same unit and width as the
+    /// per-stage reduction timings in [`ReductionStats`]). Merging takes the larger
+    /// of the two sides, so a parallel solve reports real elapsed time — never the
+    /// sum of its workers' clocks.
     pub elapsed_micros: u64,
+    /// Total CPU busy time across all workers, in microseconds. For a serial run this
+    /// is the search phase's wall time; for a parallel run it is the summed per-worker
+    /// busy time and may legitimately exceed [`elapsed_micros`](Self::elapsed_micros).
+    pub cpu_micros: u64,
 }
 
 impl std::ops::AddAssign<&SearchStats> for SearchStats {
     /// Merges another run's (or worker's) counters into `self`.
     ///
-    /// All branch/prune/component counters and the elapsed time are summed (for worker
-    /// stats the elapsed sum is total busy time; [`max_fair_clique`] overwrites the
-    /// final value with the call's wall-clock time). `heuristic_size` keeps the larger
-    /// of the two, and the reduction stats keep whichever side actually ran a pipeline
-    /// (workers never do) — `self`'s wins if both did.
+    /// All branch/prune/component counters and the CPU busy time are summed;
+    /// wall-clock time takes the maximum of the two sides (summing per-worker clocks
+    /// used to over-report parallel "time" several-fold). `heuristic_size` keeps the
+    /// larger of the two, and the reduction stats keep whichever side actually ran a
+    /// pipeline (workers never do) — `self`'s wins if both did.
     fn add_assign(&mut self, rhs: &SearchStats) {
         self.branches += rhs.branches;
         self.bound_prunes += rhs.bound_prunes;
         self.feasibility_prunes += rhs.feasibility_prunes;
         self.incumbent_updates += rhs.incumbent_updates;
         self.components_searched += rhs.components_searched;
-        self.elapsed_micros += rhs.elapsed_micros;
+        self.elapsed_micros = self.elapsed_micros.max(rhs.elapsed_micros);
+        self.cpu_micros += rhs.cpu_micros;
         self.heuristic_size = self.heuristic_size.max(rhs.heuristic_size);
         if self.reduction == ReductionStats::default() {
             self.reduction = rhs.reduction.clone();
@@ -278,18 +285,38 @@ pub(crate) fn branch_and_bound(
         .filter(|component| component.len() >= params.min_size())
         .collect();
 
-    let workers = config.threads.resolve().min(components.len());
+    // A single giant component still uses every worker (its subtrees are stealable),
+    // so the worker count is *not* capped at the component count.
+    let workers = if components.is_empty() {
+        1
+    } else {
+        config.threads.resolve()
+    };
     if workers <= 1 {
         // Deterministic serial path: components in discovery order, exactly the
         // classic sequential algorithm (improvements still flow through `incumbent`).
+        let busy = std::time::Instant::now();
+        let mut scratch = rfc_graph::bitset::BitsetPool::new(0);
         for component in &components {
             if ctrl.stopped() {
                 break;
             }
             stats.components_searched += 1;
-            let sub = induced_subgraph(reduced, component);
-            branch::ComponentSearch::new(&sub, params, config, &mut stats, incumbent, ctrl).run();
+            let ctx = branch::ComponentContext::new(reduced, component, config);
+            scratch.reset(ctx.num_vertices());
+            branch::ComponentSearch::new(
+                &ctx,
+                0,
+                params,
+                config,
+                &mut stats,
+                incumbent,
+                ctrl,
+                &mut scratch,
+            )
+            .run();
         }
+        stats.cpu_micros += busy.elapsed().as_micros() as u64;
     } else {
         // Largest components first so the most expensive searches start immediately
         // and a straggler can't serialize the tail (ties broken by vertex ids to keep
@@ -470,6 +497,7 @@ mod tests {
             incumbent_updates: 1,
             components_searched: 2,
             elapsed_micros: 1_000,
+            cpu_micros: 900,
         };
         let worker = SearchStats {
             reduction: ReductionStats::default(),
@@ -480,6 +508,7 @@ mod tests {
             incumbent_updates: 3,
             components_searched: 4,
             elapsed_micros: 500,
+            cpu_micros: 450,
         };
         total += &worker;
         assert_eq!(total.branches, 150);
@@ -487,7 +516,9 @@ mod tests {
         assert_eq!(total.feasibility_prunes, 27);
         assert_eq!(total.incumbent_updates, 4);
         assert_eq!(total.components_searched, 6);
-        assert_eq!(total.elapsed_micros, 1_500);
+        // Wall-clock takes the max (workers overlap in time); CPU busy time sums.
+        assert_eq!(total.elapsed_micros, 1_000);
+        assert_eq!(total.cpu_micros, 1_350);
         assert_eq!(total.heuristic_size, Some(6));
         // The aggregate's reduction stats survive a merge with a reduction-less worker…
         assert_eq!(total.reduction.original_vertices, 10);

@@ -1,46 +1,58 @@
-//! Parallel component-level search with a shared incumbent.
+//! Parallel search with a shared incumbent: components fanned out largest-first,
+//! subtrees work-stolen *within* a component.
 //!
 //! The `MaxRFC` branch-and-bound runs one exact search per connected component of the
 //! reduced graph, and every pruning rule it applies — the trivial size bound, the
 //! attribute bound, and the whole colorful bound family — is *incumbent-driven*: the
 //! larger the best fair clique known so far, the more of the tree gets cut. The
-//! components are otherwise completely independent, which makes component-level
-//! parallelism the natural scaling axis:
+//! parallel search therefore scales along two axes:
 //!
-//! * Workers are plain [`std::thread::scope`] threads (std only — no external runtime).
-//! * Components are dispatched **largest first** from a shared atomic cursor, so the
-//!   most expensive component starts immediately and stragglers don't serialize the
-//!   tail of the run.
-//! * The incumbent is shared through [`SharedIncumbent`]: a lock-free `AtomicUsize`
-//!   size bound read on the search hot path, plus a mutex-protected best clique updated
-//!   only on (rare) improvements. A clique found in one component therefore tightens
-//!   the prunes of every other component *immediately*, so the parallel search never
-//!   explores more of any component's tree than a serial run that happened to visit the
-//!   incumbent-producing component first.
+//! * **Across components** — component indices are the initial tasks of a
+//!   [work-stealing pool](super::steal), seeded **largest first** so the most
+//!   expensive component starts immediately and stragglers don't serialize the tail.
+//! * **Within a component** — the worker that claims a component splits the top
+//!   level(s) of its branch tree into [`SubtreeTask`]s (owned `(clique, candidates)`
+//!   snapshots) published onto its own deque in *reverse* branching order. The owner
+//!   then works its deque LIFO in the serial branching order, while idle workers
+//!   steal from the front — which the reversal made the *last-ordered* subtrees,
+//!   where strong orderings like `CalColorOD` concentrate the structurally dense
+//!   vertices (and any strong incumbent). A single giant component, the common shape
+//!   of real social graphs, therefore no longer pins the whole solve to one worker,
+//!   and a thief lands on the incumbent-bearing region almost immediately.
+//!
+//! The incumbent is shared through [`SharedIncumbent`]: a lock-free `AtomicUsize`
+//! size bound read on the search hot path, plus a mutex-protected clique pool updated
+//! only on (rare) improvements. A clique found in any subtree immediately tightens
+//! the prunes of every other worker, so even on a single hardware thread the
+//! diversified subtree order can beat the serial scan (see `rfc-bench`'s
+//! `parallel` bench), and on real multicore the subtrees run concurrently.
 //!
 //! ### Determinism
 //!
-//! With [`ThreadCount::Serial`] the search is exactly the classic sequential algorithm:
-//! components are visited in discovery order and repeated runs produce identical
-//! cliques *and* identical [`SearchStats`](super::SearchStats). With two or more
-//! workers the *size* of the returned clique is still always the exact optimum, but
-//! which of several maximum fair cliques is returned — and all pruning counters —
-//! depend on the timing of incumbent updates across threads and may differ between
-//! runs.
+//! With [`ThreadCount::Serial`] the search is exactly the classic sequential
+//! algorithm: components in discovery order, no subtree splitting, and repeated runs
+//! produce identical cliques *and* identical [`SearchStats`](super::SearchStats).
+//! With two or more workers the *size* of the returned clique is still always the
+//! exact optimum and a top-k pool returns exactly the canonical top-k set (ties
+//! broken lexicographically — see [`SharedIncumbent::offer`]), but which of several
+//! tied *maximum* cliques is reported, and all pruning counters, depend on incumbent
+//! timing and may differ between runs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
-use rfc_graph::subgraph::induced_subgraph;
+use rfc_graph::bitset::BitsetPool;
 use rfc_graph::{AttributedGraph, VertexId};
 
 use crate::problem::FairCliqueParams;
 
-use super::branch::ComponentSearch;
+use super::branch::{ComponentContext, ComponentSearch, SubtreeTask};
 use super::control::SearchControl;
+use super::steal;
 use super::{SearchConfig, SearchStats};
 
-/// How many worker threads the component-level search uses.
+/// How many worker threads the search uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ThreadCount {
     /// Classic deterministic single-threaded search: components in discovery order,
@@ -73,18 +85,30 @@ impl ThreadCount {
 ///
 /// The pool holds up to `capacity` cliques (capacity 1 is the classic single
 /// incumbent; larger capacities implement the top-k objective). The *pruning bound* —
-/// the size a new clique must strictly beat to be worth recording — lives in an
-/// [`AtomicUsize`] so the branch-and-bound can read it with a single relaxed load on
-/// every node; the cliques themselves sit behind a [`Mutex`] that is only touched on
-/// improvements. While the pool has free slots the bound stays at the initial floor,
-/// so nothing that could belong to the top k is pruned; once full it is the size of
-/// the pool's smallest clique. The bound is monotonically non-decreasing, so pruning
-/// against a possibly-stale read is always sound — staleness can only mean pruning
-/// *less*, never cutting a clique that belongs in the pool.
+/// the size of the pool's cut-off clique — lives in an [`AtomicUsize`] so the
+/// branch-and-bound can read it with a single relaxed load on every node; the cliques
+/// themselves sit behind a [`Mutex`] that is only touched on improvements. While the
+/// pool has free slots the bound stays at the initial floor, so nothing that could
+/// belong to the top k is pruned; once full it is the size of the pool's smallest
+/// clique. Both the bound and the derived [`useful_size`](Self::useful_size) are
+/// monotonically non-decreasing, so pruning against a possibly-stale read is always
+/// sound — staleness can only mean pruning *less*, never cutting a clique that
+/// belongs in the pool.
+///
+/// ### Canonical membership
+///
+/// Pool membership is decided by a *total* order — size descending, then
+/// lexicographic on the sorted vertex ids — so the final contents of a top-k pool do
+/// not depend on the order cliques were offered in. Serial and parallel runs
+/// therefore return exactly the same top-k set, even when several cliques tie at the
+/// k-th size (the previously timing-dependent case).
 #[derive(Debug)]
 pub(crate) struct SharedIncumbent {
-    /// Cached pruning bound, readable without the lock.
+    /// Cached pruning bound (the k-th best size), readable without the lock.
     bound: AtomicUsize,
+    /// Cached smallest *useful* clique size: the size a completed clique must reach
+    /// for [`offer`](Self::offer) to possibly accept it.
+    useful: AtomicUsize,
     state: Mutex<PoolState>,
 }
 
@@ -94,13 +118,13 @@ struct PoolState {
     floor: usize,
     /// Maximum number of cliques kept.
     capacity: usize,
-    /// Recorded cliques in original (parent-graph) vertex ids, largest first; ties
-    /// keep insertion order (first found ranks first).
+    /// Recorded cliques in original (parent-graph) vertex ids with sorted contents,
+    /// in canonical order: size descending, ties lexicographically ascending.
     cliques: Vec<Vec<VertexId>>,
 }
 
 impl PoolState {
-    /// The size a new clique must strictly exceed to be recorded.
+    /// The current cut-off size (the k-th best, or the floor while slots are free).
     fn bound(&self) -> usize {
         if self.cliques.len() < self.capacity {
             self.floor
@@ -109,6 +133,23 @@ impl PoolState {
             self.floor.max(smallest)
         }
     }
+
+    /// The smallest clique size that could still enter the pool. A single incumbent
+    /// (capacity 1) only takes strict improvements; a full top-k pool also takes ties
+    /// with its smallest clique, which the lexicographic tie-break may admit.
+    fn useful(&self) -> usize {
+        if self.capacity == 1 || self.cliques.len() < self.capacity {
+            self.bound() + 1
+        } else {
+            self.bound()
+        }
+    }
+}
+
+/// `true` if `a` precedes `b` in canonical pool order (size desc, then lex asc on the
+/// sorted vertex ids).
+fn canonical_before(a: &[VertexId], b: &[VertexId]) -> bool {
+    a.len() > b.len() || (a.len() == b.len() && a < b)
 }
 
 impl SharedIncumbent {
@@ -136,6 +177,7 @@ impl SharedIncumbent {
         };
         Self {
             bound: AtomicUsize::new(state.bound()),
+            useful: AtomicUsize::new(state.useful()),
             state: Mutex::new(state),
         }
     }
@@ -145,49 +187,75 @@ impl SharedIncumbent {
     /// over an externally-known incumbent.
     #[cfg(test)]
     pub(crate) fn with_floor(size: usize) -> Self {
+        let state = PoolState {
+            floor: size,
+            capacity: 1,
+            cliques: Vec::new(),
+        };
         Self {
-            bound: AtomicUsize::new(size),
-            state: Mutex::new(PoolState {
-                floor: size,
-                capacity: 1,
-                cliques: Vec::new(),
-            }),
+            bound: AtomicUsize::new(state.bound()),
+            useful: AtomicUsize::new(state.useful()),
+            state: Mutex::new(state),
         }
     }
 
-    /// The current pruning bound: branches that cannot produce a clique strictly
-    /// larger than this are useless to this pool. With capacity 1 this is exactly the
-    /// incumbent size (a lower bound on the optimum).
+    /// The current pruning bound: the size of the pool's cut-off clique. With
+    /// capacity 1 this is exactly the incumbent size (a lower bound on the optimum).
+    /// The search itself prunes on [`useful_size`](Self::useful_size); this accessor
+    /// only backs test assertions.
+    #[cfg(test)]
     #[inline]
     pub(crate) fn size(&self) -> usize {
         self.bound.load(Ordering::Relaxed)
     }
 
-    /// Installs `clique` if it is strictly larger than the current pruning bound —
-    /// i.e. it improves the single incumbent, or the top-k pool has a free slot or a
-    /// smaller minimum. Returns whether it was installed. Ties at the bound never
-    /// displace a recorded clique, so the first maximum clique to be offered wins.
+    /// The smallest completed-clique size still worth [offering](Self::offer): one
+    /// more than [`size`](Self::size) for a single incumbent or a pool with free
+    /// slots, exactly `size` for a full top-k pool (a tie can displace a
+    /// lexicographically larger member). Branches that cannot reach this size are
+    /// useless to the pool.
+    #[inline]
+    pub(crate) fn useful_size(&self) -> usize {
+        self.useful.load(Ordering::Relaxed)
+    }
+
+    /// Installs `clique` if it belongs in the pool under the canonical order — it
+    /// improves the single incumbent, or it precedes the cut-off of a full top-k pool
+    /// (strictly larger, or tied in size and lexicographically smaller on sorted
+    /// vertex ids). Returns whether it was installed.
     ///
-    /// Cliques are stored with sorted vertex ids, and a clique already in the pool is
-    /// never recorded twice (the branch-and-bound enumerates each clique of the graph
-    /// once, but the heuristic warm start may seed the pool with a clique the search
-    /// later re-discovers).
+    /// Because membership is decided by a total order on cliques, the pool's final
+    /// contents are independent of offer order — concurrent workers and the serial
+    /// scan converge on the same top-k set. Cliques are stored with sorted vertex
+    /// ids, and a clique already in the pool is never recorded twice (the
+    /// branch-and-bound enumerates each clique of the graph once, but the heuristic
+    /// warm start may seed the pool with a clique the search later re-discovers).
     pub(crate) fn offer(&self, mut clique: Vec<VertexId>) -> bool {
-        // Fast reject without the lock; the bound is monotone so this cannot discard
-        // an actual improvement.
-        if clique.len() <= self.size() {
+        // Fast reject without the lock; `useful` is monotone so this cannot discard a
+        // clique the pool would have taken.
+        if clique.len() < self.useful_size() {
             return false;
         }
         clique.sort_unstable();
         let mut state = self.state.lock().expect("incumbent lock poisoned");
-        if clique.len() <= state.bound() || state.cliques.contains(&clique) {
+        if clique.len() < state.useful() || clique.len() <= state.floor {
             return false;
         }
-        let at = state.cliques.partition_point(|c| c.len() >= clique.len());
+        let at = state
+            .cliques
+            .partition_point(|c| canonical_before(c, &clique));
+        if at >= state.capacity {
+            // Everything already in the pool canonically precedes the offer.
+            return false;
+        }
+        if state.cliques.get(at) == Some(&clique) {
+            return false;
+        }
         state.cliques.insert(at, clique);
         let capacity = state.capacity;
         state.cliques.truncate(capacity);
         self.bound.store(state.bound(), Ordering::Relaxed);
+        self.useful.store(state.useful(), Ordering::Relaxed);
         true
     }
 
@@ -198,7 +266,8 @@ impl SharedIncumbent {
         self.into_cliques().into_iter().next()
     }
 
-    /// Consumes the pool, returning every recorded clique, largest first.
+    /// Consumes the pool, returning every recorded clique in canonical order
+    /// (largest first, ties lexicographic).
     pub(crate) fn into_cliques(self) -> Vec<Vec<VertexId>> {
         self.state
             .into_inner()
@@ -207,12 +276,46 @@ impl SharedIncumbent {
     }
 }
 
-/// Searches `components` of `reduced` with `workers` scoped threads sharing
-/// `incumbent`, and returns the summed per-worker [`SearchStats`] counters.
+/// A unit of work on the shared pool: claim a whole component, or resume one of its
+/// split-off subtrees.
+enum SearchTask {
+    Component(usize),
+    Subtree(SubtreeTask),
+}
+
+/// How many levels of a component's branch tree to split into stealable tasks.
 ///
-/// `components` should be sorted largest-first by the caller; workers claim the next
-/// unclaimed component through a shared atomic cursor, so the ordering is exactly the
-/// dispatch priority.
+/// Splitting only pays when whole components cannot occupy the pool: with at least as
+/// many components as workers, component-level dispatch already keeps every worker
+/// busy, and slicing each component into hundreds of subtree snapshots (each
+/// re-checking the shallow-depth bounds on entry) is pure overhead. Below that,
+/// one level already yields up to `n` tasks — plenty when the component dwarfs the
+/// worker count. Components too small to feed every worker from one level split two
+/// levels; tiny components aren't worth the snapshot overhead at all.
+fn split_depth_for(n: usize, workers: usize, num_components: usize) -> usize {
+    if workers <= 1 || n < 16 || num_components >= workers {
+        0
+    } else if n >= 4 * workers {
+        1
+    } else {
+        2
+    }
+}
+
+/// One worker's private accumulation: its stats and its reusable scratch bitsets.
+struct WorkerState {
+    stats: SearchStats,
+    scratch: BitsetPool,
+}
+
+/// Searches `components` of `reduced` on a work-stealing pool of `workers` threads
+/// sharing `incumbent`, and returns the merged per-worker [`SearchStats`].
+///
+/// `components` should be sorted largest-first by the caller: they seed the pool's
+/// FIFO injector in order, so the ordering is exactly the dispatch priority. The
+/// worker that claims a component builds its [`ComponentContext`] once (published via
+/// [`OnceLock`] for thieves) and splits the top of its tree into [`SubtreeTask`]s;
+/// any worker can then run any subtree against the shared context.
 pub(super) fn search_components(
     reduced: &AttributedGraph,
     components: &[Vec<VertexId>],
@@ -222,35 +325,63 @@ pub(super) fn search_components(
     incumbent: &SharedIncumbent,
     ctrl: &SearchControl,
 ) -> SearchStats {
-    let cursor = AtomicUsize::new(0);
-    let mut merged = SearchStats::default();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = SearchStats::default();
-                    loop {
-                        if ctrl.stopped() {
-                            break;
-                        }
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(component) = components.get(i) else {
-                            break;
-                        };
-                        local.components_searched += 1;
-                        let sub = induced_subgraph(reduced, component);
-                        ComponentSearch::new(&sub, params, config, &mut local, incumbent, ctrl)
-                            .run();
-                    }
-                    local
-                })
-            })
-            .collect();
-        for handle in handles {
-            let local = handle.join().expect("search worker panicked");
-            merged += &local;
+    let contexts: Vec<OnceLock<ComponentContext>> =
+        (0..components.len()).map(|_| OnceLock::new()).collect();
+    let contexts = &contexts;
+    let initial: Vec<SearchTask> = (0..components.len()).map(SearchTask::Component).collect();
+    let states = (0..workers)
+        .map(|_| WorkerState {
+            stats: SearchStats::default(),
+            scratch: BitsetPool::new(0),
+        })
+        .collect();
+
+    let states = steal::run_pool(workers, initial, states, |state, spawner, task| {
+        if ctrl.stopped() {
+            return;
         }
+        let busy = Instant::now();
+        let WorkerState { stats, scratch } = state;
+        let (ctx, comp, subtree) = match task {
+            SearchTask::Component(i) => {
+                stats.components_searched += 1;
+                let ctx = contexts[i].get_or_init(|| {
+                    ComponentContext::new(reduced, &components[i], config).with_split_depth(
+                        split_depth_for(components[i].len(), workers, components.len()),
+                    )
+                });
+                (ctx, i, None)
+            }
+            SearchTask::Subtree(task) => {
+                let ctx = contexts[task.comp]
+                    .get()
+                    .expect("a subtree task spawns only after its component context is built");
+                (ctx, task.comp, Some(task))
+            }
+        };
+        scratch.reset(ctx.num_vertices());
+        let mut search =
+            ComponentSearch::new(ctx, comp, params, config, stats, incumbent, ctrl, scratch);
+        match subtree {
+            None => search.run(),
+            Some(task) => search.run_task(task),
+        }
+        // Scatter the split-off subtrees onto this worker's deque in *reverse*
+        // branching order: CalColorOD-style orderings put the densest region (where
+        // the strong incumbent hides) in the last subtrees, so reversing places those
+        // at the deque *front* where thieves steal first. Some worker reaches the
+        // dense tail almost immediately and publishes a strong incumbent through the
+        // shared pool while the rest of the tree is still being carved up.
+        for task in search.take_spawned().into_iter().rev() {
+            spawner.spawn(SearchTask::Subtree(task));
+        }
+        state.stats.cpu_micros += busy.elapsed().as_micros() as u64;
     });
+
+    let mut merged = SearchStats::default();
+    for state in states {
+        merged += &state.stats;
+    }
     merged
 }
 
@@ -269,10 +400,22 @@ mod tests {
     }
 
     #[test]
+    fn split_depth_scales_with_component_size() {
+        assert_eq!(split_depth_for(1000, 1, 1), 0); // serial: never split
+        assert_eq!(split_depth_for(8, 4, 1), 0); // tiny: not worth it
+        assert_eq!(split_depth_for(1000, 4, 1), 1); // plenty of roots per worker
+        assert_eq!(split_depth_for(20, 8, 1), 2); // few roots: split deeper
+                                                  // Enough whole components to occupy every worker: no intra-component split.
+        assert_eq!(split_depth_for(1000, 4, 4), 0);
+        assert_eq!(split_depth_for(1000, 4, 3), 1); // pool underfed: split again
+    }
+
+    #[test]
     fn incumbent_accepts_only_strict_improvements() {
         let inc = SharedIncumbent::new(Some(vec![1, 2, 3]));
         assert_eq!(inc.size(), 3);
-        assert!(!inc.offer(vec![4, 5, 6])); // tie: first winner is kept
+        assert_eq!(inc.useful_size(), 4);
+        assert!(!inc.offer(vec![4, 5, 6])); // tie: a single incumbent keeps the first
         assert!(inc.offer(vec![4, 5, 6, 7]));
         assert_eq!(inc.size(), 4);
         assert!(!inc.offer(vec![8, 9]));
@@ -300,7 +443,8 @@ mod tests {
         assert!(pool.offer(vec![5, 6, 7, 8]));
         // …and once full it is the smallest recorded size.
         assert_eq!(pool.size(), 2);
-        // A tie with the minimum is rejected; an improvement evicts it.
+        // A tie with the minimum enters only if lexicographically smaller; an
+        // improvement always evicts it.
         assert!(!pool.offer(vec![9, 10]));
         assert!(pool.offer(vec![11, 12, 13]));
         assert_eq!(pool.size(), 3);
@@ -309,8 +453,40 @@ mod tests {
             cliques.iter().map(Vec::len).collect::<Vec<_>>(),
             vec![4, 3, 3]
         );
-        // Ties keep insertion order: the first size-3 clique found ranks first.
+        // Size ties sit in lexicographic order.
         assert_eq!(cliques[1], vec![0, 1, 2]);
+        assert_eq!(cliques[2], vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn top_k_membership_is_canonical_not_first_come() {
+        // Unlike a single incumbent, a full top-k pool replaces a lexicographically
+        // larger member with a tied-but-smaller one, so the final set is independent
+        // of offer order.
+        let forward = SharedIncumbent::with_capacity(2, None);
+        assert!(forward.offer(vec![7, 8, 9]));
+        assert!(forward.offer(vec![4, 5, 6]));
+        // Pool full at size 3; useful stays 3 so ties are still considered.
+        assert_eq!((forward.size(), forward.useful_size()), (3, 3));
+        assert!(forward.offer(vec![1, 2, 3])); // displaces [7, 8, 9]
+        assert!(!forward.offer(vec![7, 8, 9])); // and it cannot come back
+
+        let backward = SharedIncumbent::with_capacity(2, None);
+        assert!(backward.offer(vec![1, 2, 3]));
+        assert!(backward.offer(vec![4, 5, 6]));
+        assert!(!backward.offer(vec![7, 8, 9]));
+
+        assert_eq!(forward.into_cliques(), backward.into_cliques());
+    }
+
+    #[test]
+    fn top_k_pool_rejects_exact_duplicates() {
+        let pool = SharedIncumbent::with_capacity(3, None);
+        assert!(pool.offer(vec![3, 1, 2]));
+        // The same clique in a different discovery order is still a duplicate.
+        assert!(!pool.offer(vec![1, 2, 3]));
+        assert!(!pool.offer(vec![2, 3, 1]));
+        assert_eq!(pool.into_cliques(), vec![vec![1, 2, 3]]);
     }
 
     #[test]

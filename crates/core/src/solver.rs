@@ -67,8 +67,10 @@ pub enum Objective {
     /// "Fair clique" here is condition (i) of Definition 1 alone, so the result may
     /// contain cliques nested inside larger ones (every fair subset of a bigger fair
     /// clique is itself a fair clique). The sizes are exact: no fair clique strictly
-    /// larger than the returned minimum is missed. Ties at the cut-off size keep the
-    /// first clique found, which is deterministic under [`ThreadCount::Serial`].
+    /// larger than the returned minimum is missed. Ties at the cut-off size are
+    /// broken canonically — larger first, then lexicographically smallest sorted
+    /// vertex set — so the returned set is identical for every
+    /// [`ThreadCount`], not merely the same sizes.
     TopK(usize),
 }
 

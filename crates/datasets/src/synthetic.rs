@@ -253,6 +253,101 @@ pub fn plant_cliques_in_pool(
     )
 }
 
+/// Parameters of the [`one_big_component`] generator.
+#[derive(Debug, Clone, Copy)]
+pub struct BigComponentConfig {
+    /// Total number of vertices.
+    pub n: usize,
+    /// Erdős–Rényi probability of each background edge.
+    pub edge_prob: f64,
+    /// Size of the dense community occupying the *highest* vertex ids.
+    pub community: usize,
+    /// Probability of an edge between any two community members.
+    pub community_prob: f64,
+    /// The planted fair clique has `planted_half` vertices of each attribute (so
+    /// `2 * planted_half` in total), on the very highest vertex ids.
+    pub planted_half: usize,
+    /// Probability that a background vertex gets attribute `a`.
+    pub prob_a: f64,
+}
+
+/// Generates a *single connected component* with a planted maximum fair clique: an ER
+/// background, a path through all vertices (guaranteeing connectivity), a dense
+/// community on the highest `community` vertex ids and a planted fair clique
+/// (`planted_half` of each attribute) on the very highest ids. Returns the graph and
+/// the planted clique's (sorted) vertex set.
+///
+/// This is the adversarial shape for *component-level* parallelism — there is exactly
+/// one component, so all scaling must come from splitting the search inside it — and
+/// the deterministic tail placement makes it a fair benchmark: the dense region sits
+/// at the high end of every branching order ([`BranchOrder::ColorfulCore`] peels the
+/// loosely connected background first), so serial and parallel searches both face the
+/// same "optimum hides behind the whole background" workload.
+///
+/// [`BranchOrder::ColorfulCore`]: ../../rfc_core/search/enum.BranchOrder.html
+pub fn one_big_component(
+    config: &BigComponentConfig,
+    seed: u64,
+) -> (AttributedGraph, Vec<VertexId>) {
+    let BigComponentConfig {
+        n,
+        edge_prob,
+        community,
+        community_prob,
+        planted_half,
+        prob_a,
+    } = *config;
+    let planted_size = 2 * planted_half;
+    assert!(
+        planted_size <= community && community <= n,
+        "need planted clique ({planted_size}) ≤ community ({community}) ≤ n ({n})"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut attrs = random_attributes(n, prob_a, &mut rng);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen_bool(edge_prob.clamp(0.0, 1.0)) {
+                edges.push((u, v));
+            }
+        }
+    }
+    // A path through all vertices keeps everything in one component no matter how
+    // sparse the background came out.
+    for u in 1..n as VertexId {
+        edges.push((u - 1, u));
+    }
+    // Dense community on the highest ids.
+    let first_member = (n - community) as VertexId;
+    for u in first_member..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen_bool(community_prob.clamp(0.0, 1.0)) {
+                edges.push((u, v));
+            }
+        }
+    }
+    // Planted fair clique on the very highest ids: all pairwise edges, attributes
+    // rewritten to an exact `planted_half` / `planted_half` split.
+    let first_planted = n - planted_size;
+    let planted: Vec<VertexId> = (first_planted as VertexId..n as VertexId).collect();
+    for (i, &u) in planted.iter().enumerate() {
+        attrs[u as usize] = if i < planted_half {
+            Attribute::A
+        } else {
+            Attribute::B
+        };
+        for &v in &planted[i + 1..] {
+            edges.push((u, v));
+        }
+    }
+    let mut builder = GraphBuilder::with_attributes(attrs);
+    builder.add_edges(edges);
+    (
+        builder.build().expect("generated edges are in range"),
+        planted,
+    )
+}
+
 /// The disjoint union of `parts`: attributes and edges are concatenated with each
 /// part's vertex ids shifted past the previous parts, so every part becomes its own
 /// set of connected components. Used to assemble multi-component workloads for the
@@ -446,6 +541,41 @@ mod tests {
         let (g, sets) = plant_cliques_in_pool(&background, &cliques, &pool, 6);
         assert!(sets[0].iter().all(|&v| v < 30));
         assert!(g.is_clique(&sets[0]));
+    }
+
+    #[test]
+    fn one_big_component_is_connected_with_a_planted_fair_clique() {
+        let config = BigComponentConfig {
+            n: 300,
+            edge_prob: 0.02,
+            community: 40,
+            community_prob: 0.4,
+            planted_half: 7,
+            prob_a: 0.5,
+        };
+        let (g, planted) = one_big_component(&config, 21);
+        assert_eq!(g.num_vertices(), 300);
+        // Deterministic per seed.
+        assert_eq!(one_big_component(&config, 21).0, g);
+        assert_ne!(one_big_component(&config, 22).0, g);
+        // The planted set occupies the highest ids and is a balanced fair clique.
+        assert_eq!(planted, (286u32..300).collect::<Vec<_>>());
+        assert!(g.is_clique(&planted));
+        let counts = g.attribute_counts_of(&planted);
+        assert_eq!((counts.a(), counts.b()), (7, 7));
+        // Exactly one connected component: BFS from 0 reaches everything.
+        let mut seen = vec![false; g.num_vertices()];
+        let mut queue = vec![0u32];
+        seen[0] = true;
+        while let Some(u) = queue.pop() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "the path edges connect everything");
     }
 
     #[test]

@@ -20,6 +20,26 @@ fn word_count(nbits: usize) -> usize {
     nbits.div_ceil(WORD_BITS)
 }
 
+/// 4-way unrolled AND+popcount over two equal-length word slices.
+#[inline]
+fn and_popcount(a: &[u64], b: &[u64]) -> usize {
+    let n = a.len();
+    let (mut c0, mut c1, mut c2, mut c3) = (0usize, 0usize, 0usize, 0usize);
+    let mut i = 0;
+    while i + 4 <= n {
+        c0 += (a[i] & b[i]).count_ones() as usize;
+        c1 += (a[i + 1] & b[i + 1]).count_ones() as usize;
+        c2 += (a[i + 2] & b[i + 2]).count_ones() as usize;
+        c3 += (a[i + 3] & b[i + 3]).count_ones() as usize;
+        i += 4;
+    }
+    while i < n {
+        c0 += (a[i] & b[i]).count_ones() as usize;
+        i += 1;
+    }
+    c0 + c1 + c2 + c3
+}
+
 /// A fixed-capacity set of integers in `0..capacity`, stored as words of `u64`.
 ///
 /// The capacity is fixed at construction; all per-element operations are `O(1)` and the
@@ -107,14 +127,61 @@ impl Bitset {
 
     /// `|self ∩ other|` where `other` is the word representation of a set with the same
     /// capacity (another [`Bitset`]'s [`words`](Self::words) or a [`BitMatrix`] row).
+    ///
+    /// This is the innermost kernel of the branch-and-bound (attribute counting runs it
+    /// on every node), so the AND+popcount loop is unrolled 4-wide over independent
+    /// accumulators to keep the popcount units busy instead of serializing on one sum.
     #[inline]
     pub fn intersection_count(&self, other: &[u64]) -> usize {
         debug_assert_eq!(self.words.len(), other.len(), "capacity mismatch");
-        self.words
-            .iter()
-            .zip(other)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        and_popcount(&self.words, other)
+    }
+
+    /// Fused AND+popcount into a scratch bitset: writes `self ∩ other` over `out`'s
+    /// previous contents (every word is overwritten, so `out` may hold stale data from
+    /// a [`BitsetPool`]) and returns the intersection's population count in the same
+    /// pass. `out` must have the same capacity as `self`.
+    ///
+    /// This is the allocation-free replacement for
+    /// [`intersection_with`](Self::intersection_with) on the branch hot loop: the
+    /// search reuses one scratch bitset per recursion depth instead of allocating a
+    /// fresh `Vec<u64>` per node.
+    #[inline]
+    pub fn intersect_into(&self, other: &[u64], out: &mut Bitset) -> usize {
+        debug_assert_eq!(self.words.len(), other.len(), "capacity mismatch");
+        debug_assert_eq!(self.nbits, out.nbits, "scratch capacity mismatch");
+        let n = self.words.len();
+        let (mut c0, mut c1, mut c2, mut c3) = (0usize, 0usize, 0usize, 0usize);
+        let mut i = 0;
+        while i + 4 <= n {
+            let w0 = self.words[i] & other[i];
+            let w1 = self.words[i + 1] & other[i + 1];
+            let w2 = self.words[i + 2] & other[i + 2];
+            let w3 = self.words[i + 3] & other[i + 3];
+            out.words[i] = w0;
+            out.words[i + 1] = w1;
+            out.words[i + 2] = w2;
+            out.words[i + 3] = w3;
+            c0 += w0.count_ones() as usize;
+            c1 += w1.count_ones() as usize;
+            c2 += w2.count_ones() as usize;
+            c3 += w3.count_ones() as usize;
+            i += 4;
+        }
+        while i < n {
+            let w = self.words[i] & other[i];
+            out.words[i] = w;
+            c0 += w.count_ones() as usize;
+            i += 1;
+        }
+        c0 + c1 + c2 + c3
+    }
+
+    /// Overwrites this bitset with a copy of `src` (same capacity required).
+    #[inline]
+    pub fn copy_from(&mut self, src: &Bitset) {
+        debug_assert_eq!(self.nbits, src.nbits, "capacity mismatch");
+        self.words.copy_from_slice(&src.words);
     }
 
     /// Returns `self ∩ other` as a new bitset (`other` as in
@@ -254,6 +321,75 @@ impl BitMatrix {
     }
 }
 
+/// A reusable pool of same-capacity scratch [`Bitset`]s.
+///
+/// The branch-and-bound needs one candidate bitset per recursion depth; allocating a
+/// fresh `Vec<u64>` per node dominated the hot loop. A pool hands out previously
+/// released bitsets instead, so steady-state recursion allocates nothing. Pools are
+/// per-worker (not shared), so acquisition is a plain `Vec::pop`.
+///
+/// Buffers come back dirty: the acquire methods therefore always overwrite every word
+/// ([`acquire_copy`](Self::acquire_copy) / [`acquire_intersection`](Self::acquire_intersection))
+/// rather than exposing a "blank" buffer that could leak stale bits.
+#[derive(Debug, Default)]
+pub struct BitsetPool {
+    nbits: usize,
+    free: Vec<Bitset>,
+}
+
+impl BitsetPool {
+    /// A pool handing out bitsets of capacity `nbits`.
+    pub fn new(nbits: usize) -> Self {
+        Self {
+            nbits,
+            free: Vec::new(),
+        }
+    }
+
+    /// The capacity of the bitsets this pool hands out.
+    #[inline]
+    pub fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Re-targets the pool to a new capacity, dropping cached buffers if the capacity
+    /// actually changed. Lets one worker reuse its pool across components of different
+    /// sizes.
+    pub fn reset(&mut self, nbits: usize) {
+        if self.nbits != nbits {
+            self.nbits = nbits;
+            self.free.clear();
+        }
+    }
+
+    /// Acquires a bitset holding a copy of `src` (which must match the pool capacity).
+    pub fn acquire_copy(&mut self, src: &Bitset) -> Bitset {
+        debug_assert_eq!(src.capacity(), self.nbits, "pool capacity mismatch");
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.copy_from(src);
+                buf
+            }
+            None => src.clone(),
+        }
+    }
+
+    /// Acquires a bitset holding `set ∩ other`, returning it together with its
+    /// population count (fused in one pass via [`Bitset::intersect_into`]).
+    pub fn acquire_intersection(&mut self, set: &Bitset, other: &[u64]) -> (Bitset, usize) {
+        debug_assert_eq!(set.capacity(), self.nbits, "pool capacity mismatch");
+        let mut buf = self.free.pop().unwrap_or_else(|| Bitset::new(self.nbits));
+        let count = set.intersect_into(other, &mut buf);
+        (buf, count)
+    }
+
+    /// Returns a bitset to the pool for reuse.
+    pub fn release(&mut self, buf: Bitset) {
+        debug_assert_eq!(buf.capacity(), self.nbits, "pool capacity mismatch");
+        self.free.push(buf);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,5 +513,100 @@ mod tests {
         assert_eq!(s.first_set(), None);
         let m = BitMatrix::new(0);
         assert_eq!(m.order(), 0);
+    }
+
+    /// Deterministic pseudo-random bitset for kernel cross-checks.
+    fn scrambled(nbits: usize, mut seed: u64) -> Bitset {
+        let mut s = Bitset::new(nbits);
+        for i in 0..nbits {
+            // SplitMix64 step.
+            seed = seed.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            if (z ^ (z >> 31)) & 1 == 1 {
+                s.insert(i);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn unrolled_intersection_count_matches_naive() {
+        // Sweep capacities across the 4-word unroll boundary (0..4 remainder words).
+        for nbits in [0usize, 1, 64, 65, 192, 256, 257, 500, 1024, 1030] {
+            let a = scrambled(nbits, 7);
+            let b = scrambled(nbits, 99);
+            let naive: usize = a
+                .words()
+                .iter()
+                .zip(b.words())
+                .map(|(x, y)| (x & y).count_ones() as usize)
+                .sum();
+            assert_eq!(a.intersection_count(b.words()), naive, "nbits = {nbits}");
+        }
+    }
+
+    #[test]
+    fn intersect_into_matches_intersection_with_and_overwrites_stale_bits() {
+        for nbits in [1usize, 63, 64, 200, 257, 1000] {
+            let a = scrambled(nbits, 11);
+            let b = scrambled(nbits, 23);
+            // Start from a full (all-stale-bits) scratch to prove every word is written.
+            let mut out = Bitset::full(nbits);
+            let count = a.intersect_into(b.words(), &mut out);
+            let expected = a.intersection_with(b.words());
+            assert_eq!(out, expected, "nbits = {nbits}");
+            assert_eq!(count, expected.count(), "nbits = {nbits}");
+        }
+    }
+
+    #[test]
+    fn copy_from_replaces_contents() {
+        let src = scrambled(130, 5);
+        let mut dst = Bitset::full(130);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn pool_reuses_buffers_and_never_leaks_stale_bits() {
+        let mut pool = BitsetPool::new(150);
+        assert_eq!(pool.nbits(), 150);
+        let a = scrambled(150, 1);
+        let b = scrambled(150, 2);
+
+        let copy = pool.acquire_copy(&a);
+        assert_eq!(copy, a);
+        pool.release(copy);
+
+        // The recycled buffer still holds `a`'s bits; the next acquire must fully
+        // overwrite them.
+        let (inter, count) = pool.acquire_intersection(&b, a.words());
+        let expected = b.intersection_with(a.words());
+        assert_eq!(inter, expected);
+        assert_eq!(count, expected.count());
+        pool.release(inter);
+
+        let copy2 = pool.acquire_copy(&b);
+        assert_eq!(copy2, b);
+    }
+
+    #[test]
+    fn pool_reset_retargets_capacity() {
+        let mut pool = BitsetPool::new(64);
+        let a = Bitset::full(64);
+        let buf = pool.acquire_copy(&a);
+        pool.release(buf);
+        // Same capacity: cached buffers survive.
+        pool.reset(64);
+        assert_eq!(pool.nbits(), 64);
+        // New capacity: the pool must hand out correctly sized buffers.
+        pool.reset(130);
+        assert_eq!(pool.nbits(), 130);
+        let b = Bitset::full(130);
+        let buf = pool.acquire_copy(&b);
+        assert_eq!(buf.capacity(), 130);
+        assert_eq!(buf, b);
     }
 }

@@ -68,7 +68,7 @@ pub mod io;
 pub mod subgraph;
 
 pub use attr::{Attribute, AttributeCounts};
-pub use bitset::{BitMatrix, Bitset};
+pub use bitset::{BitMatrix, Bitset, BitsetPool};
 pub use builder::{BuildError, GraphBuilder};
 pub use coloring::Coloring;
 pub use delta::{DeltaError, GraphDelta, UpdateOp};

@@ -196,3 +196,125 @@ fn weak_and_strong_models_agree_in_parallel() {
         }
     }
 }
+
+/// The adversarial single-component workload for the intra-component work stealing:
+/// exactly one connected component, so every parallel win must come from subtree
+/// splitting. Serial and parallel searches must agree here like everywhere else, for
+/// every order and thread count in the sweep.
+#[test]
+fn one_big_component_agrees_across_thread_counts() {
+    use rfc_datasets::synthetic::{one_big_component, BigComponentConfig};
+    let spec = BigComponentConfig {
+        n: 220,
+        edge_prob: 16.0 / 220.0,
+        community: 64,
+        community_prob: 0.45,
+        planted_half: 8,
+        prob_a: 0.5,
+    };
+    let (g, planted) = one_big_component(&spec, 33);
+    let params = FairCliqueParams::new(3, 1).unwrap();
+    assert_serial_parallel_agree(&g, params, "one-big-component");
+    // The planted fair clique is the component's optimum; no thread count may miss it.
+    for &n in &thread_counts() {
+        let threads = if n <= 1 {
+            ThreadCount::Serial
+        } else {
+            ThreadCount::Fixed(n)
+        };
+        let outcome = max_fair_clique(
+            &g,
+            params,
+            &config(BranchOrder::ColorfulCore, threads, false),
+        );
+        assert!(
+            outcome.best.expect("planted clique exists").size() >= planted.len(),
+            "{n} threads missed the planted clique"
+        );
+    }
+}
+
+/// Top-k membership is canonical, not first-come: serial and parallel solves must
+/// return *identical clique sets*, not just identical sizes, even though worker
+/// interleaving changes the order in which ties reach the pool.
+#[test]
+fn top_k_sets_are_identical_serial_vs_parallel() {
+    let g = multi_component_graph();
+    for k in [3usize, 5] {
+        let fairness = FairnessModel::Relative { k: 2, delta: 1 };
+        let solver = RfcSolver::new(g.clone());
+        let sets = |threads: ThreadCount| -> Vec<Vec<VertexId>> {
+            let query = Query::new(fairness)
+                .with_objective(Objective::TopK(k))
+                .with_config(SearchConfig {
+                    threads,
+                    use_heuristic: false,
+                    ..SearchConfig::default()
+                });
+            let solution = solver.solve(&query).expect("valid query");
+            solution
+                .cliques
+                .iter()
+                .map(|c| {
+                    let mut v = c.vertices.clone();
+                    v.sort_unstable();
+                    v
+                })
+                .collect()
+        };
+        let serial = sets(ThreadCount::Serial);
+        assert!(!serial.is_empty(), "top-{k} found nothing");
+        for &n in &thread_counts() {
+            let parallel = sets(if n <= 1 {
+                ThreadCount::Serial
+            } else {
+                ThreadCount::Fixed(n)
+            });
+            assert_eq!(
+                serial, parallel,
+                "top-{k} clique sets diverged at {n} threads"
+            );
+        }
+    }
+}
+
+/// `elapsed_micros` is wall-clock time, `cpu_micros` summed worker busy time. Before
+/// the accounting fix a 4-worker solve summed per-worker clocks into `elapsed_micros`
+/// and could report several times the real wall time; pin both semantics.
+#[test]
+fn stats_wall_clock_never_exceeds_external_measurement() {
+    let g = multi_component_graph();
+    let params = FairCliqueParams::new(3, 1).unwrap();
+
+    let serial = max_fair_clique(
+        &g,
+        params,
+        &config(BranchOrder::ColorfulCore, ThreadCount::Serial, false),
+    );
+    // A serial run's busy time covers a sub-interval of the call.
+    assert!(serial.stats.cpu_micros > 0);
+    assert!(serial.stats.cpu_micros <= serial.stats.elapsed_micros);
+
+    for &n in &thread_counts() {
+        let threads = if n <= 1 {
+            ThreadCount::Serial
+        } else {
+            ThreadCount::Fixed(n)
+        };
+        let started = std::time::Instant::now();
+        let outcome = max_fair_clique(
+            &g,
+            params,
+            &config(BranchOrder::ColorfulCore, threads, false),
+        );
+        let external = started.elapsed().as_micros() as u64;
+        assert!(
+            outcome.stats.elapsed_micros <= external,
+            "{n} threads: reported {}µs wall > {}µs measured around the call \
+             (per-worker clocks were summed?)",
+            outcome.stats.elapsed_micros,
+            external
+        );
+        assert!(outcome.stats.cpu_micros > 0, "{n} threads: no busy time");
+    }
+}
