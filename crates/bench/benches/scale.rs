@@ -1,0 +1,141 @@
+//! Scale-tier benchmark: a million-vertex power-law instance through the full
+//! disk pipeline — streaming generation to `.rfcg`, index load, out-of-core
+//! fair-core peel, full streaming reduction, and an end-to-end solve that must
+//! recover the planted 20-vertex fair clique.
+//!
+//! Each stage's mean time is written to `BENCH_scale.json` at the repository
+//! root, together with the stage's throughput in **vertices per second** (the
+//! `count` field), so the scale trajectory can be tracked across commits. The
+//! instance is `ScaleConfig::new(1_000_000)`: average degree ~12, a planted
+//! balanced clique of 20 on the highest ids, solved at `k = 8, δ = 1` where the
+//! background cannot satisfy the fair-core criterion and the peel collapses the
+//! graph to a residual around the planted clique.
+
+use std::path::Path;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use rfc_core::problem::{FairCliqueParams, FairnessModel};
+use rfc_core::reduction::streaming::{fair_core_peel, reduce_store};
+use rfc_core::reduction::ReductionConfig;
+use rfc_core::solver::Query;
+use rfc_core::ScaleSolver;
+use rfc_datasets::scale::{generate_scale_rfcg, ScaleConfig};
+use rfc_graph::disk::DiskCsr;
+use rfc_graph::store::GraphStore;
+
+/// One million vertices; edges land around `N * 6` (see `ScaleConfig::new`).
+const N: usize = 1_000_000;
+/// Fairness parameter of the planted-optimum query (planted half-size is 10).
+const K: usize = 8;
+
+fn bench_scale(_c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("rfc_scale_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let rfcg = dir.join(format!("{}_scale_1m.rfcg", std::process::id()));
+
+    // (name, mean_us, vertices/sec) per stage.
+    let mut entries: Vec<(String, f64, u64)> = Vec::new();
+    let record = |entries: &mut Vec<(String, f64, u64)>, name: &str, mean_us: f64| {
+        let per_sec = N as f64 / (mean_us / 1e6);
+        println!("scale/{name}: {mean_us:.0} us  ({per_sec:.0} vertices/sec)");
+        entries.push((name.to_string(), mean_us, per_sec as u64));
+    };
+
+    // Stage 0: streaming generation straight to disk (run once; it is the
+    // workload, not the subject, but its throughput bounds experiment setup).
+    let config = ScaleConfig::new(N);
+    let started = Instant::now();
+    let summary = generate_scale_rfcg(&config, 42, &rfcg).unwrap();
+    record(
+        &mut entries,
+        "generate",
+        started.elapsed().as_secs_f64() * 1e6,
+    );
+    assert_eq!(summary.csr.num_vertices, N);
+    assert_eq!(summary.planted.len(), 20);
+    println!(
+        "scale/instance: {} vertices, {} edges, {} bytes on disk",
+        summary.csr.num_vertices, summary.csr.num_edges, summary.csr.file_bytes
+    );
+
+    // Stage 1: load — open the store and validate/load the resident index
+    // (offsets + attributes); neighbor lists stay on disk.
+    const RUNS: u32 = 3;
+    let started = Instant::now();
+    for _ in 0..RUNS {
+        black_box(DiskCsr::open(&rfcg).unwrap());
+    }
+    record(
+        &mut entries,
+        "load",
+        started.elapsed().as_secs_f64() * 1e6 / f64::from(RUNS),
+    );
+    let store = DiskCsr::open(&rfcg).unwrap();
+
+    // Stage 2: the out-of-core fair-core peel on its own.
+    let started = Instant::now();
+    let mut survivors = 0;
+    for _ in 0..RUNS {
+        survivors = black_box(fair_core_peel(&store, K).unwrap())
+            .stats
+            .surviving_vertices;
+    }
+    record(
+        &mut entries,
+        "peel",
+        started.elapsed().as_secs_f64() * 1e6 / f64::from(RUNS),
+    );
+    println!("scale/peel-survivors: {survivors} of {N}");
+
+    // Stage 3: the full streaming reduction (peel + extract + exact pipeline).
+    let params = FairCliqueParams::new(K, 1).unwrap();
+    let started = Instant::now();
+    for _ in 0..RUNS {
+        black_box(reduce_store(&store, params, &ReductionConfig::default()).unwrap());
+    }
+    record(
+        &mut entries,
+        "reduce",
+        started.elapsed().as_secs_f64() * 1e6 / f64::from(RUNS),
+    );
+
+    // Stage 4: end to end — build the scale solver and solve to the planted
+    // optimum (correctness asserted, as everywhere else in the bench suite).
+    let query = Query::new(FairnessModel::Relative { k: K, delta: 1 });
+    let started = Instant::now();
+    let solver = ScaleSolver::from_store(&store, K).unwrap();
+    let solution = solver.solve(&query).unwrap();
+    record(
+        &mut entries,
+        "solve-end-to-end",
+        started.elapsed().as_secs_f64() * 1e6,
+    );
+    let best = solution.best().expect("planted clique must be found");
+    assert_eq!(
+        best.vertices, summary.planted,
+        "solver did not recover the planted optimum"
+    );
+    assert!(
+        solver.residual_resident_bytes() < store.resident_bytes(),
+        "residual outgrew the store's resident index"
+    );
+    println!(
+        "scale/residual: {} vertices, {} bytes resident (store index: {} bytes)",
+        solver.stats().residual_vertices,
+        solver.residual_resident_bytes(),
+        store.resident_bytes()
+    );
+
+    std::fs::remove_file(&rfcg).ok();
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scale.json");
+    match rfc_bench::report::write_json_counted_results(&path, "scale/million-vertex", &entries) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

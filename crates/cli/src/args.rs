@@ -11,7 +11,7 @@ USAGE:
                           -k K -d DELTA [--bound cd|cp|d|h|ch|none] [--basic]
                           [--no-heuristic] [--weak] [--strong] [--threads N]
                           [--time-limit SECS] [--node-limit N] [--top N]
-                          [--format text|json]
+                          [--format text|json] [--verbose]
   maxfairclique enumerate --graph FILE | --edges FILE [--attributes FILE]
                           -k K -d DELTA [--weak] [--strong] [--limit N]
                           [--min-size S] [--format text|jsonl] [--threads N]
@@ -24,10 +24,23 @@ USAGE:
   maxfairclique reduce    --graph FILE | --edges FILE [--attributes FILE]
                           -k K [--output FILE]
   maxfairclique stats     --graph FILE | --edges FILE [--attributes FILE]
-  maxfairclique generate  --dataset NAME | --case-study NAME [--output FILE]
+                          [--verbose]
+  maxfairclique convert   --graph FILE | --edges FILE [--attributes FILE]
+                          --output FILE.rfcg
+  maxfairclique generate  --dataset NAME | --case-study NAME | --scale N
+                          [--output FILE] [--seed S] [--planted-half H]
+                          [--prob-a P]
+
+SCALE TIER:
+  `--graph FILE.rfcg` routes solve / enumerate / heuristic / reduce / stats
+  through the on-disk binary CSR: the graph is peeled out-of-core and only the
+  residual is materialized in memory. `convert` writes the binary format;
+  `generate --scale N` streams a power-law graph with a planted fair clique
+  straight to `.rfcg` (requires `--output`).
 
 OPTIONS:
-  --graph FILE        graph in the maxfairclique text format (n/v/e records)
+  --graph FILE        graph in the maxfairclique text format (n/v/e records),
+                      or a binary `.rfcg` on-disk CSR (by extension)
   --edges FILE        whitespace edge list (u v per line, # comments)
   --attributes FILE   attribute list (vertex a|b per line); defaults to attribute a
   -k K                minimum vertices per attribute (default 2)
@@ -57,7 +70,14 @@ OPTIONS:
   --seeds N           number of greedy seeds for the heuristic (default 8)
   --dataset NAME      themarker | google | dblp | flixster | pokec | aminer
   --case-study NAME   aminer | dbai | nba | imdb
-  --output FILE       where to write the generated / reduced graph
+  --scale N           stream an N-vertex power-law graph with a planted fair
+                      clique to `--output FILE.rfcg` (bounded memory)
+  --seed S            RNG seed for `generate --scale` (default 42)
+  --planted-half H    planted clique has H vertices per attribute (default 10)
+  --prob-a P          background attribute-a probability (default 0.5)
+  --output FILE       where to write the generated / reduced / converted graph
+  --verbose           also print memory-footprint estimates (CSR bytes,
+                      bit-matrix bytes, resident bytes of `.rfcg` stores)
   -h, --help          show this help
 ";
 
@@ -127,6 +147,8 @@ pub enum Command {
         top: Option<usize>,
         /// Output format (text or one JSON object).
         format: OutputFormat,
+        /// Also print memory-footprint estimates.
+        verbose: bool,
     },
     /// Enumerate every maximal fair clique.
     Enumerate {
@@ -194,13 +216,31 @@ pub enum Command {
     Stats {
         /// Input graph.
         input: GraphInput,
+        /// Also print memory-footprint estimates.
+        verbose: bool,
     },
-    /// Generate a dataset analog or case-study graph.
+    /// Convert a text graph to the binary `.rfcg` on-disk CSR format.
+    Convert {
+        /// Input graph (text formats).
+        input: GraphInput,
+        /// Output `.rfcg` path.
+        output: String,
+    },
+    /// Generate a dataset analog, case-study graph, or streamed scale-tier graph.
     Generate {
-        /// Dataset analog name (mutually exclusive with `case_study`).
+        /// Dataset analog name (mutually exclusive with the other sources).
         dataset: Option<String>,
         /// Case-study name.
         case_study: Option<String>,
+        /// Scale-tier vertex count: stream a power-law + planted-clique graph
+        /// straight to `.rfcg` (requires `output`).
+        scale: Option<usize>,
+        /// RNG seed for `--scale`.
+        seed: u64,
+        /// Planted-clique half-size for `--scale`.
+        planted_half: usize,
+        /// Background attribute-`a` probability for `--scale`.
+        prob_a: f64,
         /// Optional output path (stdout summary only when absent).
         output: Option<String>,
     },
@@ -246,6 +286,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 | "--stream"
                 | "--dataset"
                 | "--case-study"
+                | "--scale"
+                | "--seed"
+                | "--planted-half"
+                | "--prob-a"
                 | "--output"
         );
         if takes_value {
@@ -379,6 +423,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 node_limit: node_limit()?,
                 top,
                 format,
+                verbose: has("--verbose"),
             })
         }
         "enumerate" => {
@@ -433,19 +478,64 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             k: parse_usize("-k", 2)?,
             output: get("--output"),
         }),
-        "stats" => Ok(Command::Stats { input: input()? }),
+        "stats" => Ok(Command::Stats {
+            input: input()?,
+            verbose: has("--verbose"),
+        }),
+        "convert" => Ok(Command::Convert {
+            input: input()?,
+            output: get("--output")
+                .ok_or_else(|| "`convert` needs `--output FILE.rfcg`".to_string())?,
+        }),
         "generate" => {
             let dataset = get("--dataset");
             let case_study = get("--case-study");
-            if dataset.is_none() && case_study.is_none() {
-                return Err("`generate` needs `--dataset NAME` or `--case-study NAME`".into());
+            let scale = match get("--scale") {
+                None => None,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => return Err(format!("invalid value for `--scale`: `{v}` (need N >= 1)")),
+                },
+            };
+            let sources = [dataset.is_some(), case_study.is_some(), scale.is_some()];
+            match sources.iter().filter(|&&s| s).count() {
+                0 => {
+                    return Err(
+                        "`generate` needs `--dataset NAME`, `--case-study NAME` or `--scale N`"
+                            .into(),
+                    )
+                }
+                1 => {}
+                _ => {
+                    return Err(
+                        "`--dataset`, `--case-study` and `--scale` are mutually exclusive".into(),
+                    )
+                }
             }
-            if dataset.is_some() && case_study.is_some() {
-                return Err("`--dataset` and `--case-study` are mutually exclusive".into());
-            }
+            let seed = match get("--seed") {
+                None => 42,
+                Some(v) => v
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid value for `--seed`: `{v}`"))?,
+            };
+            let prob_a = match get("--prob-a") {
+                None => 0.5,
+                Some(v) => match v.parse::<f64>() {
+                    Ok(p) if (0.0..=1.0).contains(&p) => p,
+                    _ => {
+                        return Err(format!(
+                            "invalid value for `--prob-a`: `{v}` (need 0 <= P <= 1)"
+                        ))
+                    }
+                },
+            };
             Ok(Command::Generate {
                 dataset,
                 case_study,
+                scale,
+                seed,
+                planted_half: parse_usize("--planted-half", 10)?,
+                prob_a,
                 output: get("--output"),
             })
         }
@@ -478,6 +568,7 @@ mod tests {
                 node_limit,
                 top,
                 format,
+                verbose,
             } => {
                 assert_eq!(input, GraphInput::Combined("g.graph".into()));
                 assert_eq!((k, delta), (2, 1));
@@ -487,6 +578,7 @@ mod tests {
                 assert_eq!(threads, None);
                 assert_eq!((time_limit, node_limit, top), (None, None, None));
                 assert_eq!(format, OutputFormat::Text);
+                assert!(!verbose);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -495,7 +587,7 @@ mod tests {
     #[test]
     fn parses_solve_with_everything() {
         let cmd = parse(&argv(
-            "solve --edges e.txt --attributes a.txt -k 4 -d 2 --bound cp --basic --no-heuristic --strong --threads 4 --time-limit 2.5 --node-limit 1000 --top 3 --format json",
+            "solve --edges e.txt --attributes a.txt -k 4 -d 2 --bound cp --basic --no-heuristic --strong --threads 4 --time-limit 2.5 --node-limit 1000 --top 3 --format json --verbose",
         ))
         .unwrap();
         match cmd {
@@ -512,6 +604,7 @@ mod tests {
                 node_limit,
                 top,
                 format,
+                verbose,
             } => {
                 assert_eq!(
                     input,
@@ -529,6 +622,7 @@ mod tests {
                 assert_eq!(node_limit, Some(1000));
                 assert_eq!(top, Some(3));
                 assert_eq!(format, OutputFormat::Json);
+                assert!(verbose);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -637,8 +731,45 @@ mod tests {
         ));
         assert!(matches!(
             parse(&argv("stats --edges e.txt")).unwrap(),
-            Command::Stats { .. }
+            Command::Stats { verbose: false, .. }
         ));
+        assert!(matches!(
+            parse(&argv("stats --edges e.txt --verbose")).unwrap(),
+            Command::Stats { verbose: true, .. }
+        ));
+        assert!(matches!(
+            parse(&argv("convert --graph g.graph --output g.rfcg")).unwrap(),
+            Command::Convert { .. }
+        ));
+        assert!(parse(&argv("convert --graph g.graph")).is_err()); // missing output
+        match parse(&argv(
+            "generate --scale 1000 --seed 7 --planted-half 3 --prob-a 0.25 --output g.rfcg",
+        ))
+        .unwrap()
+        {
+            Command::Generate {
+                scale,
+                seed,
+                planted_half,
+                prob_a,
+                output,
+                dataset,
+                case_study,
+            } => {
+                assert_eq!(scale, Some(1000));
+                assert_eq!(seed, 7);
+                assert_eq!(planted_half, 3);
+                assert_eq!(prob_a, 0.25);
+                assert_eq!(output.as_deref(), Some("g.rfcg"));
+                assert!(dataset.is_none() && case_study.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("generate --scale 0")).is_err());
+        assert!(parse(&argv("generate --scale ten")).is_err());
+        assert!(parse(&argv("generate --scale 10 --dataset dblp")).is_err());
+        assert!(parse(&argv("generate --scale 10 --prob-a 1.5")).is_err());
+        assert!(parse(&argv("generate --scale 10 --seed minus")).is_err());
         assert!(matches!(
             parse(&argv("generate --dataset aminer --output g.graph")).unwrap(),
             Command::Generate {

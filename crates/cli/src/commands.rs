@@ -7,22 +7,99 @@ use std::time::Duration;
 use rfc_core::bounds::BoundConfig;
 use rfc_core::dynamic::DynamicRfcSolver;
 use rfc_core::enumerate::{
-    clique_json, CountSink, EnumQuery, EnumTermination, JsonlSink, LimitSink, SinkFlow,
+    clique_json, CliqueSink, CountSink, EnumOutcome, EnumQuery, EnumTermination, JsonlSink,
+    LimitSink, SinkFlow,
 };
 use rfc_core::heuristic::HeuristicConfig;
 use rfc_core::problem::{FairClique, FairCliqueParams, FairnessModel};
+use rfc_core::reduction::streaming::reduce_store;
 use rfc_core::reduction::{apply_reductions, ReductionConfig};
+use rfc_core::scale::ScaleSolver;
 use rfc_core::search::{SearchConfig, ThreadCount};
 use rfc_core::solver::{Budget, Objective, Query, RfcSolver, Solution, Termination};
 use rfc_core::verify;
 use rfc_datasets::case_study::CaseStudy;
+use rfc_datasets::scale::{generate_scale_rfcg, ScaleConfig};
 use rfc_datasets::PaperDataset;
 use rfc_graph::delta::UpdateOp;
+use rfc_graph::disk::{write_rfcg, DiskCsr};
 use rfc_graph::io;
+use rfc_graph::store::GraphStore;
 use rfc_graph::AttributedGraph;
 
 use crate::args::{Command, Fairness, GraphInput, OutputFormat, USAGE};
 use crate::output::{errln, outln, Output};
+
+/// Returns the path when the input is a binary `.rfcg` store (routed through the
+/// scale tier instead of the text readers).
+fn rfcg_path(input: &GraphInput) -> Option<&str> {
+    match input {
+        GraphInput::Combined(path) if path.ends_with(".rfcg") => Some(path),
+        _ => None,
+    }
+}
+
+/// Opens a `.rfcg` store in streaming mode with a path-prefixed error.
+fn open_rfcg(path: &str) -> Result<DiskCsr, String> {
+    DiskCsr::open(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Builds a [`ScaleSolver`] (out-of-core peel + residual extraction) over a store,
+/// reporting the store → residual shrink under `--verbose`.
+fn scale_solver(
+    out: &mut Output,
+    path: &str,
+    store: &DiskCsr,
+    k: usize,
+    verbose: bool,
+) -> Result<ScaleSolver, String> {
+    let solver = ScaleSolver::from_store(store, k).map_err(|e| format!("{path}: {e}"))?;
+    if verbose {
+        let s = solver.stats();
+        outln!(
+            out,
+            "scale tier: store {} vertices / {} edges -> peel survivors {} -> \
+             residual {} vertices / {} edges ({} µs scan, {} µs cascade, {} µs extract)",
+            s.store_vertices,
+            s.store_edges,
+            s.peel.surviving_vertices,
+            s.residual_vertices,
+            s.residual_edges,
+            s.peel.scan_micros,
+            s.peel.cascade_micros,
+            s.extract_micros
+        );
+        outln!(
+            out,
+            "resident bytes: store {} (streaming), residual graph {}",
+            store.resident_bytes(),
+            solver.residual_resident_bytes()
+        );
+    }
+    Ok(solver)
+}
+
+/// Either of the two solver backends: in-memory, or scale-tier over a `.rfcg`
+/// store. Both answer the same queries; the scale variant reports store ids.
+enum AnySolver {
+    /// The classic in-memory solver.
+    Mem(RfcSolver),
+    /// The out-of-core peel + residual solver.
+    Scale(ScaleSolver),
+}
+
+impl AnySolver {
+    fn enumerate(
+        &self,
+        query: &EnumQuery,
+        sink: &mut dyn CliqueSink,
+    ) -> Result<EnumOutcome, String> {
+        match self {
+            AnySolver::Mem(solver) => solver.enumerate(query, sink).map_err(|e| e.to_string()),
+            AnySolver::Scale(solver) => solver.enumerate(query, sink).map_err(|e| e.to_string()),
+        }
+    }
+}
 
 /// Maps the CLI `--threads N` value onto a search [`ThreadCount`]: absent or `0` means
 /// all cores, `1` means the deterministic serial path, anything else a fixed pool.
@@ -131,14 +208,43 @@ pub fn run(command: Command) -> Result<(), String> {
             outln!(out, "{USAGE}");
             Ok(())
         }
-        Command::Stats { input } => {
+        Command::Stats { input, verbose } => {
+            if let Some(path) = rfcg_path(&input) {
+                let store = open_rfcg(path)?;
+                let counts = store.attribute_counts();
+                outln!(
+                    out,
+                    "rfcg store: n={} m={} attrs=(a: {}, b: {})",
+                    store.num_vertices(),
+                    store.num_edges(),
+                    counts.a(),
+                    counts.b()
+                );
+                if verbose {
+                    outln!(
+                        out,
+                        "memory: resident {} bytes (streaming mode; neighbor lists stay on disk)",
+                        store.resident_bytes()
+                    );
+                }
+                return Ok(());
+            }
             let graph = load_graph(&input)?;
-            outln!(out, "{}", graph.stats());
+            let stats = graph.stats();
+            outln!(out, "{stats}");
             outln!(
                 out,
                 "non-isolated vertices: {}",
                 graph.num_non_isolated_vertices()
             );
+            if verbose {
+                outln!(
+                    out,
+                    "memory: csr {} bytes, dense bit-matrix {} bytes if built",
+                    stats.csr_bytes,
+                    stats.bitmatrix_bytes
+                );
+            }
             Ok(())
         }
         Command::Solve {
@@ -154,8 +260,8 @@ pub fn run(command: Command) -> Result<(), String> {
             node_limit,
             top,
             format,
+            verbose,
         } => {
-            let graph = load_graph(&input)?;
             let model = fairness_model(fairness, k, delta);
             let config = if basic {
                 SearchConfig::basic()
@@ -172,8 +278,32 @@ pub fn run(command: Command) -> Result<(), String> {
             if let Some(n) = top {
                 query = query.with_objective(Objective::TopK(n));
             }
-            let solver = RfcSolver::new(graph);
-            let solution = solver.solve(&query).map_err(|e| e.to_string())?;
+            let solution = if let Some(path) = rfcg_path(&input) {
+                let store = open_rfcg(path)?;
+                let solver = scale_solver(&mut out, path, &store, model.k(), verbose)?;
+                solver.solve(&query).map_err(|e| e.to_string())?
+            } else {
+                let graph = load_graph(&input)?;
+                if verbose {
+                    let stats = graph.stats();
+                    outln!(
+                        out,
+                        "memory: csr {} bytes, dense bit-matrix {} bytes if built",
+                        stats.csr_bytes,
+                        stats.bitmatrix_bytes
+                    );
+                }
+                let solver = RfcSolver::new(graph);
+                let solution = solver.solve(&query).map_err(|e| e.to_string())?;
+                for clique in &solution.cliques {
+                    debug_assert!(verify::is_fair_clique_under(
+                        solver.graph(),
+                        &clique.vertices,
+                        model
+                    ));
+                }
+                solution
+            };
 
             if format == OutputFormat::Json {
                 outln!(out, "{}", solution_json(model, &solution));
@@ -196,13 +326,6 @@ pub fn run(command: Command) -> Result<(), String> {
                 }
                 [] => outln!(out, "no fair clique found within the budget"),
                 cliques => {
-                    for clique in cliques {
-                        debug_assert!(verify::is_fair_clique_under(
-                            solver.graph(),
-                            &clique.vertices,
-                            model
-                        ));
-                    }
                     let best = &cliques[0];
                     outln!(
                         out,
@@ -254,13 +377,17 @@ pub fn run(command: Command) -> Result<(), String> {
             time_limit,
             node_limit,
         } => {
-            let graph = load_graph(&input)?;
             let model = fairness_model(fairness, k, delta);
             let query = EnumQuery::new(model)
                 .with_min_size(min_size)
                 .with_budget(build_budget(time_limit, node_limit)?)
                 .with_threads(thread_count(threads));
-            let solver = RfcSolver::new(graph);
+            let solver = if let Some(path) = rfcg_path(&input) {
+                let store = open_rfcg(path)?;
+                AnySolver::Scale(scale_solver(&mut out, path, &store, model.k(), false)?)
+            } else {
+                AnySolver::Mem(RfcSolver::new(load_graph(&input)?))
+            };
 
             match format {
                 OutputFormat::Jsonl => {
@@ -430,16 +557,21 @@ pub fn run(command: Command) -> Result<(), String> {
             seeds,
             fairness,
         } => {
-            let graph = load_graph(&input)?;
             let model = fairness_model(fairness, k, delta);
-            let solver = RfcSolver::new(graph);
             let query = Query::new(model).with_config(SearchConfig {
                 heuristic: HeuristicConfig {
                     seeds: seeds.max(1),
                 },
                 ..SearchConfig::default()
             });
-            let outcome = solver.heuristic(&query).map_err(|e| e.to_string())?;
+            let outcome = if let Some(path) = rfcg_path(&input) {
+                let store = open_rfcg(path)?;
+                let solver = scale_solver(&mut out, path, &store, model.k(), false)?;
+                solver.heuristic(&query).map_err(|e| e.to_string())?
+            } else {
+                let solver = RfcSolver::new(load_graph(&input)?);
+                solver.heuristic(&query).map_err(|e| e.to_string())?
+            };
             match &outcome.best {
                 None => outln!(
                     out,
@@ -457,8 +589,47 @@ pub fn run(command: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Reduce { input, k, output } => {
-            let graph = load_graph(&input)?;
             let params = FairCliqueParams::new(k, 0).map_err(|e| e.to_string())?;
+            if let Some(path) = rfcg_path(&input) {
+                let store = open_rfcg(path)?;
+                let red = reduce_store(&store, params, &ReductionConfig::default())
+                    .map_err(|e| format!("{path}: {e}"))?;
+                outln!(
+                    out,
+                    "original: {} vertices / {} edges",
+                    store.num_vertices(),
+                    store.num_edges()
+                );
+                outln!(
+                    out,
+                    "after   fair-core peel: {} vertices ({} µs scan, {} µs cascade, \
+                     {} µs extract)",
+                    red.stats.peel.surviving_vertices,
+                    red.stats.peel.scan_micros,
+                    red.stats.peel.cascade_micros,
+                    red.stats.extract_micros
+                );
+                for stage in &red.stats.exact.stages {
+                    outln!(
+                        out,
+                        "after {:>15}: {} vertices / {} edges ({} µs)",
+                        stage.stage,
+                        stage.vertices,
+                        stage.edges,
+                        stage.micros
+                    );
+                }
+                if let Some(path) = output {
+                    io::write_graph_to_path(&red.graph, &path).map_err(|e| e.to_string())?;
+                    outln!(
+                        out,
+                        "reduced residual written to {path} (residual vertex ids; \
+                         original ids are store positions in the peel survivor order)"
+                    );
+                }
+                return Ok(());
+            }
+            let graph = load_graph(&input)?;
             let (reduced, stats) = apply_reductions(&graph, params, &ReductionConfig::default());
             outln!(
                 out,
@@ -482,11 +653,74 @@ pub fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Convert { input, output } => {
+            if let Some(path) = rfcg_path(&input) {
+                // Binary → text: materialize the store (residual-scale inputs only).
+                let store = open_rfcg(path)?;
+                let graph = store.to_graph().map_err(|e| format!("{path}: {e}"))?;
+                io::write_graph_to_path(&graph, &output).map_err(|e| e.to_string())?;
+                outln!(
+                    out,
+                    "converted {path} -> {output} (text): {} vertices / {} edges",
+                    graph.num_vertices(),
+                    graph.num_edges()
+                );
+                return Ok(());
+            }
+            let graph = load_graph(&input)?;
+            let summary = write_rfcg(&graph, &output).map_err(|e| format!("{output}: {e}"))?;
+            outln!(
+                out,
+                "converted -> {output} (.rfcg): {} vertices / {} edges, {} bytes",
+                summary.num_vertices,
+                summary.num_edges,
+                summary.file_bytes
+            );
+            Ok(())
+        }
         Command::Generate {
             dataset,
             case_study,
+            scale,
+            seed,
+            planted_half,
+            prob_a,
             output,
         } => {
+            if let Some(n) = scale {
+                let path = output.ok_or_else(|| {
+                    "`generate --scale` needs `--output FILE.rfcg` (the graph is streamed \
+                     to disk, never held in memory)"
+                        .to_string()
+                })?;
+                let config = ScaleConfig::new(n)
+                    .with_planted_half(planted_half)
+                    .with_prob_a(prob_a);
+                let summary = generate_scale_rfcg(&config, seed, &path)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                outln!(
+                    out,
+                    "generated scale graph (seed {seed}): {} vertices / {} edges, \
+                     {} bytes -> {path}",
+                    summary.csr.num_vertices,
+                    summary.csr.num_edges,
+                    summary.csr.file_bytes
+                );
+                if summary.planted.is_empty() {
+                    outln!(out, "no planted clique");
+                } else {
+                    outln!(
+                        out,
+                        "planted fair clique: {} vertices ({} per attribute), \
+                         ids {}..={}",
+                        summary.planted.len(),
+                        summary.planted.len() / 2,
+                        summary.planted[0],
+                        summary.planted[summary.planted.len() - 1]
+                    );
+                }
+                return Ok(());
+            }
             let (name, graph) = if let Some(name) = dataset {
                 let ds = parse_dataset(&name)?;
                 (ds.name().to_string(), ds.generate())
@@ -636,6 +870,66 @@ mod tests {
 
         std::fs::remove_file(&graph_path).ok();
         std::fs::remove_file(&reduced_path).ok();
+    }
+
+    #[test]
+    fn scale_tier_end_to_end() {
+        let rfcg_path = temp_path("scale_e2e.rfcg");
+        let rfcg_arg = rfcg_path.to_string_lossy().to_string();
+
+        // Stream a small scale graph with a planted 8-clique straight to .rfcg.
+        run(parse(&argv(&format!(
+            "generate --scale 3000 --seed 11 --planted-half 4 --output {rfcg_arg}"
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(rfcg_path.exists());
+        // `--scale` without `--output` is rejected (nothing to stream to).
+        assert!(run(parse(&argv("generate --scale 100")).unwrap()).is_err());
+
+        // Stats, reduce, heuristic, enumerate and solve all route through the store.
+        run(parse(&argv(&format!("stats --graph {rfcg_arg} --verbose"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("reduce --graph {rfcg_arg} -k 4"))).unwrap()).unwrap();
+        run(parse(&argv(&format!("heuristic --graph {rfcg_arg} -k 4 -d 0"))).unwrap()).unwrap();
+        run(parse(&argv(&format!(
+            "enumerate --graph {rfcg_arg} -k 4 -d 0 --limit 3 --threads 1"
+        )))
+        .unwrap())
+        .unwrap();
+        run(parse(&argv(&format!(
+            "solve --graph {rfcg_arg} -k 4 -d 0 --threads 1 --verbose --format json"
+        )))
+        .unwrap())
+        .unwrap();
+
+        // Round-trip through text and back preserves the graph.
+        let text_path = temp_path("scale_e2e.graph");
+        let rfcg2_path = temp_path("scale_e2e_2.rfcg");
+        run(parse(&argv(&format!(
+            "convert --graph {rfcg_arg} --output {}",
+            text_path.to_string_lossy()
+        )))
+        .unwrap())
+        .unwrap();
+        run(parse(&argv(&format!(
+            "convert --graph {} --output {}",
+            text_path.to_string_lossy(),
+            rfcg2_path.to_string_lossy()
+        )))
+        .unwrap())
+        .unwrap();
+        let a = DiskCsr::open(&rfcg_path).unwrap().to_graph().unwrap();
+        let b = DiskCsr::open(&rfcg2_path).unwrap().to_graph().unwrap();
+        assert_eq!(a, b);
+
+        // A corrupt store surfaces a clean error, not a panic.
+        std::fs::write(&rfcg_path, b"not a store").unwrap();
+        let err = run(parse(&argv(&format!("stats --graph {rfcg_arg}"))).unwrap()).unwrap_err();
+        assert!(err.contains(".rfcg") || err.contains("rfcg") || err.contains("truncated"));
+
+        std::fs::remove_file(&rfcg_path).ok();
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&rfcg2_path).ok();
     }
 
     #[test]

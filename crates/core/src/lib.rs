@@ -74,6 +74,7 @@ pub mod enumerate;
 pub mod heuristic;
 pub mod problem;
 pub mod reduction;
+pub mod scale;
 pub mod search;
 pub mod solver;
 pub mod verify;
@@ -85,6 +86,7 @@ pub use enumerate::{
     JsonlSink, LimitSink, SinkFlow, TopNSink,
 };
 pub use problem::{FairClique, FairCliqueParams, FairnessModel, ParamError};
+pub use scale::{ScaleError, ScaleSolver, ScaleStats};
 pub use search::{max_fair_clique, SearchConfig, SearchOutcome, SearchStats};
 pub use solver::{
     Budget, CancelToken, Objective, Query, RfcSolver, Solution, SolveError, Termination,

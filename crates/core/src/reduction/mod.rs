@@ -21,6 +21,7 @@ pub mod colorful_core;
 pub mod colorful_sup;
 pub mod edge_support;
 pub mod en_colorful_sup;
+pub mod streaming;
 
 use rfc_graph::AttributedGraph;
 

@@ -28,6 +28,7 @@
 
 pub mod case_study;
 pub mod paper;
+pub mod scale;
 pub mod scaling;
 pub mod synthetic;
 pub mod updates;

@@ -1,0 +1,290 @@
+//! Streaming generators for the million-vertex scale tier.
+//!
+//! [`generate_scale_rfcg`] writes a power-law (preferential-attachment) background
+//! with a planted balanced fair clique **straight to a `.rfcg` file** through
+//! [`EdgeSpool`], so the full graph is never resident: generation holds one `u32`
+//! degree counter per vertex, the attribute vector, and a bounded endpoint
+//! *reservoir* that replaces the classic Barabási–Albert `targets` multiset (the
+//! multiset grows as `O(2m)`; reservoir sampling over the same endpoint stream
+//! keeps an approximately degree-proportional sample at fixed size).
+//!
+//! The planted clique occupies the **highest `2 × planted_half` vertex ids**, with
+//! exactly `planted_half` members per attribute. Background attachment never
+//! targets planted vertices, so clique edges cannot collide with background edges
+//! and the spool stays duplicate-free; planted vertices still attach *to* the
+//! background, keeping the graph connected.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rfc_graph::disk::{CsrSummary, EdgeSpool, RfcgError};
+use rfc_graph::{Attribute, VertexId};
+
+use std::path::Path;
+
+/// Parameters for [`generate_scale_rfcg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleConfig {
+    /// Total number of vertices (background + planted block).
+    pub num_vertices: usize,
+    /// Background edges each non-seed vertex attaches with (Barabási–Albert `m`).
+    pub edges_per_vertex: usize,
+    /// Probability a background vertex gets attribute `a`.
+    pub prob_a: f64,
+    /// Half-size of the planted clique: the clique has this many vertices of each
+    /// attribute (`0` plants nothing).
+    pub planted_half: usize,
+    /// Size of the endpoint reservoir approximating preferential attachment.
+    pub reservoir: usize,
+    /// Neighbor-entry budget per assembly chunk (bounds assembly memory at
+    /// ~`4 × chunk_entries` bytes).
+    pub chunk_entries: usize,
+}
+
+impl ScaleConfig {
+    /// A balanced power-law instance with sensible scale-tier defaults: average
+    /// degree `2 × edges_per_vertex = 12`, a planted 20-vertex fair clique, a
+    /// 64Ki endpoint reservoir and ~64MB assembly chunks.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            edges_per_vertex: 6,
+            prob_a: 0.5,
+            planted_half: 10,
+            reservoir: 1 << 16,
+            chunk_entries: 16 << 20,
+        }
+    }
+
+    /// Returns this config with a different planted half-size.
+    pub fn with_planted_half(mut self, planted_half: usize) -> Self {
+        self.planted_half = planted_half;
+        self
+    }
+
+    /// Returns this config with a different attribute-`a` probability.
+    pub fn with_prob_a(mut self, prob_a: f64) -> Self {
+        self.prob_a = prob_a;
+        self
+    }
+}
+
+/// What [`generate_scale_rfcg`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleGraphSummary {
+    /// Counts of the written `.rfcg` file.
+    pub csr: CsrSummary,
+    /// Ids of the planted clique (the highest `2 × planted_half` ids, ascending;
+    /// empty when nothing was planted). The clique is balanced: `planted_half`
+    /// vertices of each attribute.
+    pub planted: Vec<VertexId>,
+}
+
+/// Generates a power-law background with a planted balanced fair clique and writes
+/// it to `out` as a `.rfcg` file, never materializing the graph in memory.
+///
+/// Deterministic in `(config, seed)`. Errors surface as [`RfcgError`] (I/O or a
+/// config that cannot be satisfied, e.g. a planted block larger than the graph).
+pub fn generate_scale_rfcg<P: AsRef<Path>>(
+    config: &ScaleConfig,
+    seed: u64,
+    out: P,
+) -> Result<ScaleGraphSummary, RfcgError> {
+    let n = config.num_vertices;
+    let planted_size = 2 * config.planted_half;
+    if planted_size > n {
+        return Err(RfcgError::Format(format!(
+            "planted clique of {planted_size} vertices does not fit in {n} vertices"
+        )));
+    }
+    let background = n - planted_size;
+    if planted_size > 0 && background == 0 && planted_size < 2 {
+        return Err(RfcgError::Format("degenerate planted block".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Attributes: random for the background, exactly balanced (alternating) for
+    // the planted block.
+    let mut attrs: Vec<Attribute> = Vec::with_capacity(n);
+    let prob_a = config.prob_a.clamp(0.0, 1.0);
+    for _ in 0..background {
+        attrs.push(if rng.gen_bool(prob_a) {
+            Attribute::A
+        } else {
+            Attribute::B
+        });
+    }
+    for i in 0..planted_size {
+        attrs.push(if i % 2 == 0 {
+            Attribute::A
+        } else {
+            Attribute::B
+        });
+    }
+
+    let mut spool = EdgeSpool::temp(n)?;
+
+    // Endpoint reservoir: a bounded, approximately degree-proportional sample of
+    // background endpoints. `endpoints_seen` counts the stream the reservoir
+    // subsamples.
+    let cap = config.reservoir.max(1);
+    let mut reservoir: Vec<VertexId> = Vec::with_capacity(cap);
+    let mut endpoints_seen: u64 = 0;
+    let mut observe = |reservoir: &mut Vec<VertexId>, rng: &mut StdRng, v: VertexId| {
+        endpoints_seen += 1;
+        if reservoir.len() < cap {
+            reservoir.push(v);
+        } else if rng.gen_range(0..endpoints_seen) < cap as u64 {
+            let slot = rng.gen_range(0..cap);
+            reservoir[slot] = v;
+        }
+    };
+
+    // Background: vertex u attaches to `edges_per_vertex` distinct earlier
+    // background vertices sampled from the reservoir (seed vertices attach to all
+    // predecessors). Planted vertices attach too — to background targets only —
+    // so the planted block stays connected to the rest.
+    let mut targets: Vec<VertexId> = Vec::new();
+    for u in 1..n as VertexId {
+        let pool = background.min(u as usize);
+        if pool == 0 {
+            continue; // first vertex of an all-planted graph
+        }
+        let want = config.edges_per_vertex.min(pool);
+        targets.clear();
+        if pool <= config.edges_per_vertex {
+            targets.extend(0..pool as VertexId);
+        } else {
+            // Rejection-sample distinct targets; the reservoir is much larger
+            // than `want`, so a bounded number of draws suffices.
+            let mut attempts = 0usize;
+            while targets.len() < want && attempts < 64 * want {
+                attempts += 1;
+                let t = reservoir[rng.gen_range(0..reservoir.len())];
+                if t < u && !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            // Fall back to uniform ids for any slots rejection sampling missed
+            // (possible early on, when the reservoir is still tiny).
+            while targets.len() < want {
+                let t = rng.gen_range(0..pool) as VertexId;
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+        }
+        for &t in &targets {
+            spool.push_edge(u, t)?;
+            observe(&mut reservoir, &mut rng, t);
+            if (u as usize) < background {
+                observe(&mut reservoir, &mut rng, u);
+            }
+        }
+    }
+
+    // Planted clique on the highest ids: all pairs, no background collisions
+    // possible because background targets are always < `background`.
+    let planted: Vec<VertexId> = (background..n).map(|v| v as VertexId).collect();
+    for (i, &u) in planted.iter().enumerate() {
+        for &v in &planted[i + 1..] {
+            spool.push_edge(u, v)?;
+        }
+    }
+
+    let csr = spool.assemble(&attrs, out, config.chunk_entries)?;
+    Ok(ScaleGraphSummary { csr, planted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfc_graph::disk::DiskCsr;
+    use rfc_graph::store::GraphStore;
+
+    fn temp_out(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rfc_scale_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_plants_the_clique() {
+        let config = ScaleConfig {
+            num_vertices: 2_000,
+            edges_per_vertex: 4,
+            prob_a: 0.5,
+            planted_half: 4,
+            reservoir: 512,
+            chunk_entries: 1 << 12,
+        };
+        let p1 = temp_out("det1.rfcg");
+        let p2 = temp_out("det2.rfcg");
+        let s1 = generate_scale_rfcg(&config, 7, &p1).unwrap();
+        let s2 = generate_scale_rfcg(&config, 7, &p2).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+        assert_eq!(s1.planted.len(), 8);
+
+        let store = DiskCsr::open(&p1).unwrap();
+        assert_eq!(store.num_vertices(), 2_000);
+        assert_eq!(store.num_edges(), s1.csr.num_edges);
+        // The planted block is a balanced clique.
+        let g = store.to_graph().unwrap();
+        let mut a = 0;
+        for (i, &u) in s1.planted.iter().enumerate() {
+            if g.attribute(u) == Attribute::A {
+                a += 1;
+            }
+            for &v in &s1.planted[i + 1..] {
+                assert!(g.has_edge(u, v), "missing planted edge ({u}, {v})");
+            }
+        }
+        assert_eq!(a, 4);
+        // Planted vertices are wired into the background too.
+        assert!(s1
+            .planted
+            .iter()
+            .any(|&u| g.neighbors(u).iter().any(|&v| (v as usize) < 2_000 - 8)));
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn different_seeds_differ_and_skew_shifts_attributes() {
+        let config = ScaleConfig {
+            num_vertices: 500,
+            edges_per_vertex: 3,
+            prob_a: 0.9,
+            planted_half: 0,
+            reservoir: 128,
+            chunk_entries: 1 << 12,
+        };
+        let p1 = temp_out("seed1.rfcg");
+        let p2 = temp_out("seed2.rfcg");
+        generate_scale_rfcg(&config, 1, &p1).unwrap();
+        generate_scale_rfcg(&config, 2, &p2).unwrap();
+        assert_ne!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+        let store = DiskCsr::open(&p1).unwrap();
+        let counts = store.attribute_counts();
+        assert!(counts.a() > counts.b(), "prob_a=0.9 should skew toward a");
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn oversized_planted_block_is_rejected() {
+        let config = ScaleConfig {
+            num_vertices: 10,
+            edges_per_vertex: 2,
+            prob_a: 0.5,
+            planted_half: 6,
+            reservoir: 16,
+            chunk_entries: 1 << 10,
+        };
+        assert!(matches!(
+            generate_scale_rfcg(&config, 0, temp_out("reject.rfcg")),
+            Err(RfcgError::Format(_))
+        ));
+    }
+}

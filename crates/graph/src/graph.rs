@@ -271,13 +271,26 @@ impl AttributedGraph {
             .count()
     }
 
-    /// Summary statistics of the graph (Table I style).
+    /// Summary statistics of the graph (Table I style), including the
+    /// memory-footprint estimates the scale tier reports: what this CSR costs
+    /// resident, and what a dense [`crate::bitset::BitMatrix`] adjacency over the
+    /// same vertex count would cost if the search layer built one.
     pub fn stats(&self) -> GraphStats {
+        let n = self.num_vertices();
+        let csr_bytes = (n + 1) * std::mem::size_of::<usize>()          // offsets
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()    // neighbors
+            + self.edge_ids.len() * std::mem::size_of::<EdgeId>()       // edge ids
+            + n * std::mem::size_of::<Attribute>()                      // attributes
+            + self.edges.len() * std::mem::size_of::<(VertexId, VertexId)>(); // edge list
+        let words_per_row = n.div_ceil(64);
+        let bitmatrix_bytes = n.saturating_mul(words_per_row).saturating_mul(8);
         GraphStats {
-            num_vertices: self.num_vertices(),
+            num_vertices: n,
             num_edges: self.num_edges(),
             max_degree: self.max_degree(),
             attribute_counts: self.attribute_counts(),
+            csr_bytes,
+            bitmatrix_bytes,
         }
     }
 }
@@ -293,6 +306,14 @@ pub struct GraphStats {
     pub max_degree: usize,
     /// Per-attribute vertex counts.
     pub attribute_counts: AttributeCounts,
+    /// Estimated resident bytes of the CSR representation itself (offsets,
+    /// neighbor and edge-id arrays, attributes, canonical edge list).
+    pub csr_bytes: usize,
+    /// Estimated bytes of a dense bit-matrix adjacency over `n` vertices
+    /// (`n * ⌈n/64⌉` words) — what the branch-and-bound layer would allocate if
+    /// handed this graph whole instead of the reduced residual. The scale tier
+    /// prints both so users can see why a graph does or doesn't fit.
+    pub bitmatrix_bytes: usize,
 }
 
 impl std::fmt::Display for GraphStats {

@@ -10,6 +10,13 @@
 //!
 //! There is also a single-file combined format (`write_graph` / `read_graph`) used by
 //! the examples to snapshot generated datasets.
+//!
+//! All readers share one counted line reader, so every [`IoError::Parse`] carries both
+//! the 1-based line number and the byte offset where the problem starts — oversized
+//! numeric tokens are pinpointed to their first byte. Duplicate edges and self-loops in
+//! the *text* formats are explicit errors rather than being silently compacted away
+//! (the programmatic [`GraphBuilder`] keeps its forgiving dedup semantics, which the
+//! synthetic generators rely on).
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
@@ -24,10 +31,12 @@ use crate::graph::{AttributedGraph, VertexId};
 pub enum IoError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// A malformed line, reported with its 1-based line number.
+    /// A malformed line, reported with its 1-based line number and byte offset.
     Parse {
-        /// 1-based line number of the offending line.
+        /// 1-based line number of the offending line (0 for whole-input errors).
         line: usize,
+        /// Byte offset, from the start of the input, where the problem begins.
+        byte: u64,
         /// Human-readable description.
         message: String,
     },
@@ -37,7 +46,14 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
-            IoError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            IoError::Parse {
+                line: 0, message, ..
+            } => write!(f, "parse error: {message}"),
+            IoError::Parse {
+                line,
+                byte,
+                message,
+            } => write!(f, "parse error on line {line} (byte {byte}): {message}"),
         }
     }
 }
@@ -50,52 +66,196 @@ impl From<io::Error> for IoError {
     }
 }
 
+/// One line of input, with its position in the stream.
+struct Line<'a> {
+    /// 1-based line number.
+    number: usize,
+    /// Byte offset of the first byte of this line.
+    byte: u64,
+    /// Line content without the trailing newline.
+    text: &'a str,
+}
+
+impl Line<'_> {
+    /// Byte offset (within the whole input) of `token`, which must be a slice of
+    /// this line's text.
+    fn token_byte(&self, token: &str) -> u64 {
+        let delta = (token.as_ptr() as usize).wrapping_sub(self.text.as_ptr() as usize);
+        self.byte + delta.min(self.text.len()) as u64
+    }
+
+    /// A parse error anchored at the start of this line.
+    fn err(&self, message: String) -> IoError {
+        IoError::Parse {
+            line: self.number,
+            byte: self.byte,
+            message,
+        }
+    }
+
+    /// A parse error anchored at `token` within this line.
+    fn err_at(&self, token: &str, message: String) -> IoError {
+        IoError::Parse {
+            line: self.number,
+            byte: self.token_byte(token),
+            message,
+        }
+    }
+}
+
+/// The single counted line reader shared by every text parser in this module: it
+/// tracks line numbers and byte offsets so parse errors can point at the exact
+/// position of the problem.
+struct CountedLines<R> {
+    reader: R,
+    buf: String,
+    number: usize,
+    byte: u64,
+}
+
+impl<R: BufRead> CountedLines<R> {
+    fn new(reader: R) -> Self {
+        Self {
+            reader,
+            buf: String::new(),
+            number: 0,
+            byte: 0,
+        }
+    }
+
+    /// Reads the next line, returning `None` at end of input.
+    fn next_line(&mut self) -> Result<Option<Line<'_>>, IoError> {
+        self.buf.clear();
+        let read = self.reader.read_line(&mut self.buf)?;
+        if read == 0 {
+            return Ok(None);
+        }
+        self.number += 1;
+        let byte = self.byte;
+        self.byte += read as u64;
+        Ok(Some(Line {
+            number: self.number,
+            byte,
+            text: self.buf.trim_end_matches(['\n', '\r']),
+        }))
+    }
+}
+
+/// True for blank lines and `#`/`%` comments, which every format skips.
+fn is_skippable(trimmed: &str) -> bool {
+    trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%')
+}
+
+/// Parses a non-negative integer token, distinguishing oversized values (all
+/// digits, too large for the target type) from junk, and pointing the error at
+/// the token's byte offset.
+fn parse_int(line: &Line<'_>, token: &str, what: &str, max: u64) -> Result<u64, IoError> {
+    let parsed = token.parse::<u64>();
+    let oversized = match parsed {
+        Ok(v) => v > max,
+        Err(_) => !token.is_empty() && token.bytes().all(|b| b.is_ascii_digit()),
+    };
+    if oversized {
+        return Err(line.err_at(
+            token,
+            format!(
+                "{what} `{token}` exceeds the maximum {max} (token starts at byte {})",
+                line.token_byte(token)
+            ),
+        ));
+    }
+    parsed.map_err(|_| line.err_at(token, format!("invalid {what} `{token}`")))
+}
+
+/// Splits a line into exactly two whitespace-separated fields.
+fn two_fields<'a>(line: &Line<'a>, expected: &str) -> Result<(&'a str, &'a str), IoError> {
+    let trimmed = line.text.trim();
+    let mut parts = trimmed.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(line.err(format!("expected `{expected}`, got `{trimmed}`"))),
+    }
+}
+
+/// Tracks undirected edges seen so far and reports self-loops and duplicates as
+/// explicit parse errors (with the line where the edge first appeared).
+struct EdgeDedup {
+    seen: HashMap<(VertexId, VertexId), usize>,
+}
+
+impl EdgeDedup {
+    fn new() -> Self {
+        Self {
+            seen: HashMap::new(),
+        }
+    }
+
+    fn check(&mut self, line: &Line<'_>, u: VertexId, v: VertexId) -> Result<(), IoError> {
+        if u == v {
+            return Err(line.err(format!("self-loop `{u} {v}` is not allowed")));
+        }
+        let key = (u.min(v), u.max(v));
+        match self.seen.insert(key, line.number) {
+            None => Ok(()),
+            Some(first) => Err(line.err(format!(
+                "duplicate edge `{u} {v}` (first seen on line {first})"
+            ))),
+        }
+    }
+}
+
 /// Reads an edge list (with optional separate attribute map from raw id to attribute)
 /// from a reader, compacting arbitrary vertex ids to `0..n`.
+///
+/// Duplicate edges (in either direction) and self-loops are explicit errors rather
+/// than silent compaction surprises.
 ///
 /// Returns the graph and the mapping `original_id -> compact_id`.
 pub fn read_edge_list<R: Read>(
     reader: R,
     attributes: &HashMap<u64, Attribute>,
 ) -> Result<(AttributedGraph, HashMap<u64, VertexId>), IoError> {
-    let reader = BufReader::new(reader);
+    let mut lines = CountedLines::new(BufReader::new(reader));
     let mut id_map: HashMap<u64, VertexId> = HashMap::new();
     let mut attrs: Vec<Attribute> = Vec::new();
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut dedup = EdgeDedup::new();
 
-    let intern = |raw: u64, attrs: &mut Vec<Attribute>, id_map: &mut HashMap<u64, VertexId>| {
-        *id_map.entry(raw).or_insert_with(|| {
-            let id = attrs.len() as VertexId;
-            attrs.push(attributes.get(&raw).copied().unwrap_or(Attribute::A));
-            id
-        })
-    };
-
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+    while let Some(line) = lines.next_line()? {
+        if is_skippable(line.text.trim()) {
             continue;
         }
-        let mut parts = trimmed.split_whitespace();
-        let (u, v) = match (parts.next(), parts.next()) {
-            (Some(u), Some(v)) => (u, v),
-            _ => {
-                return Err(IoError::Parse {
-                    line: lineno + 1,
-                    message: format!("expected `u v`, got `{trimmed}`"),
-                })
-            }
-        };
-        let parse = |s: &str, lineno: usize| -> Result<u64, IoError> {
-            s.parse::<u64>().map_err(|_| IoError::Parse {
-                line: lineno + 1,
-                message: format!("invalid vertex id `{s}`"),
+        let (u, v) = two_fields(&line, "u v")?;
+        let raw_u = parse_int(&line, u, "vertex id", u64::MAX)?;
+        let raw_v = parse_int(&line, v, "vertex id", u64::MAX)?;
+        if raw_u == raw_v {
+            return Err(line.err(format!("self-loop `{raw_u} {raw_v}` is not allowed")));
+        }
+        let mut intern = |raw: u64| {
+            *id_map.entry(raw).or_insert_with(|| {
+                let id = attrs.len() as VertexId;
+                attrs.push(attributes.get(&raw).copied().unwrap_or(Attribute::A));
+                id
             })
         };
-        let (u, v) = (parse(u, lineno)?, parse(v, lineno)?);
-        let cu = intern(u, &mut attrs, &mut id_map);
-        let cv = intern(v, &mut attrs, &mut id_map);
+        let (cu, cv) = (intern(raw_u), intern(raw_v));
+        // Report raw ids, not compacted ones, so the message matches the input.
+        dedup.check(&line, cu, cv).map_err(|e| match e {
+            IoError::Parse {
+                line,
+                byte,
+                message,
+            } => IoError::Parse {
+                line,
+                byte,
+                message: message.replacen(
+                    &format!("`{cu} {cv}`"),
+                    &format!("`{raw_u} {raw_v}`"),
+                    1,
+                ),
+            },
+            other => other,
+        })?;
         edges.push((cu, cv));
     }
 
@@ -103,6 +263,7 @@ pub fn read_edge_list<R: Read>(
     builder.add_edges(edges);
     let graph = builder.build().map_err(|e| IoError::Parse {
         line: 0,
+        byte: 0,
         message: e.to_string(),
     })?;
     Ok((graph, id_map))
@@ -111,32 +272,16 @@ pub fn read_edge_list<R: Read>(
 /// Reads an attribute list (`raw_id attr` per line) into a map usable by
 /// [`read_edge_list`].
 pub fn read_attribute_list<R: Read>(reader: R) -> Result<HashMap<u64, Attribute>, IoError> {
-    let reader = BufReader::new(reader);
+    let mut lines = CountedLines::new(BufReader::new(reader));
     let mut map = HashMap::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+    while let Some(line) = lines.next_line()? {
+        if is_skippable(line.text.trim()) {
             continue;
         }
-        let mut parts = trimmed.split_whitespace();
-        let (v, a) = match (parts.next(), parts.next()) {
-            (Some(v), Some(a)) => (v, a),
-            _ => {
-                return Err(IoError::Parse {
-                    line: lineno + 1,
-                    message: format!("expected `vertex attribute`, got `{trimmed}`"),
-                })
-            }
-        };
-        let v: u64 = v.parse().map_err(|_| IoError::Parse {
-            line: lineno + 1,
-            message: format!("invalid vertex id `{v}`"),
-        })?;
-        let attr = Attribute::parse(a).ok_or_else(|| IoError::Parse {
-            line: lineno + 1,
-            message: format!("invalid attribute `{a}` (expected a/b/0/1)"),
-        })?;
+        let (v, a) = two_fields(&line, "vertex attribute")?;
+        let v = parse_int(&line, v, "vertex id", u64::MAX)?;
+        let attr = Attribute::parse(a)
+            .ok_or_else(|| line.err_at(a, format!("invalid attribute `{a}` (expected a/b/0/1)")))?;
         map.insert(v, attr);
     }
     Ok(map)
@@ -165,69 +310,84 @@ pub fn write_graph<W: Write>(graph: &AttributedGraph, writer: W) -> Result<(), I
 }
 
 /// Reads a graph written by [`write_graph`].
+///
+/// Ids out of the declared range, duplicate edges, and self-loops are explicit
+/// errors carrying the offending line number and byte offset.
 pub fn read_graph<R: Read>(reader: R) -> Result<AttributedGraph, IoError> {
-    let reader = BufReader::new(reader);
+    let mut lines = CountedLines::new(BufReader::new(reader));
     let mut builder: Option<GraphBuilder> = None;
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
+    let mut dedup = EdgeDedup::new();
+    while let Some(line) = lines.next_line()? {
+        let trimmed = line.text.trim();
+        if is_skippable(trimmed) {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
         let tag = parts.next().unwrap_or_default();
-        let err = |message: String| IoError::Parse {
-            line: lineno + 1,
-            message,
-        };
         match tag {
             "n" => {
-                let n: usize = parts
+                if builder.is_some() {
+                    return Err(line.err("duplicate `n` header line".into()));
+                }
+                let token = parts
                     .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| err("invalid vertex count".into()))?;
+                    .ok_or_else(|| line.err("missing vertex count".into()))?;
+                let n = parse_int(&line, token, "vertex count", u64::MAX)? as usize;
                 builder = Some(GraphBuilder::new(n));
             }
             "v" => {
                 let b = builder
                     .as_mut()
-                    .ok_or_else(|| err("`v` line before `n` line".into()))?;
-                let id: VertexId = parts
+                    .ok_or_else(|| line.err("`v` line before `n` line".into()))?;
+                let token = parts
                     .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| err("invalid vertex id".into()))?;
-                let attr = parts
-                    .next()
-                    .and_then(Attribute::parse)
-                    .ok_or_else(|| err("invalid attribute".into()))?;
+                    .ok_or_else(|| line.err("missing vertex id".into()))?;
+                let id = parse_int(&line, token, "vertex id", VertexId::MAX as u64)? as VertexId;
                 if (id as usize) >= b.num_vertices() {
-                    return Err(err(format!("vertex id {id} out of declared range")));
+                    return Err(line.err_at(token, format!("vertex id {id} out of declared range")));
                 }
+                let attr_token = parts
+                    .next()
+                    .ok_or_else(|| line.err("missing attribute".into()))?;
+                let attr = Attribute::parse(attr_token).ok_or_else(|| {
+                    line.err_at(attr_token, format!("invalid attribute `{attr_token}`"))
+                })?;
                 b.set_attribute(id, attr);
             }
             "e" => {
-                let b = builder
-                    .as_mut()
-                    .ok_or_else(|| err("`e` line before `n` line".into()))?;
-                let u: VertexId = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| err("invalid edge endpoint".into()))?;
-                let v: VertexId = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| err("invalid edge endpoint".into()))?;
-                b.add_edge(u, v);
+                let n = builder
+                    .as_ref()
+                    .map(GraphBuilder::num_vertices)
+                    .ok_or_else(|| line.err("`e` line before `n` line".into()))?;
+                let endpoint = |parts: &mut std::str::SplitWhitespace<'_>| {
+                    let token = parts
+                        .next()
+                        .ok_or_else(|| line.err("missing edge endpoint".into()))?;
+                    let id =
+                        parse_int(&line, token, "edge endpoint", VertexId::MAX as u64)? as VertexId;
+                    if (id as usize) >= n {
+                        return Err(
+                            line.err_at(token, format!("edge endpoint {id} out of declared range"))
+                        );
+                    }
+                    Ok(id)
+                };
+                let u = endpoint(&mut parts)?;
+                let v = endpoint(&mut parts)?;
+                dedup.check(&line, u, v)?;
+                builder.as_mut().expect("builder exists").add_edge(u, v);
             }
-            other => return Err(err(format!("unknown record tag `{other}`"))),
+            other => return Err(line.err(format!("unknown record tag `{other}`"))),
         }
     }
     let builder = builder.ok_or(IoError::Parse {
         line: 0,
+        byte: 0,
         message: "missing `n` header line".into(),
     })?;
     builder.build().map_err(|e| IoError::Parse {
         line: 0,
+        byte: 0,
         message: e.to_string(),
     })
 }
@@ -274,14 +434,66 @@ mod tests {
     }
 
     #[test]
-    fn edge_list_parse_errors_carry_line_numbers() {
+    fn edge_list_parse_errors_carry_line_numbers_and_byte_offsets() {
         let err = read_edge_list("1 2\nbogus\n".as_bytes(), &HashMap::new()).unwrap_err();
         match err {
-            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            IoError::Parse { line, byte, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(byte, 4); // "1 2\n" is 4 bytes
+            }
             other => panic!("expected parse error, got {other}"),
         }
         let err = read_edge_list("1 x\n".as_bytes(), &HashMap::new()).unwrap_err();
         assert!(err.to_string().contains("invalid vertex id"));
+        match err {
+            IoError::Parse { line, byte, .. } => {
+                assert_eq!(line, 1);
+                assert_eq!(byte, 2); // `x` starts at byte 2
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_pinpoints_oversized_tokens() {
+        // 2^64 is one past u64::MAX; all digits, so it's oversized rather than junk.
+        let text = "# header\n7 18446744073709551616\n";
+        let err = read_edge_list(text.as_bytes(), &HashMap::new()).unwrap_err();
+        match &err {
+            IoError::Parse {
+                line,
+                byte,
+                message,
+            } => {
+                assert_eq!(*line, 2);
+                assert_eq!(*byte, 11); // 9 header bytes + "7 "
+                assert!(message.contains("exceeds the maximum"), "{message}");
+                assert!(message.contains("byte 11"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_rejects_self_loops_and_duplicates() {
+        let err = read_edge_list("1 2\n3 3\n".as_bytes(), &HashMap::new()).unwrap_err();
+        match &err {
+            IoError::Parse { line, message, .. } => {
+                assert_eq!(*line, 2);
+                assert!(message.contains("self-loop `3 3`"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // Duplicate in the opposite direction, reported with raw (uncompacted) ids.
+        let err = read_edge_list("10 20\n5 6\n20 10\n".as_bytes(), &HashMap::new()).unwrap_err();
+        match &err {
+            IoError::Parse { line, message, .. } => {
+                assert_eq!(*line, 3);
+                assert!(message.contains("duplicate edge `20 10`"), "{message}");
+                assert!(message.contains("first seen on line 1"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
     }
 
     #[test]
@@ -308,6 +520,45 @@ mod tests {
         assert!(read_graph("n 2\nv 5 a\n".as_bytes()).is_err()); // id out of range
         assert!(read_graph("n 2\nx 1 2\n".as_bytes()).is_err()); // unknown tag
         assert!(read_graph("".as_bytes()).is_err()); // missing header
+        assert!(read_graph("n 2\nn 3\n".as_bytes()).is_err()); // duplicate header
+    }
+
+    #[test]
+    fn combined_format_rejects_self_loops_duplicates_and_range_errors_with_positions() {
+        let err = read_graph("n 3\ne 1 1\n".as_bytes()).unwrap_err();
+        match &err {
+            IoError::Parse { line, message, .. } => {
+                assert_eq!(*line, 2);
+                assert!(message.contains("self-loop"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        let err = read_graph("n 3\ne 0 1\ne 1 0\n".as_bytes()).unwrap_err();
+        match &err {
+            IoError::Parse { line, message, .. } => {
+                assert_eq!(*line, 3);
+                assert!(message.contains("duplicate edge `1 0`"), "{message}");
+                assert!(message.contains("first seen on line 2"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // Out-of-range endpoints now fail at the offending line, not at build time.
+        let err = read_graph("n 3\ne 0 9\n".as_bytes()).unwrap_err();
+        match &err {
+            IoError::Parse {
+                line,
+                byte,
+                message,
+            } => {
+                assert_eq!(*line, 2);
+                assert_eq!(*byte, 8); // "n 3\n" (4) + "e 0 " (4)
+                assert!(message.contains("out of declared range"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // An id too large for a 32-bit vertex id is an oversized token.
+        let err = read_graph("n 2\nv 4294967296 a\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("exceeds the maximum"), "got {err}");
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   branch-and-bound hot loop.
 //! * [`subgraph`] — induced subgraphs and edge-mask subgraphs with vertex-id mappings.
 //! * [`io`] — plain-text edge-list / attribute-list readers and writers.
+//! * [`store`] — the [`GraphStore`] abstraction the scale-tier reduction passes run
+//!   against, implemented by [`AttributedGraph`] and [`DiskCsr`].
+//! * [`disk`] — the `.rfcg` binary on-disk CSR format: streaming [`CsrWriter`],
+//!   out-of-core [`EdgeSpool`] assembly, and the [`DiskCsr`] reader.
 //!
 //! The crate is dependency-free (std only) and designed so that the branch-and-bound
 //! search in `rfc-core` can cheaply build induced subgraphs of search instances and run
@@ -62,9 +66,11 @@ pub mod coloring;
 pub mod components;
 pub mod cores;
 pub mod delta;
+pub mod disk;
 pub mod fixtures;
 pub mod graph;
 pub mod io;
+pub mod store;
 pub mod subgraph;
 
 pub use attr::{Attribute, AttributeCounts};
@@ -72,7 +78,9 @@ pub use bitset::{BitMatrix, Bitset, BitsetPool};
 pub use builder::{BuildError, GraphBuilder};
 pub use coloring::Coloring;
 pub use delta::{DeltaError, GraphDelta, UpdateOp};
+pub use disk::{write_rfcg, CsrSummary, CsrWriter, DiskCsr, EdgeSpool, RfcgError};
 pub use graph::{AttributedGraph, EdgeId, GraphStats, VertexId};
+pub use store::GraphStore;
 pub use subgraph::InducedSubgraph;
 
 /// Commonly used items, for glob import in examples and downstream crates.

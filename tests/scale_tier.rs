@@ -1,0 +1,230 @@
+//! Scale-tier integration tests: the disk-backed `.rfcg` path must be
+//! behaviorally identical to the in-memory path.
+//!
+//! Three layers of evidence:
+//!
+//! * a proptest round-trip — any random attributed graph survives
+//!   `write_rfcg` → [`DiskCsr`] → `to_graph` bit-exactly in both open modes, and
+//!   the out-of-core fair-core peel computes the *same* survivor set whether the
+//!   store is the disk CSR or the materialized [`AttributedGraph`];
+//! * a deterministic differential sweep over `(k, δ)` configurations and
+//!   attribute skews of generated power-law instances, checking that
+//!   [`reduce_store`] (peel → extract → exact pipeline) produces identical
+//!   residuals from both stores;
+//! * an end-to-end run: a generated instance with a planted fair clique is
+//!   loaded from disk, peeled out of core, and solved to the planted optimum,
+//!   with the resident footprint of the residual asserted to be a small
+//!   fraction of the store's own resident index — the full graph is never
+//!   materialized on the solve path.
+
+use proptest::prelude::*;
+
+use rfc_core::problem::{FairCliqueParams, FairnessModel};
+use rfc_core::reduction::streaming::{fair_core_peel, reduce_store};
+use rfc_core::reduction::ReductionConfig;
+use rfc_core::solver::Query;
+use rfc_core::ScaleSolver;
+use rfc_datasets::scale::{generate_scale_rfcg, ScaleConfig};
+use rfc_graph::disk::{write_rfcg, DiskCsr};
+use rfc_graph::store::GraphStore;
+use rfc_graph::{Attribute, AttributedGraph, GraphBuilder};
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FILE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rfc_scale_tier_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let id = FILE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!("{}_{tag}_{id}.rfcg", std::process::id()))
+}
+
+/// A compact description of a random attributed graph (same idiom as
+/// `prop_invariants.rs`): per-vertex attribute bits plus one bit per pair.
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    attrs: Vec<bool>,
+    edges: Vec<bool>,
+}
+
+impl RandomGraph {
+    fn build(&self) -> AttributedGraph {
+        let n = self.attrs.len();
+        let attrs = self
+            .attrs
+            .iter()
+            .map(|&a| if a { Attribute::A } else { Attribute::B })
+            .collect();
+        let mut b = GraphBuilder::with_attributes(attrs);
+        let mut idx = 0usize;
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if self.edges[idx] {
+                    b.add_edge(u, v);
+                }
+                idx += 1;
+            }
+        }
+        b.build().expect("generated graph is valid")
+    }
+}
+
+fn random_graph(max_n: usize) -> impl Strategy<Value = RandomGraph> {
+    (0..=max_n).prop_flat_map(|n| {
+        let pairs = n.saturating_sub(1) * n / 2;
+        (
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec(proptest::bool::weighted(0.45), pairs),
+        )
+            .prop_map(|(attrs, edges)| RandomGraph { attrs, edges })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// Round-trip: memory → `.rfcg` → memory is the identity, in both open
+    /// modes, and the disk-backed peel matches the in-memory peel exactly.
+    #[test]
+    fn rfcg_roundtrip_and_peel_are_store_independent(rg in random_graph(14)) {
+        let g = rg.build();
+        let path = temp_path("prop");
+        let summary = write_rfcg(&g, &path).unwrap();
+        prop_assert_eq!(summary.num_vertices, g.num_vertices());
+        prop_assert_eq!(summary.num_edges, g.num_edges());
+
+        let streaming = DiskCsr::open(&path).unwrap();
+        let resident = DiskCsr::open_resident(&path).unwrap();
+        prop_assert_eq!(&streaming.to_graph().unwrap(), &g);
+        prop_assert_eq!(&resident.to_graph().unwrap(), &g);
+
+        for k in 1..=3usize {
+            let mem = fair_core_peel(&g, k).unwrap();
+            let disk = fair_core_peel(&streaming, k).unwrap();
+            let disk_res = fair_core_peel(&resident, k).unwrap();
+            prop_assert_eq!(&mem.alive, &disk.alive, "k={}", k);
+            prop_assert_eq!(&mem.alive, &disk_res.alive, "k={}", k);
+            prop_assert_eq!(
+                mem.stats.surviving_vertices,
+                disk.stats.surviving_vertices
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The full streaming reduction (peel → extract → exact pipeline) is a pure
+/// function of the graph, not of the store it reads from: sweep `(k, δ)` and
+/// attribute skews over generated power-law instances and compare the disk and
+/// memory paths end to end.
+#[test]
+fn reduce_store_is_identical_on_disk_and_memory_stores() {
+    for (seed, prob_a) in [(11u64, 0.5f64), (12, 0.8), (13, 0.2)] {
+        let config = ScaleConfig {
+            num_vertices: 2_500,
+            edges_per_vertex: 4,
+            prob_a,
+            planted_half: 4,
+            reservoir: 512,
+            chunk_entries: 1 << 13,
+        };
+        let path = temp_path("diff");
+        let summary = generate_scale_rfcg(&config, seed, &path).unwrap();
+        let store = DiskCsr::open(&path).unwrap();
+        let g = store.to_graph().unwrap();
+
+        for (k, delta) in [(2usize, 1usize), (3, 0), (3, 2), (4, 1)] {
+            let params = FairCliqueParams::new(k, delta).unwrap();
+            let rconfig = ReductionConfig::default();
+
+            let disk_peel = fair_core_peel(&store, k).unwrap();
+            let mem_peel = fair_core_peel(&g, k).unwrap();
+            assert_eq!(
+                disk_peel.alive, mem_peel.alive,
+                "seed={seed} prob_a={prob_a} k={k}: peel survivor sets differ"
+            );
+            // The planted clique always survives the peel when it is large
+            // enough for the criterion (clique gives k per attribute for k<=4).
+            if k <= config.planted_half {
+                for &v in &summary.planted {
+                    assert!(
+                        disk_peel.alive[v as usize],
+                        "seed={seed} k={k}: peel dropped planted vertex {v}"
+                    );
+                }
+            }
+
+            let from_disk = reduce_store(&store, params, &rconfig).unwrap();
+            let from_mem = reduce_store(&g, params, &rconfig).unwrap();
+            assert_eq!(
+                from_disk.graph, from_mem.graph,
+                "seed={seed} prob_a={prob_a} k={k} δ={delta}: residuals differ"
+            );
+            assert_eq!(from_disk.vertex_map, from_mem.vertex_map);
+            assert_eq!(from_disk.stats.exact.stages.len(), 3);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// End to end: generate a power-law instance with a planted balanced clique to
+/// `.rfcg`, open it, peel out of core, and solve — the solver must recover the
+/// planted optimum in store ids while the resident residual stays a small
+/// fraction of the input.
+#[test]
+fn planted_optimum_is_recovered_from_disk_with_bounded_residual() {
+    let n = 40_000;
+    let config = ScaleConfig {
+        num_vertices: n,
+        edges_per_vertex: 6,
+        prob_a: 0.5,
+        planted_half: 10,
+        reservoir: 1 << 12,
+        chunk_entries: 1 << 16,
+    };
+    let path = temp_path("e2e");
+    let summary = generate_scale_rfcg(&config, 42, &path).unwrap();
+    assert_eq!(summary.csr.num_vertices, n);
+    assert_eq!(summary.planted.len(), 20);
+
+    let store = DiskCsr::open(&path).unwrap();
+    let k = 8;
+    let solver = ScaleSolver::from_store(&store, k).unwrap();
+
+    // The background (average degree ~12) cannot satisfy the fair-core
+    // criterion for k=8, so the peel must collapse the graph to a small
+    // neighborhood of the planted clique.
+    let stats = solver.stats();
+    assert_eq!(stats.store_vertices, n);
+    assert!(
+        stats.residual_vertices < n / 10,
+        "residual kept {}/{} vertices — peel did not shrink the instance",
+        stats.residual_vertices,
+        n
+    );
+    // Peak resident graph memory downstream of the peel is the residual, and
+    // it must be far below even the store's own resident index (offsets +
+    // attributes), let alone a fully materialized graph.
+    assert!(
+        solver.residual_resident_bytes() < store.resident_bytes(),
+        "residual ({} bytes) outgrew the store index ({} bytes)",
+        solver.residual_resident_bytes(),
+        store.resident_bytes()
+    );
+
+    let query = Query::new(FairnessModel::Relative { k, delta: 1 });
+    let solution = solver.solve(&query).unwrap();
+    let best = solution.best().expect("planted clique must be found");
+    assert_eq!(
+        best.vertices, summary.planted,
+        "optimum is the planted clique"
+    );
+    assert_eq!(best.counts.a(), 10);
+    assert_eq!(best.counts.b(), 10);
+    std::fs::remove_file(&path).ok();
+}
