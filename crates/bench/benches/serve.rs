@@ -1,0 +1,239 @@
+//! Load benchmark for the `maxfaircliqued` daemon: an in-process server on an
+//! ephemeral port, hammered by concurrent TCP clients with a mixed
+//! solve / enumerate / update workload. Reports sustained throughput and
+//! per-request latency percentiles, and writes them to `BENCH_serve.json` at
+//! the repository root.
+//!
+//! Every `update` request carries an insert-edge / remove-edge pair applied
+//! atomically under the engine's per-graph lock, so the graph always returns to
+//! its initial state — which lets the run end with an exact differential check:
+//! the daemon's final answer must equal a fresh direct [`RfcSolver`] on the
+//! same graph.
+//!
+//! Run with `cargo bench --bench serve`. This is a plain `harness = false`
+//! binary (a sustained load run, not a criterion microbenchmark).
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Instant;
+
+use rfc_bench::report::{self, Table};
+use rfc_bench::workloads::multi_component_graph;
+use rfc_core::prelude::*;
+use rfc_graph::json::JsonValue;
+use rfc_serve::server::{ServeConfig, Server};
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 1000; // 4 * 1000 = 4000 mixed requests
+const SOLVE_LINE: &str = "{\"op\":\"solve\",\"graph\":\"bench\",\"k\":3,\"delta\":1}";
+const ENUM_LINE: &str =
+    "{\"op\":\"enumerate\",\"graph\":\"bench\",\"k\":3,\"delta\":1,\"limit\":5}";
+
+/// One protocol connection that reads to the terminal line of each request.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to bench daemon");
+        stream.set_nodelay(true).unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    /// Sends `line`, drains stream lines, returns the terminal response.
+    fn request(&mut self, line: &str) -> JsonValue {
+        // Single write per request: payload and newline in one segment.
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .unwrap();
+        self.writer.flush().unwrap();
+        loop {
+            let mut raw = String::new();
+            assert!(
+                self.reader.read_line(&mut raw).unwrap() > 0,
+                "daemon closed connection"
+            );
+            let value = JsonValue::parse(raw.trim_end()).expect("valid JSON");
+            if value.get("ok").is_some() {
+                return value;
+            }
+        }
+    }
+}
+
+/// An update request toggling a per-client edge: net no-op, applied atomically.
+fn update_line(client_id: usize) -> String {
+    // The workload graph is multi-component; connect two vertices of component 0
+    // that the generator never joins (component 0 spans ids 0..base_n).
+    let u = 2 * client_id;
+    let v = 2 * client_id + 1;
+    format!(
+        "{{\"op\":\"update\",\"graph\":\"bench\",\"ops\":[\
+         {{\"op\":\"insert_edge\",\"u\":{u},\"v\":{v}}},\
+         {{\"op\":\"remove_edge\",\"u\":{u},\"v\":{v}}}]}}"
+    )
+}
+
+fn percentile(sorted_us: &[u128], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank] as f64
+}
+
+fn main() {
+    // Ignore criterion-style CLI flags (`--bench`, filters) from `cargo bench`.
+    let graph = multi_component_graph(4, 120, 7);
+    let dir = std::env::temp_dir().join(format!("rfc-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.graph");
+    rfc_graph::io::write_graph_to_path(&graph, &path).unwrap();
+
+    let server = Server::bind(ServeConfig {
+        port: 0,
+        max_active: CLIENTS,
+        max_queue: 4 * CLIENTS,
+        ..ServeConfig::default()
+    })
+    .expect("bind bench daemon");
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut setup = Client::connect(addr);
+    let load = setup.request(&format!(
+        "{{\"op\":\"load\",\"graph\":\"bench\",\"path\":\"{}\"}}",
+        path.display()
+    ));
+    assert_eq!(
+        load.get("ok").and_then(JsonValue::as_bool),
+        Some(true),
+        "{load}"
+    );
+
+    // Warm the shared per-component caches once so the measured run reflects
+    // steady-state serving, then record the reference answer.
+    let reference = setup.request(SOLVE_LINE);
+    let reference_best = best_size(&reference);
+
+    let wall = Instant::now();
+    let mut latencies: Vec<(String, Vec<u128>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|id| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let update = update_line(id);
+                    let mut solve_us = Vec::new();
+                    let mut enum_us = Vec::new();
+                    let mut update_us = Vec::new();
+                    for i in 0..REQUESTS_PER_CLIENT {
+                        // 60% solve, 30% enumerate, 10% update.
+                        let (line, bucket) = match i % 10 {
+                            0..=5 => (SOLVE_LINE, &mut solve_us),
+                            6..=8 => (ENUM_LINE, &mut enum_us),
+                            _ => (update.as_str(), &mut update_us),
+                        };
+                        let start = Instant::now();
+                        let response = client.request(line);
+                        bucket.push(start.elapsed().as_micros());
+                        assert_eq!(
+                            response.get("ok").and_then(JsonValue::as_bool),
+                            Some(true),
+                            "request {i} on client {id}: {response}"
+                        );
+                    }
+                    (solve_us, enum_us, update_us)
+                })
+            })
+            .collect();
+        let mut solve = Vec::new();
+        let mut enumerate = Vec::new();
+        let mut update = Vec::new();
+        for handle in handles {
+            let (s, e, u) = handle.join().expect("bench client panicked");
+            solve.extend(s);
+            enumerate.extend(e);
+            update.extend(u);
+        }
+        vec![
+            ("solve".to_string(), solve),
+            ("enumerate".to_string(), enumerate),
+            ("update".to_string(), update),
+        ]
+    });
+    let wall_us = wall.elapsed().as_micros();
+
+    // Differential check: updates were net no-ops, so the daemon's answer must
+    // still equal a fresh direct solver on the original graph.
+    let final_solve = setup.request(SOLVE_LINE);
+    assert_eq!(best_size(&final_solve), reference_best, "daemon drifted");
+    let direct = RfcSolver::new(graph)
+        .solve(&Query::new(FairnessModel::Relative { k: 3, delta: 1 }))
+        .expect("direct solve");
+    let direct_best = direct.best().map(|c| c.size() as u64).unwrap_or(0);
+    assert_eq!(
+        reference_best, direct_best,
+        "daemon answer must match the direct library"
+    );
+
+    let shutdown = setup.request("{\"op\":\"shutdown\"}");
+    assert_eq!(shutdown.get("ok").and_then(JsonValue::as_bool), Some(true));
+    server_thread.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Aggregate and report.
+    let total: usize = latencies.iter().map(|(_, v)| v.len()).sum();
+    let throughput = total as f64 / (wall_us as f64 / 1e6);
+    let mut table = Table::new(
+        format!("serve: {CLIENTS} clients, {total} mixed requests"),
+        &["request", "count", "p50", "p99", "mean"],
+    );
+    let mut entries: Vec<(String, f64, u64)> = Vec::new();
+    let mut all: Vec<u128> = Vec::new();
+    for (name, us) in &mut latencies {
+        all.extend(us.iter().copied());
+        us.sort_unstable();
+        let mean = us.iter().sum::<u128>() as f64 / us.len().max(1) as f64;
+        let p50 = percentile(us, 0.50);
+        let p99 = percentile(us, 0.99);
+        table.add_row(vec![
+            name.clone(),
+            us.len().to_string(),
+            format!("{:.0} us", p50),
+            format!("{:.0} us", p99),
+            format!("{:.0} us", mean),
+        ]);
+        entries.push((format!("{name}/p50"), p50, us.len() as u64));
+        entries.push((format!("{name}/p99"), p99, us.len() as u64));
+        entries.push((format!("{name}/mean"), mean, us.len() as u64));
+    }
+    all.sort_unstable();
+    entries.push(("all/p50".to_string(), percentile(&all, 0.50), total as u64));
+    entries.push(("all/p99".to_string(), percentile(&all, 0.99), total as u64));
+    // Throughput rides in the shared envelope as requests/second (not us).
+    entries.push(("all/throughput_rps".to_string(), throughput, total as u64));
+    entries.push(("all/wall_clock".to_string(), wall_us as f64, total as u64));
+    table.print();
+    println!("throughput: {throughput:.0} req/s over {total} requests");
+
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    report::write_json_counted_results(&out, "serve/mixed-load", &entries)
+        .expect("write BENCH_serve.json");
+    println!("wrote {}", out.display());
+}
+
+fn best_size(response: &JsonValue) -> u64 {
+    response
+        .get("cliques")
+        .and_then(JsonValue::as_array)
+        .and_then(|c| c.first())
+        .and_then(|c| c.get("size"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0)
+}

@@ -196,9 +196,10 @@ pub fn write_json_counted_results(
     file.write_all(json_counted_results(benchmark, entries).as_bytes())
 }
 
-/// Escapes the two characters that can break a JSON string in our identifiers.
+/// JSON string escaping, shared with every other JSON producer in the workspace
+/// (handles quotes, backslashes *and* control characters — see [`rfc_graph::json`]).
 fn escape_json(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    rfc_graph::json::escaped(s)
 }
 
 /// Formats a microsecond count the way the paper's tables do (raw integer µs).

@@ -30,6 +30,16 @@ USAGE:
   maxfairclique generate  --dataset NAME | --case-study NAME | --scale N
                           [--output FILE] [--seed S] [--planted-half H]
                           [--prob-a P]
+  maxfairclique serve     [--host H] [--port P] [--workers N] [--max-active N]
+                          [--max-queue N] [--cache-cap N] [--time-limit SECS]
+  maxfairclique client    --connect HOST:PORT
+                          ( --load NAME --path FILE | --solve NAME
+                          | --enumerate NAME | --update NAME --stream FILE
+                          | --stats | --ping | --shutdown | --raw LINE )
+                          [-k K] [-d DELTA] [--weak] [--strong] [--top N]
+                          [--limit N] [--min-size S] [--time-limit SECS]
+                          [--node-limit N]
+  maxfairclique worker    [--cache-cap N]   (internal: spawned by `serve --workers`)
 
 SCALE TIER:
   `--graph FILE.rfcg` routes solve / enumerate / heuristic / reduce / stats
@@ -79,6 +89,26 @@ OPTIONS:
   --verbose           also print memory-footprint estimates (CSR bytes,
                       bit-matrix bytes, resident bytes of `.rfcg` stores)
   -h, --help          show this help
+
+SERVING (see the README \"Serving\" section for the wire protocol):
+  --host H            daemon bind interface (default 127.0.0.1)
+  --port P            daemon port (default 7464; 0 picks an ephemeral port,
+                      printed on the `listening on` line)
+  --workers N         worker child processes; 0 (default) serves in-process,
+                      N >= 1 shards every query across N replica processes
+  --max-active N      concurrent requests before new ones queue (default 4)
+  --max-queue N       queued requests before `overloaded` errors (default 16)
+  --cache-cap N       LRU capacity of the per-component result caches
+                      (default: unbounded; 0 disables caching)
+  --connect ADDR      daemon address for `client` (HOST:PORT)
+  --load NAME         client: load the graph at `--path` under NAME
+  --path FILE         daemon-side path of the graph file for `--load`
+  --solve NAME        client: maximum fair clique query against NAME
+  --update NAME       client: apply the `--stream` JSONL ops to NAME
+  --stats             client: fetch daemon statistics
+  --ping              client: health check
+  --shutdown          client: stop the daemon
+  --raw LINE          client: send one raw protocol line verbatim
 ";
 
 /// Which graph input was requested.
@@ -244,8 +274,104 @@ pub enum Command {
         /// Optional output path (stdout summary only when absent).
         output: Option<String>,
     },
+    /// Run the `maxfaircliqued` daemon.
+    Serve {
+        /// Bind interface.
+        host: String,
+        /// Bind port (`0`: ephemeral).
+        port: u16,
+        /// Worker child processes (`0`: in-process engine).
+        workers: usize,
+        /// Concurrent requests before queueing.
+        max_active: usize,
+        /// Queued requests before `overloaded`.
+        max_queue: usize,
+        /// LRU capacity of the per-component result caches (`None`: unbounded).
+        cache_cap: Option<usize>,
+        /// Default wall-clock budget for queries that set none, in seconds.
+        time_limit: Option<f64>,
+    },
+    /// One-shot protocol client against a running daemon.
+    Client {
+        /// Daemon address (`HOST:PORT`).
+        connect: String,
+        /// The single action to perform.
+        action: ClientAction,
+    },
+    /// Internal: serve the protocol over stdin/stdout (spawned by
+    /// `serve --workers`).
+    Worker {
+        /// LRU capacity of the per-component result caches (`None`: unbounded).
+        cache_cap: Option<usize>,
+    },
     /// Print the usage text.
     Help,
+}
+
+/// The one action a `client` invocation performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Load a graph file (daemon-side path) under a registry name.
+    Load {
+        /// Registry name.
+        graph: String,
+        /// Daemon-side path of the graph file.
+        path: String,
+    },
+    /// Maximum (or top-N) fair clique query.
+    Solve {
+        /// Registry name.
+        graph: String,
+        /// Parameter `k`.
+        k: usize,
+        /// Parameter `δ`.
+        delta: usize,
+        /// Fairness model.
+        fairness: Fairness,
+        /// Report the N largest cliques.
+        top: Option<usize>,
+        /// Wall-clock budget in seconds.
+        time_limit: Option<f64>,
+        /// Branch-node budget.
+        node_limit: Option<u64>,
+    },
+    /// Stream every maximal fair clique.
+    Enumerate {
+        /// Registry name.
+        graph: String,
+        /// Parameter `k`.
+        k: usize,
+        /// Parameter `δ`.
+        delta: usize,
+        /// Fairness model.
+        fairness: Fairness,
+        /// Stop after this many cliques.
+        limit: Option<u64>,
+        /// Only emit cliques with at least this many vertices.
+        min_size: usize,
+        /// Wall-clock budget in seconds.
+        time_limit: Option<f64>,
+        /// Branch-node budget.
+        node_limit: Option<u64>,
+    },
+    /// Apply a JSONL op stream as one update batch.
+    Update {
+        /// Registry name.
+        graph: String,
+        /// Local path of the JSONL op stream.
+        stream: String,
+    },
+    /// Fetch daemon statistics.
+    Stats,
+    /// Health check.
+    Ping,
+    /// Stop the daemon.
+    Shutdown,
+    /// Send one raw protocol line verbatim.
+    Raw {
+        /// The line to send.
+        line: String,
+    },
 }
 
 /// Parses the command line (without the program name).
@@ -291,7 +417,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 | "--planted-half"
                 | "--prob-a"
                 | "--output"
-        );
+                | "--host"
+                | "--port"
+                | "--workers"
+                | "--max-active"
+                | "--max-queue"
+                | "--cache-cap"
+                | "--connect"
+                | "--load"
+                | "--solve"
+                | "--update"
+                | "--path"
+                | "--raw"
+        ) || (sub == "client" && arg == "--enumerate");
         if takes_value {
             let value = it
                 .next()
@@ -538,6 +676,124 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 prob_a,
                 output: get("--output"),
             })
+        }
+        "serve" => {
+            let port = match get("--port") {
+                None => 7464,
+                Some(v) => v
+                    .parse::<u16>()
+                    .map_err(|_| format!("invalid value for `--port`: `{v}`"))?,
+            };
+            let cache_cap = match get("--cache-cap") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid value for `--cache-cap`: `{v}`"))?,
+                ),
+            };
+            Ok(Command::Serve {
+                host: get("--host").unwrap_or_else(|| "127.0.0.1".to_string()),
+                port,
+                workers: parse_usize("--workers", 0)?,
+                max_active: parse_usize("--max-active", 4)?,
+                max_queue: parse_usize("--max-queue", 16)?,
+                cache_cap,
+                time_limit: time_limit()?,
+            })
+        }
+        "client" => {
+            let connect = get("--connect")
+                .ok_or_else(|| "`client` needs `--connect HOST:PORT`".to_string())?;
+            let actions = [
+                has("--load"),
+                has("--solve"),
+                has("--enumerate"),
+                has("--update"),
+                has("--stats"),
+                has("--ping"),
+                has("--shutdown"),
+                has("--raw"),
+            ];
+            if actions.iter().filter(|&&a| a).count() != 1 {
+                return Err(
+                    "`client` needs exactly one action: `--load NAME --path FILE`, \
+                     `--solve NAME`, `--enumerate NAME`, `--update NAME --stream FILE`, \
+                     `--stats`, `--ping`, `--shutdown`, or `--raw LINE`"
+                        .to_string(),
+                );
+            }
+            let action = if let Some(graph) = get("--load") {
+                ClientAction::Load {
+                    graph,
+                    path: get("--path").ok_or_else(|| {
+                        "`client --load NAME` needs `--path FILE` (a daemon-side path)".to_string()
+                    })?,
+                }
+            } else if let Some(graph) = get("--solve") {
+                let top = match get("--top") {
+                    None => None,
+                    Some(v) => match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => Some(n),
+                        _ => return Err(format!("invalid value for `--top`: `{v}` (need N >= 1)")),
+                    },
+                };
+                ClientAction::Solve {
+                    graph,
+                    k: parse_usize("-k", 2)?,
+                    delta: delta()?,
+                    fairness: fairness()?,
+                    top,
+                    time_limit: time_limit()?,
+                    node_limit: node_limit()?,
+                }
+            } else if let Some(graph) = get("--enumerate") {
+                let limit = match get("--limit") {
+                    None => None,
+                    Some(v) => match v.parse::<u64>() {
+                        Ok(n) if n >= 1 => Some(n),
+                        _ => {
+                            return Err(format!("invalid value for `--limit`: `{v}` (need N >= 1)"))
+                        }
+                    },
+                };
+                ClientAction::Enumerate {
+                    graph,
+                    k: parse_usize("-k", 2)?,
+                    delta: delta()?,
+                    fairness: fairness()?,
+                    limit,
+                    min_size: parse_usize("--min-size", 0)?,
+                    time_limit: time_limit()?,
+                    node_limit: node_limit()?,
+                }
+            } else if let Some(graph) = get("--update") {
+                ClientAction::Update {
+                    graph,
+                    stream: get("--stream").ok_or_else(|| {
+                        "`client --update NAME` needs `--stream FILE` (a JSONL op stream)"
+                            .to_string()
+                    })?,
+                }
+            } else if let Some(line) = get("--raw") {
+                ClientAction::Raw { line }
+            } else if has("--stats") {
+                ClientAction::Stats
+            } else if has("--ping") {
+                ClientAction::Ping
+            } else {
+                ClientAction::Shutdown
+            };
+            Ok(Command::Client { connect, action })
+        }
+        "worker" => {
+            let cache_cap = match get("--cache-cap") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid value for `--cache-cap`: `{v}`"))?,
+                ),
+            };
+            Ok(Command::Worker { cache_cap })
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }
@@ -821,6 +1077,145 @@ mod tests {
         assert!(parse(&argv("update --graph g.graph")).is_err()); // missing stream
         assert!(parse(&argv("update --stream s.jsonl")).is_err()); // missing input
         assert!(parse(&argv("update --graph g --stream s --weak --strong")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_client_worker() {
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve {
+                host,
+                port,
+                workers,
+                max_active,
+                max_queue,
+                cache_cap,
+                time_limit,
+            } => {
+                assert_eq!(host, "127.0.0.1");
+                assert_eq!(port, 7464);
+                assert_eq!((workers, max_active, max_queue), (0, 4, 16));
+                assert_eq!((cache_cap, time_limit), (None, None));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(
+            "serve --host 0.0.0.0 --port 0 --workers 3 --max-active 2 --max-queue 1 --cache-cap 64 --time-limit 0.5",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                host,
+                port,
+                workers,
+                max_active,
+                max_queue,
+                cache_cap,
+                time_limit,
+            } => {
+                assert_eq!(host, "0.0.0.0");
+                assert_eq!(port, 0);
+                assert_eq!((workers, max_active, max_queue), (3, 2, 1));
+                assert_eq!(cache_cap, Some(64));
+                assert_eq!(time_limit, Some(0.5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(
+            "client --connect 127.0.0.1:7464 --solve g -k 3 -d 2 --top 5 --node-limit 100",
+        ))
+        .unwrap()
+        {
+            Command::Client { connect, action } => {
+                assert_eq!(connect, "127.0.0.1:7464");
+                assert_eq!(
+                    action,
+                    ClientAction::Solve {
+                        graph: "g".into(),
+                        k: 3,
+                        delta: 2,
+                        fairness: Fairness::Relative,
+                        top: Some(5),
+                        time_limit: None,
+                        node_limit: Some(100),
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // `--enumerate` takes a value under `client` (unlike `update --enumerate`).
+        match parse(&argv(
+            "client --connect h:1 --enumerate g --limit 10 --min-size 4 --weak",
+        ))
+        .unwrap()
+        {
+            Command::Client {
+                action:
+                    ClientAction::Enumerate {
+                        graph,
+                        fairness,
+                        limit,
+                        min_size,
+                        ..
+                    },
+                ..
+            } => {
+                assert_eq!(graph, "g");
+                assert_eq!(fairness, Fairness::Weak);
+                assert_eq!((limit, min_size), (Some(10), 4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("client --connect h:1 --load g --path /tmp/g.graph")).unwrap(),
+            Command::Client {
+                action: ClientAction::Load { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&argv("client --connect h:1 --update g --stream ops.jsonl")).unwrap(),
+            Command::Client {
+                action: ClientAction::Update { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&argv("client --connect h:1 --stats")).unwrap(),
+            Command::Client {
+                action: ClientAction::Stats,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&argv("client --connect h:1 --shutdown")).unwrap(),
+            Command::Client {
+                action: ClientAction::Shutdown,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&argv("worker --cache-cap 8")).unwrap(),
+            Command::Worker { cache_cap: Some(8) }
+        ));
+        assert!(matches!(
+            parse(&argv("worker")).unwrap(),
+            Command::Worker { cache_cap: None }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_serve_client() {
+        assert!(parse(&argv("serve --port notaport")).is_err());
+        assert!(parse(&argv("serve --port 70000")).is_err());
+        assert!(parse(&argv("serve --cache-cap many")).is_err());
+        assert!(parse(&argv("client --solve g")).is_err()); // missing --connect
+        assert!(parse(&argv("client --connect h:1")).is_err()); // no action
+        assert!(parse(&argv("client --connect h:1 --solve g --stats")).is_err()); // two actions
+        assert!(parse(&argv("client --connect h:1 --load g")).is_err()); // missing --path
+        assert!(parse(&argv("client --connect h:1 --update g")).is_err()); // missing --stream
+        assert!(parse(&argv("client --connect h:1 --solve g --top 0")).is_err());
+        assert!(parse(&argv("client --connect h:1 --enumerate g --limit 0")).is_err());
+        assert!(parse(&argv("client --connect h:1 --solve g --weak --strong")).is_err());
     }
 
     #[test]

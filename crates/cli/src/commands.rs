@@ -27,7 +27,12 @@ use rfc_graph::io;
 use rfc_graph::store::GraphStore;
 use rfc_graph::AttributedGraph;
 
-use crate::args::{Command, Fairness, GraphInput, OutputFormat, USAGE};
+use rfc_graph::json::JsonValue;
+use rfc_serve::engine::EngineConfig;
+use rfc_serve::protocol::{self, EnumSpec, QuerySpec, Request};
+use rfc_serve::server::{ServeConfig, Server};
+
+use crate::args::{ClientAction, Command, Fairness, GraphInput, OutputFormat, USAGE};
 use crate::output::{errln, outln, Output};
 
 /// Returns the path when the input is a binary `.rfcg` store (routed through the
@@ -166,7 +171,8 @@ fn solution_json(model: FairnessModel, solution: &Solution) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "{{\"model\":\"{model}\",\"termination\":\"{termination}\",\"cliques\":["
+        "{{\"model\":\"{}\",\"termination\":\"{termination}\",\"cliques\":[",
+        rfc_graph::json::escaped(&model.to_string())
     );
     for (i, clique) in solution.cliques.iter().enumerate() {
         if i > 0 {
@@ -736,6 +742,178 @@ pub fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Serve {
+            host,
+            port,
+            workers,
+            max_active,
+            max_queue,
+            cache_cap,
+            time_limit,
+        } => {
+            let default_time_limit = match time_limit {
+                None => None,
+                Some(secs) => Some(
+                    Duration::try_from_secs_f64(secs)
+                        .map_err(|_| format!("`--time-limit {secs}` is out of range"))?,
+                ),
+            };
+            // Workers run this same binary's `worker` subcommand over pipes.
+            let exe = std::env::current_exe()
+                .map_err(|e| format!("cannot locate the maxfairclique binary: {e}"))?;
+            let mut worker_cmd = vec![exe.to_string_lossy().into_owned(), "worker".to_string()];
+            if let Some(cap) = cache_cap {
+                worker_cmd.push("--cache-cap".to_string());
+                worker_cmd.push(cap.to_string());
+            }
+            let server = Server::bind(ServeConfig {
+                host,
+                port,
+                workers,
+                worker_cmd,
+                max_active,
+                max_queue,
+                engine: EngineConfig {
+                    cache_capacity: cache_cap,
+                    default_time_limit,
+                },
+                ..ServeConfig::default()
+            })
+            .map_err(|e| format!("cannot start the daemon: {e}"))?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?;
+            // Scripts wait for this exact line (stdout is line-buffered, so it is
+            // visible before the first connection is accepted).
+            outln!(out, "maxfaircliqued listening on {addr}");
+            server.run().map_err(|e| format!("daemon failed: {e}"))
+        }
+        Command::Client { connect, action } => run_client(&mut out, &connect, action),
+        Command::Worker { cache_cap } => {
+            match rfc_serve::worker::run_worker(EngineConfig {
+                cache_capacity: cache_cap,
+                default_time_limit: None,
+            }) {
+                0 => Ok(()),
+                _ => Err("worker terminated on an I/O failure".to_string()),
+            }
+        }
+    }
+}
+
+/// Converts the CLI's fractional seconds into the protocol's milliseconds field.
+fn secs_to_ms(time_limit: Option<f64>) -> Option<u64> {
+    time_limit.map(|secs| (secs * 1000.0).ceil() as u64)
+}
+
+/// Builds the protocol line for one client action.
+fn client_request_line(action: ClientAction) -> Result<String, String> {
+    Ok(match action {
+        ClientAction::Load { graph, path } => Request::Load { graph, path }.to_line(),
+        ClientAction::Solve {
+            graph,
+            k,
+            delta,
+            fairness,
+            top,
+            time_limit,
+            node_limit,
+        } => Request::Solve {
+            graph,
+            spec: QuerySpec {
+                model: fairness_model(fairness, k, delta),
+                top,
+                time_limit_ms: secs_to_ms(time_limit),
+                node_limit,
+                threads: None,
+                shard: None,
+            },
+        }
+        .to_line(),
+        ClientAction::Enumerate {
+            graph,
+            k,
+            delta,
+            fairness,
+            limit,
+            min_size,
+            time_limit,
+            node_limit,
+        } => Request::Enumerate {
+            graph,
+            spec: EnumSpec {
+                model: fairness_model(fairness, k, delta),
+                min_size,
+                limit,
+                time_limit_ms: secs_to_ms(time_limit),
+                node_limit,
+                threads: None,
+                shard: None,
+            },
+        }
+        .to_line(),
+        ClientAction::Update { graph, stream } => {
+            let ops = load_update_stream(&stream)?
+                .into_iter()
+                .map(|(_, op)| op)
+                .collect();
+            Request::Update { graph, ops }.to_line()
+        }
+        ClientAction::Stats => Request::Stats.to_line(),
+        ClientAction::Ping => Request::Ping { sleep_ms: 0 }.to_line(),
+        ClientAction::Shutdown => Request::Shutdown.to_line(),
+        ClientAction::Raw { line } => line,
+    })
+}
+
+/// One request/response round trip against a running daemon. Prints every response
+/// line (stream lines included) pipe-safely; exits non-zero when the terminal line
+/// is an error.
+fn run_client(out: &mut Output, connect: &str, action: ClientAction) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let mut line = client_request_line(action)?;
+    line.push('\n');
+    let stream = TcpStream::connect(connect).map_err(|e| format!("{connect}: {e}"))?;
+    // One write per request and no Nagle: a split payload/newline write would
+    // stall ~40 ms on the delayed-ACK timer for every round trip.
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(line.as_bytes())
+        .map_err(|e| format!("{connect}: {e}"))?;
+    writer.flush().map_err(|e| format!("{connect}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut raw = String::new();
+        let read = reader
+            .read_line(&mut raw)
+            .map_err(|e| format!("{connect}: {e}"))?;
+        if read == 0 {
+            return Err(format!(
+                "{connect}: connection closed before a terminal response"
+            ));
+        }
+        let response = raw.trim_end();
+        outln!(out, "{response}");
+        let value = JsonValue::parse(response)
+            .map_err(|e| format!("{connect}: unparseable response: {e}"))?;
+        if !protocol::is_terminal(&value) {
+            continue; // an enumerate stream line; keep reading
+        }
+        return match value.get("ok").and_then(JsonValue::as_bool) {
+            Some(true) => Ok(()),
+            _ => {
+                let code = value
+                    .get("error")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("error");
+                let message = value
+                    .get("message")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("request failed");
+                Err(format!("{code}: {message}"))
+            }
+        };
     }
 }
 

@@ -65,7 +65,21 @@
 //!
 //! Unlike [`RfcSolver`](crate::solver::RfcSolver), the dynamic solver takes `&mut self` on queries (its caches
 //! are plain maps, not lock-protected): shard one solver per thread, or wrap it in a
-//! mutex, for concurrent serving.
+//! mutex, for concurrent serving (the `rfc-serve` daemon does the latter — the type
+//! is `Send`, so a `Mutex<DynamicRfcSolver>` is shareable across connection threads,
+//! and the per-component result caches then act as a cross-client query cache).
+//!
+//! Two serving-oriented controls live here as well:
+//!
+//! * **Bounded caches** — [`set_cache_capacity`](DynamicRfcSolver::set_cache_capacity)
+//!   puts an LRU bound on the per-component result caches (unbounded by default),
+//!   and [`cache_stats`](DynamicRfcSolver::cache_stats) reports hit/miss/eviction
+//!   counters for a daemon `stats` endpoint.
+//! * **Component sharding** — [`solve_shard`](DynamicRfcSolver::solve_shard) /
+//!   [`enumerate_shard`](DynamicRfcSolver::enumerate_shard) restrict a query to the
+//!   components a [`Shard`] owns (`component_index % shard.count() == shard.index()`),
+//!   so N worker processes holding replicas of the same committed graph partition the
+//!   work deterministically and a parent can merge their per-shard answers.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -78,6 +92,7 @@ use rfc_graph::delta::{DeltaError, GraphDelta, UpdateOp};
 use rfc_graph::subgraph::{induced_subgraph, vertex_filtered_subgraph};
 use rfc_graph::{Attribute, AttributedGraph, GraphBuilder, VertexId};
 
+use crate::cache::{CacheStats, LruCache};
 use crate::enumerate::{
     enumerate_one_component, CliqueSink, EnumOutcome, EnumProblem, EnumQuery, EnumStats,
     EnumTermination, SinkFlow,
@@ -107,6 +122,64 @@ pub struct CommitOutcome {
     pub num_vertices: usize,
     /// Edges of the committed graph.
     pub num_edges: usize,
+}
+
+/// One shard of a component-partitioned query: of the reduced graph's component
+/// list, a [`Shard`] owns the components whose index `i` satisfies
+/// `i % count == index`. Replica workers that committed the same update stream build
+/// identical component lists, so the partition is deterministic across processes;
+/// components are independent subproblems, so the global answer is the merge of the
+/// per-shard answers (largest clique wins for `solve`, stream concatenation for
+/// `enumerate`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shard {
+    index: usize,
+    count: usize,
+}
+
+impl Shard {
+    /// Shard `index` of `count` total. Returns `None` unless
+    /// `index < count` and `count >= 1`.
+    pub fn new(index: usize, count: usize) -> Option<Shard> {
+        (count >= 1 && index < count).then_some(Shard { index, count })
+    }
+
+    /// The trivial shard owning every component.
+    pub fn full() -> Shard {
+        Shard { index: 0, count: 1 }
+    }
+
+    /// This shard's index in `0..count`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards in the partition.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether this shard owns component `i`.
+    pub fn owns(&self, i: usize) -> bool {
+        i % self.count == self.index
+    }
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard::full()
+    }
+}
+
+/// Aggregated per-component result-cache counters across every
+/// `(k, reduction-config)` entry of a [`DynamicRfcSolver`] — what a daemon `stats`
+/// endpoint reports. See [`DynamicRfcSolver::cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DynCacheStats {
+    /// Counters of the solve-result caches.
+    pub solve: CacheStats,
+    /// Counters of the enumeration-result caches.
+    pub enumerate: CacheStats,
 }
 
 /// The canonical content of one connected component of a reduced graph: attributes
@@ -163,11 +236,12 @@ enum EntryState {
 struct DynEntry {
     state: EntryState,
     /// Per-component top-`capacity` fair cliques (canonical ranks, largest first;
-    /// empty = no fair clique in the component).
-    solve_cache: HashMap<SolveKey, Arc<Vec<Vec<u32>>>>,
+    /// empty = no fair clique in the component). LRU-bounded when the owner set a
+    /// cache capacity.
+    solve_cache: LruCache<SolveKey, Arc<Vec<Vec<u32>>>>,
     /// Per-component maximal fair cliques (canonical ranks, deterministic
-    /// enumeration order).
-    enum_cache: HashMap<EnumKey, Arc<Vec<Vec<u32>>>>,
+    /// enumeration order). Same bound.
+    enum_cache: LruCache<EnumKey, Arc<Vec<Vec<u32>>>>,
 }
 
 /// An incremental maximum-fair-clique solver over a mutable graph (see the [module
@@ -210,6 +284,8 @@ pub struct DynamicRfcSolver {
     removed_vertices: BTreeSet<VertexId>,
     /// Reduced graphs + result caches per `(k, reduction config)`.
     entries: HashMap<EntryKey, DynEntry>,
+    /// LRU bound applied to each entry's result caches (`None` = unbounded).
+    cache_capacity: Option<usize>,
     /// Completed commits.
     commits: u64,
     /// Reduction pipeline executions (full builds and dirty-component splices).
@@ -227,9 +303,45 @@ impl DynamicRfcSolver {
             pending_ops: 0,
             removed_vertices: BTreeSet::new(),
             entries: HashMap::new(),
+            cache_capacity: None,
             commits: 0,
             preprocessing_runs: 0,
         }
+    }
+
+    /// Builder-style variant of [`set_cache_capacity`](Self::set_cache_capacity).
+    pub fn with_cache_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.set_cache_capacity(capacity);
+        self
+    }
+
+    /// Bounds each per-component result cache to at most `capacity` entries with
+    /// least-recently-used eviction (`None` = unbounded, the default). Shrinking the
+    /// bound evicts immediately. A long-lived daemon over a churny graph should set
+    /// this: every distinct component content ever solved otherwise stays resident
+    /// forever.
+    pub fn set_cache_capacity(&mut self, capacity: Option<usize>) {
+        self.cache_capacity = capacity;
+        for entry in self.entries.values_mut() {
+            entry.solve_cache.set_capacity(capacity);
+            entry.enum_cache.set_capacity(capacity);
+        }
+    }
+
+    /// The current per-cache entry bound (`None` = unbounded).
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.cache_capacity
+    }
+
+    /// Aggregated hit/miss/eviction counters of the per-component result caches,
+    /// summed across every `(k, reduction-config)` entry.
+    pub fn cache_stats(&self) -> DynCacheStats {
+        let mut out = DynCacheStats::default();
+        for entry in self.entries.values() {
+            out.solve.absorb(&entry.solve_cache.stats());
+            out.enumerate.absorb(&entry.enum_cache.stats());
+        }
+        out
     }
 
     /// The committed graph. Buffered (uncommitted) updates are not visible here or
@@ -407,6 +519,16 @@ impl DynamicRfcSolver {
     /// is exact and no budgeted work ran. Components whose search was cut short are
     /// never cached.
     pub fn solve(&mut self, query: &Query) -> Result<Solution, SolveError> {
+        self.solve_shard(query, Shard::full())
+    }
+
+    /// Like [`solve`](Self::solve), but restricted to the components `shard` owns.
+    ///
+    /// [`Termination::Infeasible`] then means "no fair clique *in this shard's
+    /// components*" — the parent merging per-shard answers downgrades it to a global
+    /// verdict only when every shard is infeasible. Per-component cache hits and
+    /// inserts touch owned components only.
+    pub fn solve_shard(&mut self, query: &Query, shard: Shard) -> Result<Solution, SolveError> {
         let start = Instant::now();
         let params = self.resolve(query.fairness)?;
         let capacity = match query.objective {
@@ -432,15 +554,17 @@ impl DynamicRfcSolver {
 
         let cache_key =
             |canon: &Arc<CanonicalComponent>| (query.fairness, capacity, Arc::clone(canon));
-        let mut per_comp: Vec<Option<Arc<Vec<Vec<u32>>>>> = {
-            let entry = self.entries.get(&key).expect("entry was just ensured");
-            components
-                .iter()
-                .map(|c| entry.solve_cache.get(&cache_key(&c.canon)).cloned())
-                .collect()
-        };
+        let mut per_comp: Vec<Option<Arc<Vec<Vec<u32>>>>> = vec![None; components.len()];
+        {
+            let entry = self.entries.get_mut(&key).expect("entry was just ensured");
+            for (i, c) in components.iter().enumerate() {
+                if shard.owns(i) {
+                    per_comp[i] = entry.solve_cache.get(&cache_key(&c.canon)).cloned();
+                }
+            }
+        }
         let misses: Vec<usize> = (0..components.len())
-            .filter(|&i| per_comp[i].is_none())
+            .filter(|&i| shard.owns(i) && per_comp[i].is_none())
             .collect();
 
         let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
@@ -526,6 +650,19 @@ impl DynamicRfcSolver {
         query: &EnumQuery,
         sink: &mut dyn CliqueSink,
     ) -> Result<EnumOutcome, SolveError> {
+        self.enumerate_shard(query, Shard::full(), sink)
+    }
+
+    /// Like [`enumerate`](Self::enumerate), but restricted to the components `shard`
+    /// owns: the shard emits exactly the maximal fair cliques living in its
+    /// components, so concatenating the streams of a full partition yields the
+    /// global enumeration (cliques never span components).
+    pub fn enumerate_shard(
+        &mut self,
+        query: &EnumQuery,
+        shard: Shard,
+        sink: &mut dyn CliqueSink,
+    ) -> Result<EnumOutcome, SolveError> {
         let start = Instant::now();
         let params = self.resolve(query.fairness)?;
         let min_size = params.min_size().max(query.min_size);
@@ -545,23 +682,23 @@ impl DynamicRfcSolver {
         let (reduced, components) = self.entry_snapshot(&key);
         stats.reduction = reduced.stats.clone();
 
+        // Sharding partitions the raw component index space (stable across shards);
+        // the eligibility filter then applies within the owned set.
         let eligible: Vec<usize> = (0..components.len())
-            .filter(|&i| components[i].vertices.len() >= min_size)
+            .filter(|&i| shard.owns(i) && components[i].vertices.len() >= min_size)
             .collect();
         let cache_key =
             |canon: &Arc<CanonicalComponent>| (query.fairness, min_size, Arc::clone(canon));
-        let mut per_comp: Vec<Option<Arc<Vec<Vec<u32>>>>> = {
-            let entry = self.entries.get(&key).expect("entry was just ensured");
-            eligible
-                .iter()
-                .map(|&i| {
-                    entry
-                        .enum_cache
-                        .get(&cache_key(&components[i].canon))
-                        .cloned()
-                })
-                .collect()
-        };
+        let mut per_comp: Vec<Option<Arc<Vec<Vec<u32>>>>> = vec![None; eligible.len()];
+        {
+            let entry = self.entries.get_mut(&key).expect("entry was just ensured");
+            for (slot, &i) in eligible.iter().enumerate() {
+                per_comp[slot] = entry
+                    .enum_cache
+                    .get(&cache_key(&components[i].canon))
+                    .cloned();
+            }
+        }
         let misses: Vec<usize> = (0..eligible.len())
             .filter(|&slot| per_comp[slot].is_none())
             .collect();
@@ -668,8 +805,8 @@ impl DynamicRfcSolver {
                             reduced,
                             components,
                         },
-                        solve_cache: HashMap::new(),
-                        enum_cache: HashMap::new(),
+                        solve_cache: LruCache::new(self.cache_capacity),
+                        enum_cache: LruCache::new(self.cache_capacity),
                     },
                 );
             }
@@ -685,8 +822,8 @@ impl DynamicRfcSolver {
                 // components (the clean majority) keep their entries and will hit.
                 let live: std::collections::HashSet<&CanonicalComponent> =
                     components.iter().map(|c| c.canon.as_ref()).collect();
-                solve_cache.retain(|k, _| live.contains(k.2.as_ref()));
-                enum_cache.retain(|k, _| live.contains(k.2.as_ref()));
+                solve_cache.retain(|k| live.contains(k.2.as_ref()));
+                enum_cache.retain(|k| live.contains(k.2.as_ref()));
                 self.entries.insert(
                     *key,
                     DynEntry {
@@ -1266,5 +1403,107 @@ mod tests {
         assert!(solver
             .enumerate(&EnumQuery::new(FairnessModel::Weak { k: 0 }), &mut sink)
             .is_err());
+    }
+
+    #[test]
+    fn shard_construction_and_ownership() {
+        assert!(Shard::new(0, 0).is_none());
+        assert!(Shard::new(2, 2).is_none());
+        let s = Shard::new(1, 3).unwrap();
+        assert_eq!((s.index(), s.count()), (1, 3));
+        let owned: Vec<usize> = (0..9).filter(|&i| s.owns(i)).collect();
+        assert_eq!(owned, vec![1, 4, 7]);
+        assert!(Shard::full().owns(5));
+        assert_eq!(Shard::default(), Shard::full());
+        // Every component index is owned by exactly one shard of a partition.
+        for i in 0..20 {
+            let owners = (0..4)
+                .filter(|&s| Shard::new(s, 4).unwrap().owns(i))
+                .count();
+            assert_eq!(owners, 1);
+        }
+    }
+
+    #[test]
+    fn sharded_solves_merge_to_the_global_answer() {
+        let model = FairnessModel::Relative { k: 2, delta: 1 };
+        let query = serial_query(model);
+        let global = DynamicRfcSolver::new(two_balanced_cliques())
+            .solve(&query)
+            .unwrap();
+        assert_eq!(global.best().unwrap().size(), 8);
+
+        // Two replica solvers, one shard each: exactly one sees each component,
+        // and the best across shards is the global best.
+        let mut best_sizes = Vec::new();
+        let mut total_components = 0;
+        for index in 0..2 {
+            let mut replica = DynamicRfcSolver::new(two_balanced_cliques());
+            let shard = Shard::new(index, 2).unwrap();
+            let solution = replica.solve_shard(&query, shard).unwrap();
+            total_components += solution.stats.components_searched;
+            if let Some(best) = solution.best() {
+                assert!(verify::is_fair_clique_under(
+                    replica.graph(),
+                    &best.vertices,
+                    model
+                ));
+                best_sizes.push(best.size());
+            }
+        }
+        assert_eq!(total_components, 2, "shards partition the components");
+        assert_eq!(best_sizes.iter().max(), Some(&8));
+
+        // Sharded enumeration concatenates to the global stream.
+        let mut merged: Vec<Vec<VertexId>> = Vec::new();
+        for index in 0..3 {
+            let mut replica = DynamicRfcSolver::new(two_balanced_cliques());
+            let shard = Shard::new(index, 3).unwrap();
+            let mut sink = CollectSink::new();
+            replica
+                .enumerate_shard(
+                    &EnumQuery::new(model).with_threads(ThreadCount::Serial),
+                    shard,
+                    &mut sink,
+                )
+                .unwrap();
+            merged.extend(sink.into_cliques().into_iter().map(|c| c.vertices));
+        }
+        merged.sort();
+        assert_eq!(
+            merged,
+            enumerate_sets_scratch(&two_balanced_cliques(), model)
+        );
+    }
+
+    #[test]
+    fn cache_capacity_bounds_the_result_caches() {
+        let model = FairnessModel::Relative { k: 2, delta: 1 };
+        let mut solver = DynamicRfcSolver::new(two_balanced_cliques()).with_cache_capacity(Some(1));
+        assert_eq!(solver.cache_capacity(), Some(1));
+        let first = solver.solve(&serial_query(model)).unwrap();
+        assert_eq!(first.best().unwrap().size(), 8);
+        // Two components were solved but only one result fits: one eviction.
+        let stats = solver.cache_stats();
+        assert_eq!(stats.solve.len, 1);
+        assert_eq!(stats.solve.evictions, 1);
+        assert_eq!(stats.solve.misses, 2);
+        // The answer stays exact regardless of what was evicted.
+        let repeat = solver.solve(&serial_query(model)).unwrap();
+        assert_eq!(repeat.best().unwrap().size(), 8);
+        assert!(solver.cache_stats().solve.hits >= 1);
+
+        // Unbounding and re-bounding via the setter keeps stats coherent.
+        solver.set_cache_capacity(None);
+        let _ = solver.solve(&serial_query(model)).unwrap();
+        assert_eq!(solver.cache_stats().solve.len, 2);
+        solver.set_cache_capacity(Some(1));
+        assert_eq!(solver.cache_stats().solve.len, 1);
+    }
+
+    #[test]
+    fn dynamic_solver_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<DynamicRfcSolver>();
     }
 }

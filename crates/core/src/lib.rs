@@ -69,6 +69,7 @@
 
 pub mod baseline;
 pub mod bounds;
+pub mod cache;
 pub mod dynamic;
 pub mod enumerate;
 pub mod heuristic;
@@ -79,7 +80,8 @@ pub mod search;
 pub mod solver;
 pub mod verify;
 
-pub use dynamic::{CommitOutcome, DynamicRfcSolver};
+pub use cache::{CacheStats, LruCache};
+pub use dynamic::{CommitOutcome, DynCacheStats, DynamicRfcSolver, Shard};
 
 pub use enumerate::{
     CliqueSink, CollectSink, CountSink, EnumOutcome, EnumQuery, EnumStats, EnumTermination,
@@ -95,7 +97,7 @@ pub use solver::{
 /// Commonly used items for glob import.
 pub mod prelude {
     pub use crate::bounds::{BoundConfig, ExtraBound};
-    pub use crate::dynamic::{CommitOutcome, DynamicRfcSolver};
+    pub use crate::dynamic::{CommitOutcome, DynCacheStats, DynamicRfcSolver, Shard};
     pub use crate::enumerate::{
         CliqueSink, CollectSink, CountSink, EnumOutcome, EnumQuery, EnumStats, EnumTermination,
         JsonlSink, LimitSink, SinkFlow, TopNSink,

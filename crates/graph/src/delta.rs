@@ -38,6 +38,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::attr::Attribute;
 use crate::graph::{AttributedGraph, VertexId};
+use crate::json::JsonValue;
 
 /// Errors reported by the [`GraphDelta`] mutation methods.
 ///
@@ -199,21 +200,36 @@ impl UpdateOp {
         }
     }
 
-    /// Parses one JSONL line (as produced by [`to_jsonl`](UpdateOp::to_jsonl); a
-    /// hand-written tolerant parser, since the workspace has no JSON dependency).
+    /// Parses one JSONL line (as produced by [`to_jsonl`](UpdateOp::to_jsonl)) through
+    /// the shared [`crate::json`] parser.
     pub fn parse_jsonl(line: &str) -> Result<UpdateOp, String> {
-        let op = json_string_field(line, "op")
-            .ok_or_else(|| format!("missing \"op\" field in `{}`", line.trim()))?;
+        let value = JsonValue::parse(line).map_err(|e| format!("{e} in `{}`", line.trim()))?;
+        Self::from_json(&value)
+    }
+
+    /// Interprets an already-parsed [`JsonValue`] object as an update op. This is the
+    /// entry point protocol code uses when ops arrive nested inside a larger request
+    /// document (e.g. the `rfc-serve` `update` request carries an array of them).
+    pub fn from_json(value: &JsonValue) -> Result<UpdateOp, String> {
+        let op = value
+            .get("op")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("missing \"op\" field in `{value}`"))?;
         let vertex = |key: &str| -> Result<VertexId, String> {
-            json_number_field(line, key)
-                .ok_or_else(|| format!("missing numeric \"{key}\" field in `{}`", line.trim()))
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .and_then(|n| VertexId::try_from(n).ok())
+                .ok_or_else(|| format!("missing numeric \"{key}\" field in `{value}`"))
         };
         let attr = || -> Result<Attribute, String> {
-            let value = json_string_field(line, "attr")
-                .ok_or_else(|| format!("missing \"attr\" field in `{}`", line.trim()))?;
-            Attribute::parse(&value).ok_or_else(|| format!("unknown attribute `{value}`"))
+            let name = value
+                .get("attr")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("missing \"attr\" field in `{value}`"))?;
+            Attribute::parse(name).ok_or_else(|| format!("unknown attribute `{name}`"))
         };
-        match op.as_str() {
+        match op {
             "insert_edge" => Ok(UpdateOp::InsertEdge {
                 u: vertex("u")?,
                 v: vertex("v")?,
@@ -232,29 +248,43 @@ impl UpdateOp {
             other => Err(format!("unknown update op `{other}`")),
         }
     }
-}
 
-/// Extracts `"key":"value"` from a flat JSON object line.
-fn json_string_field(line: &str, key: &str) -> Option<String> {
-    let rest = json_field_value(line, key)?;
-    let rest = rest.strip_prefix('"')?;
-    let end = rest.find('"')?;
-    Some(rest[..end].to_string())
-}
-
-/// Extracts `"key":number` from a flat JSON object line.
-fn json_number_field(line: &str, key: &str) -> Option<u32> {
-    let rest = json_field_value(line, key)?;
-    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
-    digits.parse().ok()
-}
-
-/// The text right after `"key"` and its colon, with whitespace skipped.
-fn json_field_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\"");
-    let at = line.find(&needle)? + needle.len();
-    let rest = line[at..].trim_start();
-    rest.strip_prefix(':').map(str::trim_start)
+    /// Renders this op as a [`JsonValue`] object (the same shape
+    /// [`to_jsonl`](UpdateOp::to_jsonl) prints).
+    pub fn to_json(&self) -> JsonValue {
+        fn attr_name(attr: Attribute) -> &'static str {
+            match attr {
+                Attribute::A => "a",
+                Attribute::B => "b",
+            }
+        }
+        match *self {
+            UpdateOp::InsertEdge { u, v } => JsonValue::object(vec![
+                ("op", JsonValue::string("insert_edge")),
+                ("u", JsonValue::from(u)),
+                ("v", JsonValue::from(v)),
+            ]),
+            UpdateOp::RemoveEdge { u, v } => JsonValue::object(vec![
+                ("op", JsonValue::string("remove_edge")),
+                ("u", JsonValue::from(u)),
+                ("v", JsonValue::from(v)),
+            ]),
+            UpdateOp::InsertVertex { attr } => JsonValue::object(vec![
+                ("op", JsonValue::string("insert_vertex")),
+                ("attr", JsonValue::string(attr_name(attr))),
+            ]),
+            UpdateOp::RestoreVertex { v, attr } => JsonValue::object(vec![
+                ("op", JsonValue::string("restore_vertex")),
+                ("v", JsonValue::from(v)),
+                ("attr", JsonValue::string(attr_name(attr))),
+            ]),
+            UpdateOp::RemoveVertex { v } => JsonValue::object(vec![
+                ("op", JsonValue::string("remove_vertex")),
+                ("v", JsonValue::from(v)),
+            ]),
+            UpdateOp::Commit => JsonValue::object(vec![("op", JsonValue::string("commit"))]),
+        }
+    }
 }
 
 /// A batch of vertex/edge updates recorded against one base [`AttributedGraph`].
@@ -795,6 +825,9 @@ mod tests {
         for op in ops {
             let line = op.to_jsonl();
             assert_eq!(UpdateOp::parse_jsonl(&line), Ok(op), "{line}");
+            // The JsonValue rendering matches the legacy string rendering exactly.
+            assert_eq!(op.to_json().to_string(), line);
+            assert_eq!(UpdateOp::from_json(&op.to_json()), Ok(op));
         }
         // Whitespace tolerance.
         assert_eq!(

@@ -1,0 +1,639 @@
+//! One shared hand-rolled JSON layer for the whole workspace.
+//!
+//! The container has no crates registry, so there is no `serde`; every JSON producer
+//! and consumer in the workspace (the `UpdateOp` JSONL stream, the `enumerate
+//! --format jsonl` sink, the bench `BENCH_*.json` reports, and the `rfc-serve` wire
+//! protocol) goes through this module instead of growing its own ad-hoc escaping and
+//! field-scraping. That fixes a real bug class: the previous per-crate escapers only
+//! handled `"` and `\`, so a control character in a string (e.g. a graph name taken
+//! from untrusted client input) would emit invalid JSON.
+//!
+//! Two layers:
+//!
+//! * [`escape_into`] / [`escaped`] — correct JSON string escaping (quote, backslash,
+//!   and all control characters below `0x20`).
+//! * [`JsonValue`] — a tiny recursive-descent parser and writer for complete JSON
+//!   values, with the accessor helpers ([`get`](JsonValue::get),
+//!   [`as_u64`](JsonValue::as_u64), …) that protocol code needs. Object key order is
+//!   preserved. The parser enforces a nesting-depth limit so a hostile request line
+//!   cannot overflow the stack of a serving thread.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth [`JsonValue::parse`] accepts. Deep enough for any document
+/// the workspace produces, shallow enough that parsing untrusted input can never
+/// overflow a thread stack.
+pub const MAX_DEPTH: usize = 64;
+
+/// Appends `s` to `out` JSON-escaped (without surrounding quotes).
+///
+/// Escapes `"` and `\`, uses the conventional short forms for the common control
+/// characters (`\n`, `\r`, `\t`, `\u{8}`, `\u{c}`) and `\u00XX` for the rest.
+/// Everything else — including non-ASCII — is passed through verbatim, which is
+/// valid JSON (strings are UTF-8).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Returns `s` JSON-escaped (without surrounding quotes). See [`escape_into`].
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
+/// A parse error with the byte offset where parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A parsed JSON value.
+///
+/// Numbers are stored as `f64` (like JavaScript); the writer renders values that are
+/// mathematically integers without a fractional part, so `u64` round-trips up to
+/// 2^53 — far beyond any vertex id or counter in this workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses one complete JSON value from `input` (surrounding whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Convenience constructor for an object from key/value pairs.
+    pub fn object(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn string(s: impl Into<String>) -> JsonValue {
+        JsonValue::String(s.into())
+    }
+
+    /// Looks up a field of an object (`None` for other variants or missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= 9.007_199_254_740_992e15 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// [`as_u64`](Self::as_u64) narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value as compact single-line JSON.
+    pub fn write_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => write_number(out, *n),
+            JsonValue::String(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(out, k);
+                    out.push_str("\":");
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Number(n as f64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Number(n as f64)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(n: u32) -> Self {
+        JsonValue::Number(f64::from(n))
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::String(s.to_string())
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> Self {
+        JsonValue::Number(n)
+    }
+}
+
+/// Writes `n` as an integer when it is one (the common case for ids/counters),
+/// otherwise with enough precision to round-trip.
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; null is the conventional stand-in.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::String),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected character `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs: Vec<(String, JsonValue)> = Vec::new();
+        let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            // Last duplicate wins, like every mainstream JSON library.
+            if let Some(&i) = seen.get(&key) {
+                pairs[i].1 = value;
+            } else {
+                seen.insert(key.clone(), pairs.len());
+                pairs.push((key, value));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let code = self.hex4()?;
+                            // Surrogate pairs for characters outside the BMP.
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&low) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let combined =
+                                        0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                            continue; // hex4 advanced past the digits already
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 character (multi-byte sequences included).
+                    let start = self.pos;
+                    let rest = &self.bytes[start..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code =
+            u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape digits"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_control_characters() {
+        assert_eq!(escaped("plain"), "plain");
+        assert_eq!(escaped("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escaped("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escaped("\u{8}\u{c}\r"), "\\b\\f\\r");
+        assert_eq!(escaped("\u{1}"), "\\u0001");
+        assert_eq!(escaped("héllo"), "héllo"); // non-ASCII passes through
+    }
+
+    #[test]
+    fn escaped_strings_parse_back() {
+        for s in ["", "a\"b", "c\\d", "e\nf\tg", "\u{1}\u{1f}", "emoji: 🦀"] {
+            let json = format!("\"{}\"", escaped(s));
+            assert_eq!(
+                JsonValue::parse(&json).unwrap(),
+                JsonValue::String(s.to_string()),
+                "{json}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(JsonValue::parse("42").unwrap(), JsonValue::Number(42.0));
+        assert_eq!(JsonValue::parse("-3.5").unwrap(), JsonValue::Number(-3.5));
+        assert_eq!(JsonValue::parse("1e3").unwrap(), JsonValue::Number(1000.0));
+        assert_eq!(
+            JsonValue::parse("\"hi\"").unwrap(),
+            JsonValue::String("hi".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v =
+            JsonValue::parse(r#"{"op":"solve","k":3,"tags":["a","b"],"deep":{"x":null}}"#).unwrap();
+        assert_eq!(v.get("op").and_then(JsonValue::as_str), Some("solve"));
+        assert_eq!(v.get("k").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(
+            v.get("tags").and_then(JsonValue::as_array).unwrap().len(),
+            2
+        );
+        assert_eq!(v.get("deep").unwrap().get("x"), Some(&JsonValue::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "not json",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "01x",
+            "{\"a\":1} trailing",
+            "\"bad \\q escape\"",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        let err = JsonValue::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        let ok = "[".repeat(8) + &"]".repeat(8);
+        assert!(JsonValue::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn writer_round_trips() {
+        let v = JsonValue::object(vec![
+            ("name", JsonValue::string("a\"b\nc")),
+            ("n", JsonValue::from(15u64)),
+            ("pi", JsonValue::from(3.25)),
+            ("ok", JsonValue::from(true)),
+            (
+                "items",
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::from(7u64)]),
+            ),
+        ]);
+        let text = v.to_string();
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+        // Integers render without a fractional part.
+        assert!(text.contains("\"n\":15"));
+        assert!(text.contains("\"pi\":3.25"));
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = JsonValue::parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(2));
+        match &v {
+            JsonValue::Object(pairs) => assert_eq!(pairs.len(), 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(
+            JsonValue::parse(r#""Aé""#).unwrap(),
+            JsonValue::String("Aé".into())
+        );
+        // Surrogate pair.
+        assert_eq!(
+            JsonValue::parse(r#""🦀""#).unwrap(),
+            JsonValue::String("🦀".into())
+        );
+        assert!(JsonValue::parse(r#""\ud83e""#).is_err()); // lone high surrogate
+    }
+
+    #[test]
+    fn integer_accessors_are_exact() {
+        assert_eq!(JsonValue::Number(7.0).as_u64(), Some(7));
+        assert_eq!(JsonValue::Number(7.5).as_u64(), None);
+        assert_eq!(JsonValue::Number(-1.0).as_u64(), None);
+        assert_eq!(JsonValue::Number(7.0).as_usize(), Some(7));
+        assert_eq!(JsonValue::string("7").as_u64(), None);
+    }
+}

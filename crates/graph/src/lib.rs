@@ -19,6 +19,9 @@
 //!   branch-and-bound hot loop.
 //! * [`subgraph`] — induced subgraphs and edge-mask subgraphs with vertex-id mappings.
 //! * [`io`] — plain-text edge-list / attribute-list readers and writers.
+//! * [`json`] — the one shared hand-rolled JSON layer (string escaping + a small
+//!   [`JsonValue`] parser/writer) used by the JSONL update streams, the enumeration
+//!   sink, the bench reports, and the `rfc-serve` wire protocol.
 //! * [`store`] — the [`GraphStore`] abstraction the scale-tier reduction passes run
 //!   against, implemented by [`AttributedGraph`] and [`DiskCsr`].
 //! * [`disk`] — the `.rfcg` binary on-disk CSR format: streaming [`CsrWriter`],
@@ -70,6 +73,7 @@ pub mod disk;
 pub mod fixtures;
 pub mod graph;
 pub mod io;
+pub mod json;
 pub mod store;
 pub mod subgraph;
 
@@ -80,6 +84,7 @@ pub use coloring::Coloring;
 pub use delta::{DeltaError, GraphDelta, UpdateOp};
 pub use disk::{write_rfcg, CsrSummary, CsrWriter, DiskCsr, EdgeSpool, RfcgError};
 pub use graph::{AttributedGraph, EdgeId, GraphStats, VertexId};
+pub use json::{JsonError, JsonValue};
 pub use store::GraphStore;
 pub use subgraph::InducedSubgraph;
 

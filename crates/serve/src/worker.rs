@@ -1,0 +1,60 @@
+//! The worker-process entry point: a [`LocalEngine`] speaking the line protocol
+//! over stdin/stdout, driven by the parent daemon's
+//! [`ShardedEngine`](crate::ShardedEngine).
+//!
+//! Workers are protocol-identical to the daemon — the executor literally forwards
+//! request lines (with a `shard` injected into queries) — so every differential
+//! guarantee of the in-process engine carries over to the multi-process path.
+
+use std::io::{self, BufReader, Write};
+use std::sync::Arc;
+
+use crate::engine::{EngineConfig, LocalEngine};
+use crate::protocol::{ErrorCode, ErrorResponse, MAX_LINE_BYTES};
+use crate::server::{read_line_bounded, ReadLine};
+use crate::{Counters, Flow, Handler};
+
+/// Serves requests from stdin to stdout until EOF or `shutdown`. Returns the
+/// process exit code.
+///
+/// Every emitted line is flushed immediately: the parent reads responses
+/// synchronously over a pipe, so a buffered terminal line would deadlock the pair.
+pub fn run_worker(config: EngineConfig) -> i32 {
+    let engine = LocalEngine::new(config, Arc::new(Counters::default()));
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut reader = BufReader::new(stdin.lock());
+    let mut writer = stdout.lock();
+    loop {
+        let line = match read_line_bounded(&mut reader, MAX_LINE_BYTES) {
+            Ok(ReadLine::Eof) => return 0,
+            Ok(ReadLine::TooLong) => {
+                let error = ErrorResponse::new(
+                    ErrorCode::LineTooLong,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                if writeln!(writer, "{}", error.to_line())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return 1;
+                }
+                continue;
+            }
+            Ok(ReadLine::Line(line)) => line,
+            Err(_) => return 1,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut emit = |response: &str| -> io::Result<()> {
+            writeln!(writer, "{response}")?;
+            writer.flush()
+        };
+        match engine.handle(&line, &mut emit) {
+            Ok(Flow::Continue) => {}
+            Ok(Flow::Shutdown) => return 0,
+            Err(_) => return 1,
+        }
+    }
+}
