@@ -22,6 +22,7 @@ use rfc_bench::report::{self, Table};
 use rfc_bench::workloads::multi_component_graph;
 use rfc_core::prelude::*;
 use rfc_graph::json::JsonValue;
+use rfc_obs::metrics::Histogram;
 use rfc_serve::server::{ServeConfig, Server};
 
 const CLIENTS: usize = 4;
@@ -80,14 +81,6 @@ fn update_line(client_id: usize) -> String {
     )
 }
 
-fn percentile(sorted_us: &[u128], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
-    sorted_us[rank] as f64
-}
-
 fn main() {
     // Ignore criterion-style CLI flags (`--bench`, filters) from `cargo bench`.
     let graph = multi_component_graph(4, 120, 7);
@@ -122,50 +115,40 @@ fn main() {
     let reference = setup.request(SOLVE_LINE);
     let reference_best = best_size(&reference);
 
+    // Shared lock-free latency histograms (the same type the daemon itself uses
+    // for `rfc_request_latency_us`); every client thread records directly.
+    let solve_h = Histogram::new();
+    let enum_h = Histogram::new();
+    let update_h = Histogram::new();
+    let all_h = Histogram::new();
+
     let wall = Instant::now();
-    let mut latencies: Vec<(String, Vec<u128>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..CLIENTS)
-            .map(|id| {
-                scope.spawn(move || {
-                    let mut client = Client::connect(addr);
-                    let update = update_line(id);
-                    let mut solve_us = Vec::new();
-                    let mut enum_us = Vec::new();
-                    let mut update_us = Vec::new();
-                    for i in 0..REQUESTS_PER_CLIENT {
-                        // 60% solve, 30% enumerate, 10% update.
-                        let (line, bucket) = match i % 10 {
-                            0..=5 => (SOLVE_LINE, &mut solve_us),
-                            6..=8 => (ENUM_LINE, &mut enum_us),
-                            _ => (update.as_str(), &mut update_us),
-                        };
-                        let start = Instant::now();
-                        let response = client.request(line);
-                        bucket.push(start.elapsed().as_micros());
-                        assert_eq!(
-                            response.get("ok").and_then(JsonValue::as_bool),
-                            Some(true),
-                            "request {i} on client {id}: {response}"
-                        );
-                    }
-                    (solve_us, enum_us, update_us)
-                })
-            })
-            .collect();
-        let mut solve = Vec::new();
-        let mut enumerate = Vec::new();
-        let mut update = Vec::new();
-        for handle in handles {
-            let (s, e, u) = handle.join().expect("bench client panicked");
-            solve.extend(s);
-            enumerate.extend(e);
-            update.extend(u);
+    std::thread::scope(|scope| {
+        for id in 0..CLIENTS {
+            let (solve_h, enum_h, update_h, all_h) = (&solve_h, &enum_h, &update_h, &all_h);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                let update = update_line(id);
+                for i in 0..REQUESTS_PER_CLIENT {
+                    // 60% solve, 30% enumerate, 10% update.
+                    let (line, hist) = match i % 10 {
+                        0..=5 => (SOLVE_LINE, solve_h),
+                        6..=8 => (ENUM_LINE, enum_h),
+                        _ => (update.as_str(), update_h),
+                    };
+                    let start = Instant::now();
+                    let response = client.request(line);
+                    let us = start.elapsed().as_micros() as u64;
+                    hist.observe(us);
+                    all_h.observe(us);
+                    assert_eq!(
+                        response.get("ok").and_then(JsonValue::as_bool),
+                        Some(true),
+                        "request {i} on client {id}: {response}"
+                    );
+                }
+            });
         }
-        vec![
-            ("solve".to_string(), solve),
-            ("enumerate".to_string(), enumerate),
-            ("update".to_string(), update),
-        ]
     });
     let wall_us = wall.elapsed().as_micros();
 
@@ -187,35 +170,42 @@ fn main() {
     server_thread.join().unwrap().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 
-    // Aggregate and report.
-    let total: usize = latencies.iter().map(|(_, v)| v.len()).sum();
+    // Aggregate and report straight from the histograms (no sorting pass).
+    let total = all_h.count() as usize;
     let throughput = total as f64 / (wall_us as f64 / 1e6);
     let mut table = Table::new(
         format!("serve: {CLIENTS} clients, {total} mixed requests"),
         &["request", "count", "p50", "p99", "mean"],
     );
     let mut entries: Vec<(String, f64, u64)> = Vec::new();
-    let mut all: Vec<u128> = Vec::new();
-    for (name, us) in &mut latencies {
-        all.extend(us.iter().copied());
-        us.sort_unstable();
-        let mean = us.iter().sum::<u128>() as f64 / us.len().max(1) as f64;
-        let p50 = percentile(us, 0.50);
-        let p99 = percentile(us, 0.99);
+    let groups: [(&str, &Histogram); 3] = [
+        ("solve", &solve_h),
+        ("enumerate", &enum_h),
+        ("update", &update_h),
+    ];
+    for (name, hist) in groups {
+        let (p50, p99, mean) = (hist.quantile(0.50), hist.quantile(0.99), hist.mean());
         table.add_row(vec![
-            name.clone(),
-            us.len().to_string(),
-            format!("{:.0} us", p50),
-            format!("{:.0} us", p99),
-            format!("{:.0} us", mean),
+            name.to_string(),
+            hist.count().to_string(),
+            format!("{p50} us"),
+            format!("{p99} us"),
+            format!("{mean:.0} us"),
         ]);
-        entries.push((format!("{name}/p50"), p50, us.len() as u64));
-        entries.push((format!("{name}/p99"), p99, us.len() as u64));
-        entries.push((format!("{name}/mean"), mean, us.len() as u64));
+        entries.push((format!("{name}/p50"), p50 as f64, hist.count()));
+        entries.push((format!("{name}/p99"), p99 as f64, hist.count()));
+        entries.push((format!("{name}/mean"), mean, hist.count()));
     }
-    all.sort_unstable();
-    entries.push(("all/p50".to_string(), percentile(&all, 0.50), total as u64));
-    entries.push(("all/p99".to_string(), percentile(&all, 0.99), total as u64));
+    entries.push((
+        "all/p50".to_string(),
+        all_h.quantile(0.50) as f64,
+        total as u64,
+    ));
+    entries.push((
+        "all/p99".to_string(),
+        all_h.quantile(0.99) as f64,
+        total as u64,
+    ));
     // Throughput rides in the shared envelope as requests/second (not us).
     entries.push(("all/throughput_rps".to_string(), throughput, total as u64));
     entries.push(("all/wall_clock".to_string(), wall_us as f64, total as u64));

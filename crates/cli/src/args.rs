@@ -11,14 +11,14 @@ USAGE:
                           -k K -d DELTA [--bound cd|cp|d|h|ch|none] [--basic]
                           [--no-heuristic] [--weak] [--strong] [--threads N]
                           [--time-limit SECS] [--node-limit N] [--top N]
-                          [--format text|json] [--verbose]
+                          [--format text|json] [--trace FILE] [--verbose]
   maxfairclique enumerate --graph FILE | --edges FILE [--attributes FILE]
                           -k K -d DELTA [--weak] [--strong] [--limit N]
                           [--min-size S] [--format text|jsonl] [--threads N]
-                          [--time-limit SECS] [--node-limit N]
+                          [--time-limit SECS] [--node-limit N] [--trace FILE]
   maxfairclique update    --graph FILE | --edges FILE [--attributes FILE]
                           --stream FILE -k K -d DELTA [--weak] [--strong]
-                          [--enumerate] [--threads N]
+                          [--enumerate] [--threads N] [--trace FILE]
   maxfairclique heuristic --graph FILE | --edges FILE [--attributes FILE]
                           -k K -d DELTA [--seeds N] [--weak] [--strong]
   maxfairclique reduce    --graph FILE | --edges FILE [--attributes FILE]
@@ -35,7 +35,8 @@ USAGE:
   maxfairclique client    --connect HOST:PORT
                           ( --load NAME --path FILE | --solve NAME
                           | --enumerate NAME | --update NAME --stream FILE
-                          | --stats | --ping | --shutdown | --raw LINE )
+                          | --stats | --metrics | --ping | --shutdown
+                          | --raw LINE )
                           [-k K] [-d DELTA] [--weak] [--strong] [--top N]
                           [--limit N] [--min-size S] [--time-limit SECS]
                           [--node-limit N]
@@ -70,6 +71,9 @@ OPTIONS:
   --format F          output format: solve takes text (default) or json (one
                       machine-readable object); enumerate takes text (default)
                       or jsonl (one JSON object per clique, pipe-safe)
+  --trace FILE        write a hierarchical span trace of the run to FILE as
+                      JSONL (one open/close event per line; see the README
+                      \"Observability\" section for the schema)
   --stream FILE       JSONL update stream for `update` (one op per line:
                       insert_edge, remove_edge, insert_vertex, restore_vertex,
                       remove_vertex, commit; see the README \"Dynamic graphs\"
@@ -106,6 +110,8 @@ SERVING (see the README \"Serving\" section for the wire protocol):
   --solve NAME        client: maximum fair clique query against NAME
   --update NAME       client: apply the `--stream` JSONL ops to NAME
   --stats             client: fetch daemon statistics
+  --metrics           client: dump the daemon's metrics registry (Prometheus
+                      text exposition format)
   --ping              client: health check
   --shutdown          client: stop the daemon
   --raw LINE          client: send one raw protocol line verbatim
@@ -177,6 +183,8 @@ pub enum Command {
         top: Option<usize>,
         /// Output format (text or one JSON object).
         format: OutputFormat,
+        /// Write a JSONL span trace of the run to this path.
+        trace: Option<String>,
         /// Also print memory-footprint estimates.
         verbose: bool,
     },
@@ -202,6 +210,8 @@ pub enum Command {
         time_limit: Option<f64>,
         /// Branch-node budget for the enumeration.
         node_limit: Option<u64>,
+        /// Write a JSONL span trace of the run to this path.
+        trace: Option<String>,
     },
     /// Replay a JSONL update stream, re-solving incrementally at every commit.
     Update {
@@ -219,6 +229,8 @@ pub enum Command {
         enumerate: bool,
         /// Worker threads for the per-commit re-solves (`None`: default, all cores).
         threads: Option<usize>,
+        /// Write a JSONL span trace of the replay to this path.
+        trace: Option<String>,
     },
     /// Linear-time heuristic only.
     Heuristic {
@@ -363,6 +375,8 @@ pub enum ClientAction {
     },
     /// Fetch daemon statistics.
     Stats,
+    /// Dump the daemon's metrics registry (Prometheus text exposition format).
+    Metrics,
     /// Health check.
     Ping,
     /// Stop the daemon.
@@ -406,6 +420,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 | "--node-limit"
                 | "--top"
                 | "--format"
+                | "--trace"
                 | "--limit"
                 | "--min-size"
                 | "--seeds"
@@ -561,6 +576,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 node_limit: node_limit()?,
                 top,
                 format,
+                trace: get("--trace"),
                 verbose: has("--verbose"),
             })
         }
@@ -592,6 +608,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 threads: threads()?,
                 time_limit: time_limit()?,
                 node_limit: node_limit()?,
+                trace: get("--trace"),
             })
         }
         "update" => Ok(Command::Update {
@@ -603,6 +620,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             fairness: fairness()?,
             enumerate: has("--enumerate"),
             threads: threads()?,
+            trace: get("--trace"),
         }),
         "heuristic" => Ok(Command::Heuristic {
             input: input()?,
@@ -710,6 +728,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 has("--enumerate"),
                 has("--update"),
                 has("--stats"),
+                has("--metrics"),
                 has("--ping"),
                 has("--shutdown"),
                 has("--raw"),
@@ -718,7 +737,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 return Err(
                     "`client` needs exactly one action: `--load NAME --path FILE`, \
                      `--solve NAME`, `--enumerate NAME`, `--update NAME --stream FILE`, \
-                     `--stats`, `--ping`, `--shutdown`, or `--raw LINE`"
+                     `--stats`, `--metrics`, `--ping`, `--shutdown`, or `--raw LINE`"
                         .to_string(),
                 );
             }
@@ -778,6 +797,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 ClientAction::Raw { line }
             } else if has("--stats") {
                 ClientAction::Stats
+            } else if has("--metrics") {
+                ClientAction::Metrics
             } else if has("--ping") {
                 ClientAction::Ping
             } else {
@@ -824,6 +845,7 @@ mod tests {
                 node_limit,
                 top,
                 format,
+                trace,
                 verbose,
             } => {
                 assert_eq!(input, GraphInput::Combined("g.graph".into()));
@@ -834,6 +856,7 @@ mod tests {
                 assert_eq!(threads, None);
                 assert_eq!((time_limit, node_limit, top), (None, None, None));
                 assert_eq!(format, OutputFormat::Text);
+                assert_eq!(trace, None);
                 assert!(!verbose);
             }
             other => panic!("unexpected {other:?}"),
@@ -843,7 +866,7 @@ mod tests {
     #[test]
     fn parses_solve_with_everything() {
         let cmd = parse(&argv(
-            "solve --edges e.txt --attributes a.txt -k 4 -d 2 --bound cp --basic --no-heuristic --strong --threads 4 --time-limit 2.5 --node-limit 1000 --top 3 --format json --verbose",
+            "solve --edges e.txt --attributes a.txt -k 4 -d 2 --bound cp --basic --no-heuristic --strong --threads 4 --time-limit 2.5 --node-limit 1000 --top 3 --format json --trace t.jsonl --verbose",
         ))
         .unwrap();
         match cmd {
@@ -860,6 +883,7 @@ mod tests {
                 node_limit,
                 top,
                 format,
+                trace,
                 verbose,
             } => {
                 assert_eq!(
@@ -878,6 +902,7 @@ mod tests {
                 assert_eq!(node_limit, Some(1000));
                 assert_eq!(top, Some(3));
                 assert_eq!(format, OutputFormat::Json);
+                assert_eq!(trace.as_deref(), Some("t.jsonl"));
                 assert!(verbose);
             }
             other => panic!("unexpected {other:?}"),
@@ -919,6 +944,7 @@ mod tests {
                 threads,
                 time_limit,
                 node_limit,
+                trace,
             } => {
                 assert_eq!(input, GraphInput::Combined("g.graph".into()));
                 assert_eq!((k, delta), (2, 1));
@@ -926,11 +952,12 @@ mod tests {
                 assert_eq!((limit, min_size), (None, 0));
                 assert_eq!(format, OutputFormat::Text);
                 assert_eq!((threads, time_limit, node_limit), (None, None, None));
+                assert_eq!(trace, None);
             }
             other => panic!("unexpected {other:?}"),
         }
         match parse(&argv(
-            "enumerate --edges e.txt -k 3 --weak --limit 10 --min-size 8 --format jsonl --threads 2 --time-limit 1.5 --node-limit 99",
+            "enumerate --edges e.txt -k 3 --weak --limit 10 --min-size 8 --format jsonl --threads 2 --time-limit 1.5 --node-limit 99 --trace t.jsonl",
         ))
         .unwrap()
         {
@@ -943,6 +970,7 @@ mod tests {
                 threads,
                 time_limit,
                 node_limit,
+                trace,
                 ..
             } => {
                 assert_eq!(k, 3);
@@ -953,6 +981,7 @@ mod tests {
                 assert_eq!(threads, Some(2));
                 assert_eq!(time_limit, Some(1.5));
                 assert_eq!(node_limit, Some(99));
+                assert_eq!(trace.as_deref(), Some("t.jsonl"));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1053,6 +1082,7 @@ mod tests {
                 fairness,
                 enumerate,
                 threads,
+                trace,
             } => {
                 assert_eq!(input, GraphInput::Combined("g.graph".into()));
                 assert_eq!(stream, "s.jsonl");
@@ -1060,6 +1090,7 @@ mod tests {
                 assert_eq!(fairness, Fairness::Strong);
                 assert!(enumerate);
                 assert_eq!(threads, Some(2));
+                assert_eq!(trace, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1187,6 +1218,13 @@ mod tests {
             }
         ));
         assert!(matches!(
+            parse(&argv("client --connect h:1 --metrics")).unwrap(),
+            Command::Client {
+                action: ClientAction::Metrics,
+                ..
+            }
+        ));
+        assert!(matches!(
             parse(&argv("client --connect h:1 --shutdown")).unwrap(),
             Command::Client {
                 action: ClientAction::Shutdown,
@@ -1211,6 +1249,7 @@ mod tests {
         assert!(parse(&argv("client --solve g")).is_err()); // missing --connect
         assert!(parse(&argv("client --connect h:1")).is_err()); // no action
         assert!(parse(&argv("client --connect h:1 --solve g --stats")).is_err()); // two actions
+        assert!(parse(&argv("client --connect h:1 --metrics --ping")).is_err()); // two actions
         assert!(parse(&argv("client --connect h:1 --load g")).is_err()); // missing --path
         assert!(parse(&argv("client --connect h:1 --update g")).is_err()); // missing --stream
         assert!(parse(&argv("client --connect h:1 --solve g --top 0")).is_err());

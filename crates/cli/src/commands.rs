@@ -106,6 +106,19 @@ impl AnySolver {
     }
 }
 
+/// Installs a JSONL file sink for `--trace FILE`. The returned guard keeps tracing
+/// enabled for the rest of the command and flushes + closes the file on drop.
+fn install_trace(trace: Option<&str>) -> Result<Option<rfc_obs::trace::TraceGuard>, String> {
+    match trace {
+        None => Ok(None),
+        Some(path) => {
+            let sink =
+                rfc_obs::trace::FileSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Some(rfc_obs::trace::install(Box::new(sink))))
+        }
+    }
+}
+
 /// Maps the CLI `--threads N` value onto a search [`ThreadCount`]: absent or `0` means
 /// all cores, `1` means the deterministic serial path, anything else a fixed pool.
 fn thread_count(threads: Option<usize>) -> ThreadCount {
@@ -266,8 +279,10 @@ pub fn run(command: Command) -> Result<(), String> {
             node_limit,
             top,
             format,
+            trace,
             verbose,
         } => {
+            let _trace_guard = install_trace(trace.as_deref())?;
             let model = fairness_model(fairness, k, delta);
             let config = if basic {
                 SearchConfig::basic()
@@ -382,7 +397,9 @@ pub fn run(command: Command) -> Result<(), String> {
             threads,
             time_limit,
             node_limit,
+            trace,
         } => {
+            let _trace_guard = install_trace(trace.as_deref())?;
             let model = fairness_model(fairness, k, delta);
             let query = EnumQuery::new(model)
                 .with_min_size(min_size)
@@ -477,7 +494,9 @@ pub fn run(command: Command) -> Result<(), String> {
             fairness,
             enumerate,
             threads,
+            trace,
         } => {
+            let _trace_guard = install_trace(trace.as_deref())?;
             let graph = load_graph(&input)?;
             let model = fairness_model(fairness, k, delta);
             let ops = load_update_stream(&stream)?;
@@ -858,6 +877,7 @@ fn client_request_line(action: ClientAction) -> Result<String, String> {
             Request::Update { graph, ops }.to_line()
         }
         ClientAction::Stats => Request::Stats.to_line(),
+        ClientAction::Metrics => Request::Metrics.to_line(),
         ClientAction::Ping => Request::Ping { sleep_ms: 0 }.to_line(),
         ClientAction::Shutdown => Request::Shutdown.to_line(),
         ClientAction::Raw { line } => line,
@@ -894,9 +914,15 @@ fn run_client(out: &mut Output, connect: &str, action: ClientAction) -> Result<(
             ));
         }
         let response = raw.trim_end();
-        outln!(out, "{response}");
         let value = JsonValue::parse(response)
             .map_err(|e| format!("{connect}: unparseable response: {e}"))?;
+        // A `metrics` response carries multi-line exposition text; print the text
+        // itself instead of the JSON envelope so the output pipes into Prometheus
+        // tooling directly. Everything else echoes the raw response line.
+        match value.get("exposition").and_then(JsonValue::as_str) {
+            Some(exposition) => outln!(out, "{exposition}"),
+            None => outln!(out, "{response}"),
+        }
         if !protocol::is_terminal(&value) {
             continue; // an enumerate stream line; keep reading
         }
@@ -1108,6 +1134,55 @@ mod tests {
         std::fs::remove_file(&rfcg_path).ok();
         std::fs::remove_file(&text_path).ok();
         std::fs::remove_file(&rfcg2_path).ok();
+    }
+
+    #[test]
+    fn solve_with_trace_writes_balanced_jsonl() {
+        let graph_path = temp_path("trace_base.graph");
+        let trace_path = temp_path("trace_out.jsonl");
+        let graph_arg = graph_path.to_string_lossy().to_string();
+        let trace_arg = trace_path.to_string_lossy().to_string();
+        run(parse(&argv(&format!(
+            "generate --case-study nba --output {graph_arg}"
+        )))
+        .unwrap())
+        .unwrap();
+        run(parse(&argv(&format!(
+            "solve --graph {graph_arg} -k 5 -d 3 --threads 1 --trace {trace_arg}"
+        )))
+        .unwrap())
+        .unwrap();
+
+        // Every line parses, opens balance closes, and the root solve span is there.
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let (mut opens, mut closes, mut saw_solve) = (0u64, 0u64, false);
+        for line in text.lines() {
+            let v = JsonValue::parse(line).expect("trace line parses");
+            match v.get("ev").and_then(JsonValue::as_str) {
+                Some("open") => opens += 1,
+                Some("close") => {
+                    closes += 1;
+                    if v.get("name").and_then(JsonValue::as_str) == Some("solve") {
+                        saw_solve = true;
+                        assert!(v.get("dur_us").is_some());
+                    }
+                }
+                other => panic!("unexpected trace event {other:?}"),
+            }
+        }
+        assert!(opens > 0, "trace is empty");
+        assert_eq!(opens, closes, "unbalanced spans");
+        assert!(saw_solve, "no solve span in the trace");
+
+        // An unwritable trace path is a clean error, not a panic.
+        assert!(run(parse(&argv(&format!(
+            "solve --graph {graph_arg} -k 5 -d 3 --trace /definitely/missing/dir/t.jsonl"
+        )))
+        .unwrap())
+        .is_err());
+
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&trace_path).ok();
     }
 
     #[test]

@@ -422,6 +422,7 @@ impl DynamicRfcSolver {
     /// the batch can affect (see the [module docs](self) for the rules). Cheap when
     /// the batch is empty or cancels out.
     pub fn commit(&mut self) -> CommitOutcome {
+        let commit_span = rfc_obs::trace::span("commit");
         let ops = self.pending_ops;
         self.pending_ops = 0;
         self.removed_vertices = self.delta.tombstones();
@@ -440,7 +441,7 @@ impl DynamicRfcSolver {
                 .values()
                 .filter(|e| matches!(e.state, EntryState::Current { .. }))
                 .count();
-            return CommitOutcome {
+            let outcome = CommitOutcome {
                 ops,
                 changed_vertices: changed.len(),
                 reductions_kept: kept,
@@ -448,6 +449,8 @@ impl DynamicRfcSolver {
                 num_vertices: self.graph.num_vertices(),
                 num_edges: self.graph.num_edges(),
             };
+            flush_commit_metrics(commit_span, &outcome);
+            return outcome;
         }
         let new_graph = delta.apply(&self.graph);
         let refresh_vertex_space = delta.changes_vertex_space();
@@ -496,14 +499,16 @@ impl DynamicRfcSolver {
         }
         self.graph = new_graph;
         self.num_colors = greedy_coloring(&self.graph).num_colors;
-        CommitOutcome {
+        let outcome = CommitOutcome {
             ops,
             changed_vertices: changed.len(),
             reductions_kept: kept,
             reductions_invalidated: invalidated,
             num_vertices: self.graph.num_vertices(),
             num_edges: self.graph.num_edges(),
-        }
+        };
+        flush_commit_metrics(commit_span, &outcome);
+        outcome
     }
 
     /// Answers one query against the committed graph, re-searching only components
@@ -555,14 +560,16 @@ impl DynamicRfcSolver {
         let cache_key =
             |canon: &Arc<CanonicalComponent>| (query.fairness, capacity, Arc::clone(canon));
         let mut per_comp: Vec<Option<Arc<Vec<Vec<u32>>>>> = vec![None; components.len()];
-        {
+        let cache_before = {
             let entry = self.entries.get_mut(&key).expect("entry was just ensured");
+            let before = entry.solve_cache.stats();
             for (i, c) in components.iter().enumerate() {
                 if shard.owns(i) {
                     per_comp[i] = entry.solve_cache.get(&cache_key(&c.canon)).cloned();
                 }
             }
-        }
+            before
+        };
         let misses: Vec<usize> = (0..components.len())
             .filter(|&i| shard.owns(i) && per_comp[i].is_none())
             .collect();
@@ -596,6 +603,7 @@ impl DynamicRfcSolver {
                 }
                 per_comp[i] = Some(cliques);
             }
+            flush_cache_metrics("solve", &cache_before, &entry.solve_cache.stats());
         }
 
         // Merge the per-component pools: all cliques, largest first, ties broken by
@@ -629,6 +637,7 @@ impl DynamicRfcSolver {
             None => Termination::Optimal,
         };
         stats.elapsed_micros = start.elapsed().as_micros() as u64;
+        crate::solver::flush_search_metrics(&stats);
         Ok(Solution {
             cliques,
             termination,
@@ -690,15 +699,17 @@ impl DynamicRfcSolver {
         let cache_key =
             |canon: &Arc<CanonicalComponent>| (query.fairness, min_size, Arc::clone(canon));
         let mut per_comp: Vec<Option<Arc<Vec<Vec<u32>>>>> = vec![None; eligible.len()];
-        {
+        let cache_before = {
             let entry = self.entries.get_mut(&key).expect("entry was just ensured");
+            let before = entry.enum_cache.stats();
             for (slot, &i) in eligible.iter().enumerate() {
                 per_comp[slot] = entry
                     .enum_cache
                     .get(&cache_key(&components[i].canon))
                     .cloned();
             }
-        }
+            before
+        };
         let misses: Vec<usize> = (0..eligible.len())
             .filter(|&slot| per_comp[slot].is_none())
             .collect();
@@ -736,6 +747,7 @@ impl DynamicRfcSolver {
                 }
                 per_comp[slot] = Some(cliques);
             }
+            flush_cache_metrics("enumerate", &cache_before, &entry.enum_cache.stats());
         }
 
         // Emission: components in discovery order; cached components replay their
@@ -907,6 +919,42 @@ impl DynamicRfcSolver {
                 components,
             } => (Arc::clone(reduced), Arc::clone(components)),
             EntryState::Stale { .. } => unreachable!("ensure_entry left a stale entry"),
+        }
+    }
+}
+
+/// Publishes one commit's splice decisions into the global metrics registry and onto
+/// the commit's trace span.
+fn flush_commit_metrics(mut span: rfc_obs::trace::Span, outcome: &CommitOutcome) {
+    span.counter("ops", outcome.ops as u64);
+    span.counter("changed_vertices", outcome.changed_vertices as u64);
+    span.counter("reductions_kept", outcome.reductions_kept as u64);
+    span.counter(
+        "reductions_invalidated",
+        outcome.reductions_invalidated as u64,
+    );
+    let m = rfc_obs::metrics::global();
+    m.counter("rfc_dynamic_commits_total").inc();
+    m.counter("rfc_dynamic_reductions_kept_total")
+        .add(outcome.reductions_kept as u64);
+    m.counter("rfc_dynamic_reductions_invalidated_total")
+        .add(outcome.reductions_invalidated as u64);
+}
+
+/// Publishes one dynamic query's per-component cache activity (the delta between two
+/// [`CacheStats`] snapshots) as `rfc_dynamic_cache_*{kind=...}` counters.
+fn flush_cache_metrics(kind: &str, before: &CacheStats, after: &CacheStats) {
+    let m = rfc_obs::metrics::global();
+    for (name, delta) in [
+        ("hits", after.hits - before.hits),
+        ("misses", after.misses - before.misses),
+        ("evictions", after.evictions - before.evictions),
+    ] {
+        if delta > 0 {
+            m.counter(&format!(
+                "rfc_dynamic_cache_{name}_total{{kind=\"{kind}\"}}"
+            ))
+            .add(delta);
         }
     }
 }

@@ -89,7 +89,7 @@ pub use enumerate::{
 };
 pub use problem::{FairClique, FairCliqueParams, FairnessModel, ParamError};
 pub use scale::{ScaleError, ScaleSolver, ScaleStats};
-pub use search::{max_fair_clique, SearchConfig, SearchOutcome, SearchStats};
+pub use search::{max_fair_clique, PruneCounts, SearchConfig, SearchOutcome, SearchStats};
 pub use solver::{
     Budget, CancelToken, Objective, Query, RfcSolver, Solution, SolveError, Termination,
 };
@@ -106,7 +106,8 @@ pub mod prelude {
     pub use crate::problem::{FairClique, FairCliqueParams, FairnessModel};
     pub use crate::reduction::{ReductionConfig, ReductionStats};
     pub use crate::search::{
-        max_fair_clique, BranchOrder, SearchConfig, SearchOutcome, SearchStats, ThreadCount,
+        max_fair_clique, BranchOrder, PruneCounts, SearchConfig, SearchOutcome, SearchStats,
+        ThreadCount,
     };
     pub use crate::solver::{
         Budget, CancelToken, Objective, Query, RfcSolver, Solution, SolveError, Termination,

@@ -141,37 +141,59 @@ pub fn apply_reductions(
     let mut current = g.clone();
 
     if config.en_colorful_core {
-        let t = std::time::Instant::now();
-        current = colorful_core::en_colorful_core_reduction(&current, params.k);
-        stats.stages.push(StageStats {
-            stage: "EnColorfulCore",
-            vertices: current.num_non_isolated_vertices(),
-            edges: current.num_edges(),
-            micros: t.elapsed().as_micros() as u64,
-        });
+        current = run_stage(
+            &current,
+            "EnColorfulCore",
+            "reduce/EnColorfulCore",
+            &mut stats,
+            |g| colorful_core::en_colorful_core_reduction(g, params.k),
+        );
     }
     if config.colorful_sup {
-        let t = std::time::Instant::now();
-        current = colorful_sup::colorful_sup_reduction(&current, params.k);
-        stats.stages.push(StageStats {
-            stage: "ColorfulSup",
-            vertices: current.num_non_isolated_vertices(),
-            edges: current.num_edges(),
-            micros: t.elapsed().as_micros() as u64,
-        });
+        current = run_stage(
+            &current,
+            "ColorfulSup",
+            "reduce/ColorfulSup",
+            &mut stats,
+            |g| colorful_sup::colorful_sup_reduction(g, params.k),
+        );
     }
     if config.en_colorful_sup {
-        let t = std::time::Instant::now();
-        current = en_colorful_sup::en_colorful_sup_reduction(&current, params.k);
-        stats.stages.push(StageStats {
-            stage: "EnColorfulSup",
-            vertices: current.num_non_isolated_vertices(),
-            edges: current.num_edges(),
-            micros: t.elapsed().as_micros() as u64,
-        });
+        current = run_stage(
+            &current,
+            "EnColorfulSup",
+            "reduce/EnColorfulSup",
+            &mut stats,
+            |g| en_colorful_sup::en_colorful_sup_reduction(g, params.k),
+        );
     }
 
     (current, stats)
+}
+
+/// Runs one reduction stage inside a trace span, recording its surviving graph size
+/// both as [`StageStats`] and as span counters.
+fn run_stage(
+    current: &AttributedGraph,
+    stage: &'static str,
+    span_name: &'static str,
+    stats: &mut ReductionStats,
+    reduce: impl FnOnce(&AttributedGraph) -> AttributedGraph,
+) -> AttributedGraph {
+    let mut span = rfc_obs::trace::span(span_name);
+    let t = std::time::Instant::now();
+    let next = reduce(current);
+    let vertices = next.num_non_isolated_vertices();
+    let edges = next.num_edges();
+    span.counter("vertices", vertices as u64);
+    span.counter("edges", edges as u64);
+    stats.stages.push(StageStats {
+        stage,
+        vertices,
+        edges,
+        micros: t.elapsed().as_micros() as u64,
+    });
+    next
 }
 
 #[cfg(test)]

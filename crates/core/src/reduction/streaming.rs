@@ -45,6 +45,9 @@ pub struct PeelStats {
     pub surviving_vertices: usize,
     /// Targeted random-access adjacency reads performed by the cascade.
     pub cascade_reads: u64,
+    /// Peeling waves until the fixpoint: the seed scan's failures are round 1, the
+    /// deaths they trigger are round 2, and so on. 0 means nothing was peeled.
+    pub rounds: u64,
     /// Wall-clock time of the initial sequential scan, in microseconds.
     pub scan_micros: u64,
     /// Wall-clock time of the peeling cascade, in microseconds.
@@ -118,36 +121,44 @@ pub fn fair_core_peel<S: GraphStore + ?Sized>(store: &S, k: usize) -> io::Result
     })?;
     stats.scan_micros = t.elapsed().as_micros() as u64;
 
-    // Pass 2: cascade. Seed the worklist with every vertex that already fails,
-    // then propagate deaths through targeted adjacency reads.
+    // Pass 2: cascade, in waves: every vertex the seed scan kills is round 1, the
+    // deaths those removals trigger are round 2, and so on until the fixpoint. The
+    // wave structure changes only the processing order (the surviving set is the
+    // same fixpoint regardless) and gives the peel a meaningful depth counter.
     let t = std::time::Instant::now();
-    let mut worklist: Vec<VertexId> = Vec::new();
+    let mut frontier: Vec<VertexId> = Vec::new();
     for v in 0..n {
         if !meets_criterion(k, store.attribute(v as VertexId), cnt_a[v], cnt_b[v]) {
             alive[v] = false;
-            worklist.push(v as VertexId);
+            frontier.push(v as VertexId);
         }
     }
     let mut buf: Vec<VertexId> = Vec::new();
-    while let Some(dead) = worklist.pop() {
-        buf.clear();
-        store.neighbors_into(dead, &mut buf)?;
-        stats.cascade_reads += 1;
-        let dead_attr = store.attribute(dead);
-        for &u in &buf {
-            let ui = u as usize;
-            if !alive[ui] {
-                continue;
-            }
-            match dead_attr {
-                Attribute::A => cnt_a[ui] -= 1,
-                Attribute::B => cnt_b[ui] -= 1,
-            }
-            if !meets_criterion(k, store.attribute(u), cnt_a[ui], cnt_b[ui]) {
-                alive[ui] = false;
-                worklist.push(u);
+    let mut next: Vec<VertexId> = Vec::new();
+    while !frontier.is_empty() {
+        stats.rounds += 1;
+        for &dead in &frontier {
+            buf.clear();
+            store.neighbors_into(dead, &mut buf)?;
+            stats.cascade_reads += 1;
+            let dead_attr = store.attribute(dead);
+            for &u in &buf {
+                let ui = u as usize;
+                if !alive[ui] {
+                    continue;
+                }
+                match dead_attr {
+                    Attribute::A => cnt_a[ui] -= 1,
+                    Attribute::B => cnt_b[ui] -= 1,
+                }
+                if !meets_criterion(k, store.attribute(u), cnt_a[ui], cnt_b[ui]) {
+                    alive[ui] = false;
+                    next.push(u);
+                }
             }
         }
+        frontier.clear();
+        std::mem::swap(&mut frontier, &mut next);
     }
     stats.cascade_micros = t.elapsed().as_micros() as u64;
     stats.surviving_vertices = alive.iter().filter(|&&a| a).count();
@@ -339,10 +350,20 @@ mod tests {
         for v in [6u32, 7, 9, 10, 11, 12, 13, 14] {
             assert!(peel.alive[v as usize], "lost clique vertex {v}");
         }
-        // A huge k kills everything.
+        // Something was peeled, so the cascade ran at least one wave, and each
+        // wave performs at least one targeted read.
+        assert!(peel.stats.rounds >= 1);
+        assert!(peel.stats.cascade_reads >= peel.stats.rounds);
+        // A huge k kills everything in the seed scan: exactly one wave.
         let peel = fair_core_peel(&g, 100).unwrap();
         assert_eq!(peel.stats.surviving_vertices, 0);
         assert!(peel.survivors().is_empty());
+        assert_eq!(peel.stats.rounds, 1);
+        // When nothing dies, no wave runs at all.
+        let clique = fixtures::balanced_clique(6);
+        let peel = fair_core_peel(&clique, 1).unwrap();
+        assert_eq!(peel.stats.surviving_vertices, clique.num_vertices());
+        assert_eq!(peel.stats.rounds, 0);
     }
 
     #[test]

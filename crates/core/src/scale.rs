@@ -83,6 +83,9 @@ pub struct ScaleStats {
     pub residual_vertices: usize,
     /// Edges in the extracted residual.
     pub residual_edges: usize,
+    /// Adjacency bytes the backing store served from disk while peeling and
+    /// extracting (0 for in-memory or resident-mode stores).
+    pub disk_read_bytes: u64,
 }
 
 /// A solver for graphs that live in a [`GraphStore`]: out-of-core peel once at
@@ -100,9 +103,22 @@ impl ScaleSolver {
     /// Peels the store at parameter `k` (sound for every fairness model with the
     /// same or larger `k`) and builds the in-memory solver on the residual.
     pub fn from_store<S: GraphStore + ?Sized>(store: &S, k: usize) -> io::Result<Self> {
-        let peel = fair_core_peel(store, k)?;
+        let peel = {
+            let mut span = rfc_obs::trace::span("scale/peel");
+            let peel = fair_core_peel(store, k)?;
+            span.counter("rounds", peel.stats.rounds);
+            span.counter("cascade_reads", peel.stats.cascade_reads);
+            span.counter("survivors", peel.stats.surviving_vertices as u64);
+            peel
+        };
         let t = std::time::Instant::now();
-        let Residual { graph, vertex_map } = extract_residual(store, &peel.alive)?;
+        let (graph, vertex_map) = {
+            let mut span = rfc_obs::trace::span("scale/extract");
+            let Residual { graph, vertex_map } = extract_residual(store, &peel.alive)?;
+            span.counter("vertices", graph.num_vertices() as u64);
+            span.counter("edges", graph.num_edges() as u64);
+            (graph, vertex_map)
+        };
         let extract_micros = t.elapsed().as_micros() as u64;
         let stats = ScaleStats {
             store_vertices: store.num_vertices(),
@@ -111,7 +127,9 @@ impl ScaleSolver {
             extract_micros,
             residual_vertices: graph.num_vertices(),
             residual_edges: graph.num_edges(),
+            disk_read_bytes: store.disk_bytes_read(),
         };
+        flush_scale_metrics(&stats);
         Ok(Self {
             solver: RfcSolver::new(graph),
             vertex_map,
@@ -203,6 +221,20 @@ impl ScaleSolver {
             |clique: FairClique| -> SinkFlow { sink.emit(self.remap_clique(clique)) };
         Ok(self.solver.enumerate(query, &mut remapping)?)
     }
+}
+
+/// Publishes one store → residual pass into the global metrics registry.
+fn flush_scale_metrics(stats: &ScaleStats) {
+    let reg = rfc_obs::metrics::global();
+    reg.counter("rfc_scale_peels_total").inc();
+    reg.counter("rfc_scale_peel_rounds_total")
+        .add(stats.peel.rounds);
+    reg.counter("rfc_scale_cascade_reads_total")
+        .add(stats.peel.cascade_reads);
+    reg.counter("rfc_scale_disk_read_bytes_total")
+        .add(stats.disk_read_bytes);
+    reg.gauge("rfc_scale_residual_vertices")
+        .set(stats.residual_vertices as i64);
 }
 
 #[cfg(test)]

@@ -228,11 +228,13 @@ impl<'a> ComponentSearch<'a> {
         let reach_b = counts.b() + cand_b;
         if reach_a < params.k || reach_b < params.k {
             self.stats.feasibility_prunes += 1;
+            self.stats.prune_counts.attr_reach += 1;
             return;
         }
         // δ-feasibility: the committed majority can never be balanced out.
         if counts.a() > reach_b + params.delta || counts.b() > reach_a + params.delta {
             self.stats.feasibility_prunes += 1;
+            self.stats.prune_counts.delta += 1;
             return;
         }
         // Trivial size bound (ubs) and minimum-size gate. `useful` is the smallest
@@ -243,17 +245,20 @@ impl<'a> ComponentSearch<'a> {
         let ubs = self.r.len() + cand_total;
         if ubs < useful || ubs < params.min_size() {
             self.stats.bound_prunes += 1;
+            self.stats.prune_counts.size_bound += 1;
             return;
         }
         // Attribute bound (uba) — still O(1) from the counts above.
         match params.best_fair_total(reach_a, reach_b) {
             None => {
                 self.stats.feasibility_prunes += 1;
+                self.stats.prune_counts.attr_infeasible += 1;
                 return;
             }
             Some(uba) => {
                 if uba < useful || uba < params.min_size() {
                     self.stats.bound_prunes += 1;
+                    self.stats.prune_counts.attr_bound += 1;
                     return;
                 }
             }
@@ -270,6 +275,7 @@ impl<'a> ComponentSearch<'a> {
             let ub = instance_upper_bound(cg, &instance, params, bounds);
             if ub < useful || ub < params.min_size() {
                 self.stats.bound_prunes += 1;
+                self.stats.prune_counts.colorful_bound += 1;
                 return;
             }
         }
@@ -290,6 +296,7 @@ impl<'a> ComponentSearch<'a> {
             let goal = self.incumbent.useful_size().max(params.min_size());
             if self.r.len() + remaining < goal {
                 self.stats.bound_prunes += 1;
+                self.stats.prune_counts.tail_cut += 1;
                 break;
             }
             rest.remove(rank);

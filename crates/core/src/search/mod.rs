@@ -123,6 +123,77 @@ impl SearchConfig {
     }
 }
 
+/// Per-reason breakdown of the prune counters, one field per cut site in the
+/// branch-and-bound recursion.
+///
+/// The aggregate [`SearchStats::feasibility_prunes`] and [`SearchStats::bound_prunes`]
+/// counters partition exactly into these reasons:
+/// `feasibility_prunes == attr_reach + delta + attr_infeasible` and
+/// `bound_prunes == size_bound + attr_bound + colorful_bound + tail_cut` — the
+/// invariant [`consistent_with`](Self::consistent_with) checks. The same names label
+/// the `rfc_search_prunes_total{reason=...}` metric series and trace counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneCounts {
+    /// Too few reachable vertices of one attribute to hit `k` (`reach < k`).
+    pub attr_reach: u64,
+    /// The committed attribute majority can never be balanced back within `δ`.
+    pub delta: u64,
+    /// No fair total exists for the reachable attribute counts (`uba` undefined).
+    pub attr_infeasible: u64,
+    /// Trivial size bound `|R| + |C|` below the useful/minimum size (`ubs`).
+    pub size_bound: u64,
+    /// Attribute-count upper bound `uba` below the useful/minimum size.
+    pub attr_bound: u64,
+    /// The expensive colorful instance bound cut a shallow node.
+    pub colorful_bound: u64,
+    /// Early exit of the branching loop: the remaining tail is too short.
+    pub tail_cut: u64,
+}
+
+impl PruneCounts {
+    /// Sum of the feasibility-cut reasons (must equal
+    /// [`SearchStats::feasibility_prunes`]).
+    pub fn feasibility(&self) -> u64 {
+        self.attr_reach + self.delta + self.attr_infeasible
+    }
+
+    /// Sum of the bound-cut reasons (must equal [`SearchStats::bound_prunes`]).
+    pub fn bound(&self) -> u64 {
+        self.size_bound + self.attr_bound + self.colorful_bound + self.tail_cut
+    }
+
+    /// `(reason, count)` pairs in a fixed order — the vocabulary shared by the JSON
+    /// stats output, the `reason` metric label and trace counters.
+    pub fn reasons(&self) -> [(&'static str, u64); 7] {
+        [
+            ("attr_reach", self.attr_reach),
+            ("delta", self.delta),
+            ("attr_infeasible", self.attr_infeasible),
+            ("size_bound", self.size_bound),
+            ("attr_bound", self.attr_bound),
+            ("colorful_bound", self.colorful_bound),
+            ("tail_cut", self.tail_cut),
+        ]
+    }
+
+    /// Whether this breakdown partitions the given aggregate counters exactly.
+    pub fn consistent_with(&self, feasibility_prunes: u64, bound_prunes: u64) -> bool {
+        self.feasibility() == feasibility_prunes && self.bound() == bound_prunes
+    }
+}
+
+impl std::ops::AddAssign<&PruneCounts> for PruneCounts {
+    fn add_assign(&mut self, rhs: &PruneCounts) {
+        self.attr_reach += rhs.attr_reach;
+        self.delta += rhs.delta;
+        self.attr_infeasible += rhs.attr_infeasible;
+        self.size_bound += rhs.size_bound;
+        self.attr_bound += rhs.attr_bound;
+        self.colorful_bound += rhs.colorful_bound;
+        self.tail_cut += rhs.tail_cut;
+    }
+}
+
 /// Counters describing one `max_fair_clique` run.
 ///
 /// In parallel mode every worker accumulates its own `SearchStats` and the per-worker
@@ -143,6 +214,9 @@ pub struct SearchStats {
     pub bound_prunes: u64,
     /// Branches cut by attribute-count or δ feasibility.
     pub feasibility_prunes: u64,
+    /// Per-reason breakdown of the two prune counters above; always partitions them
+    /// exactly (see [`PruneCounts::consistent_with`]).
+    pub prune_counts: PruneCounts,
     /// Number of times the incumbent improved during the search.
     pub incumbent_updates: u64,
     /// Number of connected components searched.
@@ -170,6 +244,7 @@ impl std::ops::AddAssign<&SearchStats> for SearchStats {
         self.branches += rhs.branches;
         self.bound_prunes += rhs.bound_prunes;
         self.feasibility_prunes += rhs.feasibility_prunes;
+        self.prune_counts += &rhs.prune_counts;
         self.incumbent_updates += rhs.incumbent_updates;
         self.components_searched += rhs.components_searched;
         self.elapsed_micros = self.elapsed_micros.max(rhs.elapsed_micros);
@@ -302,6 +377,9 @@ pub(crate) fn branch_and_bound(
                 break;
             }
             stats.components_searched += 1;
+            let mut span = rfc_obs::trace::span("component");
+            span.counter("vertices", component.len() as u64);
+            let branches_before = stats.branches;
             let ctx = branch::ComponentContext::new(reduced, component, config);
             scratch.reset(ctx.num_vertices());
             branch::ComponentSearch::new(
@@ -315,6 +393,7 @@ pub(crate) fn branch_and_bound(
                 &mut scratch,
             )
             .run();
+            span.counter("branches", stats.branches - branches_before);
         }
         stats.cpu_micros += busy.elapsed().as_micros() as u64;
     } else {
@@ -494,26 +573,69 @@ mod tests {
             branches: 100,
             bound_prunes: 10,
             feasibility_prunes: 20,
+            prune_counts: PruneCounts {
+                attr_reach: 11,
+                delta: 5,
+                attr_infeasible: 4,
+                size_bound: 4,
+                attr_bound: 3,
+                colorful_bound: 2,
+                tail_cut: 1,
+            },
             incumbent_updates: 1,
             components_searched: 2,
             elapsed_micros: 1_000,
             cpu_micros: 900,
         };
+        assert!(total
+            .prune_counts
+            .consistent_with(total.feasibility_prunes, total.bound_prunes));
         let worker = SearchStats {
             reduction: ReductionStats::default(),
             heuristic_size: Some(6),
             branches: 50,
             bound_prunes: 5,
             feasibility_prunes: 7,
+            prune_counts: PruneCounts {
+                attr_reach: 3,
+                delta: 2,
+                attr_infeasible: 2,
+                size_bound: 2,
+                attr_bound: 1,
+                colorful_bound: 1,
+                tail_cut: 1,
+            },
             incumbent_updates: 3,
             components_searched: 4,
             elapsed_micros: 500,
             cpu_micros: 450,
         };
+        assert!(worker
+            .prune_counts
+            .consistent_with(worker.feasibility_prunes, worker.bound_prunes));
         total += &worker;
         assert_eq!(total.branches, 150);
         assert_eq!(total.bound_prunes, 15);
         assert_eq!(total.feasibility_prunes, 27);
+        // The breakdown merges field-by-field and stays an exact partition of the
+        // aggregates — the drift this test exists to catch.
+        assert_eq!(
+            total.prune_counts,
+            PruneCounts {
+                attr_reach: 14,
+                delta: 7,
+                attr_infeasible: 6,
+                size_bound: 6,
+                attr_bound: 4,
+                colorful_bound: 3,
+                tail_cut: 2,
+            }
+        );
+        assert!(total
+            .prune_counts
+            .consistent_with(total.feasibility_prunes, total.bound_prunes));
+        let reason_sum: u64 = total.prune_counts.reasons().iter().map(|(_, n)| n).sum();
+        assert_eq!(reason_sum, total.feasibility_prunes + total.bound_prunes);
         assert_eq!(total.incumbent_updates, 4);
         assert_eq!(total.components_searched, 6);
         // Wall-clock takes the max (workers overlap in time); CPU busy time sums.
@@ -527,6 +649,29 @@ mod tests {
         fresh += &total;
         assert_eq!(fresh.reduction.original_edges, 20);
         assert_eq!(fresh.branches, 150);
+    }
+
+    #[test]
+    fn prune_breakdown_partitions_the_aggregates_on_real_runs() {
+        // Every prune site must bump its reason alongside the aggregate counter, in
+        // serial and parallel mode alike (the parallel merge sums the breakdown).
+        let g = fixtures::fig1_graph();
+        let params = FairCliqueParams::new(3, 1).unwrap();
+        for threads in [ThreadCount::Serial, ThreadCount::Fixed(3)] {
+            for config in all_configs() {
+                let outcome = max_fair_clique(&g, params, &config.with_threads(threads));
+                let stats = &outcome.stats;
+                assert!(
+                    stats
+                        .prune_counts
+                        .consistent_with(stats.feasibility_prunes, stats.bound_prunes),
+                    "breakdown {:?} vs feasibility={} bound={} (threads {threads:?})",
+                    stats.prune_counts,
+                    stats.feasibility_prunes,
+                    stats.bound_prunes,
+                );
+            }
+        }
     }
 
     #[test]

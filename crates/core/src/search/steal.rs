@@ -25,7 +25,7 @@
 //! for both solve (subtree tasks) and enumerate (component tasks).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Condvar, Mutex};
 use std::time::Duration;
 
@@ -36,6 +36,39 @@ use std::time::Duration;
 /// workers that *have* work — more often; 1ms is still far below any solve worth
 /// parallelizing.
 const IDLE_PARK: Duration = Duration::from_micros(1000);
+
+/// Scheduler activity counters, accumulated per pool run and flushed into the
+/// global `rfc-obs` metrics registry (`rfc_pool_*`) when the pool drains. Kept
+/// local to the run so the hot paths touch pool-owned cache lines, not global
+/// registry cells shared with unrelated pools.
+#[derive(Default)]
+struct PoolCounters {
+    /// Successful steal batches (one per victim raid, not per task moved).
+    steals: AtomicU64,
+    /// Times an idle worker parked on the condvar.
+    parks: AtomicU64,
+    /// Tasks that entered the pool (initial seeds + spawns).
+    spawned: AtomicU64,
+    /// Deepest any single worker deque got during the run.
+    max_queue: AtomicU64,
+}
+
+impl PoolCounters {
+    /// Publishes this run's activity into the process-wide metrics registry.
+    fn flush(&self, workers: usize) {
+        let m = rfc_obs::metrics::global();
+        m.counter("rfc_pool_runs_total").inc();
+        m.counter("rfc_pool_workers_total").add(workers as u64);
+        m.counter("rfc_pool_steals_total")
+            .add(self.steals.load(Ordering::Relaxed));
+        m.counter("rfc_pool_parks_total")
+            .add(self.parks.load(Ordering::Relaxed));
+        m.counter("rfc_pool_tasks_total")
+            .add(self.spawned.load(Ordering::Relaxed));
+        m.gauge("rfc_pool_max_queue_depth")
+            .fetch_max(self.max_queue.load(Ordering::Relaxed) as i64);
+    }
+}
 
 /// Shared scheduler state: injector, per-worker deques and the termination counter.
 struct Shared<T> {
@@ -54,6 +87,8 @@ struct Shared<T> {
     /// cores than workers an unconditional notify per spawn triggers a context
     /// switch storm during task-publish bursts.
     idlers: AtomicUsize,
+    /// Activity counters for observability (flushed when the pool drains).
+    counters: PoolCounters,
 }
 
 impl<T> Shared<T> {
@@ -87,10 +122,16 @@ impl<T> Spawner<'_, T> {
     /// candidate to keep, while older entries drift frontward toward thieves).
     pub(crate) fn spawn(&self, task: T) {
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        self.shared.deques[self.worker]
-            .lock()
-            .unwrap()
-            .push_back(task);
+        let depth = {
+            let mut deque = self.shared.deques[self.worker].lock().unwrap();
+            deque.push_back(task);
+            deque.len() as u64
+        };
+        self.shared.counters.spawned.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .max_queue
+            .fetch_max(depth, Ordering::Relaxed);
         self.shared.notify_one();
     }
 }
@@ -137,10 +178,14 @@ where
         idle_lock: Mutex::new(()),
         idle_cv: Condvar::new(),
         idlers: AtomicUsize::new(0),
+        counters: PoolCounters::default(),
     };
+    let seeded = shared.injector.lock().unwrap().len();
+    shared.pending.store(seeded, Ordering::SeqCst);
     shared
-        .pending
-        .store(shared.injector.lock().unwrap().len(), Ordering::SeqCst);
+        .counters
+        .spawned
+        .store(seeded as u64, Ordering::Relaxed);
     let start = Barrier::new(workers);
     let run_task = &run_task;
     let shared = &shared;
@@ -167,6 +212,7 @@ where
                     // missed-wakeup backstop. The `idlers` count makes this parked
                     // worker visible to spawners, which otherwise skip the notify.
                     let idle = shared.idle_lock.lock().unwrap();
+                    shared.counters.parks.fetch_add(1, Ordering::Relaxed);
                     shared.idlers.fetch_add(1, Ordering::SeqCst);
                     if shared.pending.load(Ordering::SeqCst) == 0 {
                         shared.idlers.fetch_sub(1, Ordering::SeqCst);
@@ -178,10 +224,12 @@ where
                 state
             }));
         }
-        handles
+        let states: Vec<S> = handles
             .into_iter()
             .map(|h| h.join().expect("pool worker panicked"))
-            .collect()
+            .collect();
+        shared.counters.flush(workers);
+        states
     })
 }
 
@@ -216,6 +264,7 @@ fn steal<T>(shared: &Shared<T>, worker: usize) -> Option<T> {
             Some(task) => task,
             None => continue,
         };
+        shared.counters.steals.fetch_add(1, Ordering::Relaxed);
         let rest: Vec<T> = batch.collect();
         if !rest.is_empty() {
             let mut own = shared.deques[worker].lock().unwrap();
@@ -305,6 +354,23 @@ mod tests {
     fn empty_pool_terminates() {
         let states = run_pool(3, Vec::<usize>::new(), vec![(); 3], |_, _, _| {});
         assert_eq!(states.len(), 3);
+    }
+
+    /// Pool activity must land in the process-wide metrics registry when the pool
+    /// drains. Other tests run pools concurrently in this binary, so only monotonic
+    /// lower bounds are asserted.
+    #[test]
+    fn pool_activity_flushes_into_global_metrics() {
+        let metrics = rfc_obs::metrics::global();
+        let runs_before = metrics.counter("rfc_pool_runs_total").get();
+        let tasks_before = metrics.counter("rfc_pool_tasks_total").get();
+        run_pool(2, vec![1usize, 2, 3], vec![(); 2], |_, spawner, task| {
+            if task == 1 {
+                spawner.spawn(4);
+            }
+        });
+        assert!(metrics.counter("rfc_pool_runs_total").get() > runs_before);
+        assert!(metrics.counter("rfc_pool_tasks_total").get() >= tasks_before + 4);
     }
 
     /// Deep chains (each task spawns exactly one successor) exercise the

@@ -243,6 +243,81 @@ impl Solution {
     pub fn into_parts(self) -> (Vec<FairClique>, SearchStats) {
         (self.cliques, self.stats)
     }
+
+    /// Renders a human-readable per-stage time breakdown of this solve — the same
+    /// phases the `--trace` span log records, without needing a trace file.
+    ///
+    /// Times are the stats' own microsecond counters: per-stage reduction wall time,
+    /// the search phase's summed worker busy time, and the call's total elapsed time.
+    /// The search line also carries the branch/prune/incumbent counters and the prune
+    /// breakdown uses the same reason names as the
+    /// `rfc_search_prunes_total{reason=...}` metric series.
+    pub fn trace_summary(&self) -> String {
+        use std::fmt::Write as _;
+        fn us(micros: u64) -> String {
+            if micros >= 1_000_000 {
+                format!("{:.2} s", micros as f64 / 1e6)
+            } else if micros >= 1_000 {
+                format!("{:.2} ms", micros as f64 / 1e3)
+            } else {
+                format!("{micros} µs")
+            }
+        }
+        let s = &self.stats;
+        let mut out = String::new();
+        let _ = writeln!(out, "solve breakdown ({:?})", self.termination);
+        let reduction_total: u64 = s.reduction.stages.iter().map(|st| st.micros).sum();
+        let _ = writeln!(
+            out,
+            "  reduction        {:>10}   |V| {} -> {}, |E| {} -> {}{}",
+            us(reduction_total),
+            s.reduction.original_vertices,
+            s.reduction.final_vertices(),
+            s.reduction.original_edges,
+            s.reduction.final_edges(),
+            if self.reduction_cache_hit {
+                " (cached)"
+            } else {
+                ""
+            },
+        );
+        for stage in &s.reduction.stages {
+            let _ = writeln!(
+                out,
+                "    {:<14} {:>10}   |V|={} |E|={}",
+                stage.stage,
+                us(stage.micros),
+                stage.vertices,
+                stage.edges
+            );
+        }
+        if let Some(size) = s.heuristic_size {
+            let _ = writeln!(
+                out,
+                "  heuristic                     warm start size {size}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  search (cpu)     {:>10}   branches={} components={} incumbent_updates={}",
+            us(s.cpu_micros),
+            s.branches,
+            s.components_searched,
+            s.incumbent_updates
+        );
+        let _ = writeln!(
+            out,
+            "    prunes                       bound={} feasibility={}",
+            s.bound_prunes, s.feasibility_prunes
+        );
+        for (reason, count) in s.prune_counts.reasons() {
+            if count > 0 {
+                let _ = writeln!(out, "      {reason:<26} {count}");
+            }
+        }
+        let _ = writeln!(out, "  total elapsed    {:>10}", us(s.elapsed_micros));
+        out
+    }
 }
 
 /// Why a [`Query`] could not be solved.
@@ -389,6 +464,7 @@ impl RfcSolver {
         sink: &mut dyn CliqueSink,
     ) -> Result<EnumOutcome, SolveError> {
         let start = Instant::now();
+        let mut enum_span = rfc_obs::trace::span("enumerate");
         let params = self.resolve(query.fairness)?;
         let min_size = params.min_size().max(query.min_size);
         let mut stats = EnumStats::default();
@@ -431,6 +507,13 @@ impl RfcSolver {
             None => EnumTermination::Complete,
         };
         stats.elapsed_micros = start.elapsed().as_micros() as u64;
+        enum_span.counter("emitted", emitted);
+        drop(enum_span);
+        let m = rfc_obs::metrics::global();
+        m.counter("rfc_enumerate_runs_total").inc();
+        m.counter("rfc_enumerate_emitted_total").add(emitted);
+        m.histogram("rfc_enumerate_elapsed_us")
+            .observe(stats.elapsed_micros);
         Ok(EnumOutcome {
             emitted,
             termination,
@@ -504,6 +587,7 @@ impl RfcSolver {
         threads: ThreadCount,
     ) -> Result<Solution, SolveError> {
         let start = Instant::now();
+        let mut solve_span = rfc_obs::trace::span("solve");
         let params = self.resolve(query.fairness)?;
         let capacity = match query.objective {
             Objective::Maximum => 1,
@@ -527,15 +611,24 @@ impl RfcSolver {
         }
 
         // Phase 1: reduced graph, shared across queries with the same (k, reductions).
-        let (reduced, reduction_cache_hit) = self.reduced(params.k, &query.config.reductions);
+        let (reduced, reduction_cache_hit) = {
+            let mut span = rfc_obs::trace::span("reduce");
+            let (reduced, hit) = self.reduced(params.k, &query.config.reductions);
+            span.counter("cache_hit", hit as u64);
+            span.counter("vertices", reduced.stats.final_vertices() as u64);
+            span.counter("edges", reduced.stats.final_edges() as u64);
+            (reduced, hit)
+        };
         stats.reduction = reduced.stats.clone();
 
         // Phase 2: heuristic warm start on the reduced graph; its clique seeds the
         // shared pool so every component search starts with the warm bound.
         let mut warm_start = None;
         if query.config.use_heuristic {
+            let mut span = rfc_obs::trace::span("heuristic");
             let outcome = heur_rfc(&reduced.graph, params, &query.config.heuristic);
             stats.heuristic_size = outcome.best.as_ref().map(|c| c.size());
+            span.counter("size", stats.heuristic_size.unwrap_or(0) as u64);
             warm_start = outcome.best.map(|c| c.vertices);
         }
 
@@ -544,7 +637,15 @@ impl RfcSolver {
         let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
         let mut config = query.config.clone();
         config.threads = threads;
-        stats += &branch_and_bound(&reduced.graph, params, &config, &pool, &ctrl);
+        {
+            let mut span = rfc_obs::trace::span("search");
+            stats += &branch_and_bound(&reduced.graph, params, &config, &pool, &ctrl);
+            span.counter("branches", stats.branches);
+            span.counter("components", stats.components_searched as u64);
+            span.counter("bound_prunes", stats.bound_prunes);
+            span.counter("feasibility_prunes", stats.feasibility_prunes);
+            span.counter("incumbent_updates", stats.incumbent_updates);
+        }
 
         let cliques: Vec<FairClique> = pool
             .into_cliques()
@@ -558,6 +659,10 @@ impl RfcSolver {
             None => Termination::Optimal,
         };
         stats.elapsed_micros = start.elapsed().as_micros() as u64;
+        solve_span.counter("branches", stats.branches);
+        solve_span.counter("cliques", cliques.len() as u64);
+        drop(solve_span);
+        flush_search_metrics(&stats);
         Ok(Solution {
             cliques,
             termination,
@@ -588,6 +693,27 @@ impl RfcSolver {
         let entry = Arc::clone(cache.entry(key).or_insert(entry));
         (entry, false)
     }
+}
+
+/// Publishes one solve's search counters into the global metrics registry. Prune
+/// reasons become one `rfc_search_prunes_total{reason=...}` series each, using the
+/// [`PruneCounts::reasons`](crate::search::PruneCounts::reasons) vocabulary.
+pub(crate) fn flush_search_metrics(stats: &SearchStats) {
+    let m = rfc_obs::metrics::global();
+    m.counter("rfc_search_solves_total").inc();
+    m.counter("rfc_search_branches_total").add(stats.branches);
+    m.counter("rfc_search_incumbent_updates_total")
+        .add(stats.incumbent_updates);
+    m.counter("rfc_search_components_total")
+        .add(stats.components_searched as u64);
+    for (reason, count) in stats.prune_counts.reasons() {
+        if count > 0 {
+            m.counter(&format!("rfc_search_prunes_total{{reason=\"{reason}\"}}"))
+                .add(count);
+        }
+    }
+    m.histogram("rfc_solve_elapsed_us")
+        .observe(stats.elapsed_micros);
 }
 
 #[cfg(test)]

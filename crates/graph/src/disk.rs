@@ -417,6 +417,9 @@ pub struct DiskCsr {
     resident: Option<Vec<VertexId>>,
     /// Byte position of the neighbor section.
     neighbors_pos: u64,
+    /// Neighbor-section bytes served from disk after open (streaming mode only;
+    /// resident mode answers from memory and never bumps this).
+    bytes_read: AtomicU64,
 }
 
 impl DiskCsr {
@@ -516,6 +519,7 @@ impl DiskCsr {
             attrs,
             resident: loaded,
             neighbors_pos,
+            bytes_read: AtomicU64::new(0),
         };
         if let Some(nbrs) = &csr.resident {
             csr.validate_lists(nbrs)?;
@@ -546,6 +550,14 @@ impl DiskCsr {
     /// Whether the neighbor section is fully loaded in memory.
     pub fn is_resident(&self) -> bool {
         self.resident.is_some()
+    }
+
+    /// Neighbor-section bytes read from disk since open — targeted
+    /// [`neighbors_into`](GraphStore::neighbors_into) fetches plus sequential
+    /// [`scan_adjacency`](GraphStore::scan_adjacency) passes. Always 0 in
+    /// resident mode, where every query is answered from memory.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
     }
 
     /// Materializes the store as an in-memory [`AttributedGraph`] (intended for
@@ -616,6 +628,8 @@ impl GraphStore for DiskCsr {
         let mut file = &self.file;
         file.seek(SeekFrom::Start(self.neighbors_pos + lo as u64 * 4))?;
         file.read_exact(&mut bytes)?;
+        self.bytes_read
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         for chunk in bytes.chunks_exact(4) {
             let u = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
             if u as usize >= self.num_vertices {
@@ -646,6 +660,8 @@ impl GraphStore for DiskCsr {
             let d = (self.offsets[v + 1] - self.offsets[v]) as usize;
             bytes.resize(d * 4, 0);
             reader.read_exact(&mut bytes)?;
+            self.bytes_read
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
             list.clear();
             for chunk in bytes.chunks_exact(4) {
                 let u = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
@@ -669,6 +685,10 @@ impl GraphStore for DiskCsr {
                 .resident
                 .as_ref()
                 .map_or(0, |n| n.len() * std::mem::size_of::<VertexId>())
+    }
+
+    fn disk_bytes_read(&self) -> u64 {
+        self.bytes_read()
     }
 }
 
@@ -710,9 +730,14 @@ mod tests {
                 assert_eq!(buf.as_slice(), g.neighbors(v));
             }
             assert_eq!(store.to_graph().unwrap(), g);
-            // Streaming mode keeps the neighbor section on disk.
-            if !resident {
+            // Streaming mode keeps the neighbor section on disk, so the per-vertex
+            // fetches plus the to_graph scan each cost the full section (2m × 4
+            // bytes); resident mode never touches the disk after open.
+            if resident {
+                assert_eq!(store.bytes_read(), 0);
+            } else {
                 assert!(store.resident_bytes() < summary.file_bytes as usize);
+                assert_eq!(store.bytes_read(), 2 * 2 * g.num_edges() as u64 * 4);
             }
         }
         std::fs::remove_file(&path).ok();

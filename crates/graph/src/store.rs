@@ -69,6 +69,12 @@ pub trait GraphStore {
     /// tier to assert that reducing a huge graph never materializes it.
     fn resident_bytes(&self) -> usize;
 
+    /// Adjacency bytes this store has served from disk so far. Purely in-memory
+    /// stores (and resident-mode disk stores) report 0, the default.
+    fn disk_bytes_read(&self) -> u64 {
+        0
+    }
+
     /// Counts of vertices per attribute over the whole store. The default scans
     /// the attribute metadata, which every implementation holds resident.
     fn attribute_counts(&self) -> AttributeCounts {

@@ -1,0 +1,33 @@
+//! Std-only observability for the fair-clique stack: a hierarchical span tracer
+//! and a lock-free metrics registry.
+//!
+//! The container has no crates registry, so this crate deliberately rebuilds the
+//! two observability primitives every production service needs on `std` alone —
+//! no tokio, no `tracing`, no prometheus client:
+//!
+//! * [`trace`] — a **hierarchical span tracer**. Code brackets a unit of work in a
+//!   [`trace::span`] guard; open/close events (name, parent, monotonic timestamp,
+//!   duration, attached counters) stream as JSONL lines to a pluggable
+//!   [`trace::TraceSink`]. Tracing is process-global and off by default: the
+//!   disabled fast path is a single relaxed atomic load and **allocates
+//!   nothing**, so instrumentation stays compiled into release builds (the
+//!   overhead budget is a handful of nanoseconds per span site — see
+//!   `tests/overhead.rs`).
+//! * [`metrics`] — a **metrics registry** of named counters, gauges and
+//!   log-spaced fixed-bucket latency [histograms](metrics::Histogram), all built
+//!   on `AtomicU64` cells so recording never takes a lock. The registry renders a
+//!   Prometheus-style text [exposition](metrics::Registry::render); the
+//!   `rfc-serve` daemon serves it through the `metrics` protocol request.
+//!
+//! Every layer of the stack records into the global registry and opens spans
+//! around its phases: reduction stages, the per-component branch-and-bound
+//! (branches, prune reasons, incumbent updates), the work-stealing pool (steals,
+//! parks, queue depths), the dynamic layer's caches (hits, evictions, splice
+//! decisions), the scale tier (peel rounds, disk bytes) and per-request daemon
+//! latency. The CLI surfaces the tracer via `--trace FILE` on
+//! `solve`/`enumerate`/`update`; `Solution::trace_summary()` renders the same
+//! phase breakdown without a trace file. See the repository README's
+//! "Observability" section for the JSONL schema and the metric name inventory.
+
+pub mod metrics;
+pub mod trace;

@@ -1,0 +1,510 @@
+//! Lock-free metrics registry with Prometheus-style text exposition.
+//!
+//! A [`Registry`] maps metric names to [`Counter`]s, [`Gauge`]s and log-spaced
+//! latency [`Histogram`]s. Handles are `Arc`s over atomic cells: registration
+//! takes a lock once, recording never does. Names may embed Prometheus-style
+//! labels — `rfc_request_latency_us{op="solve"}` — and [`Registry::render`]
+//! groups series of the same family under one `# TYPE` header, splicing the
+//! `le` bucket label into histogram series.
+//!
+//! The process-wide registry lives behind [`global`]; instrumented layers
+//! record into it unconditionally (a counter bump is one relaxed atomic add)
+//! and consumers — the daemon's `metrics` request, tests — render it on
+//! demand.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if it is currently lower (high-water marks).
+    #[inline]
+    pub fn fetch_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket boundaries grow by `2^(1/3)` per bucket: three buckets per octave,
+/// so any recorded value is within ~26% of its bucket's upper bound.
+const BUCKET_RATIO_LOG2: f64 = 1.0 / 3.0;
+/// 96 buckets cover 1 µs .. ~2^32 µs (≈ 71 minutes) — ample for latencies.
+const NUM_BUCKETS: usize = 96;
+
+fn bucket_bounds() -> &'static [u64; NUM_BUCKETS] {
+    static BOUNDS: OnceLock<[u64; NUM_BUCKETS]> = OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut bounds = [0u64; NUM_BUCKETS];
+        let mut prev = 0u64;
+        for (i, slot) in bounds.iter_mut().enumerate() {
+            let raw = (2f64.powf(i as f64 * BUCKET_RATIO_LOG2)).round() as u64;
+            // Strictly increasing even where rounding collides at the low end.
+            prev = raw.max(prev + 1);
+            *slot = prev;
+        }
+        bounds
+    })
+}
+
+/// A fixed-bucket log-spaced histogram on lock-free `AtomicU64` cells.
+///
+/// Designed for microsecond latencies but unit-agnostic: buckets are
+/// log-spaced (ratio `2^(1/3)`) from 1 to ~2^32, values beyond the last bound
+/// land in a catch-all overflow bucket. [`observe`](Self::observe) is a binary
+/// search plus three relaxed atomic updates; [`quantile`](Self::quantile)
+/// interpolates within the selected bucket and clamps to the exact observed
+/// min/max so p0/p100 are always truthful.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS + 1],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        bucket_bounds().partition_point(|&bound| bound < value)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observed value (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean of observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Estimates the `p`-quantile (`p` in `0.0..=1.0`) by linear interpolation
+    /// inside the selected bucket, clamped to the observed min/max. Returns 0
+    /// when empty.
+    pub fn quantile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based, matching the convention of
+        // a sorted array lookup at index ceil(p * n).
+        let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+        let bounds = bucket_bounds();
+        let mut seen = 0u64;
+        for (i, cell) in self.buckets.iter().enumerate() {
+            let in_bucket = cell.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            if seen + in_bucket >= rank {
+                let lower = if i == 0 { 0 } else { bounds[i - 1] };
+                let upper = if i < NUM_BUCKETS {
+                    bounds[i]
+                } else {
+                    self.max()
+                };
+                let within = (rank - seen) as f64 / in_bucket as f64;
+                let est = lower as f64 + within * (upper.saturating_sub(lower)) as f64;
+                return (est.round() as u64).clamp(self.min(), self.max());
+            }
+            seen += in_bucket;
+        }
+        self.max()
+    }
+
+    /// Yields `(upper_bound, cumulative_count)` for every non-trivial bucket
+    /// plus the `+Inf` bucket — the Prometheus cumulative bucket series.
+    pub fn cumulative_buckets(&self) -> Vec<(Option<u64>, u64)> {
+        let bounds = bucket_bounds();
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, cell) in self.buckets.iter().enumerate() {
+            let in_bucket = cell.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            cumulative += in_bucket;
+            out.push((bounds.get(i).copied(), cumulative));
+        }
+        // The +Inf bucket always closes the series.
+        #[allow(clippy::unnecessary_map_or)] // is_none_or needs Rust 1.82; MSRV is 1.75
+        if out.last().map_or(true, |(bound, _)| bound.is_some()) {
+            out.push((None, cumulative));
+        }
+        out
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics, rendered as Prometheus-style text.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns the counter registered under `name`, creating it on first use.
+    /// `name` may embed labels: `rfc_requests_total{op="solve"}`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Renders every registered metric as Prometheus-style exposition text.
+    ///
+    /// Series of the same family (name up to the label block) share one
+    /// `# TYPE` header; histogram series expand into `_bucket{le=...}`,
+    /// `_sum` and `_count` lines.
+    pub fn render(&self) -> String {
+        let metrics = self.lock();
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (name, metric) in metrics.iter() {
+            let (family, labels) = split_labels(name);
+            let kind = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} {kind}");
+                last_family = family.to_string();
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    for (bound, cumulative) in h.cumulative_buckets() {
+                        let le = match bound {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{} {cumulative}",
+                            with_label(family, labels, "le", &le)
+                        );
+                    }
+                    let _ = writeln!(out, "{} {}", suffixed(family, labels, "_sum"), h.sum());
+                    let _ = writeln!(out, "{} {}", suffixed(family, labels, "_count"), h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splits `rfc_latency_us{op="solve"}` into (`rfc_latency_us`, `op="solve"`).
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, rest.trim_end_matches('}')),
+        None => (name, ""),
+    }
+}
+
+/// Builds `family_bucket{<labels>,key="value"}`.
+fn with_label(family: &str, labels: &str, key: &str, value: &str) -> String {
+    if labels.is_empty() {
+        format!("{family}_bucket{{{key}=\"{value}\"}}")
+    } else {
+        format!("{family}_bucket{{{labels},{key}=\"{value}\"}}")
+    }
+}
+
+/// Builds `family_sum{<labels>}` (labels omitted when empty).
+fn suffixed(family: &str, labels: &str, suffix: &str) -> String {
+    if labels.is_empty() {
+        format!("{family}{suffix}")
+    } else {
+        format!("{family}{suffix}{{{labels}}}")
+    }
+}
+
+/// The process-wide registry every instrumented layer records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_strictly_increasing() {
+        let bounds = bucket_bounds();
+        assert_eq!(bounds[0], 1);
+        for pair in bounds.windows(2) {
+            assert!(pair[0] < pair[1], "{pair:?}");
+        }
+        // Three buckets per octave: every third bound doubles (±rounding).
+        assert!(bounds[NUM_BUCKETS - 1] > u32::MAX as u64 / 2);
+    }
+
+    #[test]
+    fn counter_and_gauge_record() {
+        let reg = Registry::new();
+        let c = reg.counter("hits_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("hits_total").get(), 5);
+        let g = reg.gauge("depth");
+        g.set(7);
+        g.add(-2);
+        g.fetch_max(3);
+        assert_eq!(reg.gauge("depth").get(), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate_and_clamp() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 550);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 55.0).abs() < 1e-9);
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(1.0), 100);
+        let p50 = h.quantile(0.5);
+        assert!((40..=64).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((81..=100).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_quantile_accuracy_is_bucket_bounded() {
+        // Log-spaced buckets with ratio 2^(1/3) bound relative error ~26%.
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.observe(v);
+        }
+        for (p, exact) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900)] {
+            let est = h.quantile(p) as f64;
+            let rel = (est - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.27, "p{p}: est {est} vs exact {exact} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        // Exposition still emits a +Inf bucket for an empty histogram.
+        assert_eq!(h.cumulative_buckets(), vec![(None, 0)]);
+    }
+
+    #[test]
+    fn render_groups_families_and_splices_le() {
+        let reg = Registry::new();
+        reg.counter("rfc_requests_total{op=\"solve\"}").add(3);
+        reg.counter("rfc_requests_total{op=\"stats\"}").add(1);
+        reg.gauge("rfc_pool_depth").set(2);
+        reg.histogram("rfc_latency_us{op=\"solve\"}").observe(100);
+        let text = reg.render();
+        // One TYPE header per family, not per series.
+        assert_eq!(text.matches("# TYPE rfc_requests_total counter").count(), 1);
+        assert!(text.contains("rfc_requests_total{op=\"solve\"} 3"));
+        assert!(text.contains("rfc_requests_total{op=\"stats\"} 1"));
+        assert!(text.contains("# TYPE rfc_pool_depth gauge"));
+        assert!(text.contains("rfc_pool_depth 2"));
+        assert!(text.contains("# TYPE rfc_latency_us histogram"));
+        // The le label splices after the existing label set.
+        assert!(
+            text.contains("rfc_latency_us_bucket{op=\"solve\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("rfc_latency_us_sum{op=\"solve\"} 100"));
+        assert!(text.contains("rfc_latency_us_count{op=\"solve\"} 1"));
+    }
+
+    #[test]
+    fn unlabeled_histogram_renders() {
+        let reg = Registry::new();
+        reg.histogram("plain_us").observe(5);
+        let text = reg.render();
+        assert!(text.contains("plain_us_bucket{le="));
+        assert!(text.contains("plain_us_sum 5"));
+        assert!(text.contains("plain_us_count 1"));
+    }
+
+    #[test]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reg.gauge("x")));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("rfc_obs_selftest_total");
+        let before = c.get();
+        global().counter("rfc_obs_selftest_total").inc();
+        assert_eq!(c.get(), before + 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Pins the disabled-tracer fast path: opening and dropping spans while no
+//! tracer is installed must allocate nothing. This is what makes it safe to
+//! leave instrumentation compiled into release builds.
+//!
+//! Lives in its own integration-test binary so the `#[global_allocator]`
+//! swap cannot perturb other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_spans_do_not_allocate() {
+    // Warm up thread-locals and lazy statics outside the measured window.
+    {
+        let mut s = rfc_obs::trace::span("warmup");
+        s.counter("w", 1);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        let mut s = rfc_obs::trace::span("hot");
+        s.counter("work", 1);
+        s.counter("more", 2);
+        drop(s);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span path allocated {} times across 10k spans",
+        after - before
+    );
+    assert!(!rfc_obs::trace::enabled());
+}
+
+#[test]
+fn disabled_metrics_handles_do_not_allocate_on_record() {
+    // Registration allocates (once); recording through the handle must not.
+    let counter = rfc_obs::metrics::global().counter("overhead_test_total");
+    let histogram = rfc_obs::metrics::global().histogram("overhead_test_us");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        counter.inc();
+        histogram.observe(i % 512);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "metric recording allocated {} times across 10k updates",
+        after - before
+    );
+}

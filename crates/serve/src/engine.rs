@@ -213,6 +213,18 @@ impl LocalEngine {
         Ok(response.to_string())
     }
 
+    fn handle_metrics(&self) -> String {
+        JsonValue::object(vec![
+            ("ok", JsonValue::from(true)),
+            ("op", JsonValue::string("metrics")),
+            (
+                "exposition",
+                JsonValue::string(rfc_obs::metrics::global().render()),
+            ),
+        ])
+        .to_string()
+    }
+
     fn handle_stats(&self) -> String {
         let graphs = self.graphs.read().expect("registry lock poisoned");
         let mut names: Vec<&String> = graphs.keys().collect();
@@ -282,7 +294,12 @@ impl Handler for LocalEngine {
                 return Ok(Flow::Continue);
             }
         };
-        if self.is_shutting_down() && !matches!(request, Request::Stats | Request::Shutdown) {
+        if self.is_shutting_down()
+            && !matches!(
+                request,
+                Request::Stats | Request::Metrics | Request::Shutdown
+            )
+        {
             Counters::bump(&self.counters.errors);
             emit(
                 &ErrorResponse::new(ErrorCode::ShuttingDown, "the daemon is shutting down")
@@ -290,12 +307,14 @@ impl Handler for LocalEngine {
             )?;
             return Ok(Flow::Continue);
         }
+        let started = std::time::Instant::now();
         let result = match &request {
             Request::Load { graph, path } => self.handle_load(graph, path),
             Request::Solve { graph, spec } => self.handle_solve(graph, spec),
             Request::Enumerate { graph, spec } => self.handle_enumerate(graph, spec, emit)?,
             Request::Update { graph, ops } => self.handle_update(graph, ops),
             Request::Stats => Ok(self.handle_stats()),
+            Request::Metrics => Ok(self.handle_metrics()),
             Request::Ping { sleep_ms } => {
                 if *sleep_ms > 0 {
                     std::thread::sleep(Duration::from_millis(*sleep_ms));
@@ -308,6 +327,12 @@ impl Handler for LocalEngine {
                 Ok("{\"ok\":true,\"op\":\"shutdown\"}".to_string())
             }
         };
+        rfc_obs::metrics::global()
+            .histogram(&format!(
+                "rfc_request_latency_us{{op=\"{}\"}}",
+                request_op_name(&request)
+            ))
+            .observe(started.elapsed().as_micros() as u64);
         let shutdown = matches!(request, Request::Shutdown);
         match result {
             Ok(line) => {
@@ -330,6 +355,20 @@ impl Handler for LocalEngine {
         } else {
             Flow::Continue
         })
+    }
+}
+
+/// The wire op name of a request, for the per-op latency histogram label.
+pub(crate) fn request_op_name(request: &Request) -> &'static str {
+    match request {
+        Request::Load { .. } => "load",
+        Request::Solve { .. } => "solve",
+        Request::Enumerate { .. } => "enumerate",
+        Request::Update { .. } => "update",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Ping { .. } => "ping",
+        Request::Shutdown => "shutdown",
     }
 }
 
@@ -572,8 +611,40 @@ mod tests {
             lines[0].get("error").and_then(JsonValue::as_str),
             Some("shutting_down")
         );
-        // Stats still answers during shutdown.
+        // Stats and metrics still answer during shutdown.
         let (lines, _) = run(&engine, r#"{"op":"stats"}"#);
         assert_eq!(lines[0].get("ok").and_then(JsonValue::as_bool), Some(true));
+        let (lines, _) = run(&engine, r#"{"op":"metrics"}"#);
+        assert_eq!(lines[0].get("ok").and_then(JsonValue::as_bool), Some(true));
+    }
+
+    #[test]
+    fn metrics_returns_exposition_text_with_request_latencies() {
+        let (engine, _dir) = engine_with_fig1();
+        let _ = run(&engine, r#"{"op":"solve","graph":"fig1","k":3,"delta":1}"#);
+        let (lines, flow) = run(&engine, r#"{"op":"metrics"}"#);
+        assert_eq!(flow, Flow::Continue);
+        let response = &lines[0];
+        assert_eq!(response.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(
+            response.get("op").and_then(JsonValue::as_str),
+            Some("metrics")
+        );
+        let text = response
+            .get("exposition")
+            .and_then(JsonValue::as_str)
+            .expect("metrics response carries the exposition text");
+        // The solve above must have recorded a per-op latency observation, and
+        // the exposition must carry Prometheus TYPE headers.
+        assert!(
+            text.contains("# TYPE rfc_request_latency_us histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rfc_request_latency_us_count{op=\"solve\"}"),
+            "{text}"
+        );
+        assert!(text.contains("rfc_dynamic_cache_misses_total"), "{text}");
+        assert!(text.contains("rfc_search_solves_total"), "{text}");
     }
 }

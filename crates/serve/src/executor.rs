@@ -386,7 +386,10 @@ impl Handler for ShardedEngine {
             }
         };
         if self.shutting_down.load(Ordering::Relaxed)
-            && !matches!(request, Request::Stats | Request::Shutdown)
+            && !matches!(
+                request,
+                Request::Stats | Request::Metrics | Request::Shutdown
+            )
         {
             Counters::bump(&self.counters.errors);
             emit(
@@ -395,6 +398,7 @@ impl Handler for ShardedEngine {
             )?;
             return Ok(Flow::Continue);
         }
+        let started = std::time::Instant::now();
         let result = match &request {
             // Mutations replicate; the canonical re-serialized line goes in the
             // history so every respawn replays byte-identical requests.
@@ -404,6 +408,17 @@ impl Handler for ShardedEngine {
             Request::Solve { graph, .. } => self.handle_solve(graph, &request),
             Request::Enumerate { .. } => self.handle_enumerate(&request, emit)?,
             Request::Stats => self.handle_stats(),
+            // The parent's own registry: fan-out bookkeeping lives here, and the
+            // worker processes' registries are process-local by design.
+            Request::Metrics => Ok(JsonValue::object(vec![
+                ("ok", JsonValue::from(true)),
+                ("op", JsonValue::string("metrics")),
+                (
+                    "exposition",
+                    JsonValue::string(rfc_obs::metrics::global().render()),
+                ),
+            ])
+            .to_string()),
             Request::Ping { .. } => {
                 // Broadcast so the ping's sleep occupies every worker (admission and
                 // health tests rely on the latency floor being real).
@@ -416,6 +431,12 @@ impl Handler for ShardedEngine {
                 Ok("{\"ok\":true,\"op\":\"shutdown\"}".to_string())
             }
         };
+        rfc_obs::metrics::global()
+            .histogram(&format!(
+                "rfc_request_latency_us{{op=\"{}\"}}",
+                crate::engine::request_op_name(&request)
+            ))
+            .observe(started.elapsed().as_micros() as u64);
         let shutdown = matches!(request, Request::Shutdown);
         match result {
             Ok(response) => {

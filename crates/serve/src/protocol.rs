@@ -15,6 +15,7 @@
 //! {"op":"enumerate","graph":"g","k":2,"delta":1,"min_size":4,"limit":100}
 //! {"op":"update","graph":"g","ops":[{"op":"insert_edge","u":3,"v":9},{"op":"commit"}]}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"ping","sleep_ms":100}
 //! {"op":"shutdown"}
 //! ```
@@ -213,6 +214,9 @@ pub enum Request {
     },
     /// Report daemon, graph and cache statistics.
     Stats,
+    /// Dump the process-wide metrics registry in Prometheus text exposition
+    /// format (bypasses admission control, like `stats`).
+    Metrics,
     /// Health check; optionally holds an admission slot for `sleep_ms`.
     Ping {
         /// Milliseconds to sleep while holding the admission slot (testing and
@@ -283,6 +287,7 @@ impl Request {
                 })
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping {
                 sleep_ms: value
                     .get("sleep_ms")
@@ -359,6 +364,7 @@ impl Request {
                 ),
             ]),
             Request::Stats => JsonValue::object(vec![("op", JsonValue::string("stats"))]),
+            Request::Metrics => JsonValue::object(vec![("op", JsonValue::string("metrics"))]),
             Request::Ping { sleep_ms } => {
                 let mut pairs = vec![("op", JsonValue::string("ping"))];
                 if *sleep_ms > 0 {
@@ -734,6 +740,7 @@ mod tests {
                 ],
             },
             Request::Stats,
+            Request::Metrics,
             Request::Ping { sleep_ms: 0 },
             Request::Ping { sleep_ms: 50 },
             Request::Shutdown,

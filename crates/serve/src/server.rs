@@ -312,13 +312,13 @@ impl Server {
     }
 }
 
-/// Whether a request must pass admission control. `stats` and `shutdown` bypass the
-/// gate (they must work on a saturated daemon); malformed lines are answered with
-/// cheap typed errors without occupying a slot.
+/// Whether a request must pass admission control. `stats`, `metrics` and
+/// `shutdown` bypass the gate (they must work on a saturated daemon); malformed
+/// lines are answered with cheap typed errors without occupying a slot.
 fn needs_admission(line: &str) -> bool {
     !matches!(
         Request::parse(line),
-        Err(_) | Ok(Request::Stats) | Ok(Request::Shutdown)
+        Err(_) | Ok(Request::Stats) | Ok(Request::Metrics) | Ok(Request::Shutdown)
     )
 }
 
@@ -461,10 +461,11 @@ mod tests {
     }
 
     #[test]
-    fn stats_and_shutdown_bypass_admission() {
+    fn stats_metrics_and_shutdown_bypass_admission() {
         assert!(needs_admission(r#"{"op":"solve","graph":"g","k":2}"#));
         assert!(needs_admission(r#"{"op":"ping","sleep_ms":5}"#));
         assert!(!needs_admission(r#"{"op":"stats"}"#));
+        assert!(!needs_admission(r#"{"op":"metrics"}"#));
         assert!(!needs_admission(r#"{"op":"shutdown"}"#));
         assert!(!needs_admission("not json"));
     }

@@ -1,0 +1,157 @@
+//! Validates a `--trace FILE` JSONL span log and reports how much of the
+//! longest root span its children account for.
+//!
+//! ```text
+//! cargo run --example trace_check -- trace.jsonl [MIN_COVERAGE_PERCENT]
+//! ```
+//!
+//! Checks, exiting non-zero on the first violation:
+//!
+//! * every line parses as JSON and is an `open` or `close` event with the
+//!   mandatory fields (`id`, `thread`, `name`, `t_us`; `dur_us` on close);
+//! * every span that opens also closes (and vice versa), with matching names;
+//! * every `parent` reference points at a span that was opened;
+//! * no span's children (summed `dur_us`) exceed the span's own duration.
+//!
+//! With a `MIN_COVERAGE_PERCENT` argument it additionally requires the direct
+//! children of the longest root span to cover at least that percentage of the
+//! root's duration — the "does the trace account for the wall time?" check.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use rfc_suite::graph::json::JsonValue;
+
+fn fail(message: String) -> ExitCode {
+    eprintln!("trace_check: {message}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        return fail("usage: trace_check FILE.jsonl [MIN_COVERAGE_PERCENT]".to_string());
+    };
+    let min_coverage: Option<f64> = match args.next() {
+        None => None,
+        Some(raw) => match raw.parse() {
+            Ok(p) => Some(p),
+            Err(_) => return fail(format!("invalid MIN_COVERAGE_PERCENT `{raw}`")),
+        },
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => return fail(format!("{path}: {e}")),
+    };
+
+    // id -> (name, parent); filled by opens, consumed by closes.
+    let mut open_spans: HashMap<u64, (String, Option<u64>)> = HashMap::new();
+    // Closed spans: id -> (name, parent, dur_us).
+    let mut closed: HashMap<u64, (String, Option<u64>, u64)> = HashMap::new();
+    let mut events = 0u64;
+    let mut threads: Vec<u64> = Vec::new();
+
+    for (line_no, line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let v = match JsonValue::parse(line) {
+            Ok(v) => v,
+            Err(e) => return fail(format!("{path}:{line_no}: unparseable: {e}")),
+        };
+        let field_u64 = |name: &str| v.get(name).and_then(JsonValue::as_u64);
+        let (Some(id), Some(thread), Some(name), Some(_t_us)) = (
+            field_u64("id"),
+            field_u64("thread"),
+            v.get("name").and_then(JsonValue::as_str),
+            field_u64("t_us"),
+        ) else {
+            return fail(format!("{path}:{line_no}: missing mandatory fields"));
+        };
+        let parent = field_u64("parent");
+        if !threads.contains(&thread) {
+            threads.push(thread);
+        }
+        events += 1;
+        match v.get("ev").and_then(JsonValue::as_str) {
+            Some("open") => {
+                if let Some(p) = parent {
+                    if !open_spans.contains_key(&p) && !closed.contains_key(&p) {
+                        return fail(format!(
+                            "{path}:{line_no}: span #{id} has unknown parent #{p}"
+                        ));
+                    }
+                }
+                if open_spans.insert(id, (name.to_string(), parent)).is_some() {
+                    return fail(format!("{path}:{line_no}: span #{id} opened twice"));
+                }
+            }
+            Some("close") => {
+                let Some(dur) = field_u64("dur_us") else {
+                    return fail(format!("{path}:{line_no}: close without dur_us"));
+                };
+                match open_spans.remove(&id) {
+                    None => return fail(format!("{path}:{line_no}: close without open (#{id})")),
+                    Some((open_name, open_parent)) => {
+                        if open_name != name || open_parent != parent {
+                            return fail(format!(
+                                "{path}:{line_no}: close #{id} does not match its open"
+                            ));
+                        }
+                    }
+                }
+                closed.insert(id, (name.to_string(), parent, dur));
+            }
+            other => return fail(format!("{path}:{line_no}: unknown event {other:?}")),
+        }
+    }
+
+    if let Some((id, (name, _))) = open_spans.iter().next() {
+        return fail(format!("span {name} #{id} was never closed"));
+    }
+    if closed.is_empty() {
+        return fail(format!("{path}: no spans recorded"));
+    }
+
+    // Children must fit inside their parents.
+    let mut child_sum: HashMap<u64, u64> = HashMap::new();
+    for (_, (_, parent, dur)) in closed.iter() {
+        if let Some(p) = parent {
+            *child_sum.entry(*p).or_default() += dur;
+        }
+    }
+    for (id, sum) in &child_sum {
+        let (name, _, dur) = &closed[id];
+        if sum > dur {
+            return fail(format!(
+                "children of {name} #{id} ({sum} µs) exceed the span itself ({dur} µs)"
+            ));
+        }
+    }
+
+    // Coverage: direct children of the longest root span vs the root itself.
+    let (root_id, (root_name, _, root_dur)) = closed
+        .iter()
+        .filter(|(_, (_, parent, _))| parent.is_none())
+        .max_by_key(|(_, (_, _, dur))| *dur)
+        .expect("at least one root span");
+    let covered = child_sum.get(root_id).copied().unwrap_or(0);
+    let coverage = if *root_dur == 0 {
+        100.0
+    } else {
+        100.0 * covered as f64 / *root_dur as f64
+    };
+
+    println!(
+        "{path}: {events} events, {} spans, {} threads; \
+         root `{root_name}` {root_dur} µs, children cover {coverage:.1}%",
+        closed.len(),
+        threads.len()
+    );
+    if let Some(min) = min_coverage {
+        if coverage < min {
+            return fail(format!(
+                "coverage {coverage:.1}% is below the required {min}%"
+            ));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -10,3 +10,4 @@
 pub use rfc_core as core;
 pub use rfc_datasets as datasets;
 pub use rfc_graph as graph;
+pub use rfc_obs as obs;

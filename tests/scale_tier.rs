@@ -201,6 +201,16 @@ fn planted_optimum_is_recovered_from_disk_with_bounded_residual() {
     // neighborhood of the planted clique.
     let stats = solver.stats();
     assert_eq!(stats.store_vertices, n);
+    // The peel cascaded (this background dies over multiple waves) and every
+    // adjacency byte it touched was served from disk in streaming mode.
+    assert!(
+        stats.peel.rounds >= 1,
+        "peel removed vertices but no rounds"
+    );
+    assert!(
+        stats.disk_read_bytes > 0,
+        "streaming store reported no disk reads"
+    );
     assert!(
         stats.residual_vertices < n / 10,
         "residual kept {}/{} vertices — peel did not shrink the instance",
