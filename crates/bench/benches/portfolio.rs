@@ -1,0 +1,112 @@
+//! Racing-portfolio and anytime-engine benchmarks for budget-bound solves:
+//!
+//! * `portfolio/budget` — the one-big-component workload under a fixed
+//!   branch-node budget, solved three ways: the plain single-configuration
+//!   solver, a 4-member racing portfolio, and the portfolio plus the anytime
+//!   local-search improver. The interesting output is as much the *incumbent
+//!   size* each mode reaches inside the budget as the wall time, so the JSON
+//!   report records both (`count` = best clique size found).
+//! * `portfolio/unbudgeted` — the same workload with no budget: what the
+//!   diversified race costs (or saves) when the run is allowed to finish and
+//!   the first member to prove optimality cancels the rest.
+//!
+//! Machine-readable results go to `BENCH_portfolio.json` at the repository
+//! root (via [`rfc_bench::report::write_json_counted_results`]) so the
+//! budget-bound quality trajectory is tracked across commits.
+
+use std::path::Path;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rfc_bench::workloads::big_component_graph;
+use rfc_core::portfolio::PortfolioConfig;
+use rfc_core::prelude::*;
+
+/// A node budget small enough that no exact member finishes the workload, so
+/// every mode is measured on its budget-bound behaviour.
+const NODE_BUDGET: u64 = 2_000;
+
+/// One measured mode: label plus the portfolio shape (`None` = plain solve).
+const MODES: [(&str, Option<(usize, bool)>); 3] = [
+    ("single-config", None),
+    ("portfolio-4", Some((4, false))),
+    ("portfolio-4-anytime", Some((4, true))),
+];
+
+/// The measured query: no heuristic warm start (the budget-bound incumbent
+/// must come from the search/improver themselves, not a shared preamble) and a
+/// serial base configuration so the portfolio's diversification is the only
+/// parallelism in play.
+fn budget_query(model: FairnessModel, budget: Budget) -> Query {
+    Query::new(model)
+        .with_config(SearchConfig {
+            use_heuristic: false,
+            ..SearchConfig::default()
+        })
+        .with_budget(budget)
+}
+
+/// Runs one mode, returning the size of the best clique it found.
+fn run_mode(solver: &RfcSolver, query: &Query, mode: Option<(usize, bool)>) -> usize {
+    match mode {
+        None => solver.solve(query).unwrap().best_size(),
+        Some((members, anytime)) => solver
+            .solve_portfolio(query, &PortfolioConfig::new(members).with_anytime(anytime))
+            .unwrap()
+            .solution
+            .best_size(),
+    }
+}
+
+fn bench_budget_bound(c: &mut Criterion) {
+    let graph = big_component_graph(800, 17);
+    let solver = RfcSolver::new(graph);
+    let model = FairnessModel::Relative { k: 3, delta: 1 };
+    let budget = Budget::unlimited().with_node_limit(NODE_BUDGET);
+    let query = budget_query(model, budget);
+
+    let mut group = c.benchmark_group("portfolio/budget");
+    group.sample_size(10);
+    for (label, mode) in MODES {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(run_mode(&solver, &query, mode)));
+        });
+    }
+    group.finish();
+
+    // Unbudgeted race: the winner's cancellation fan-out means the whole pool
+    // costs roughly one member's solve, not the sum.
+    let full_query = budget_query(model, Budget::unlimited());
+    let mut group = c.benchmark_group("portfolio/unbudgeted");
+    group.sample_size(10);
+    for (label, mode) in [("single-config", None), ("portfolio-4", Some((4, false)))] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(run_mode(&solver, &full_query, mode)));
+        });
+    }
+    group.finish();
+
+    // Machine-readable mean timings AND incumbent sizes -> BENCH_portfolio.json
+    // at the repository root.
+    let mut entries = Vec::new();
+    for (label, mode) in MODES {
+        black_box(run_mode(&solver, &query, mode)); // warm-up
+        const RUNS: u32 = 5;
+        let mut best = 0usize;
+        let started = Instant::now();
+        for _ in 0..RUNS {
+            best = best.max(black_box(run_mode(&solver, &query, mode)));
+        }
+        let mean_us = started.elapsed().as_secs_f64() * 1e6 / f64::from(RUNS);
+        entries.push((label.to_string(), mean_us, best as u64));
+    }
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_portfolio.json");
+    match rfc_bench::report::write_json_counted_results(&path, "portfolio/budget", &entries) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_budget_bound);
+criterion_main!(benches);

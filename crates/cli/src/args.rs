@@ -11,7 +11,8 @@ USAGE:
                           -k K -d DELTA [--bound cd|cp|d|h|ch|none] [--basic]
                           [--no-heuristic] [--weak] [--strong] [--threads N]
                           [--time-limit SECS] [--node-limit N] [--top N]
-                          [--format text|json] [--trace FILE] [--verbose]
+                          [--portfolio N] [--anytime] [--format text|json]
+                          [--trace FILE] [--verbose]
   maxfairclique enumerate --graph FILE | --edges FILE [--attributes FILE]
                           -k K -d DELTA [--weak] [--strong] [--limit N]
                           [--min-size S] [--format text|jsonl] [--threads N]
@@ -68,6 +69,14 @@ OPTIONS:
                       on exhaustion the verified best-so-far clique is printed
   --node-limit N      branch-and-bound node budget for the search phase
   --top N             report the N largest fair cliques instead of just one
+  --portfolio N       race N diversified solver configurations in parallel on
+                      a shared incumbent; the first member to prove optimality
+                      cancels the rest (useful with --time-limit/--node-limit:
+                      the budget-bound answer carries a certified optimality
+                      gap). Per-member reports are printed with --verbose
+  --anytime           with --portfolio: also run a fairness-preserving local
+                      search improver that keeps tightening the incumbent
+                      until the budget runs out or a member proves optimality
   --format F          output format: solve takes text (default) or json (one
                       machine-readable object); enumerate takes text (default)
                       or jsonl (one JSON object per clique, pipe-safe)
@@ -181,6 +190,10 @@ pub enum Command {
         node_limit: Option<u64>,
         /// Report the N largest fair cliques instead of a single maximum one.
         top: Option<usize>,
+        /// Race this many diversified configurations on a shared incumbent.
+        portfolio: Option<usize>,
+        /// With `portfolio`: also run the anytime local-search improver.
+        anytime: bool,
         /// Output format (text or one JSON object).
         format: OutputFormat,
         /// Write a JSONL span trace of the run to this path.
@@ -419,6 +432,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 | "--time-limit"
                 | "--node-limit"
                 | "--top"
+                | "--portfolio"
                 | "--format"
                 | "--trace"
                 | "--limit"
@@ -563,6 +577,20 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     _ => return Err(format!("invalid value for `--top`: `{v}` (need N >= 1)")),
                 },
             };
+            let portfolio = match get("--portfolio") {
+                None => None,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        return Err(format!(
+                            "invalid value for `--portfolio`: `{v}` (need N >= 1)"
+                        ))
+                    }
+                },
+            };
+            if has("--anytime") && portfolio.is_none() {
+                return Err("`--anytime` requires `--portfolio N`".to_string());
+            }
             Ok(Command::Solve {
                 input: input()?,
                 k: parse_usize("-k", 2)?,
@@ -575,6 +603,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 time_limit: time_limit()?,
                 node_limit: node_limit()?,
                 top,
+                portfolio,
+                anytime: has("--anytime"),
                 format,
                 trace: get("--trace"),
                 verbose: has("--verbose"),
@@ -844,6 +874,8 @@ mod tests {
                 time_limit,
                 node_limit,
                 top,
+                portfolio,
+                anytime,
                 format,
                 trace,
                 verbose,
@@ -855,6 +887,7 @@ mod tests {
                 assert_eq!(fairness, Fairness::Relative);
                 assert_eq!(threads, None);
                 assert_eq!((time_limit, node_limit, top), (None, None, None));
+                assert_eq!((portfolio, anytime), (None, false));
                 assert_eq!(format, OutputFormat::Text);
                 assert_eq!(trace, None);
                 assert!(!verbose);
@@ -866,7 +899,7 @@ mod tests {
     #[test]
     fn parses_solve_with_everything() {
         let cmd = parse(&argv(
-            "solve --edges e.txt --attributes a.txt -k 4 -d 2 --bound cp --basic --no-heuristic --strong --threads 4 --time-limit 2.5 --node-limit 1000 --top 3 --format json --trace t.jsonl --verbose",
+            "solve --edges e.txt --attributes a.txt -k 4 -d 2 --bound cp --basic --no-heuristic --strong --threads 4 --time-limit 2.5 --node-limit 1000 --top 3 --portfolio 6 --anytime --format json --trace t.jsonl --verbose",
         ))
         .unwrap();
         match cmd {
@@ -882,6 +915,8 @@ mod tests {
                 time_limit,
                 node_limit,
                 top,
+                portfolio,
+                anytime,
                 format,
                 trace,
                 verbose,
@@ -901,12 +936,29 @@ mod tests {
                 assert_eq!(time_limit, Some(2.5));
                 assert_eq!(node_limit, Some(1000));
                 assert_eq!(top, Some(3));
+                assert_eq!((portfolio, anytime), (Some(6), true));
                 assert_eq!(format, OutputFormat::Json);
                 assert_eq!(trace.as_deref(), Some("t.jsonl"));
                 assert!(verbose);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn anytime_without_portfolio_is_rejected() {
+        let err = parse(&argv("solve --graph g.graph --anytime")).unwrap_err();
+        assert!(err.contains("--portfolio"), "{err}");
+        let err = parse(&argv("solve --graph g.graph --portfolio 0")).unwrap_err();
+        assert!(err.contains("--portfolio"), "{err}");
+        assert!(matches!(
+            parse(&argv("solve --graph g.graph --portfolio 2")).unwrap(),
+            Command::Solve {
+                portfolio: Some(2),
+                anytime: false,
+                ..
+            }
+        ));
     }
 
     #[test]

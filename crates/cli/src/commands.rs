@@ -11,6 +11,7 @@ use rfc_core::enumerate::{
     LimitSink, SinkFlow,
 };
 use rfc_core::heuristic::HeuristicConfig;
+use rfc_core::portfolio::PortfolioConfig;
 use rfc_core::problem::{FairClique, FairCliqueParams, FairnessModel};
 use rfc_core::reduction::streaming::reduce_store;
 use rfc_core::reduction::{apply_reductions, ReductionConfig};
@@ -50,15 +51,24 @@ fn open_rfcg(path: &str) -> Result<DiskCsr, String> {
 }
 
 /// Builds a [`ScaleSolver`] (out-of-core peel + residual extraction) over a store,
-/// reporting the store → residual shrink under `--verbose`.
+/// reporting the store → residual shrink under `--verbose`. The CLI budget also
+/// covers this construction phase: a `--time-limit` that expires mid-peel
+/// surfaces as a clean `budget exhausted` error instead of an unbounded scan.
 fn scale_solver(
     out: &mut Output,
     path: &str,
     store: &DiskCsr,
     k: usize,
+    budget: &Budget,
     verbose: bool,
 ) -> Result<ScaleSolver, String> {
-    let solver = ScaleSolver::from_store(store, k).map_err(|e| format!("{path}: {e}"))?;
+    let solver = ScaleSolver::from_store_budgeted(store, k, budget, None).map_err(|e| match e {
+        rfc_core::scale::ScaleError::BudgetExhausted => format!(
+            "{path}: budget exhausted during the out-of-core reduction \
+                 (raise --time-limit / --node-limit)"
+        ),
+        other => format!("{path}: {other}"),
+    })?;
     if verbose {
         let s = solver.stats();
         outln!(
@@ -171,16 +181,21 @@ fn enum_termination_desc(
     }
 }
 
-/// Renders a [`Solution`] as one machine-readable JSON object (the `solve
-/// --format json` output).
-fn solution_json(model: FairnessModel, solution: &Solution) -> String {
-    use std::fmt::Write as _;
-    let termination = match solution.termination {
+/// The stable machine-readable name of a [`Termination`].
+fn termination_str(termination: Termination) -> &'static str {
+    match termination {
         Termination::Optimal => "optimal",
         Termination::Infeasible => "infeasible",
         Termination::BudgetExhausted => "budget_exhausted",
         Termination::Cancelled => "cancelled",
-    };
+    }
+}
+
+/// Renders a [`Solution`] as one machine-readable JSON object (the `solve
+/// --format json` output).
+fn solution_json(model: FairnessModel, solution: &Solution) -> String {
+    use std::fmt::Write as _;
+    let termination = termination_str(solution.termination);
     let mut s = String::new();
     let _ = write!(
         s,
@@ -201,7 +216,8 @@ fn solution_json(model: FairnessModel, solution: &Solution) -> String {
         s,
         "],\"stats\":{{\"branches\":{},\"bound_prunes\":{},\"feasibility_prunes\":{},\
          \"components\":{},\"elapsed_us\":{},\"cpu_us\":{},\"reduction\":{{\"original_edges\":{},\
-         \"final_edges\":{}}}}},\"heuristic_size\":{},\"reduction_cache_hit\":{}}}",
+         \"final_edges\":{}}}}},\"heuristic_size\":{},\"upper_bound\":{},\
+         \"optimality_gap\":{},\"reduction_cache_hit\":{}}}",
         stats.branches,
         stats.bound_prunes,
         stats.feasibility_prunes,
@@ -211,9 +227,16 @@ fn solution_json(model: FairnessModel, solution: &Solution) -> String {
         stats.reduction.original_edges,
         stats.reduction.final_edges(),
         heuristic,
+        opt_usize_json(solution.upper_bound),
+        opt_usize_json(solution.optimality_gap()),
         solution.reduction_cache_hit,
     );
     s
+}
+
+/// `Option<usize>` as a JSON number or `null`.
+fn opt_usize_json(value: Option<usize>) -> String {
+    value.map_or_else(|| "null".to_string(), |n| n.to_string())
 }
 
 /// Runs a parsed command, returning a human-readable error on failure.
@@ -278,6 +301,8 @@ pub fn run(command: Command) -> Result<(), String> {
             time_limit,
             node_limit,
             top,
+            portfolio,
+            anytime,
             format,
             trace,
             verbose,
@@ -299,10 +324,19 @@ pub fn run(command: Command) -> Result<(), String> {
             if let Some(n) = top {
                 query = query.with_objective(Objective::TopK(n));
             }
-            let solution = if let Some(path) = rfcg_path(&input) {
+            let racing = portfolio.map(|n| PortfolioConfig::new(n).with_anytime(anytime));
+            let (solution, members) = if let Some(path) = rfcg_path(&input) {
                 let store = open_rfcg(path)?;
-                let solver = scale_solver(&mut out, path, &store, model.k(), verbose)?;
-                solver.solve(&query).map_err(|e| e.to_string())?
+                let solver = scale_solver(&mut out, path, &store, model.k(), &budget, verbose)?;
+                match &racing {
+                    Some(cfg) => {
+                        let outcome = solver
+                            .solve_portfolio(&query, cfg)
+                            .map_err(|e| e.to_string())?;
+                        (outcome.solution, outcome.members)
+                    }
+                    None => (solver.solve(&query).map_err(|e| e.to_string())?, Vec::new()),
+                }
             } else {
                 let graph = load_graph(&input)?;
                 if verbose {
@@ -315,7 +349,15 @@ pub fn run(command: Command) -> Result<(), String> {
                     );
                 }
                 let solver = RfcSolver::new(graph);
-                let solution = solver.solve(&query).map_err(|e| e.to_string())?;
+                let (solution, members) = match &racing {
+                    Some(cfg) => {
+                        let outcome = solver
+                            .solve_portfolio(&query, cfg)
+                            .map_err(|e| e.to_string())?;
+                        (outcome.solution, outcome.members)
+                    }
+                    None => (solver.solve(&query).map_err(|e| e.to_string())?, Vec::new()),
+                };
                 for clique in &solution.cliques {
                     debug_assert!(verify::is_fair_clique_under(
                         solver.graph(),
@@ -323,7 +365,7 @@ pub fn run(command: Command) -> Result<(), String> {
                         model
                     ));
                 }
-                solution
+                (solution, members)
             };
 
             if format == OutputFormat::Json {
@@ -340,6 +382,27 @@ pub fn run(command: Command) -> Result<(), String> {
                     outln!(out, "search cancelled: showing the verified best-so-far")
                 }
                 Termination::Optimal | Termination::Infeasible => {}
+            }
+            if !solution.termination.is_complete() {
+                match (solution.optimality_gap(), solution.upper_bound) {
+                    (Some(gap), Some(ub)) => {
+                        outln!(out, "optimality gap: <= {gap} (certified upper bound {ub})")
+                    }
+                    _ => outln!(out, "optimality gap: unknown (no certified upper bound)"),
+                }
+            }
+            if verbose {
+                for member in &members {
+                    outln!(
+                        out,
+                        "portfolio member {}: {}, {} branches, {} µs{}",
+                        member.label,
+                        termination_str(member.termination),
+                        member.branches,
+                        member.elapsed_micros,
+                        if member.winner { " (winner)" } else { "" }
+                    );
+                }
             }
             match solution.cliques.as_slice() {
                 [] if solution.termination == Termination::Infeasible => {
@@ -401,13 +464,21 @@ pub fn run(command: Command) -> Result<(), String> {
         } => {
             let _trace_guard = install_trace(trace.as_deref())?;
             let model = fairness_model(fairness, k, delta);
+            let budget = build_budget(time_limit, node_limit)?;
             let query = EnumQuery::new(model)
                 .with_min_size(min_size)
-                .with_budget(build_budget(time_limit, node_limit)?)
+                .with_budget(budget)
                 .with_threads(thread_count(threads));
             let solver = if let Some(path) = rfcg_path(&input) {
                 let store = open_rfcg(path)?;
-                AnySolver::Scale(scale_solver(&mut out, path, &store, model.k(), false)?)
+                AnySolver::Scale(scale_solver(
+                    &mut out,
+                    path,
+                    &store,
+                    model.k(),
+                    &budget,
+                    false,
+                )?)
             } else {
                 AnySolver::Mem(RfcSolver::new(load_graph(&input)?))
             };
@@ -591,7 +662,14 @@ pub fn run(command: Command) -> Result<(), String> {
             });
             let outcome = if let Some(path) = rfcg_path(&input) {
                 let store = open_rfcg(path)?;
-                let solver = scale_solver(&mut out, path, &store, model.k(), false)?;
+                let solver = scale_solver(
+                    &mut out,
+                    path,
+                    &store,
+                    model.k(),
+                    &Budget::unlimited(),
+                    false,
+                )?;
                 solver.heuristic(&query).map_err(|e| e.to_string())?
             } else {
                 let solver = RfcSolver::new(load_graph(&input)?);
@@ -843,6 +921,8 @@ fn client_request_line(action: ClientAction) -> Result<String, String> {
                 time_limit_ms: secs_to_ms(time_limit),
                 node_limit,
                 threads: None,
+                portfolio: None,
+                anytime: false,
                 shard: None,
             },
         }

@@ -99,7 +99,7 @@ use crate::enumerate::{
 };
 use crate::heuristic::heur_rfc;
 use crate::problem::{FairClique, FairCliqueParams, FairnessModel};
-use crate::reduction::{apply_reductions, ReductionConfig};
+use crate::reduction::{apply_reductions, apply_reductions_controlled, ReductionConfig};
 use crate::search::control::{SearchControl, StopReason};
 use crate::search::parallel::SharedIncumbent;
 use crate::search::{branch_and_bound, SearchConfig, SearchStats, ThreadCount};
@@ -549,11 +549,25 @@ impl DynamicRfcSolver {
                 termination: Termination::Infeasible,
                 stats,
                 reduction_cache_hit: false,
+                upper_bound: Some(0),
             });
         }
 
+        // Anchored before any fresh reduction work so `Budget.time_limit` covers the
+        // whole query; cached entries and cached components stay budget-exempt (see
+        // the contract above).
+        let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
         let key = (params.k, query.config.reductions);
-        let hit = self.ensure_entry(&key);
+        let Some(hit) = self.ensure_entry_controlled(&key, Some(&ctrl)) else {
+            stats.elapsed_micros = start.elapsed().as_micros() as u64;
+            return Ok(Solution {
+                cliques: Vec::new(),
+                termination: crate::solver::stopped_termination(&ctrl),
+                stats,
+                reduction_cache_hit: false,
+                upper_bound: None,
+            });
+        };
         let (reduced, components) = self.entry_snapshot(&key);
         stats.reduction = reduced.stats.clone();
 
@@ -574,7 +588,6 @@ impl DynamicRfcSolver {
             .filter(|&i| shard.owns(i) && per_comp[i].is_none())
             .collect();
 
-        let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
         let results = run_misses(
             &misses,
             query.config.threads,
@@ -630,11 +643,23 @@ impl DynamicRfcSolver {
             })
             .collect();
 
-        let termination = match ctrl.stop_reason() {
+        let mut termination = match ctrl.stop_reason() {
             Some(StopReason::Budget) => Termination::BudgetExhausted,
             Some(StopReason::Cancelled) => Termination::Cancelled,
             None if cliques.is_empty() => Termination::Infeasible,
             None => Termination::Optimal,
+        };
+        let best_size = cliques.first().map(FairClique::size).unwrap_or(0);
+        let upper_bound = if termination.is_complete() {
+            Some(best_size)
+        } else {
+            // Global colorful bound over the reduced graph — sound (if loose) for any
+            // shard, and enough to certify an incumbent that meets it.
+            let ub = crate::solver::colorful_upper_bound(&reduced.graph, params).max(best_size);
+            if query.objective == Objective::Maximum && ub == best_size && best_size > 0 {
+                termination = Termination::Optimal;
+            }
+            Some(ub)
         };
         stats.elapsed_micros = start.elapsed().as_micros() as u64;
         crate::solver::flush_search_metrics(&stats);
@@ -643,6 +668,7 @@ impl DynamicRfcSolver {
             termination,
             stats,
             reduction_cache_hit: hit,
+            upper_bound,
         })
     }
 
@@ -686,8 +712,22 @@ impl DynamicRfcSolver {
             });
         }
 
+        // Same anchoring as `solve_shard`: the clock starts before fresh reduction
+        // work, while cache-served entries stay budget-exempt.
+        let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
         let key = (params.k, query.reductions);
-        let hit = self.ensure_entry(&key);
+        let Some(hit) = self.ensure_entry_controlled(&key, Some(&ctrl)) else {
+            stats.elapsed_micros = start.elapsed().as_micros() as u64;
+            return Ok(EnumOutcome {
+                emitted: 0,
+                termination: match crate::solver::stopped_termination(&ctrl) {
+                    Termination::Cancelled => EnumTermination::Cancelled,
+                    _ => EnumTermination::BudgetExhausted,
+                },
+                stats,
+                reduction_cache_hit: false,
+            });
+        };
         let (reduced, components) = self.entry_snapshot(&key);
         stats.reduction = reduced.stats.clone();
 
@@ -714,7 +754,6 @@ impl DynamicRfcSolver {
             .filter(|&slot| per_comp[slot].is_none())
             .collect();
 
-        let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
         let problem = EnumProblem {
             model: query.fairness,
             params,
@@ -793,20 +832,34 @@ impl DynamicRfcSolver {
             .map_err(SolveError::InvalidParams)
     }
 
-    /// Makes the entry for `key` current (computing or splicing its reduced graph as
-    /// needed) and returns whether it was already current — the
-    /// [`reduction_cache_hit`](Solution::reduction_cache_hit) the query reports.
-    fn ensure_entry(&mut self, key: &EntryKey) -> bool {
+    /// Makes the entry for `key` current (computing or splicing its reduced graph
+    /// as needed) and returns whether it was already current — the
+    /// [`reduction_cache_hit`](Solution::reduction_cache_hit) the query reports —
+    /// with the query's budget/cancel control gating the *fresh* reduction work:
+    /// a current entry is always served (`Some`,
+    /// untouched by the control — cached answers stay exact and budget-exempt), but
+    /// a tripped control aborts before a missing entry is computed or a stale one is
+    /// spliced, returning `None` with nothing cached.
+    fn ensure_entry_controlled(
+        &mut self,
+        key: &EntryKey,
+        ctrl: Option<&SearchControl>,
+    ) -> Option<bool> {
         if matches!(
             self.entries.get(key).map(|e| &e.state),
             Some(EntryState::Current { .. })
         ) {
-            return true;
+            return Some(true);
+        }
+        if ctrl.is_some_and(|c| c.check_now()) {
+            return None;
         }
         let params = FairCliqueParams::new(key.0, 0).expect("k >= 1 was validated by the caller");
         match self.entries.remove(key) {
             None => {
-                let (graph, stats) = apply_reductions(&self.graph, params, &key.1);
+                let (graph, stats) = apply_reductions_controlled(&self.graph, params, &key.1, ctrl);
+                // A mid-pipeline trip caches nothing; the next query recomputes.
+                let graph = graph?;
                 self.preprocessing_runs += 1;
                 let reduced = Arc::new(ReducedEntry { graph, stats });
                 let components = Arc::new(build_components(&reduced.graph, params.min_size()));
@@ -851,10 +904,10 @@ impl DynamicRfcSolver {
             Some(current) => {
                 // Unreachable through the fast path above, but stay total.
                 self.entries.insert(*key, current);
-                return true;
+                return Some(true);
             }
         }
-        false
+        Some(false)
     }
 
     /// Splices a stale reduced graph: re-runs the pipeline on the components of the
@@ -1350,9 +1403,16 @@ mod tests {
     fn budget_exhaustion_is_not_cached_and_does_not_leak() {
         let mut solver = DynamicRfcSolver::new(fixtures::fig1_graph());
         let model = FairnessModel::Relative { k: 3, delta: 1 };
-        let starved = serial_query(model).with_budget(Budget::unlimited().with_node_limit(0));
+        // Heuristic off: otherwise the warm start meets the colorful bound on Fig.1
+        // and the node-starved solve is certified Optimal instead of exhausted.
+        let mut no_heur = SearchConfig::default().with_threads(ThreadCount::Serial);
+        no_heur.use_heuristic = false;
+        let starved = Query::new(model)
+            .with_config(no_heur)
+            .with_budget(Budget::unlimited().with_node_limit(0));
         let partial = solver.solve(&starved).unwrap();
         assert_eq!(partial.termination, Termination::BudgetExhausted);
+        assert_eq!(partial.optimality_gap(), Some(7));
         // The partial component result must not have been cached: a later
         // unlimited solve re-searches and finds the exact optimum.
         let full = solver.solve(&serial_query(model)).unwrap();

@@ -73,6 +73,7 @@ pub mod cache;
 pub mod dynamic;
 pub mod enumerate;
 pub mod heuristic;
+pub mod portfolio;
 pub mod problem;
 pub mod reduction;
 pub mod scale;
@@ -87,6 +88,7 @@ pub use enumerate::{
     CliqueSink, CollectSink, CountSink, EnumOutcome, EnumQuery, EnumStats, EnumTermination,
     JsonlSink, LimitSink, SinkFlow, TopNSink,
 };
+pub use portfolio::{MemberReport, PortfolioConfig, PortfolioOutcome};
 pub use problem::{FairClique, FairCliqueParams, FairnessModel, ParamError};
 pub use scale::{ScaleError, ScaleSolver, ScaleStats};
 pub use search::{max_fair_clique, PruneCounts, SearchConfig, SearchOutcome, SearchStats};
@@ -103,6 +105,7 @@ pub mod prelude {
         JsonlSink, LimitSink, SinkFlow, TopNSink,
     };
     pub use crate::heuristic::{heur_rfc, HeuristicConfig};
+    pub use crate::portfolio::{MemberReport, PortfolioConfig, PortfolioOutcome};
     pub use crate::problem::{FairClique, FairCliqueParams, FairnessModel};
     pub use crate::reduction::{ReductionConfig, ReductionStats};
     pub use crate::search::{

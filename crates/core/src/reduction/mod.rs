@@ -133,14 +133,39 @@ pub fn apply_reductions(
     params: FairCliqueParams,
     config: &ReductionConfig,
 ) -> (AttributedGraph, ReductionStats) {
+    let (reduced, stats) = apply_reductions_controlled(g, params, config, None);
+    (
+        reduced.expect("uncontrolled reduction cannot be interrupted"),
+        stats,
+    )
+}
+
+/// [`apply_reductions`] with a cooperative stop check between pipeline stages.
+///
+/// When the control trips (deadline passed or cancel token fired) before a stage
+/// starts, the pipeline aborts: the graph comes back as `None` and the stats cover
+/// only the stages that actually ran. Callers must treat an aborted pipeline as
+/// uncacheable — each stage is individually sound, but a partial pipeline must not
+/// masquerade as the configured one.
+pub(crate) fn apply_reductions_controlled(
+    g: &AttributedGraph,
+    params: FairCliqueParams,
+    config: &ReductionConfig,
+    ctrl: Option<&crate::search::control::SearchControl>,
+) -> (Option<AttributedGraph>, ReductionStats) {
     let mut stats = ReductionStats {
         original_vertices: g.num_vertices(),
         original_edges: g.num_edges(),
         stages: Vec::new(),
     };
+    let tripped =
+        |c: Option<&crate::search::control::SearchControl>| c.is_some_and(|c| c.check_now());
     let mut current = g.clone();
 
     if config.en_colorful_core {
+        if tripped(ctrl) {
+            return (None, stats);
+        }
         current = run_stage(
             &current,
             "EnColorfulCore",
@@ -150,6 +175,9 @@ pub fn apply_reductions(
         );
     }
     if config.colorful_sup {
+        if tripped(ctrl) {
+            return (None, stats);
+        }
         current = run_stage(
             &current,
             "ColorfulSup",
@@ -159,6 +187,9 @@ pub fn apply_reductions(
         );
     }
     if config.en_colorful_sup {
+        if tripped(ctrl) {
+            return (None, stats);
+        }
         current = run_stage(
             &current,
             "EnColorfulSup",
@@ -168,7 +199,7 @@ pub fn apply_reductions(
         );
     }
 
-    (current, stats)
+    (Some(current), stats)
 }
 
 /// Runs one reduction stage inside a trace span, recording its surviving graph size

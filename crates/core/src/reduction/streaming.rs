@@ -96,6 +96,32 @@ fn meets_criterion(k: usize, attr: Attribute, cnt_a: u32, cnt_b: u32) -> bool {
 /// fairness model with parameter `k` (see the module docs) and independent of
 /// `δ`, matching how the exact pipeline is cached per `(k, config)`.
 pub fn fair_core_peel<S: GraphStore + ?Sized>(store: &S, k: usize) -> io::Result<PeelOutcome> {
+    fair_core_peel_controlled(store, k, None)
+        .map(|o| o.expect("uncontrolled peel cannot be interrupted"))
+}
+
+/// How many dead-vertex adjacency reads the cascade performs between budget/cancel
+/// probes. Each read is a targeted store access, so a chunk bounds the time between
+/// probes even on stores with slow random reads.
+const PEEL_CHECK_CHUNK: usize = 4096;
+
+/// [`fair_core_peel`] with a cooperative stop check between waves and every
+/// [`PEEL_CHECK_CHUNK`] cascade reads.
+///
+/// Returns `Ok(None)` when the control trips: the partially peeled state is
+/// discarded (it *over*-approximates the survivor set, so discarding is the only
+/// sound option short of finishing the fixpoint — callers must not treat a partial
+/// peel as a complete one).
+pub(crate) fn fair_core_peel_controlled<S: GraphStore + ?Sized>(
+    store: &S,
+    k: usize,
+    ctrl: Option<&crate::search::control::SearchControl>,
+) -> io::Result<Option<PeelOutcome>> {
+    let tripped =
+        |c: Option<&crate::search::control::SearchControl>| c.is_some_and(|c| c.check_now());
+    if tripped(ctrl) {
+        return Ok(None);
+    }
     let n = store.num_vertices();
     let mut stats = PeelStats {
         initial_vertices: n,
@@ -120,6 +146,9 @@ pub fn fair_core_peel<S: GraphStore + ?Sized>(store: &S, k: usize) -> io::Result
         cnt_b[v as usize] = b;
     })?;
     stats.scan_micros = t.elapsed().as_micros() as u64;
+    if tripped(ctrl) {
+        return Ok(None);
+    }
 
     // Pass 2: cascade, in waves: every vertex the seed scan kills is round 1, the
     // deaths those removals trigger are round 2, and so on until the fixpoint. The
@@ -136,8 +165,14 @@ pub fn fair_core_peel<S: GraphStore + ?Sized>(store: &S, k: usize) -> io::Result
     let mut buf: Vec<VertexId> = Vec::new();
     let mut next: Vec<VertexId> = Vec::new();
     while !frontier.is_empty() {
+        if tripped(ctrl) {
+            return Ok(None);
+        }
         stats.rounds += 1;
-        for &dead in &frontier {
+        for (processed, &dead) in frontier.iter().enumerate() {
+            if processed % PEEL_CHECK_CHUNK == PEEL_CHECK_CHUNK - 1 && tripped(ctrl) {
+                return Ok(None);
+            }
             buf.clear();
             store.neighbors_into(dead, &mut buf)?;
             stats.cascade_reads += 1;
@@ -163,7 +198,7 @@ pub fn fair_core_peel<S: GraphStore + ?Sized>(store: &S, k: usize) -> io::Result
     stats.cascade_micros = t.elapsed().as_micros() as u64;
     stats.surviving_vertices = alive.iter().filter(|&&a| a).count();
 
-    Ok(PeelOutcome { alive, stats })
+    Ok(Some(PeelOutcome { alive, stats }))
 }
 
 /// The peel survivors materialized as a compact in-memory graph.

@@ -20,8 +20,11 @@ use rfc_graph::{AttributedGraph, VertexId};
 use crate::enumerate::{CliqueSink, EnumOutcome, EnumQuery, SinkFlow};
 use crate::heuristic::HeuristicOutcome;
 use crate::problem::FairClique;
-use crate::reduction::streaming::{extract_residual, fair_core_peel, PeelStats, Residual};
-use crate::solver::{Query, RfcSolver, Solution, SolveError};
+use crate::reduction::streaming::{
+    extract_residual, fair_core_peel_controlled, PeelStats, Residual,
+};
+use crate::search::control::SearchControl;
+use crate::solver::{Budget, CancelToken, Query, RfcSolver, Solution, SolveError};
 
 /// Errors from scale-tier solving.
 #[derive(Debug)]
@@ -38,6 +41,12 @@ pub enum ScaleError {
         /// `k` the peel ran with.
         peel_k: usize,
     },
+    /// The construction budget ran out during the out-of-core peel / extraction
+    /// (see [`ScaleSolver::from_store_budgeted`]). No partial state is kept: a
+    /// partial peel over-approximates the survivor set and must not be solved on.
+    BudgetExhausted,
+    /// The cancel token fired during the out-of-core peel / extraction.
+    Cancelled,
 }
 
 impl std::fmt::Display for ScaleError {
@@ -50,6 +59,10 @@ impl std::fmt::Display for ScaleError {
                 "query k={query_k} is below the peel k={peel_k}: rebuild the \
                  ScaleSolver with k<={query_k}"
             ),
+            ScaleError::BudgetExhausted => {
+                write!(f, "time budget exhausted during the out-of-core peel")
+            }
+            ScaleError::Cancelled => write!(f, "cancelled during the out-of-core peel"),
         }
     }
 }
@@ -103,14 +116,47 @@ impl ScaleSolver {
     /// Peels the store at parameter `k` (sound for every fairness model with the
     /// same or larger `k`) and builds the in-memory solver on the residual.
     pub fn from_store<S: GraphStore + ?Sized>(store: &S, k: usize) -> io::Result<Self> {
+        match Self::from_store_budgeted(store, k, &Budget::unlimited(), None) {
+            Ok(solver) => Ok(solver),
+            Err(ScaleError::Io(e)) => Err(e),
+            Err(other) => unreachable!("unlimited construction cannot fail with {other}"),
+        }
+    }
+
+    /// [`from_store`](Self::from_store) under a [`Budget`] / [`CancelToken`]: the
+    /// out-of-core peel checks the control between waves (and every few thousand
+    /// cascade reads), and extraction is gated on it too, so a `.rfcg` solve with a
+    /// time limit stays cancellable during its most expensive phase.
+    ///
+    /// A trip returns [`ScaleError::BudgetExhausted`] / [`ScaleError::Cancelled`]
+    /// with no partial solver: a half-finished peel over-approximates the survivor
+    /// set and would silently weaken every later reduction if kept. Only the
+    /// budget's `time_limit` applies here — `node_limit` counts branch nodes, which
+    /// construction has none of.
+    pub fn from_store_budgeted<S: GraphStore + ?Sized>(
+        store: &S,
+        k: usize,
+        budget: &Budget,
+        cancel: Option<CancelToken>,
+    ) -> Result<Self, ScaleError> {
+        let ctrl = SearchControl::new(budget, cancel);
+        let stop = |ctrl: &SearchControl| match crate::solver::stopped_termination(ctrl) {
+            crate::solver::Termination::Cancelled => ScaleError::Cancelled,
+            _ => ScaleError::BudgetExhausted,
+        };
         let peel = {
             let mut span = rfc_obs::trace::span("scale/peel");
-            let peel = fair_core_peel(store, k)?;
+            let Some(peel) = fair_core_peel_controlled(store, k, Some(&ctrl))? else {
+                return Err(stop(&ctrl));
+            };
             span.counter("rounds", peel.stats.rounds);
             span.counter("cascade_reads", peel.stats.cascade_reads);
             span.counter("survivors", peel.stats.surviving_vertices as u64);
             peel
         };
+        if ctrl.check_now() {
+            return Err(stop(&ctrl));
+        }
         let t = std::time::Instant::now();
         let (graph, vertex_map) = {
             let mut span = rfc_obs::trace::span("scale/extract");
@@ -199,6 +245,25 @@ impl ScaleSolver {
             .map(|c| self.remap_clique(c))
             .collect();
         Ok(solution)
+    }
+
+    /// Races a configuration portfolio on the residual (see
+    /// [`portfolio`](crate::portfolio)), with the resulting cliques mapped back to
+    /// store ids.
+    pub fn solve_portfolio(
+        &self,
+        query: &Query,
+        portfolio: &crate::portfolio::PortfolioConfig,
+    ) -> Result<crate::portfolio::PortfolioOutcome, ScaleError> {
+        self.check_k(query.fairness.k())?;
+        let mut outcome = self.solver.solve_portfolio(query, portfolio)?;
+        outcome.solution.cliques = outcome
+            .solution
+            .cliques
+            .into_iter()
+            .map(|c| self.remap_clique(c))
+            .collect();
+        Ok(outcome)
     }
 
     /// Runs the `HeurRFC` heuristic on the residual, result in store ids.

@@ -113,6 +113,35 @@ impl SearchControl {
         false
     }
 
+    /// Checks the deadline and the cancel token *now*, without counting a branch
+    /// node, and returns `true` if the query must stop.
+    ///
+    /// The budget phases that run before (or outside) the branch-and-bound —
+    /// reduction stages, out-of-core peel rounds — call this between units of work so
+    /// `Budget.time_limit` covers the whole query, while the node counter keeps its
+    /// meaning of "branch nodes visited" (a `node_limit` alone never trips here).
+    pub(crate) fn check_now(&self) -> bool {
+        if !self.active {
+            return false;
+        }
+        if self.stop.load(Ordering::Relaxed) != 0 {
+            return true;
+        }
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                self.trip(StopReason::Cancelled);
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.trip(StopReason::Budget);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Why the search stopped, or `None` if it ran to completion.
     pub(crate) fn stop_reason(&self) -> Option<StopReason> {
         match self.stop.load(Ordering::Relaxed) {
@@ -206,6 +235,32 @@ mod tests {
             ctrl.on_node();
         }
         assert_eq!(ctrl.stop_reason(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn check_now_trips_on_deadline_and_cancel_but_never_on_node_limits() {
+        // Zero time limit: an immediate check trips without visiting any node.
+        let ctrl = SearchControl::new(&Budget::default().with_time_limit(Duration::ZERO), None);
+        assert!(ctrl.check_now());
+        assert_eq!(ctrl.stop_reason(), Some(StopReason::Budget));
+        assert_eq!(ctrl.nodes_visited(), 0);
+
+        // A pre-cancelled token trips too.
+        let token = CancelToken::new();
+        token.cancel();
+        let ctrl = SearchControl::new(&Budget::default(), Some(token));
+        assert!(ctrl.check_now());
+        assert_eq!(ctrl.stop_reason(), Some(StopReason::Cancelled));
+
+        // A pure node limit is about branch nodes only: check_now must not trip it,
+        // so a node-starved query still gets its reduction and warm start.
+        let ctrl = SearchControl::new(&Budget::default().with_node_limit(0), None);
+        assert!(!ctrl.check_now());
+        assert_eq!(ctrl.stop_reason(), None);
+
+        // Inactive controls short-circuit.
+        let ctrl = SearchControl::unlimited();
+        assert!(!ctrl.check_now());
     }
 
     #[test]

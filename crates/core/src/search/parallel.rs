@@ -266,6 +266,19 @@ impl SharedIncumbent {
         self.into_cliques().into_iter().next()
     }
 
+    /// A copy of the pool's current best clique (sorted vertex ids), if it holds one.
+    ///
+    /// Used by the [portfolio](crate::portfolio)'s anytime improver to pick up
+    /// improvements published by the racing exact members mid-run.
+    pub(crate) fn best_snapshot(&self) -> Option<Vec<VertexId>> {
+        self.state
+            .lock()
+            .expect("incumbent lock poisoned")
+            .cliques
+            .first()
+            .cloned()
+    }
+
     /// Consumes the pool, returning every recorded clique in canonical order
     /// (largest first, ties lexicographic).
     pub(crate) fn into_cliques(self) -> Vec<Vec<VertexId>> {

@@ -51,7 +51,7 @@ use crate::enumerate::{
 };
 use crate::heuristic::{heur_rfc, HeuristicOutcome};
 use crate::problem::{FairClique, FairCliqueParams, FairnessModel, ParamError};
-use crate::reduction::{apply_reductions, ReductionConfig, ReductionStats};
+use crate::reduction::{apply_reductions_controlled, ReductionConfig, ReductionStats};
 use crate::search::control::{SearchControl, StopReason};
 use crate::search::parallel::SharedIncumbent;
 use crate::search::{branch_and_bound, SearchConfig, SearchStats, ThreadCount};
@@ -74,11 +74,19 @@ pub enum Objective {
     TopK(usize),
 }
 
-/// Resource limits for one query's branch-and-bound phase.
+/// Resource limits for one query.
 ///
-/// Both limits apply to the exact search; the (linear-time) reduction pipeline and
-/// heuristic warm start always run to completion, which is what makes a budgeted
-/// solve still return a *verified* best-so-far clique rather than nothing.
+/// The wall-clock limit covers the **whole query**: the deadline is anchored the
+/// moment the query enters the solver, and the reduction pipeline (between stages),
+/// the heuristic warm start (before and after), the out-of-core peel (between
+/// rounds) and every branch node all check it. A query whose reduction alone
+/// outlives a tiny `time_limit` therefore returns
+/// [`Termination::BudgetExhausted`] promptly instead of silently extending the
+/// budget by the preprocessing time.
+///
+/// The node limit counts **branch-and-bound nodes only**, so a node-limited query
+/// still gets its full reduction and heuristic warm start — which is what makes a
+/// node-starved solve return a *verified* best-so-far clique rather than nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Budget {
     /// Wall-clock limit for the search phase. `None` is unlimited.
@@ -118,8 +126,17 @@ impl Budget {
 /// the other; calling [`cancel`](CancelToken::cancel) from any thread makes the search
 /// stop at the next branch node and return [`Termination::Cancelled`] with the verified
 /// best-so-far. Cancellation is sticky and affects every query sharing the token.
+///
+/// Tokens can be **linked** into a family with [`child`](CancelToken::child):
+/// cancelling a parent is observed by all of its children, while cancelling a child
+/// leaves the parent (and its siblings) untouched. The racing
+/// [`portfolio`](crate::portfolio) uses one child per member so the first member to
+/// prove optimality can cancel the rest without touching the caller's query token.
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    parent: Option<Arc<CancelToken>>,
+}
 
 impl CancelToken {
     /// A fresh, un-cancelled token.
@@ -127,14 +144,23 @@ impl CancelToken {
         Self::default()
     }
 
-    /// Requests cancellation. Idempotent.
+    /// Requests cancellation. Idempotent. Children observe it; parents do not.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Relaxed);
+        self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested on this token or any of its ancestors.
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        self.flag.load(Ordering::Relaxed) || self.parent.as_ref().is_some_and(|p| p.is_cancelled())
+    }
+
+    /// A linked child token: it fires when either it or this token is cancelled, but
+    /// cancelling the child never propagates back to this token.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Arc::new(self.clone())),
+        }
     }
 }
 
@@ -225,12 +251,47 @@ pub struct Solution {
     /// and reduction config). On a hit `stats.reduction` reports the cached pipeline's
     /// numbers, including its original stage timings.
     pub reduction_cache_hit: bool,
+    /// The best **proven** upper bound on the maximum fair clique size for this query.
+    ///
+    /// * Complete terminations carry the exact answer: the optimum size for
+    ///   [`Termination::Optimal`], `0` for [`Termination::Infeasible`].
+    /// * On [`Termination::BudgetExhausted`] / [`Termination::Cancelled`] this is the
+    ///   best colorful upper bound across the reduced graph's components (per
+    ///   component: distinct colors per attribute capped through
+    ///   [`FairCliqueParams::best_fair_total`]), or `None` if the query stopped
+    ///   before the reduction finished (nothing sound was computed yet).
+    ///
+    /// Whenever the bound matches the incumbent size on a [`Objective::Maximum`]
+    /// query, the solver upgrades the termination to `Optimal` — so a reported
+    /// [`optimality_gap`](Solution::optimality_gap) of zero always means the answer
+    /// is exact.
+    pub upper_bound: Option<usize>,
 }
 
 impl Solution {
     /// The largest fair clique found, if any.
     pub fn best(&self) -> Option<&FairClique> {
         self.cliques.first()
+    }
+
+    /// Size of the largest fair clique found (`0` when none was found).
+    pub fn best_size(&self) -> usize {
+        self.best().map(FairClique::size).unwrap_or(0)
+    }
+
+    /// The proven optimality gap: `upper_bound − best_size`.
+    ///
+    /// `Some(0)` exactly when the answer is proven exact (complete terminations, or a
+    /// best-so-far that meets the colorful upper bound — which the solver upgrades to
+    /// [`Termination::Optimal`]); `None` when the search stopped before any sound
+    /// bound was available.
+    pub fn optimality_gap(&self) -> Option<usize> {
+        match self.termination {
+            Termination::Optimal | Termination::Infeasible => Some(0),
+            Termination::BudgetExhausted | Termination::Cancelled => self
+                .upper_bound
+                .map(|ub| ub.saturating_sub(self.best_size())),
+        }
     }
 
     /// Consumes the solution, returning the largest fair clique found.
@@ -481,10 +542,33 @@ impl RfcSolver {
             });
         }
 
-        let (reduced, reduction_cache_hit) = self.reduced(params.k, &query.reductions);
+        // Anchor the budget clock before the reduction so it covers the whole call.
+        let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
+        let stopped_outcome = |ctrl: &SearchControl, mut stats: EnumStats| {
+            stats.elapsed_micros = start.elapsed().as_micros() as u64;
+            EnumOutcome {
+                emitted: 0,
+                termination: match stopped_termination(ctrl) {
+                    Termination::Cancelled => EnumTermination::Cancelled,
+                    _ => EnumTermination::BudgetExhausted,
+                },
+                stats,
+                reduction_cache_hit: false,
+            }
+        };
+        if ctrl.check_now() {
+            return Ok(stopped_outcome(&ctrl, stats));
+        }
+        let (reduced, reduction_cache_hit) =
+            match self.reduced_controlled(params.k, &query.reductions, Some(&ctrl)) {
+                Ok(pair) => pair,
+                Err(partial) => {
+                    stats.reduction = partial;
+                    return Ok(stopped_outcome(&ctrl, stats));
+                }
+            };
         stats.reduction = reduced.stats.clone();
 
-        let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
         let problem = EnumProblem {
             model: query.fairness,
             params,
@@ -607,24 +691,55 @@ impl RfcSolver {
                 termination: Termination::Infeasible,
                 stats,
                 reduction_cache_hit: false,
+                upper_bound: Some(0),
+            });
+        }
+
+        // The budget clock is anchored *here*, before reduction and the heuristic, so
+        // `Budget.time_limit` covers the whole query (see the `Budget` docs).
+        let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
+        if ctrl.check_now() {
+            stats.elapsed_micros = start.elapsed().as_micros() as u64;
+            return Ok(Solution {
+                cliques: Vec::new(),
+                termination: stopped_termination(&ctrl),
+                stats,
+                reduction_cache_hit: false,
+                upper_bound: None,
             });
         }
 
         // Phase 1: reduced graph, shared across queries with the same (k, reductions).
+        // A budget/cancel trip mid-pipeline aborts without caching the partial result.
         let (reduced, reduction_cache_hit) = {
             let mut span = rfc_obs::trace::span("reduce");
-            let (reduced, hit) = self.reduced(params.k, &query.config.reductions);
-            span.counter("cache_hit", hit as u64);
-            span.counter("vertices", reduced.stats.final_vertices() as u64);
-            span.counter("edges", reduced.stats.final_edges() as u64);
-            (reduced, hit)
+            match self.reduced_controlled(params.k, &query.config.reductions, Some(&ctrl)) {
+                Ok((reduced, hit)) => {
+                    span.counter("cache_hit", hit as u64);
+                    span.counter("vertices", reduced.stats.final_vertices() as u64);
+                    span.counter("edges", reduced.stats.final_edges() as u64);
+                    (reduced, hit)
+                }
+                Err(partial) => {
+                    stats.reduction = partial;
+                    stats.elapsed_micros = start.elapsed().as_micros() as u64;
+                    return Ok(Solution {
+                        cliques: Vec::new(),
+                        termination: stopped_termination(&ctrl),
+                        stats,
+                        reduction_cache_hit: false,
+                        upper_bound: None,
+                    });
+                }
+            }
         };
         stats.reduction = reduced.stats.clone();
 
         // Phase 2: heuristic warm start on the reduced graph; its clique seeds the
-        // shared pool so every component search starts with the warm bound.
+        // shared pool so every component search starts with the warm bound. Skipped
+        // when the deadline already passed during reduction.
         let mut warm_start = None;
-        if query.config.use_heuristic {
+        if query.config.use_heuristic && !ctrl.check_now() {
             let mut span = rfc_obs::trace::span("heuristic");
             let outcome = heur_rfc(&reduced.graph, params, &query.config.heuristic);
             stats.heuristic_size = outcome.best.as_ref().map(|c| c.size());
@@ -634,7 +749,6 @@ impl RfcSolver {
 
         // Phase 3: budgeted, cancellable branch-and-bound.
         let pool = SharedIncumbent::with_capacity(capacity, warm_start);
-        let ctrl = SearchControl::new(&query.budget, query.cancel.clone());
         let mut config = query.config.clone();
         config.threads = threads;
         {
@@ -652,11 +766,30 @@ impl RfcSolver {
             .into_iter()
             .map(|vertices| FairClique::from_vertices(&self.graph, vertices))
             .collect();
-        let termination = match ctrl.stop_reason() {
+        let mut termination = match ctrl.stop_reason() {
             Some(StopReason::Budget) => Termination::BudgetExhausted,
             Some(StopReason::Cancelled) => Termination::Cancelled,
             None if cliques.is_empty() => Termination::Infeasible,
             None => Termination::Optimal,
+        };
+        let best_size = cliques.first().map(FairClique::size).unwrap_or(0);
+        let upper_bound = if termination.is_complete() {
+            Some(best_size)
+        } else {
+            // The colorful bound never undercuts a verified clique; max() guards the
+            // invariant anyway so a reported gap can never go negative.
+            let ub = colorful_upper_bound(&reduced.graph, params).max(best_size);
+            // A best-so-far that meets the proven bound *is* the exact answer: certify
+            // it instead of reporting a hollow "budget exhausted" (single-maximum
+            // queries only — top-k completeness needs more than a size bound).
+            if query.objective == Objective::Maximum && ub == best_size {
+                termination = if best_size > 0 {
+                    Termination::Optimal
+                } else {
+                    Termination::Infeasible
+                };
+            }
+            Some(ub)
         };
         stats.elapsed_micros = start.elapsed().as_micros() as u64;
         solve_span.counter("branches", stats.branches);
@@ -668,12 +801,23 @@ impl RfcSolver {
             termination,
             stats,
             reduction_cache_hit,
+            upper_bound,
         })
     }
 
-    /// Fetches (or computes and caches) the reduced graph for `(k, config)`. The
-    /// second return value is `true` on a cache hit.
-    fn reduced(&self, k: usize, config: &ReductionConfig) -> (Arc<ReducedEntry>, bool) {
+    /// Fetches (or computes and caches) the reduced graph for `(k, config)`, honoring
+    /// the query's budget/cancel control between pipeline stages.
+    ///
+    /// Cache hits are free and always served, even on a tripped control. On a miss,
+    /// a trip mid-pipeline returns `Err` with the partial stage stats and caches
+    /// **nothing** — a later query recomputes the reduction from scratch, so the
+    /// cache only ever holds complete pipelines.
+    pub(crate) fn reduced_controlled(
+        &self,
+        k: usize,
+        config: &ReductionConfig,
+        ctrl: Option<&SearchControl>,
+    ) -> Result<(Arc<ReducedEntry>, bool), ReductionStats> {
         let key = (k, *config);
         if let Some(entry) = self
             .reductions
@@ -681,18 +825,72 @@ impl RfcSolver {
             .expect("reduction cache poisoned")
             .get(&key)
         {
-            return (Arc::clone(entry), true);
+            return Ok((Arc::clone(entry), true));
         }
         // Compute outside the lock so concurrent queries for *different* keys don't
         // serialize; racing queries for the same key keep the first finished result.
         let params = FairCliqueParams::new(k, 0).expect("k >= 1 was validated by the caller");
-        let (graph, stats) = apply_reductions(&self.graph, params, config);
+        let (graph, stats) = apply_reductions_controlled(&self.graph, params, config, ctrl);
+        let Some(graph) = graph else {
+            return Err(stats);
+        };
         let entry = Arc::new(ReducedEntry { graph, stats });
         self.preprocessing_runs.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.reductions.lock().expect("reduction cache poisoned");
         let entry = Arc::clone(cache.entry(key).or_insert(entry));
-        (entry, false)
+        Ok((entry, false))
     }
+}
+
+/// Maps a tripped control's reason to the query-level [`Termination`]. Callers only
+/// invoke this after a check reported a stop, so an untripped control (possible only
+/// through a race that resolved the other way) counts as a budget trip.
+pub(crate) fn stopped_termination(ctrl: &SearchControl) -> Termination {
+    match ctrl.stop_reason() {
+        Some(StopReason::Cancelled) => Termination::Cancelled,
+        _ => Termination::BudgetExhausted,
+    }
+}
+
+/// A sound upper bound on the size of any fair clique of `g` under `params`, from a
+/// fresh greedy coloring of each candidate component.
+///
+/// Clique vertices carry pairwise-distinct colors, so within one connected component
+/// a fair clique holds at most "distinct colors among `a`-vertices" vertices of
+/// attribute `a` (likewise `b`); [`FairCliqueParams::best_fair_total`] converts those
+/// caps into a size cap. The result is the maximum over components that could host a
+/// fair clique at all — `0` proves infeasibility. This is the bound behind
+/// [`Solution::upper_bound`] and the portfolio's reported optimality gap.
+pub(crate) fn colorful_upper_bound(g: &AttributedGraph, params: FairCliqueParams) -> usize {
+    use rfc_graph::coloring::greedy_coloring_of_subset;
+    use rfc_graph::components::components_of_subset;
+
+    let min_size = params.min_size();
+    let active: Vec<rfc_graph::VertexId> = (0..g.num_vertices() as u32)
+        .filter(|&v| g.degree(v) + 1 >= min_size)
+        .collect();
+    let mut best = 0usize;
+    for component in components_of_subset(g, &active) {
+        if component.len() < min_size || component.len() <= best {
+            continue;
+        }
+        let coloring = greedy_coloring_of_subset(g, &component);
+        // Distinct colors seen per attribute within this component.
+        let mut seen = vec![[false; 2]; coloring.num_colors];
+        let mut caps = [0usize; 2];
+        for &v in &component {
+            let color = coloring.colors[v as usize] as usize;
+            let attr = g.attribute(v).index();
+            if !seen[color][attr] {
+                seen[color][attr] = true;
+                caps[attr] += 1;
+            }
+        }
+        if let Some(total) = params.best_fair_total(caps[0], caps[1]) {
+            best = best.max(total.min(component.len()));
+        }
+    }
+    best
 }
 
 /// Publishes one solve's search counters into the global metrics registry. Prune
@@ -830,21 +1028,41 @@ mod tests {
         assert_eq!(cancelled.termination, Termination::Cancelled);
         assert!(token.is_cancelled());
         // Exhausted node budget: best-so-far comes from the heuristic warm start and
-        // is still a verified fair clique.
+        // is still a verified fair clique. On Fig.1 the warm start meets the colorful
+        // upper bound, so the solver certifies it as the exact optimum (gap 0).
         let budgeted = solver
             .solve(
                 &Query::new(FairnessModel::Relative { k: 3, delta: 1 })
                     .with_budget(Budget::unlimited().with_node_limit(0)),
             )
             .unwrap();
-        assert_eq!(budgeted.termination, Termination::BudgetExhausted);
-        assert!(!budgeted.termination.is_complete());
+        assert_eq!(budgeted.termination, Termination::Optimal);
+        assert_eq!(budgeted.optimality_gap(), Some(0));
+        assert_eq!(budgeted.upper_bound, Some(7));
         let best = budgeted.best().expect("warm start seeds the pool");
         assert!(verify::is_fair_and_clique(
             solver.graph(),
             &best.vertices,
             FairCliqueParams::new(3, 1).unwrap()
         ));
+        // Without the warm start nothing reaches the bound, so the same node-starved
+        // query stays honestly budget-exhausted, with the bound as its finite gap.
+        let config = SearchConfig {
+            use_heuristic: false,
+            ..SearchConfig::default()
+        };
+        let starved = solver
+            .solve(
+                &Query::new(FairnessModel::Relative { k: 3, delta: 1 })
+                    .with_config(config)
+                    .with_budget(Budget::unlimited().with_node_limit(0)),
+            )
+            .unwrap();
+        assert_eq!(starved.termination, Termination::BudgetExhausted);
+        assert!(!starved.termination.is_complete());
+        assert!(starved.best().is_none());
+        assert_eq!(starved.upper_bound, Some(7));
+        assert_eq!(starved.optimality_gap(), Some(7));
         assert!(!Budget::unlimited().with_node_limit(0).is_unlimited());
         assert!(Budget::unlimited().is_unlimited());
     }

@@ -18,6 +18,8 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use rfc_core::enumerate::LimitSink;
+use rfc_core::portfolio::PortfolioConfig;
+use rfc_core::solver::RfcSolver;
 use rfc_core::{CancelToken, CliqueSink, DynamicRfcSolver, FairClique, Shard, SinkFlow};
 use rfc_graph::io::read_graph_from_path;
 use rfc_graph::json::JsonValue;
@@ -131,11 +133,32 @@ impl LocalEngine {
         let token = CancelToken::new();
         let _guard = self.track_query(token.clone());
         let query = spec.to_query(token, self.config.default_time_limit);
-        let shard = spec.shard.unwrap_or_else(Shard::full);
         let mut solver = slot.solver.lock().expect("solver lock poisoned");
-        let solution = solver
-            .solve_shard(&query, shard)
-            .map_err(|e| ErrorResponse::new(ErrorCode::InvalidParams, e.to_string()))?;
+        let solution = if let Some(members) = spec.portfolio {
+            if spec.shard.is_some() {
+                return Err(ErrorResponse::new(
+                    ErrorCode::InvalidParams,
+                    "\"portfolio\" cannot be combined with \"shard\"",
+                ));
+            }
+            // The racing portfolio solves a snapshot of the committed graph; the
+            // per-component dynamic cache is bypassed, so budget-bound answers
+            // always carry a freshly certified upper bound. The slot lock is
+            // released once the snapshot is taken so updates are not blocked for
+            // the whole (potentially long) race.
+            let snapshot = RfcSolver::new(solver.graph().clone());
+            drop(solver);
+            let config = PortfolioConfig::new(members).with_anytime(spec.anytime);
+            snapshot
+                .solve_portfolio(&query, &config)
+                .map_err(|e| ErrorResponse::new(ErrorCode::InvalidParams, e.to_string()))?
+                .solution
+        } else {
+            let shard = spec.shard.unwrap_or_else(Shard::full);
+            solver
+                .solve_shard(&query, shard)
+                .map_err(|e| ErrorResponse::new(ErrorCode::InvalidParams, e.to_string()))?
+        };
         Ok(solve_response(graph, &solution))
     }
 
@@ -498,6 +521,49 @@ mod tests {
             Some(7),
             "fig. 1 maximum relative fair clique has 7 vertices"
         );
+    }
+
+    #[test]
+    fn portfolio_solve_matches_the_plain_answer_and_certifies_the_gap() {
+        let (engine, _dir) = engine_with_fig1();
+        let (lines, _) = run(
+            &engine,
+            r#"{"op":"solve","graph":"fig1","k":3,"delta":1,"portfolio":3,"anytime":true}"#,
+        );
+        assert_eq!(lines.len(), 1);
+        let response = &lines[0];
+        assert_eq!(response.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(
+            response.get("termination").and_then(JsonValue::as_str),
+            Some("optimal")
+        );
+        let cliques = response
+            .get("cliques")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(cliques[0].get("size").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(
+            response.get("upper_bound").and_then(JsonValue::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            response.get("optimality_gap").and_then(JsonValue::as_u64),
+            Some(0)
+        );
+
+        // `anytime` without `portfolio` and `portfolio` + `shard` are typed errors.
+        for bad in [
+            r#"{"op":"solve","graph":"fig1","k":3,"delta":1,"anytime":true}"#,
+            r#"{"op":"solve","graph":"fig1","k":3,"delta":1,"portfolio":2,"shard":{"index":0,"count":2}}"#,
+        ] {
+            let (lines, flow) = run(&engine, bad);
+            assert_eq!(flow, Flow::Continue);
+            assert_eq!(
+                lines[0].get("error").and_then(JsonValue::as_str),
+                Some("invalid_params"),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

@@ -158,6 +158,10 @@ pub struct QuerySpec {
     pub node_limit: Option<u64>,
     /// Per-query search threads (default serial).
     pub threads: Option<usize>,
+    /// Race this many diversified configurations on a shared incumbent.
+    pub portfolio: Option<usize>,
+    /// With `portfolio`: also run the anytime local-search improver.
+    pub anytime: bool,
     /// Component shard this query is restricted to (executor-internal).
     pub shard: Option<Shard>,
 }
@@ -331,6 +335,12 @@ impl Request {
                     spec.node_limit,
                     spec.threads,
                 );
+                if let Some(n) = spec.portfolio {
+                    pairs.push(("portfolio", JsonValue::from(n)));
+                }
+                if spec.anytime {
+                    pairs.push(("anytime", JsonValue::from(true)));
+                }
                 shard_field(&mut pairs, spec.shard);
                 JsonValue::object(pairs)
             }
@@ -386,18 +396,43 @@ impl QuerySpec {
             time_limit_ms: None,
             node_limit: None,
             threads: None,
+            portfolio: None,
+            anytime: false,
             shard: None,
         }
     }
 
     fn from_json(value: &JsonValue) -> Result<QuerySpec, ErrorResponse> {
         let (time_limit_ms, node_limit, threads) = budget_from_json(value)?;
+        let portfolio = match opt_usize(value, "portfolio")? {
+            Some(0) => {
+                return Err(ErrorResponse::new(
+                    ErrorCode::InvalidParams,
+                    "\"portfolio\" must be >= 1",
+                ))
+            }
+            other => other,
+        };
+        let anytime = match value.get("anytime") {
+            None => false,
+            Some(v) => v.as_bool().ok_or_else(|| {
+                ErrorResponse::new(ErrorCode::InvalidParams, "\"anytime\" must be a boolean")
+            })?,
+        };
+        if anytime && portfolio.is_none() {
+            return Err(ErrorResponse::new(
+                ErrorCode::InvalidParams,
+                "\"anytime\" requires \"portfolio\"",
+            ));
+        }
         Ok(QuerySpec {
             model: model_from_json(value)?,
             top: opt_usize(value, "top")?,
             time_limit_ms,
             node_limit,
             threads,
+            portfolio,
+            anytime,
             shard: shard_from_json(value)?,
         })
     }
@@ -668,10 +703,16 @@ pub fn solve_response(graph: &str, solution: &Solution) -> String {
         }
         line.push_str(&clique_json(clique));
     }
+    let opt = |v: Option<usize>| v.map_or_else(|| "null".to_string(), |n| n.to_string());
     let _ = write!(
         line,
-        "],\"branches\":{},\"elapsed_us\":{},\"reduction_cache_hit\":{}}}",
-        solution.stats.branches, solution.stats.elapsed_micros, solution.reduction_cache_hit
+        "],\"branches\":{},\"elapsed_us\":{},\"upper_bound\":{},\"optimality_gap\":{},\
+         \"reduction_cache_hit\":{}}}",
+        solution.stats.branches,
+        solution.stats.elapsed_micros,
+        opt(solution.upper_bound),
+        opt(solution.optimality_gap()),
+        solution.reduction_cache_hit
     );
     line
 }
@@ -716,6 +757,8 @@ mod tests {
                     time_limit_ms: Some(250),
                     node_limit: Some(1000),
                     threads: Some(2),
+                    portfolio: Some(4),
+                    anytime: true,
                     shard: Shard::new(1, 4),
                 },
             },
@@ -830,6 +873,8 @@ mod tests {
             time_limit_ms: Some(100),
             node_limit: Some(42),
             threads: Some(1),
+            portfolio: None,
+            anytime: false,
             shard: None,
         };
         let query = spec.to_query(CancelToken::new(), None);

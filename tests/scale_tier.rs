@@ -238,3 +238,63 @@ fn planted_optimum_is_recovered_from_disk_with_bounded_residual() {
     assert_eq!(best.counts.b(), 10);
     std::fs::remove_file(&path).ok();
 }
+
+/// Regression (PR 10 bugfix): `Budget`/`CancelToken` reach the scale tier. A
+/// construction whose out-of-core peel trips the control returns the typed
+/// `ScaleError` instead of silently running to completion, and the unlimited
+/// constructor is unaffected.
+#[test]
+fn budgeted_scale_construction_returns_typed_errors() {
+    use rfc_core::solver::{Budget, CancelToken};
+    use rfc_core::ScaleError;
+    use std::time::Duration;
+
+    let g = fixtures_graph_for_budget();
+    let path = temp_path("budgeted");
+    write_rfcg(&g, &path).unwrap();
+    let store = DiskCsr::open(&path).unwrap();
+
+    // Pre-cancelled token: the peel must not start.
+    let token = CancelToken::new();
+    token.cancel();
+    let err =
+        ScaleSolver::from_store_budgeted(&store, 2, &Budget::unlimited(), Some(token)).unwrap_err();
+    assert!(matches!(err, ScaleError::Cancelled), "{err}");
+    assert!(err.to_string().contains("cancelled"));
+
+    // A zero wall-clock budget trips between peel waves.
+    let err = ScaleSolver::from_store_budgeted(
+        &store,
+        2,
+        &Budget::unlimited().with_time_limit(Duration::ZERO),
+        None,
+    )
+    .unwrap_err();
+    assert!(matches!(err, ScaleError::BudgetExhausted), "{err}");
+
+    // A pure node limit never applies to construction (no branch nodes exist yet),
+    // and the solver built under it matches the unlimited one.
+    let budgeted =
+        ScaleSolver::from_store_budgeted(&store, 2, &Budget::unlimited().with_node_limit(0), None)
+            .unwrap();
+    let unlimited = ScaleSolver::from_store(&store, 2).unwrap();
+    assert_eq!(
+        budgeted.residual().num_edges(),
+        unlimited.residual().num_edges()
+    );
+    let query = Query::new(FairnessModel::Relative { k: 2, delta: 1 });
+    let solution = unlimited.solve(&query).unwrap();
+    assert_eq!(
+        solution.best().map(|c| c.size()),
+        budgeted
+            .solve(&Query::new(FairnessModel::Relative { k: 2, delta: 1 }))
+            .unwrap()
+            .best()
+            .map(|c| c.size())
+    );
+}
+
+/// A small deterministic graph with a known fair clique for the budget tests.
+fn fixtures_graph_for_budget() -> AttributedGraph {
+    rfc_graph::fixtures::fig1_graph()
+}

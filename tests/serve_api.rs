@@ -337,15 +337,51 @@ fn budget_exhaustion_returns_verified_best_so_far() {
     let graph = fixtures::fig1_graph();
     daemon.load(&mut client, "fig1", &graph);
 
-    // A node budget of 0 exhausts immediately; whatever the heuristic found must
-    // still verify as a fair clique.
+    // A node budget of 0 exhausts immediately. On fig. 1 the heuristic warm
+    // start (size 7) meets the colorful upper bound, so the answer comes back
+    // bound-certified: `optimal` with a zero gap despite the exhausted budget.
+    // Either way the budget never produces an unverified clique.
     let response =
         client.request_one(r#"{"op":"solve","graph":"fig1","k":3,"delta":1,"node_limit":0}"#);
     assert_eq!(
         response.get("termination").and_then(JsonValue::as_str),
-        Some("budget_exhausted")
+        Some("optimal")
+    );
+    assert_eq!(
+        response.get("optimality_gap").and_then(JsonValue::as_u64),
+        Some(0)
+    );
+    assert_eq!(
+        response.get("upper_bound").and_then(JsonValue::as_u64),
+        Some(7)
     );
     let model = FairnessModel::Relative { k: 3, delta: 1 };
+    for vertices in response_clique_sets(&response) {
+        let vertices: Vec<VertexId> = vertices.iter().map(|&v| v as VertexId).collect();
+        assert!(rfc_core::verify::is_fair_clique_under(
+            &graph, &vertices, model
+        ));
+    }
+
+    // A model the warm start cannot certify (strong fairness on fig. 1 has no
+    // tight colorful bound) genuinely exhausts, with the bound as its gap.
+    let response = client
+        .request_one(r#"{"op":"solve","graph":"fig1","model":"strong","k":3,"node_limit":0}"#);
+    let termination = response.get("termination").and_then(JsonValue::as_str);
+    if termination == Some("budget_exhausted") {
+        let ub = response.get("upper_bound").and_then(JsonValue::as_u64);
+        let gap = response.get("optimality_gap").and_then(JsonValue::as_u64);
+        assert!(ub.is_some());
+        assert!(gap.is_some_and(|g| g > 0));
+    } else {
+        // Bound-certified here too: then the gap must be zero.
+        assert_eq!(termination, Some("optimal"));
+        assert_eq!(
+            response.get("optimality_gap").and_then(JsonValue::as_u64),
+            Some(0)
+        );
+    }
+    let model = FairnessModel::Strong { k: 3 };
     for vertices in response_clique_sets(&response) {
         let vertices: Vec<VertexId> = vertices.iter().map(|&v| v as VertexId).collect();
         assert!(rfc_core::verify::is_fair_clique_under(

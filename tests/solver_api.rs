@@ -283,10 +283,19 @@ fn exhausted_budgets_do_not_leak_into_later_queries() {
     let solver = RfcSolver::new(fixtures::fig1_graph());
     let model = FairnessModel::Relative { k: 3, delta: 1 };
 
-    // Query 1: node budget exhausted immediately.
-    let starved = serial(Query::new(model)).with_budget(Budget::unlimited().with_node_limit(0));
+    // Query 1: node budget exhausted immediately. The heuristic is disabled so the
+    // warm start can't meet the colorful upper bound (which would certify the
+    // best-so-far as Optimal) — this query must stay genuinely exhausted.
+    let mut no_heuristic = SearchConfig::default().with_threads(ThreadCount::Serial);
+    no_heuristic.use_heuristic = false;
+    let starved = Query::new(model)
+        .with_config(no_heuristic)
+        .with_budget(Budget::unlimited().with_node_limit(0));
     let first = solver.solve(&starved).unwrap();
     assert_eq!(first.termination, Termination::BudgetExhausted);
+    // The reduction still ran, so the colorful bound gives a finite gap.
+    assert_eq!(first.upper_bound, Some(7));
+    assert_eq!(first.optimality_gap(), Some(7));
 
     // Query 2 (same solver, fresh unlimited query): must be exact, with a live
     // search — not an inherited sticky stop.
@@ -340,4 +349,76 @@ fn exhausted_budgets_do_not_leak_into_later_queries() {
     );
     let clean = solver.solve(&serial(Query::new(model))).unwrap();
     assert_eq!(clean.termination, Termination::Optimal);
+}
+
+/// Regression (PR 10 bugfix): the wall-clock budget is anchored at query entry, so a
+/// query whose *reduction alone* outlives a tiny `time_limit` returns
+/// `BudgetExhausted` promptly — it must not silently extend the budget by the
+/// preprocessing time, and the aborted partial pipeline must never be cached.
+#[test]
+fn time_budget_covers_the_reduction_phase() {
+    // Large enough that the reduction pipeline takes well over the budget below.
+    let g = erdos_renyi(1500, 0.05, 0.5, 7);
+    let solver = RfcSolver::new(g);
+    let model = FairnessModel::Relative { k: 2, delta: 1 };
+
+    let starved = serial(Query::new(model))
+        .with_budget(Budget::unlimited().with_time_limit(Duration::from_micros(200)));
+    let solution = solver.solve(&starved).unwrap();
+    assert_eq!(solution.termination, Termination::BudgetExhausted);
+    assert!(
+        solution.stats.reduction.stages.len() < 3,
+        "the pipeline must have been interrupted, got {:?}",
+        solution.stats.reduction.stages
+    );
+    // Nothing sound was computed, so no bound (and no gap) can be reported.
+    assert_eq!(solution.upper_bound, None);
+    assert_eq!(solution.optimality_gap(), None);
+    assert!(solution.best().is_none());
+    // The partial pipeline was not cached: the next query runs it from scratch.
+    assert_eq!(solver.preprocessing_runs(), 0);
+    let full = solver.solve(&serial(Query::new(model))).unwrap();
+    assert_eq!(full.termination, Termination::Optimal);
+    assert!(!full.reduction_cache_hit);
+    assert_eq!(full.stats.reduction.stages.len(), 3);
+    assert_eq!(solver.preprocessing_runs(), 1);
+}
+
+/// Regression (PR 10 bugfix): a pre-cancelled query stops at entry, before any
+/// reduction stage runs.
+#[test]
+fn pre_cancelled_query_skips_the_reduction() {
+    let solver = RfcSolver::new(erdos_renyi(1500, 0.05, 0.5, 7));
+    let token = CancelToken::new();
+    token.cancel();
+    let solution = solver
+        .solve(&serial(Query::new(FairnessModel::Relative { k: 2, delta: 1 })).with_cancel(token))
+        .unwrap();
+    assert_eq!(solution.termination, Termination::Cancelled);
+    assert!(solution.stats.reduction.stages.is_empty());
+    assert_eq!(solution.upper_bound, None);
+    assert_eq!(solver.preprocessing_runs(), 0);
+}
+
+/// A budget-starved solve whose warm start already meets the colorful upper bound is
+/// *certified*: the solver upgrades the termination to `Optimal`, so a reported gap
+/// of zero always means the answer is exact.
+#[test]
+fn bound_certified_exhaustion_upgrades_to_optimal() {
+    let solver = RfcSolver::new(fixtures::fig1_graph());
+    let model = FairnessModel::Relative { k: 3, delta: 1 };
+    // Heuristic on (default config): it finds the size-7 optimum, which matches the
+    // colorful bound of the reduced graph — zero branch nodes needed.
+    let solution = solver
+        .solve(&serial(Query::new(model)).with_budget(Budget::unlimited().with_node_limit(0)))
+        .unwrap();
+    assert_eq!(solution.termination, Termination::Optimal);
+    assert_eq!(solution.best().unwrap().size(), 7);
+    assert_eq!(solution.upper_bound, Some(7));
+    assert_eq!(solution.optimality_gap(), Some(0));
+    assert!(verify::is_fair_clique_under(
+        solver.graph(),
+        &solution.best().unwrap().vertices,
+        model
+    ));
 }
